@@ -1,0 +1,71 @@
+"""Ablation — parsimonious vs non-parsimonious transformation.
+
+The design choice of Section 4.1.1: the parsimonious model folds
+single-valued literal properties into node records (smaller output), the
+non-parsimonious model materializes everything as literal nodes (larger
+output, but monotone under schema evolution).  This bench quantifies the
+trade-off the paper discusses: output size vs conversion time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.core import DEFAULT_OPTIONS, MONOTONE_OPTIONS, S3PG
+from repro.eval import render_table
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("mode", ["parsimonious", "non-parsimonious"])
+def test_ablation_parsimonious(benchmark, dbpedia2022_bundle, mode):
+    """Benchmark one mode and record its output size."""
+    options = DEFAULT_OPTIONS if mode == "parsimonious" else MONOTONE_OPTIONS
+    bundle = dbpedia2022_bundle
+
+    def run_once():
+        return S3PG(options).transform(bundle.graph, bundle.shapes)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    stats = result.graph.stats()
+    _RESULTS[mode] = {
+        "nodes": stats.n_nodes,
+        "edges": stats.n_edges,
+        "node_properties": stats.n_node_properties,
+        "seconds": result.timings["transform_s"],
+    }
+
+
+def test_ablation_parsimonious_report(benchmark, dbpedia2022_bundle):
+    """Render the trade-off table and assert the expected size ordering."""
+    for mode, options in (
+        ("parsimonious", DEFAULT_OPTIONS),
+        ("non-parsimonious", MONOTONE_OPTIONS),
+    ):
+        if mode not in _RESULTS:
+            result = S3PG(options).transform(
+                dbpedia2022_bundle.graph, dbpedia2022_bundle.shapes
+            )
+            stats = result.graph.stats()
+            _RESULTS[mode] = {
+                "nodes": stats.n_nodes,
+                "edges": stats.n_edges,
+                "node_properties": stats.n_node_properties,
+                "seconds": result.timings["transform_s"],
+            }
+
+    def render():
+        rows = [{"mode": mode, **values} for mode, values in _RESULTS.items()]
+        return render_table(
+            rows, title="Ablation: parsimonious vs non-parsimonious"
+        )
+
+    write_result("ablation_parsimonious.txt", benchmark.pedantic(render, rounds=1))
+
+    pars, mono = _RESULTS["parsimonious"], _RESULTS["non-parsimonious"]
+    # Non-parsimonious materializes literal nodes for *every* property:
+    # strictly more nodes and edges, fewer record properties.
+    assert mono["nodes"] > pars["nodes"]
+    assert mono["edges"] > pars["edges"]
+    assert mono["node_properties"] < pars["node_properties"]

@@ -1,0 +1,63 @@
+"""Figure 6 — query runtime on the RDF engine vs the transformed PGs.
+
+Reproduces the Section 5.3 exploratory experiment: each workload query
+runs on the source RDF graph (SPARQL) and on every method's PG (Cypher),
+with warm-up and repeated timed executions.  The paper's observation is
+that runtimes stay comparable across models, with S3PG paying extra only
+where it returns *more* (complete) answers on heterogeneous queries.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import write_result
+
+from repro.eval import render_series, runtime_experiment
+
+
+def test_fig6_query_runtime(benchmark, dbpedia2022_bundle, dbpedia2022_runs,
+                            dbpedia_queries):
+    """Measure Figure 6 and check the comparable-runtimes claim."""
+
+    def run_experiment():
+        return runtime_experiment(
+            dbpedia2022_bundle, dbpedia_queries, dbpedia2022_runs,
+            repeat=3, warmup=1,
+        )
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    categories: dict[str, list] = {}
+    for row in rows:
+        categories.setdefault(row.category, []).append(row)
+
+    sections = []
+    per_category_means: dict[str, dict[str, float]] = {}
+    for category, cat_rows in categories.items():
+        series = {}
+        for engine in cat_rows[0].runtimes_ms:
+            series[engine] = {
+                row.qid: round(row.runtimes_ms[engine], 3) for row in cat_rows
+            }
+        sections.append(render_series(
+            f"Figure 6 ({category})", series, unit="ms"
+        ))
+        per_category_means[category] = {
+            engine: mean(row.runtimes_ms[engine] for row in cat_rows)
+            for engine in cat_rows[0].runtimes_ms
+        }
+    write_result("fig6_query_runtime.txt", "\n".join(sections))
+
+    # Runtimes remain comparable between the engines: within each
+    # category no engine is more than ~25x slower than the fastest
+    # (the paper's Figure 6 spans about one order of magnitude).
+    for category, means in per_category_means.items():
+        fastest = min(means.values())
+        for engine, value in means.items():
+            assert value <= max(fastest * 25, fastest + 50), (category, engine)
+
+    # Every query produced a positive runtime on every engine.
+    for row in rows:
+        for engine, value in row.runtimes_ms.items():
+            assert value > 0, (row.qid, engine)

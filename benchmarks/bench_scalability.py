@@ -1,0 +1,59 @@
+"""Scalability of the S3PG transformation (Section 5.1 context).
+
+The paper picks DBpedia precisely "to test the scalability of S3PG".
+This bench transforms the synthetic DBpedia-2022 graph at growing scales
+and asserts that the two-phase streaming algorithm scales near-linearly
+in the number of triples (the complexity analysis of Section 4.2.2:
+O(|F| + |N| + |F|·L)).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+from conftest import write_result
+
+from repro.core import S3PG
+from repro.eval import load_dataset, render_table
+
+_POINTS: dict[float, tuple[int, float]] = {}
+
+
+@pytest.mark.parametrize("scale", [0.25, 0.5, 1.0, 2.0])
+def test_scalability_point(benchmark, scale):
+    """Measure one scale point (triples vs transform seconds)."""
+    bundle = load_dataset("dbpedia2022", scale=scale)
+    s3pg = S3PG()
+    gc.collect()
+
+    def run_once():
+        start = time.perf_counter()
+        s3pg.transform(bundle.graph, bundle.shapes)
+        return time.perf_counter() - start
+
+    seconds = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    _POINTS[scale] = (len(bundle.graph), min(seconds, benchmark.stats.stats.min))
+
+
+def test_scalability_report(benchmark):
+    """Render the scaling curve and assert near-linear growth."""
+    if len(_POINTS) < 4:
+        pytest.skip("scale points were deselected")
+    rows = [
+        {"scale": scale, "triples": triples, "seconds": round(seconds, 4)}
+        for scale, (triples, seconds) in sorted(_POINTS.items())
+    ]
+    write_result("scalability.txt", benchmark.pedantic(
+        lambda: render_table(rows, title="S3PG transformation scalability"),
+        rounds=1,
+    ))
+
+    # Near-linear: going from the smallest to the largest point, time must
+    # not grow super-linearly by more than a generous constant factor.
+    (small_triples, small_seconds) = _POINTS[min(_POINTS)]
+    (large_triples, large_seconds) = _POINTS[max(_POINTS)]
+    size_ratio = large_triples / small_triples
+    time_ratio = large_seconds / max(small_seconds, 1e-9)
+    assert time_ratio < size_ratio * 3.0, (size_ratio, time_ratio)

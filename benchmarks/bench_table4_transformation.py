@@ -1,0 +1,83 @@
+"""Table 4 — transformation (T) and loading (L) times per method.
+
+Benchmarks each transformer end-to-end on each dataset and regenerates
+the Table 4 layout.  The paper's qualitative result — S3PG has the lowest
+combined time on every dataset, and the transactional NeoSemantics import
+cannot separate transformation from loading — is asserted.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+from conftest import write_result
+
+from repro.eval import (
+    render_table,
+    run_neosemantics,
+    run_rdf2pg,
+    run_s3pg,
+)
+
+_RESULTS: dict[tuple[str, str], float] = {}
+
+_METHOD_RUNNERS = {
+    "S3PG": run_s3pg,
+    "rdf2pg": run_rdf2pg,
+    "NeoSem": run_neosemantics,
+}
+
+
+@pytest.mark.parametrize("dataset", ["DBpedia2020", "DBpedia2022", "Bio2RDF CT"])
+@pytest.mark.parametrize("method", ["S3PG", "rdf2pg", "NeoSem"])
+def test_table4_transformation_time(benchmark, all_bundles, dataset, method):
+    """Benchmark one (method, dataset) cell of Table 4."""
+    bundle = all_bundles[dataset]
+    runner = _METHOD_RUNNERS[method]
+    gc.collect()
+
+    def run_once():
+        run, _ = runner(bundle)
+        return run
+
+    run = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    _RESULTS[(dataset, method)] = run.combined_s
+    if method == "NeoSem":
+        # NeoSemantics loads through the database: T and L are one phase.
+        assert run.transform_s is None and run.load_s is None
+    else:
+        assert run.transform_s is not None and run.load_s is not None
+
+
+def test_table4_render_and_ordering(benchmark, all_bundles):
+    """Render Table 4 and assert the winner ordering of the paper."""
+    datasets = ["DBpedia2020", "DBpedia2022", "Bio2RDF CT"]
+    missing = [
+        (d, m) for d in datasets for m in _METHOD_RUNNERS if (d, m) not in _RESULTS
+    ]
+    if missing:
+        # Cells may be missing when the per-cell benchmarks were
+        # deselected; compute them directly (once each).
+        for dataset, method in missing:
+            run, _ = _METHOD_RUNNERS[method](all_bundles[dataset])
+            _RESULTS[(dataset, method)] = run.combined_s
+
+    def render():
+        rows = []
+        for method in ("S3PG", "rdf2pg", "NeoSem"):
+            row: dict[str, object] = {"method": method}
+            for dataset in datasets:
+                row[dataset] = f"{_RESULTS[(dataset, method)] * 1000:.1f} ms"
+            rows.append(row)
+        return render_table(
+            rows, title="Table 4: Transformation + loading time (combined)"
+        )
+
+    write_result("table4_transformation.txt", benchmark.pedantic(render, rounds=1))
+
+    # S3PG wins on every dataset (the paper's headline Table 4 result).
+    for dataset in datasets:
+        s3pg = _RESULTS[(dataset, "S3PG")]
+        assert s3pg <= _RESULTS[(dataset, "rdf2pg")] * 1.15, dataset
+        assert s3pg <= _RESULTS[(dataset, "NeoSem")] * 1.15, dataset

@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark harness.
+
+Datasets and transformation runs are generated once per session and
+shared across the table/figure benchmarks.  ``BENCH_SCALE`` (environment
+variable ``REPRO_BENCH_SCALE``) scales all datasets; the defaults keep a
+full ``pytest benchmarks/ --benchmark-only`` run in the minutes range on
+one core while preserving every effect the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import bio2rdf_workload, dbpedia_workload
+from repro.eval import load_dataset, run_all_transformations
+
+#: Global scale multiplier for the benchmark datasets.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Where benches write their rendered tables.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under ``benchmarks/results`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text, encoding="utf-8")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def dbpedia2022_bundle():
+    """The DBpedia-2022-like dataset with extracted shapes."""
+    return load_dataset("dbpedia2022", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def dbpedia2020_bundle():
+    """The DBpedia-2020-like dataset with extracted shapes."""
+    return load_dataset("dbpedia2020", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bio2rdf_bundle():
+    """The Bio2RDF-CT-like dataset with extracted shapes."""
+    return load_dataset("bio2rdf", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def all_bundles(dbpedia2020_bundle, dbpedia2022_bundle, bio2rdf_bundle):
+    """All three datasets keyed by name (Table 2/3/4/5 iterate these)."""
+    return {
+        "DBpedia2020": dbpedia2020_bundle,
+        "DBpedia2022": dbpedia2022_bundle,
+        "Bio2RDF CT": bio2rdf_bundle,
+    }
+
+
+@pytest.fixture(scope="session")
+def dbpedia2022_runs(dbpedia2022_bundle):
+    """All three transformations of the DBpedia-2022 dataset."""
+    return run_all_transformations(dbpedia2022_bundle)
+
+
+@pytest.fixture(scope="session")
+def bio2rdf_runs(bio2rdf_bundle):
+    """All three transformations of the Bio2RDF dataset."""
+    return run_all_transformations(bio2rdf_bundle)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_queries(dbpedia2022_bundle):
+    """The Table 6 workload."""
+    return dbpedia_workload(dbpedia2022_bundle.spec)
+
+
+@pytest.fixture(scope="session")
+def bio2rdf_queries(bio2rdf_bundle):
+    """The Table 7 workload."""
+    return bio2rdf_workload(bio2rdf_bundle.spec)

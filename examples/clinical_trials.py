@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Domain-specific pipeline on a Bio2RDF Clinical-Trials-like KG.
+
+Shows the library on the paper's second dataset family: generate the
+clinical-trials graph, extract SHACL shapes from it (the paper's [33]
+workflow for graphs shipped without shapes), transform with S3PG, export
+the property graph as Neo4j-style bulk CSV, and answer a few
+domain questions in Cypher.
+
+Usage::
+
+    python examples/clinical_trials.py [scale]
+"""
+
+import sys
+
+from repro import transform
+from repro.eval import load_dataset
+from repro.pg import export_csv
+from repro.pgschema import check_conformance
+from repro.query import CypherEngine, translate_sparql_to_cypher
+from repro.shacl import shape_stats
+
+
+def main(scale: float = 0.5) -> None:
+    bundle = load_dataset("bio2rdf", scale=scale)
+    print(f"clinical-trials KG: {len(bundle.graph)} triples")
+    print("extracted SHACL shape statistics (Table 3 analogue):")
+    for key, value in shape_stats(bundle.shapes).as_row().items():
+        print(f"  {key:40s} {value}")
+    print()
+
+    result = transform(bundle.graph, bundle.shapes)
+    print(f"property graph: {result.graph.node_count()} nodes, "
+          f"{result.graph.edge_count()} edges")
+    print("conforms to PG-Schema:",
+          check_conformance(result.graph, result.pg_schema).conforms, "\n")
+
+    nodes_csv, edges_csv = export_csv(result.graph)
+    print(f"bulk CSV export: nodes.csv {len(nodes_csv):,} bytes, "
+          f"edges.csv {len(edges_csv):,} bytes\n")
+
+    store = result.load()
+    engine = CypherEngine(store)
+
+    questions = [
+        ("study-condition pairs",
+         "PREFIX ct: <http://bio2rdf.org/clinicaltrials_vocabulary:> "
+         "SELECT ?s ?c WHERE "
+         "{ ?s a ct:ClinicalStudy ; ct:condition ?c . }"),
+        ("drug interventions of studies",
+         "PREFIX ct: <http://bio2rdf.org/clinicaltrials_vocabulary:> "
+         "SELECT ?s ?i WHERE { ?s a ct:ClinicalStudy ; "
+         "ct:intervention ?i . ?i a ct:DrugIntervention . }"),
+        ("sponsors recorded only as text",
+         "PREFIX ct: <http://bio2rdf.org/clinicaltrials_vocabulary:> "
+         "SELECT ?s ?sp WHERE { ?s a ct:ClinicalStudy ; ct:sponsor ?sp . }"),
+    ]
+    for label, sparql in questions:
+        cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        rows = engine.query(cypher)
+        print(f"{label}: {len(rows)} answers")
+        print("   ", " | ".join(cypher.splitlines()))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,31 @@
+"""Lossy baseline transformers the paper compares S3PG against."""
+
+from .neosemantics import (
+    NeoSemanticsResult,
+    NeoSemanticsStats,
+    NeoSemanticsTransformer,
+    neosemantics_transform,
+)
+from .rdf2pg import (
+    ATTRIBUTE,
+    EDGE,
+    PropertyRealization,
+    Rdf2pgResult,
+    Rdf2pgStats,
+    Rdf2pgTransformer,
+    rdf2pg_transform,
+)
+
+__all__ = [
+    "ATTRIBUTE",
+    "EDGE",
+    "NeoSemanticsResult",
+    "NeoSemanticsStats",
+    "NeoSemanticsTransformer",
+    "PropertyRealization",
+    "Rdf2pgResult",
+    "Rdf2pgStats",
+    "Rdf2pgTransformer",
+    "neosemantics_transform",
+    "rdf2pg_transform",
+]

@@ -1,0 +1,398 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands cover the full S3PG workflow on files:
+
+* ``transform``       — RDF (+ SHACL) -> PG (CSV) + PG-Schema (DDL) + mapping
+* ``extract-shapes``  — derive a SHACL document from instance data
+* ``validate``        — SHACL-validate an RDF graph
+* ``conformance``     — check a transformed PG against its PG-Schema
+* ``stats``           — dataset statistics (Table 2 layout)
+* ``shape-stats``     — shape statistics (Table 3 layout)
+* ``query``           — run SPARQL on RDF, or translate + run on the PG
+* ``to-rdf``          — reconstruct the RDF graph from a PG (inverse M)
+* ``compact``         — fold a non-parsimonious PG into the parsimonious
+  layout (the Section 7 optimizer)
+* ``generate``        — emit one of the synthetic benchmark datasets
+
+RDF inputs may be N-Triples (``.nt``) or Turtle (anything else).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from . import __version__
+from .core.config import TransformOptions
+from .core.g2gml import render_g2gml
+from .core.inverse import scalar_to_lexical
+from .core.mapping import SchemaMapping
+from .core.pipeline import S3PG
+from .datasets.bio2rdf import bio2rdf_spec
+from .datasets.common import generate
+from .datasets.dbpedia import dbpedia2020_spec, dbpedia2022_spec
+from .errors import ReproError
+from .eval.tables import render_table
+from .pg.csv_io import read_csv, write_csv
+from .pgschema.conformance import check_conformance
+from .pgschema.ddl import parse_pgschema_ddl, render_pgschema
+from .query.cypher.evaluator import CypherEngine
+from .query.sparql.evaluator import SparqlEngine
+from .query.translate import translate_sparql_to_cypher
+from .pg.store import PropertyGraphStore
+from .rdf.graph import Graph
+from .rdf.ntriples import parse_ntriples, write_ntriples
+from .rdf.turtle import parse_turtle
+from .shacl.parser import parse_shacl
+from .shacl.serializer import serialize_shacl
+from .shacl.stats import shape_stats
+from .shacl.validator import validate as shacl_validate
+from .shapes.extractor import ExtractionConfig, extract_shapes
+
+_DATASETS = {
+    "dbpedia2022": (dbpedia2022_spec, 400),
+    "dbpedia2020": (dbpedia2020_spec, 200),
+    "bio2rdf": (bio2rdf_spec, 300),
+}
+
+
+def load_rdf(path: str | Path) -> Graph:
+    """Load an RDF document; N-Triples for ``.nt``, Turtle otherwise."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".nt":
+        return parse_ntriples(text)
+    return parse_turtle(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S3PG: transform RDF knowledge graphs into property graphs",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    transform = sub.add_parser(
+        "transform", help="transform RDF + SHACL into a PG + PG-Schema"
+    )
+    transform.add_argument("data", help="RDF instance data (.nt or Turtle)")
+    transform.add_argument(
+        "--shapes", help="SHACL document (Turtle); extracted from data if omitted"
+    )
+    transform.add_argument("-o", "--out", default="out", help="output directory")
+    transform.add_argument(
+        "--non-parsimonious", action="store_true",
+        help="use the fully monotone (non-parsimonious) model",
+    )
+    transform.add_argument(
+        "--on-unknown", choices=("fallback", "skip", "error"), default="fallback",
+        help="handling of triples not covered by the shapes",
+    )
+    transform.add_argument(
+        "--g2gml", action="store_true",
+        help="additionally emit a G2GML mapping document",
+    )
+
+    extract = sub.add_parser("extract-shapes", help="extract SHACL shapes from data")
+    extract.add_argument("data")
+    extract.add_argument("-o", "--out", help="output file (stdout if omitted)")
+    extract.add_argument("--min-class-support", type=int, default=1)
+    extract.add_argument("--min-property-support", type=float, default=0.0)
+    extract.add_argument("--min-type-confidence", type=float, default=0.0)
+
+    validate = sub.add_parser("validate", help="validate RDF data against SHACL shapes")
+    validate.add_argument("data")
+    validate.add_argument("shapes")
+    validate.add_argument("--max-violations", type=int, default=20)
+
+    conformance = sub.add_parser(
+        "conformance", help="check a transformed PG (CSV dir) against its PG-Schema"
+    )
+    conformance.add_argument("pgdir", help="directory with nodes.csv/edges.csv")
+    conformance.add_argument("schema", help="PG-Schema DDL file")
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table 2 layout)")
+    stats.add_argument("data")
+
+    shape_stats_cmd = sub.add_parser(
+        "shape-stats", help="SHACL shape statistics (Table 3 layout)"
+    )
+    shape_stats_cmd.add_argument("shapes")
+
+    query = sub.add_parser("query", help="run a SPARQL query")
+    query.add_argument("data", help="RDF instance data")
+    query.add_argument("sparql", help="query text or @file")
+    query.add_argument(
+        "--via-pg", action="store_true",
+        help="transform first, translate to Cypher, and run on the PG",
+    )
+    query.add_argument("--limit", type=int, default=20, help="rows to print")
+
+    to_rdf = sub.add_parser(
+        "to-rdf", help="reconstruct RDF from a transformed PG (inverse M)"
+    )
+    to_rdf.add_argument("pgdir", help="directory with nodes.csv/edges.csv")
+    to_rdf.add_argument("mapping", help="mapping.json from the transformation")
+    to_rdf.add_argument("-o", "--out", required=True, help="output .nt file")
+
+    compact = sub.add_parser(
+        "compact", help="fold a non-parsimonious PG into the parsimonious layout"
+    )
+    compact.add_argument("pgdir", help="directory with nodes.csv/edges.csv")
+    compact.add_argument("mapping", help="mapping.json from the transformation")
+    compact.add_argument("-o", "--out", required=True, help="output directory")
+
+    gen = sub.add_parser("generate", help="emit a synthetic benchmark dataset")
+    gen.add_argument("dataset", choices=sorted(_DATASETS))
+    gen.add_argument("-o", "--out", required=True, help="output .nt file")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------- #
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    if args.shapes:
+        shapes = parse_shacl(Path(args.shapes).read_text(encoding="utf-8"))
+        print(f"loaded {len(shapes)} node shapes from {args.shapes}")
+    else:
+        shapes = extract_shapes(graph)
+        print(f"extracted {len(shapes)} node shapes from the data")
+
+    options = TransformOptions(
+        parsimonious=not args.non_parsimonious, on_unknown=args.on_unknown
+    )
+    start = time.perf_counter()
+    result = S3PG(options).transform(graph, shapes)
+    elapsed = time.perf_counter() - start
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    write_csv(result.graph, out)
+    (out / "schema.pgs").write_text(
+        render_pgschema(result.pg_schema), encoding="utf-8"
+    )
+    (out / "mapping.json").write_text(result.mapping.to_json(), encoding="utf-8")
+    if args.g2gml:
+        (out / "mapping.g2g").write_text(
+            render_g2gml(result.mapping), encoding="utf-8"
+        )
+
+    stats = result.graph.stats()
+    print(
+        f"transformed {len(graph)} triples -> {stats.n_nodes} nodes / "
+        f"{stats.n_edges} edges / {stats.n_rel_types} relationship types "
+        f"in {elapsed:.2f}s"
+    )
+    print(f"wrote nodes.csv, edges.csv, schema.pgs, mapping.json to {out}/")
+    return 0
+
+
+def _cmd_extract_shapes(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    config = ExtractionConfig(
+        min_class_support=args.min_class_support,
+        min_property_support=args.min_property_support,
+        min_type_confidence=args.min_type_confidence,
+    )
+    schema = extract_shapes(graph, config)
+    text = serialize_shacl(schema)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {len(schema)} node shapes to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    shapes = parse_shacl(Path(args.shapes).read_text(encoding="utf-8"))
+    report = shacl_validate(graph, shapes)
+    if report.conforms:
+        print(f"conforms ({report.checked_entities} entities checked)")
+        return 0
+    print(f"does not conform: {len(report.violations)} violation(s)")
+    for violation in report.violations[: args.max_violations]:
+        print(" ", violation)
+    return 1
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    pg = read_csv(args.pgdir)
+    schema = parse_pgschema_ddl(Path(args.schema).read_text(encoding="utf-8"))
+    report = check_conformance(pg, schema)
+    if report.conforms:
+        print(f"conforms ({pg.node_count()} nodes, {pg.edge_count()} edges)")
+        return 0
+    print(f"does not conform: {len(report.violations)} violation(s)")
+    for violation in report.violations[:20]:
+        print(" ", violation)
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    print(render_table([graph.stats().as_row()], title=f"Statistics of {args.data}"))
+    return 0
+
+
+def _cmd_shape_stats(args: argparse.Namespace) -> int:
+    shapes = parse_shacl(Path(args.shapes).read_text(encoding="utf-8"))
+    print(render_table(
+        [shape_stats(shapes).as_row()], title=f"Shape statistics of {args.shapes}"
+    ))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    sparql = args.sparql
+    if sparql.startswith("@"):
+        sparql = Path(sparql[1:]).read_text(encoding="utf-8")
+    if not args.via_pg:
+        rows = SparqlEngine(graph).query(sparql)
+        printable = [
+            {key: str(value) for key, value in row.items()} for row in rows
+        ]
+    else:
+        shapes = extract_shapes(graph)
+        result = S3PG().transform(graph, shapes)
+        cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        print("translated Cypher:")
+        for line in cypher.splitlines():
+            print("   ", line)
+        engine = CypherEngine(PropertyGraphStore(result.graph))
+        rows = engine.query(cypher)
+        printable = [
+            {key: scalar_to_lexical(value) if value is not None else ""
+             for key, value in row.items()}
+            for row in rows
+        ]
+    print(f"{len(rows)} row(s)")
+    if printable:
+        print(render_table(printable[: args.limit]))
+    return 0
+
+
+def _cmd_to_rdf(args: argparse.Namespace) -> int:
+    from .core.inverse import pg_to_rdf
+
+    pg = read_csv(args.pgdir)
+    mapping = SchemaMapping.from_json(
+        Path(args.mapping).read_text(encoding="utf-8")
+    )
+    graph = pg_to_rdf(pg, mapping)
+    count = write_ntriples(graph, args.out)
+    print(f"reconstructed {count} triples -> {args.out}")
+    return 0
+
+
+def _rebuild_transformed(pgdir: str, mapping_path: str):
+    """Rebuild a TransformedGraph from its CSV + mapping.json artifacts."""
+    from .core.config import MONOTONE_OPTIONS, DEFAULT_OPTIONS
+    from .core.data_transform import TransformedGraph
+    from .core.inverse import pgschema_to_shacl
+    from .core.schema_transform import SchemaTransformer
+
+    mapping = SchemaMapping.from_json(
+        Path(mapping_path).read_text(encoding="utf-8")
+    )
+    options = DEFAULT_OPTIONS if mapping.parsimonious else MONOTONE_OPTIONS
+    schema_result = SchemaTransformer(options).transform(
+        pgschema_to_shacl(mapping)
+    )
+    # Re-register the fallback predicates and external classes the
+    # original run added, so the rebuilt schema covers the whole graph.
+    for class_mapping in mapping.classes.values():
+        if not class_mapping.from_shape:
+            schema_result.registry.ensure_external_class(class_mapping.class_iri)
+    for predicate in mapping.fallback:
+        schema_result.registry.fallback_property(predicate)
+    return TransformedGraph(
+        graph=read_csv(pgdir), schema_result=schema_result, options=options
+    )
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .core.optimize import optimize
+
+    transformed = _rebuild_transformed(args.pgdir, args.mapping)
+    before = transformed.graph.stats()
+    optimized = optimize(transformed)
+    after = optimized.graph.stats()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    write_csv(optimized.graph, out)
+    (out / "schema.pgs").write_text(
+        render_pgschema(optimized.schema_result.pg_schema), encoding="utf-8"
+    )
+    (out / "mapping.json").write_text(
+        optimized.schema_result.mapping.to_json(), encoding="utf-8"
+    )
+    print(
+        f"compacted {before.n_nodes}->{after.n_nodes} nodes, "
+        f"{before.n_edges}->{after.n_edges} edges "
+        f"({optimized.stats.edges_folded} edges folded); wrote {out}/"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec_fn, base = _DATASETS[args.dataset]
+    graph = generate(
+        spec_fn(), base_entities=max(1, int(base * args.scale)), seed=args.seed
+    )
+    count = write_ntriples(graph, args.out)
+    print(f"wrote {count} triples to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "transform": _cmd_transform,
+    "extract-shapes": _cmd_extract_shapes,
+    "validate": _cmd_validate,
+    "conformance": _cmd_conformance,
+    "stats": _cmd_stats,
+    "shape-stats": _cmd_shape_stats,
+    "query": _cmd_query,
+    "generate": _cmd_generate,
+    "to-rdf": _cmd_to_rdf,
+    "compact": _cmd_compact,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # The reader went away (e.g. `repro stats ... | head`); exit
+        # quietly like a well-behaved unix tool.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

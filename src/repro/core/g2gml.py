@@ -1,0 +1,107 @@
+"""G2GML mapping generation from an S3PG schema mapping.
+
+G2GML [Chiba, Yamanaka, Matsumoto; ISWC 2020] is a declarative language
+mapping RDF graph patterns to property-graph elements; the paper's related
+work notes that "it is possible to extend S3PG to produce G2GML mappings
+as an additional output".  This module implements that extension: the
+``F_st`` mapping is rendered as a G2GML document whose node maps carry the
+key/value properties (with their SPARQL ``OPTIONAL`` sources) and whose
+edge maps cover both resource-to-resource edges and S3PG's literal-node
+materialization.
+
+Example output::
+
+    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+
+    # node map: Person
+    (e:Person {iri: e, name: name})
+        ?e rdf:type <http://x/Person> .
+        OPTIONAL { ?e <http://x/name> ?name }
+
+    # edge map: (Person)-[knows]->(Person)
+    (e1:Person)-[:knows]->(e2:Person)
+        ?e1 <http://x/knows> ?e2 .
+"""
+
+from __future__ import annotations
+
+from ..namespaces import RDF
+from .mapping import MODE_KEY_VALUE, SchemaMapping
+
+
+def _node_map(class_mapping, mapping: SchemaMapping) -> list[str]:
+    label = class_mapping.label
+    key_value_props = [
+        prop for prop in class_mapping.properties.values()
+        if prop.mode == MODE_KEY_VALUE
+    ]
+    prop_parts = ["iri: e"] + [f"{p.pg_key}: {p.pg_key}" for p in key_value_props]
+    lines = [f"# node map: {label}"]
+    lines.append(f"(e:{label} {{{', '.join(prop_parts)}}})")
+    lines.append(f"    ?e rdf:type <{class_mapping.class_iri}> .")
+    for prop in key_value_props:
+        clause = f"?e <{prop.predicate}> ?{prop.pg_key}"
+        if prop.min_count == 0:
+            lines.append(f"    OPTIONAL {{ {clause} }}")
+        else:
+            lines.append(f"    {clause} .")
+    return lines
+
+
+def _edge_maps(class_mapping, mapping: SchemaMapping) -> list[str]:
+    lines: list[str] = []
+    source_label = class_mapping.label
+    for predicate in class_mapping.local_predicates:
+        prop = class_mapping.properties[predicate]
+        if prop.mode == MODE_KEY_VALUE:
+            continue
+        targets = {
+            **{anchor: label for anchor, label in prop.resource_targets.items()},
+            **{anchor: label for anchor, label in prop.shape_targets.items()},
+        }
+        for anchor, target_label in sorted(targets.items()):
+            lines.append(
+                f"# edge map: ({source_label})-[{prop.rel_type}]->({target_label})"
+            )
+            lines.append(
+                f"(e1:{source_label})-[:{prop.rel_type}]->(e2:{target_label})"
+            )
+            lines.append(f"    ?e1 <{predicate}> ?e2 .")
+        for datatype, literal_label in sorted(prop.literal_targets.items()):
+            lines.append(
+                f"# edge map: ({source_label})-[{prop.rel_type}]->"
+                f"({literal_label} literal node, datatype <{datatype}>)"
+            )
+            lines.append(
+                f"(e1:{source_label})-[:{prop.rel_type}]->"
+                f"(v:{literal_label} {{value: v}})"
+            )
+            lines.append(f"    ?e1 <{predicate}> ?v .")
+            lines.append(f"    FILTER(datatype(?v) = <{datatype}>)")
+    return lines
+
+
+def render_g2gml(mapping: SchemaMapping) -> str:
+    """Render the schema mapping as a G2GML document.
+
+    Node maps are emitted for every shape-derived class; edge maps for
+    every edge-realized property, one per target alternative (resource
+    targets map node-to-node, literal targets map to S3PG's value nodes
+    with a ``datatype()`` filter selecting the alternative).
+    """
+    lines = [f"PREFIX rdf: <{RDF.base}>", ""]
+    for class_iri in sorted(mapping.classes):
+        class_mapping = mapping.classes[class_iri]
+        if not class_mapping.from_shape:
+            continue
+        lines.extend(_node_map(class_mapping, mapping))
+        lines.append("")
+    for class_iri in sorted(mapping.classes):
+        class_mapping = mapping.classes[class_iri]
+        if not class_mapping.from_shape:
+            continue
+        edge_lines = _edge_maps(class_mapping, mapping)
+        if edge_lines:
+            lines.extend(edge_lines)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,289 @@
+"""Incremental (monotone) maintenance of a transformed property graph.
+
+Section 4.2.1 / 5.4: when the source RDF graph evolves, S3PG converts only
+the delta instead of re-running the whole transformation.  Because every
+generated identifier is a deterministic function of the input terms (see
+:mod:`repro.core.data_transform`), adding the conversion of
+``G_delta`` to the conversion of ``G`` yields exactly the conversion of
+``G ∪ G_delta`` — this is Definition 3.4, and the test suite checks it
+structurally.
+
+Deletions are supported as the natural inverse: key/values and edges
+introduced by removed triples are retracted, and literal/resource nodes
+are garbage-collected once orphaned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from ..namespaces import RDF_TYPE
+from ..pg.model import PropertyGraph
+from ..rdf.terms import IRI, BlankNode, Literal, Triple
+from .config import TransformOptions
+from .data_transform import (
+    DataTransformStats,
+    TransformedGraph,
+    edge_id_for,
+    encode_literal_value,
+    literal_node_id,
+    node_id_for,
+)
+from .mapping import IRI_KEY, RESOURCE_LABEL
+
+
+@dataclass
+class DeltaStats:
+    """Counters for one incremental update."""
+
+    added_triples: int = 0
+    removed_triples: int = 0
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+
+
+class IncrementalTransformer:
+    """Applies RDF-level deltas to an existing :class:`TransformedGraph`.
+
+    Args:
+        transformed: a previous transformation result to maintain in place.
+    """
+
+    def __init__(self, transformed: TransformedGraph):
+        self.transformed = transformed
+        self.graph = transformed.graph
+        self.mapping = transformed.mapping
+        self.registry = transformed.schema_result.registry
+        self.options: TransformOptions = transformed.options
+        # Incident-edge counts, maintained across updates so orphan
+        # detection does not need to scan the edge set.
+        self._degree: dict[str, int] = {}
+        for edge in self.graph.edges.values():
+            self._degree[edge.src] = self._degree.get(edge.src, 0) + 1
+            self._degree[edge.dst] = self._degree.get(edge.dst, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Additions
+    # ------------------------------------------------------------------ #
+
+    def apply_additions(self, triples: Iterable[Triple]) -> DeltaStats:
+        """Convert and merge a batch of added triples (monotone).
+
+        The batch is processed with the same two-phase discipline as the
+        full Algorithm 1: type triples first (so that new entities in the
+        delta are known before their properties are converted).
+        """
+        stats = DeltaStats()
+        materialized = list(triples)
+        type_triples = [
+            t for t in materialized if t.p == _TYPE and isinstance(t.o, IRI)
+        ]
+        other_triples = [
+            t for t in materialized if not (t.p == _TYPE and isinstance(t.o, IRI))
+        ]
+
+        for triple in type_triples:
+            stats.added_triples += 1
+            self._add_type(triple, stats)
+        for triple in other_triples:
+            stats.added_triples += 1
+            self._add_property(triple, stats)
+        return stats
+
+    def _add_type(self, triple: Triple, stats: DeltaStats) -> None:
+        node_id = node_id_for(triple.s)
+        if self.graph.has_node(node_id):
+            node = self.graph.get_node(node_id)
+            node.labels.discard(RESOURCE_LABEL)
+        else:
+            node = self.graph.add_node(node_id, properties={IRI_KEY: node_id})
+            stats.nodes_added += 1
+        label = self._label_for_class(triple.o.value)
+        if label is not None:
+            node.labels.add(label)
+
+    def _label_for_class(self, class_iri: str) -> str | None:
+        label = self.mapping.label_for_class(class_iri)
+        if label is not None:
+            return label
+        if self.options.on_unknown == "error":
+            raise TransformError(f"no shape targets class {class_iri}")
+        if self.options.on_unknown == "skip":
+            return None
+        return self.registry.ensure_external_class(class_iri)
+
+    def _entity_classes(self, node_labels: set[str]) -> list[str]:
+        classes = []
+        for label in node_labels:
+            class_iri = self.mapping.class_for_label(label)
+            if class_iri is not None:
+                classes.append(class_iri)
+        return classes
+
+    def _add_property(self, triple: Triple, stats: DeltaStats) -> None:
+        src_id = node_id_for(triple.s)
+        if self.graph.has_node(src_id):
+            node = self.graph.get_node(src_id)
+        else:
+            node = self.graph.add_node(
+                src_id, labels={RESOURCE_LABEL}, properties={IRI_KEY: src_id}
+            )
+            stats.nodes_added += 1
+        types = self._entity_classes(node.labels)
+        prop = self.mapping.property_for(types, triple.p.value)
+        if prop is None:
+            if self.options.on_unknown == "error":
+                raise TransformError(
+                    f"no property shape covers predicate {triple.p.value}"
+                )
+            if self.options.on_unknown == "skip":
+                return
+            prop = self.registry.fallback_property(triple.p.value)
+
+        obj = triple.o
+        if isinstance(obj, (IRI, BlankNode)):
+            dst_id = node_id_for(obj)
+            # An IRI object that is a typed entity node, or becomes a
+            # generic resource node.
+            if not self.graph.has_node(dst_id):
+                self.graph.add_node(
+                    dst_id, labels={RESOURCE_LABEL}, properties={IRI_KEY: dst_id}
+                )
+                stats.nodes_added += 1
+            rel_type = prop.rel_type or self.registry.fallback_property(
+                triple.p.value
+            ).rel_type
+            self._ensure_edge(src_id, rel_type, dst_id, stats)
+            return
+        if prop.is_key_value() and obj.datatype == prop.datatype:
+            value = encode_literal_value(obj, self.options.typed_literal_values)
+            node.append_property(prop.pg_key, value)
+            return
+        rel_type = prop.rel_type or self.registry.fallback_property(
+            triple.p.value
+        ).rel_type
+        dst_id = self._ensure_literal_node(obj, stats)
+        self._ensure_edge(src_id, rel_type, dst_id, stats)
+
+    def _ensure_literal_node(self, literal: Literal, stats: DeltaStats) -> str:
+        dst_id = literal_node_id(literal)
+        if not self.graph.has_node(dst_id):
+            info = self.registry.ensure_literal_type(literal.datatype)
+            properties: dict[str, object] = {
+                "value": encode_literal_value(
+                    literal, self.options.typed_literal_values
+                ),
+                "dtype": literal.datatype,
+            }
+            if literal.language is not None:
+                properties["lang"] = literal.language
+            self.graph.add_node(dst_id, labels={info.label}, properties=properties)
+            stats.nodes_added += 1
+        return dst_id
+
+    def _ensure_edge(self, src: str, rel_type: str, dst: str, stats: DeltaStats) -> None:
+        edge_id = edge_id_for(src, rel_type, dst)
+        if edge_id not in self.graph.edges:
+            self.graph.add_edge(src, dst, labels={rel_type}, edge_id=edge_id)
+            self._degree[src] = self._degree.get(src, 0) + 1
+            self._degree[dst] = self._degree.get(dst, 0) + 1
+            stats.edges_added += 1
+
+    # ------------------------------------------------------------------ #
+    # Deletions
+    # ------------------------------------------------------------------ #
+
+    def apply_deletions(self, triples: Iterable[Triple]) -> DeltaStats:
+        """Retract the PG elements introduced by the given triples."""
+        stats = DeltaStats()
+        for triple in triples:
+            stats.removed_triples += 1
+            self._remove_triple(triple, stats)
+        return stats
+
+    def _remove_triple(self, triple: Triple, stats: DeltaStats) -> None:
+        src_id = node_id_for(triple.s)
+        if not self.graph.has_node(src_id):
+            return
+        node = self.graph.get_node(src_id)
+        if triple.p == _TYPE and isinstance(triple.o, IRI):
+            label = self.mapping.label_for_class(triple.o.value)
+            if label is not None:
+                node.labels.discard(label)
+            self._gc_node(src_id, stats)
+            return
+        types = self._entity_classes(node.labels)
+        prop = self.mapping.property_for(types, triple.p.value)
+        obj = triple.o
+        if (
+            prop is not None
+            and prop.is_key_value()
+            and isinstance(obj, Literal)
+            and obj.datatype == prop.datatype
+            and prop.pg_key in node.properties
+        ):
+            value = encode_literal_value(obj, self.options.typed_literal_values)
+            current = node.properties[prop.pg_key]
+            if isinstance(current, list):
+                if value in current:
+                    current.remove(value)
+                if not current:
+                    del node.properties[prop.pg_key]
+            elif current == value:
+                del node.properties[prop.pg_key]
+            return
+        rel_type = (
+            prop.rel_type
+            if prop is not None and prop.rel_type is not None
+            else self.registry.fallback_property(triple.p.value).rel_type
+        )
+        if isinstance(obj, Literal):
+            dst_id = literal_node_id(obj)
+        else:
+            dst_id = node_id_for(obj)
+        edge_id = edge_id_for(src_id, rel_type, dst_id)
+        if edge_id in self.graph.edges:
+            del self.graph.edges[edge_id]
+            self._degree[src_id] = self._degree.get(src_id, 1) - 1
+            self._degree[dst_id] = self._degree.get(dst_id, 1) - 1
+            stats.edges_removed += 1
+        self._gc_node(dst_id, stats)
+
+    def _gc_node(self, node_id: str, stats: DeltaStats) -> None:
+        """Remove a node once it carries no information of its own."""
+        if not self.graph.has_node(node_id):
+            return
+        node = self.graph.get_node(node_id)
+        entity_labels = node.labels - {RESOURCE_LABEL}
+        is_literal_node = node_id.startswith("lit:")
+        has_entity_payload = bool(entity_labels) and not is_literal_node
+        extra_props = set(node.properties) - {IRI_KEY, "value", "dtype", "lang"}
+        if has_entity_payload or extra_props:
+            return
+        if self._degree.get(node_id, 0) > 0:
+            return
+        self.graph.remove_isolated_node(node_id)
+        self._degree.pop(node_id, None)
+        stats.nodes_removed += 1
+
+
+_TYPE = IRI(RDF_TYPE)
+
+
+def apply_delta(
+    transformed: TransformedGraph,
+    added: Iterable[Triple] = (),
+    removed: Iterable[Triple] = (),
+) -> DeltaStats:
+    """Apply an (added, removed) delta to a transformed graph in place."""
+    incremental = IncrementalTransformer(transformed)
+    stats = incremental.apply_deletions(removed)
+    add_stats = incremental.apply_additions(added)
+    stats.added_triples = add_stats.added_triples
+    stats.nodes_added = add_stats.nodes_added
+    stats.edges_added = add_stats.edges_added
+    return stats

@@ -1,0 +1,65 @@
+"""Synthetic datasets: the Figure 2 fixture, DBpedia- and Bio2RDF-like
+generators, evolution snapshots, and the benchmark query workloads."""
+
+from .bio2rdf import bio2rdf_spec, build_bio2rdf
+from .common import (
+    CATEGORIES,
+    ClassSpec,
+    DatasetSpec,
+    MT_HETERO,
+    MT_HOMO_L,
+    MT_HOMO_NL,
+    PropertyTemplate,
+    ST_LITERAL,
+    ST_NON_LITERAL,
+    generate,
+)
+from .dbpedia import (
+    build_dbpedia2020,
+    build_dbpedia2022,
+    dbpedia2020_spec,
+    dbpedia2022_spec,
+)
+from .evolution import EvolutionPair, make_evolution_pair, make_snapshots
+from .university import (
+    UNIVERSITY_DATA_TTL,
+    UNIVERSITY_SHAPES_TTL,
+    university_graph,
+    university_shapes,
+)
+from .workloads import (
+    WorkloadQuery,
+    bio2rdf_workload,
+    build_workload,
+    dbpedia_workload,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "ClassSpec",
+    "DatasetSpec",
+    "EvolutionPair",
+    "MT_HETERO",
+    "MT_HOMO_L",
+    "MT_HOMO_NL",
+    "PropertyTemplate",
+    "ST_LITERAL",
+    "ST_NON_LITERAL",
+    "UNIVERSITY_DATA_TTL",
+    "UNIVERSITY_SHAPES_TTL",
+    "WorkloadQuery",
+    "bio2rdf_spec",
+    "bio2rdf_workload",
+    "build_bio2rdf",
+    "build_dbpedia2020",
+    "build_dbpedia2022",
+    "build_workload",
+    "dbpedia2020_spec",
+    "dbpedia2022_spec",
+    "dbpedia_workload",
+    "generate",
+    "make_evolution_pair",
+    "make_snapshots",
+    "university_graph",
+    "university_shapes",
+]

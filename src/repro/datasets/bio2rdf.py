@@ -1,0 +1,171 @@
+"""Bio2RDF Clinical Trials-like synthetic knowledge graph.
+
+A domain-specific KG mirroring the Bio2RDF CT characteristics of Tables
+2-3: a modest number of classes (the real dump has 65, we model the core
+entities), a property mix dominated by single-type shapes, a healthy share
+of multi-type homogeneous non-literal shapes, and only a *few*
+heterogeneous shapes (the real dataset has 3).
+"""
+
+from __future__ import annotations
+
+from ..namespaces import CT, CTR, XSD
+from ..rdf.graph import Graph
+from .common import (
+    ClassSpec,
+    DatasetSpec,
+    MT_HETERO,
+    MT_HOMO_L,
+    MT_HOMO_NL,
+    PropertyTemplate,
+    ST_LITERAL,
+    ST_NON_LITERAL,
+    generate,
+)
+
+
+def bio2rdf_spec() -> DatasetSpec:
+    """The Bio2RDF-CT-style dataset declaration."""
+    classes = [
+        ClassSpec(
+            iri=CT.ClinicalStudy,
+            weight=1.5,
+            properties=(
+                PropertyTemplate(CT.briefTitle, ST_LITERAL, (XSD.string,),
+                                 lang_tag_ratio=0.003),
+                PropertyTemplate(CT.nctId, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    CT.enrollment, ST_LITERAL, (XSD.integer,), presence=0.85,
+                ),
+                PropertyTemplate(
+                    CT.startDate, MT_HOMO_L, (XSD.date, XSD.gYear, XSD.string),
+                    primary_share=0.92, presence=0.9, collision_ratio=0.01,
+                ),
+                PropertyTemplate(
+                    CT.completionDate, MT_HOMO_L, (XSD.date, XSD.string),
+                    primary_share=0.95, presence=0.8,
+                ),
+                PropertyTemplate(
+                    CT.intervention, MT_HOMO_NL,
+                    target_classes=(CT.Intervention, CT.DrugIntervention),
+                    presence=0.95, multiplicity=3,
+                ),
+                PropertyTemplate(
+                    CT.condition, ST_NON_LITERAL,
+                    target_classes=(CT.Condition,), presence=0.95,
+                    multiplicity=2,
+                ),
+                PropertyTemplate(
+                    CT.sponsor, MT_HETERO, (XSD.string,),
+                    target_classes=(CT.Sponsor,), literal_ratio=0.15,
+                    presence=0.9, multiplicity=2,
+                ),
+                PropertyTemplate(
+                    CT.collaborator, MT_HETERO, (XSD.string,),
+                    target_classes=(CT.Sponsor,), literal_ratio=0.3,
+                    presence=0.4, multiplicity=2, collision_ratio=0.02,
+                ),
+                PropertyTemplate(
+                    CT.outcome, MT_HOMO_NL,
+                    target_classes=(CT.PrimaryOutcome, CT.SecondaryOutcome),
+                    presence=0.9, multiplicity=3,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.Intervention,
+            weight=1.0,
+            properties=(
+                PropertyTemplate(CT.interventionName, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    CT.interventionType, ST_LITERAL, (XSD.string,), presence=0.95,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.DrugIntervention,
+            weight=0.6,
+            parents=(CT.Intervention,),
+            properties=(
+                PropertyTemplate(
+                    CT.dosage, MT_HOMO_L, (XSD.string, XSD.integer),
+                    primary_share=0.85, presence=0.8,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.Condition,
+            weight=0.8,
+            properties=(
+                PropertyTemplate(CT.conditionName, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    CT.meshTerm, ST_NON_LITERAL,
+                    target_classes=(CT.MeshTerm,), presence=0.7, multiplicity=2,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.MeshTerm,
+            weight=0.4,
+            properties=(
+                PropertyTemplate(CT.termLabel, ST_LITERAL, (XSD.string,)),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.Sponsor,
+            weight=0.3,
+            properties=(
+                PropertyTemplate(CT.agencyName, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    CT.agencyClass, ST_LITERAL, (XSD.string,), presence=0.9,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.PrimaryOutcome,
+            weight=0.9,
+            parents=(CT.Outcome,),
+            properties=(
+                PropertyTemplate(CT.measure, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    CT.timeFrame, MT_HOMO_L, (XSD.string, XSD.integer),
+                    primary_share=0.9, presence=0.85,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=CT.SecondaryOutcome,
+            weight=0.7,
+            parents=(CT.Outcome,),
+            properties=(
+                PropertyTemplate(CT.measure, ST_LITERAL, (XSD.string,)),
+            ),
+        ),
+        ClassSpec(iri=CT.Outcome, weight=0.0),
+        ClassSpec(
+            iri=CT.Eligibility,
+            weight=1.0,
+            properties=(
+                PropertyTemplate(
+                    CT.minimumAge, ST_LITERAL, (XSD.integer,), presence=0.9,
+                ),
+                PropertyTemplate(
+                    CT.criteria, ST_LITERAL, (XSD.string,), presence=0.95,
+                ),
+                PropertyTemplate(
+                    CT.studyRef, ST_NON_LITERAL,
+                    target_classes=(CT.ClinicalStudy,), presence=1.0,
+                ),
+            ),
+        ),
+    ]
+    return DatasetSpec(
+        name="bio2rdf_ct",
+        entity_namespace=CTR.base,
+        classes=classes,
+    )
+
+
+def build_bio2rdf(base_entities: int = 300, seed: int = 17) -> Graph:
+    """Generate the Bio2RDF-CT-like graph."""
+    return generate(bio2rdf_spec(), base_entities=base_entities, seed=seed)

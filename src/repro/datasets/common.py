@@ -1,0 +1,294 @@
+"""Shared machinery for the synthetic knowledge-graph generators.
+
+The paper evaluates on DBpedia (2020/2022) and Bio2RDF Clinical Trials —
+hundreds of millions of triples we cannot ship.  The generators in this
+package produce *behaviour-equivalent* synthetic KGs: seeded, scale-
+parameterised graphs whose property-shape taxonomy mix (Table 3), value
+heterogeneity (literal/IRI mixes, datatype collisions, language tags) and
+class hierarchies exercise exactly the code paths and loss modes the
+evaluation measures.
+
+A dataset is declared as a list of :class:`ClassSpec`, each with
+:class:`PropertyTemplate` entries covering the five Figure 3 categories;
+:func:`generate` materializes the RDF graph deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..namespaces import RDF_TYPE, RDFS, XSD, local_name
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Triple
+
+_TYPE = IRI(RDF_TYPE)
+_SUBCLASS = IRI(RDFS.subClassOf)
+
+#: Property categories (matching the Figure 3 taxonomy leaves).
+ST_LITERAL = "single-type-literal"
+ST_NON_LITERAL = "single-type-non-literal"
+MT_HOMO_L = "multi-type-homogeneous-literal"
+MT_HOMO_NL = "multi-type-homogeneous-non-literal"
+MT_HETERO = "multi-type-heterogeneous"
+
+CATEGORIES = (ST_LITERAL, ST_NON_LITERAL, MT_HOMO_L, MT_HOMO_NL, MT_HETERO)
+
+_WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+    "oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+    "victor", "whiskey", "xray", "yankee", "zulu",
+)
+
+
+@dataclass(frozen=True)
+class PropertyTemplate:
+    """How one predicate's values are generated for a class.
+
+    Attributes:
+        predicate: the property IRI.
+        category: one of the five taxonomy categories above.
+        datatypes: literal datatypes drawn from (weighted uniformly; the
+            first is the *primary* — the majority datatype).
+        primary_share: fraction of literal values using the primary
+            datatype (the rest spread over the other datatypes).
+        target_classes: classes of IRI-valued targets.
+        literal_ratio: fraction of values that are literals (only
+            meaningful for MT_HETERO; 1.0 for literal categories, 0.0 for
+            non-literal ones).
+        presence: fraction of entities carrying the property at all.
+        multiplicity: max number of values per entity (each entity gets
+            1..multiplicity values, uniformly).
+        lang_tag_ratio: fraction of string values carrying a language tag.
+        collision_ratio: fraction of non-primary literal values that reuse
+            a lexical form also used under the primary datatype (the
+            datatype-erasure collision that loses data in NeoSemantics).
+    """
+
+    predicate: str
+    category: str
+    datatypes: tuple[str, ...] = (XSD.string,)
+    primary_share: float = 0.85
+    target_classes: tuple[str, ...] = ()
+    literal_ratio: float = 1.0
+    presence: float = 1.0
+    multiplicity: int = 1
+    lang_tag_ratio: float = 0.0
+    collision_ratio: float = 0.0
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One class in the synthetic schema.
+
+    Attributes:
+        iri: the class IRI.
+        weight: relative instance count (multiplied by the scale's base).
+        parents: superclass IRIs (instances are typed with all ancestors,
+            as DBpedia instances are).
+        properties: the property templates of this class.
+    """
+
+    iri: str
+    weight: float
+    parents: tuple[str, ...] = ()
+    properties: tuple[PropertyTemplate, ...] = ()
+
+
+@dataclass
+class DatasetSpec:
+    """A complete synthetic dataset declaration."""
+
+    name: str
+    entity_namespace: str
+    classes: list[ClassSpec] = field(default_factory=list)
+
+    def class_spec(self, iri: str) -> ClassSpec:
+        """The spec of ``iri``; raises KeyError when absent."""
+        for spec in self.classes:
+            if spec.iri == iri:
+                return spec
+        raise KeyError(iri)
+
+    def properties_by_category(self, category: str) -> list[tuple[ClassSpec, PropertyTemplate]]:
+        """All (class, property) pairs of a taxonomy category."""
+        return [
+            (cls, prop)
+            for cls in self.classes
+            for prop in cls.properties
+            if prop.category == category
+        ]
+
+
+def _entity_iri(namespace: str, class_iri: str, index: int) -> str:
+    return f"{namespace}{local_name(class_iri)}_{index}"
+
+
+def _random_words(rng: random.Random, n: int = 2) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n)).title()
+
+
+def _literal_for(
+    rng: random.Random,
+    datatype: str,
+    template: PropertyTemplate,
+    primary: bool,
+) -> Literal:
+    """Generate one literal of the given datatype."""
+    if datatype == XSD.integer:
+        return Literal(str(rng.randrange(1, 1_000_000)), XSD.integer)
+    if datatype == XSD.gYear:
+        lexical = str(rng.randrange(1900, 2024))
+        return Literal(lexical, XSD.gYear)
+    if datatype == XSD.date:
+        year = rng.randrange(1900, 2024)
+        month = rng.randrange(1, 13)
+        day = rng.randrange(1, 29)
+        return Literal(f"{year:04d}-{month:02d}-{day:02d}", XSD.date)
+    if datatype == XSD.double:
+        return Literal(f"{rng.uniform(0, 1000):.2f}", XSD.double)
+    if datatype == XSD.boolean:
+        return Literal(rng.choice(("true", "false")), XSD.boolean)
+    # Default: a short string, occasionally language-tagged.
+    text = _random_words(rng)
+    if (
+        datatype == XSD.string
+        and template.lang_tag_ratio > 0
+        and rng.random() < template.lang_tag_ratio
+    ):
+        return Literal(text, language=rng.choice(("en", "de", "fr")))
+    return Literal(text, datatype)
+
+
+def _pick_datatype(rng: random.Random, template: PropertyTemplate) -> tuple[str, bool]:
+    """Choose a datatype; returns (datatype, is_primary)."""
+    if len(template.datatypes) == 1 or rng.random() < template.primary_share:
+        return template.datatypes[0], True
+    return rng.choice(template.datatypes[1:]), False
+
+
+def generate(spec: DatasetSpec, base_entities: int = 100, seed: int = 42) -> Graph:
+    """Materialize the dataset: a deterministic function of (spec, size, seed).
+
+    Args:
+        spec: the dataset declaration.
+        base_entities: instances for a class of weight 1.0.
+        seed: RNG seed; same seed, same graph.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+
+    # Class hierarchy triples.
+    class_iris = {cls.iri for cls in spec.classes}
+    for cls in spec.classes:
+        for parent in cls.parents:
+            graph.add(Triple(IRI(cls.iri), _SUBCLASS, IRI(parent)))
+
+    # Pass 1: entity counts per class (so IRI targets can be chosen).
+    counts = {
+        cls.iri: max(1, int(cls.weight * base_entities)) for cls in spec.classes
+    }
+
+    ancestors: dict[str, list[str]] = {}
+
+    def collect_ancestors(iri: str) -> list[str]:
+        if iri in ancestors:
+            return ancestors[iri]
+        result: list[str] = []
+        for cls in spec.classes:
+            if cls.iri == iri:
+                for parent in cls.parents:
+                    if parent in class_iris:
+                        result.append(parent)
+                        result.extend(collect_ancestors(parent))
+        ancestors[iri] = list(dict.fromkeys(result))
+        return ancestors[iri]
+
+    spec_by_iri = {cls.iri: cls for cls in spec.classes}
+
+    def effective_templates(cls: ClassSpec) -> list[PropertyTemplate]:
+        """The class's templates plus inherited ones (child wins per
+        predicate) — subclass instances carry their ancestors' properties,
+        as DBpedia MusicalArtists carry Person's name/birthDate."""
+        templates: dict[str, PropertyTemplate] = {
+            t.predicate: t for t in cls.properties
+        }
+        for ancestor in collect_ancestors(cls.iri):
+            ancestor_spec = spec_by_iri.get(ancestor)
+            if ancestor_spec is None:
+                continue
+            for template in ancestor_spec.properties:
+                templates.setdefault(template.predicate, template)
+        return list(templates.values())
+
+    # Pass 2: entities with types and property values.
+    for cls in spec.classes:
+        n = counts[cls.iri]
+        templates = effective_templates(cls)
+        for index in range(n):
+            entity = IRI(_entity_iri(spec.entity_namespace, cls.iri, index))
+            graph.add(Triple(entity, _TYPE, IRI(cls.iri)))
+            for ancestor in collect_ancestors(cls.iri):
+                graph.add(Triple(entity, _TYPE, IRI(ancestor)))
+            for template in templates:
+                if rng.random() >= template.presence:
+                    continue
+                n_values = rng.randrange(1, template.multiplicity + 1)
+                values = []
+                for _ in range(n_values):
+                    value = _generate_value(rng, spec, template, counts)
+                    if value is not None:
+                        values.append(value)
+                # Intra-entity datatype collision: re-emit a primary-typed
+                # lexical under a secondary datatype on the same entity
+                # (lost by datatype-erasing transformations, kept by S3PG).
+                if (
+                    template.collision_ratio > 0
+                    and rng.random() < template.collision_ratio
+                ):
+                    primary_literals = [
+                        v
+                        for v in values
+                        if isinstance(v, Literal)
+                        and v.datatype == template.datatypes[0]
+                        and v.language is None
+                    ]
+                    if primary_literals:
+                        source = rng.choice(primary_literals)
+                        if len(template.datatypes) > 1:
+                            other_dt = rng.choice(template.datatypes[1:])
+                            values.append(Literal(source.lexical, other_dt))
+                        else:
+                            # Same lexical, language-tagged: distinct RDF
+                            # literals that collide after tag stripping.
+                            values.append(Literal(source.lexical, language="en"))
+                for value in values:
+                    graph.add(Triple(entity, IRI(template.predicate), value))
+    return graph
+
+
+def _generate_value(
+    rng: random.Random,
+    spec: DatasetSpec,
+    template: PropertyTemplate,
+    counts: dict[str, int],
+):
+    make_literal = rng.random() < template.literal_ratio
+    if template.category in (ST_NON_LITERAL, MT_HOMO_NL):
+        make_literal = False
+    elif template.category in (ST_LITERAL, MT_HOMO_L):
+        make_literal = True
+
+    if not make_literal:
+        if not template.target_classes:
+            return None
+        target_class = rng.choice(template.target_classes)
+        target_count = counts.get(target_class)
+        if not target_count:
+            return None
+        target_index = rng.randrange(target_count)
+        return IRI(_entity_iri(spec.entity_namespace, target_class, target_index))
+
+    datatype, primary = _pick_datatype(rng, template)
+    return _literal_for(rng, datatype, template, primary)

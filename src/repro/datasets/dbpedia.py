@@ -1,0 +1,332 @@
+"""DBpedia-like synthetic knowledge graphs (the paper's main datasets).
+
+Two variants mirror the paper's snapshots:
+
+* :func:`dbpedia2022_spec` — the December-2022-style graph: rich class
+  hierarchy, and property shapes in *all five* taxonomy categories,
+  including the ``dbp:writer`` / ``dbp:address``-style heterogeneous
+  properties (mixed string/integer/IRI values) that break the baselines;
+* :func:`dbpedia2020_spec` — the 2020-style graph: smaller, and with **no**
+  multi-type-homogeneous-literal and **no** heterogeneous property shapes
+  (matching the zero entries of its Table 3 row).
+
+Each heterogeneous property has its own literal/IRI mix so that per-query
+baseline accuracies vary across queries, as in Table 6 (rdf2pg's accuracy
+on an MT-hetero query is essentially its property's IRI share).
+"""
+
+from __future__ import annotations
+
+from ..namespaces import DBO, DBP, DBR, SCHEMA, XSD
+from ..rdf.graph import Graph
+from .common import (
+    ClassSpec,
+    DatasetSpec,
+    MT_HETERO,
+    MT_HOMO_L,
+    MT_HOMO_NL,
+    PropertyTemplate,
+    ST_LITERAL,
+    ST_NON_LITERAL,
+    generate,
+)
+
+
+def dbpedia2022_spec() -> DatasetSpec:
+    """The DBpedia-2022-style dataset declaration."""
+    classes = [
+        ClassSpec(
+            iri=DBO.Agent, weight=0.0,  # abstract: instances come from subclasses
+        ),
+        ClassSpec(
+            iri=DBO.Person,
+            weight=2.0,
+            parents=(DBO.Agent,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,),
+                                 lang_tag_ratio=0.006),
+                PropertyTemplate(DBO.birthYear, ST_LITERAL, (XSD.gYear,),
+                                 presence=0.9),
+                PropertyTemplate(
+                    DBP.birthDate, MT_HOMO_L,
+                    (XSD.date, XSD.gYear, XSD.string),
+                    primary_share=0.9, presence=0.8, multiplicity=1,
+                ),
+                PropertyTemplate(
+                    DBO.birthPlace, ST_NON_LITERAL,
+                    target_classes=(DBO.Settlement,), presence=0.85,
+                ),
+                PropertyTemplate(
+                    DBO.influenced, MT_HOMO_NL,
+                    target_classes=(DBO.Person, DBO.MusicalArtist),
+                    presence=0.25, multiplicity=2,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.MusicalArtist,
+            weight=0.6,
+            parents=(DBO.Person,),
+            properties=(
+                PropertyTemplate(
+                    DBO.associatedBand, MT_HOMO_NL,
+                    target_classes=(DBO.Band, DBO.MusicalArtist),
+                    presence=0.5, multiplicity=3,
+                ),
+                PropertyTemplate(
+                    DBP.genre, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Genre,), literal_ratio=0.55,
+                    presence=0.8, multiplicity=2, lang_tag_ratio=0.01,
+                    collision_ratio=0.03,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Band,
+            weight=0.4,
+            parents=(DBO.Agent,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.hometown, ST_NON_LITERAL,
+                    target_classes=(DBO.Settlement,), presence=0.7,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Album,
+            weight=1.5,
+            properties=(
+                PropertyTemplate(DBP.title, ST_LITERAL, (XSD.string,),
+                                 lang_tag_ratio=0.005),
+                PropertyTemplate(
+                    DBP.released, MT_HOMO_L,
+                    (XSD.date, XSD.gYear, XSD.string),
+                    primary_share=0.85, presence=0.9, multiplicity=2,
+                    collision_ratio=0.02,
+                ),
+                PropertyTemplate(
+                    DBP.writer, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Person, DBO.MusicalArtist),
+                    literal_ratio=0.4, presence=0.9, multiplicity=3,
+                    collision_ratio=0.04,
+                ),
+                PropertyTemplate(
+                    DBP.producer, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Person,),
+                    literal_ratio=0.25, presence=0.7, multiplicity=2,
+                    collision_ratio=0.02,
+                ),
+                PropertyTemplate(
+                    DBO.artist, ST_NON_LITERAL,
+                    target_classes=(DBO.MusicalArtist,), presence=0.95,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Settlement,
+            weight=1.2,
+            parents=(DBO.Place,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.populationTotal, ST_LITERAL, (XSD.integer,),
+                    presence=0.8,
+                ),
+                PropertyTemplate(
+                    DBP.area, MT_HOMO_L, (XSD.double, XSD.integer, XSD.string),
+                    primary_share=0.8, presence=0.6, multiplicity=1,
+                ),
+                PropertyTemplate(
+                    DBO.country, ST_NON_LITERAL,
+                    target_classes=(DBO.Country,), presence=0.95,
+                ),
+                PropertyTemplate(
+                    DBO.twinCity, MT_HOMO_NL,
+                    target_classes=(DBO.Settlement, DBO.Country),
+                    presence=0.2, multiplicity=2,
+                ),
+            ),
+        ),
+        ClassSpec(iri=DBO.Place, weight=0.0),
+        ClassSpec(
+            iri=DBO.Country,
+            weight=0.05,
+            parents=(DBO.Place,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Genre,
+            weight=0.08,
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+            ),
+        ),
+        ClassSpec(
+            iri=SCHEMA.ShoppingCenter,
+            weight=0.3,
+            parents=(DBO.Place,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBP.address, MT_HETERO, (XSD.string, XSD.integer),
+                    target_classes=(DBO.Settlement,),
+                    literal_ratio=0.7, primary_share=0.75,
+                    presence=0.9, multiplicity=2, collision_ratio=0.05,
+                ),
+                PropertyTemplate(
+                    DBP.location, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Settlement, DBO.Country),
+                    literal_ratio=0.2, presence=0.8, multiplicity=2,
+                    collision_ratio=0.02,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Film,
+            weight=0.8,
+            properties=(
+                PropertyTemplate(DBP.title, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.director, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Person,), literal_ratio=0.1,
+                    presence=0.95, multiplicity=2, collision_ratio=0.01,
+                ),
+                PropertyTemplate(
+                    DBO.starring, MT_HOMO_NL,
+                    target_classes=(DBO.Person, DBO.MusicalArtist),
+                    presence=0.9, multiplicity=4,
+                ),
+                PropertyTemplate(
+                    DBP.runtime, MT_HOMO_L, (XSD.integer, XSD.string),
+                    primary_share=0.9, presence=0.7,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Book,
+            weight=0.6,
+            properties=(
+                PropertyTemplate(DBP.title, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBP.author, MT_HETERO, (XSD.string,),
+                    target_classes=(DBO.Person,), literal_ratio=0.7,
+                    presence=0.95, multiplicity=2, lang_tag_ratio=0.01,
+                    collision_ratio=0.05,
+                ),
+                PropertyTemplate(
+                    DBO.numberOfPages, ST_LITERAL, (XSD.integer,),
+                    presence=0.75,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.University,
+            weight=0.25,
+            parents=(DBO.Agent,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.city, ST_NON_LITERAL,
+                    target_classes=(DBO.Settlement,), presence=0.9,
+                ),
+                PropertyTemplate(
+                    DBP.established, MT_HOMO_L, (XSD.gYear, XSD.date, XSD.string),
+                    primary_share=0.8, presence=0.85, collision_ratio=0.03,
+                ),
+            ),
+        ),
+    ]
+    return DatasetSpec(
+        name="dbpedia2022",
+        entity_namespace=DBR.base,
+        classes=classes,
+    )
+
+
+def dbpedia2020_spec() -> DatasetSpec:
+    """The DBpedia-2020-style dataset: no MT-homo-literal, no heterogeneous
+    property shapes, fewer classes (its Table 3 row)."""
+    classes = [
+        ClassSpec(iri=DBO.Agent, weight=0.0),
+        ClassSpec(
+            iri=DBO.Person,
+            weight=2.0,
+            parents=(DBO.Agent,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(DBO.birthYear, ST_LITERAL, (XSD.gYear,),
+                                 presence=0.9),
+                PropertyTemplate(
+                    DBO.birthPlace, ST_NON_LITERAL,
+                    target_classes=(DBO.Settlement,), presence=0.85,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Album,
+            weight=1.2,
+            properties=(
+                PropertyTemplate(DBP.title, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.artist, MT_HOMO_NL,
+                    target_classes=(DBO.Person,), presence=0.95,
+                    multiplicity=2,
+                ),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Settlement,
+            weight=1.0,
+            parents=(DBO.Place,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.populationTotal, ST_LITERAL, (XSD.integer,),
+                    presence=0.8,
+                ),
+                PropertyTemplate(
+                    DBO.country, ST_NON_LITERAL,
+                    target_classes=(DBO.Country,), presence=0.95,
+                ),
+            ),
+        ),
+        ClassSpec(iri=DBO.Place, weight=0.0),
+        ClassSpec(
+            iri=DBO.Country,
+            weight=0.05,
+            parents=(DBO.Place,),
+            properties=(
+                PropertyTemplate(DBP.name, ST_LITERAL, (XSD.string,)),
+            ),
+        ),
+        ClassSpec(
+            iri=DBO.Film,
+            weight=0.6,
+            properties=(
+                PropertyTemplate(DBP.title, ST_LITERAL, (XSD.string,)),
+                PropertyTemplate(
+                    DBO.starring, MT_HOMO_NL,
+                    target_classes=(DBO.Person,), presence=0.9,
+                    multiplicity=4,
+                ),
+            ),
+        ),
+    ]
+    return DatasetSpec(
+        name="dbpedia2020",
+        entity_namespace=DBR.base,
+        classes=classes,
+    )
+
+
+def build_dbpedia2022(base_entities: int = 400, seed: int = 42) -> Graph:
+    """Generate the DBpedia-2022-like graph."""
+    return generate(dbpedia2022_spec(), base_entities=base_entities, seed=seed)
+
+
+def build_dbpedia2020(base_entities: int = 200, seed: int = 7) -> Graph:
+    """Generate the DBpedia-2020-like graph."""
+    return generate(dbpedia2020_spec(), base_entities=base_entities, seed=seed)

@@ -1,0 +1,120 @@
+"""The paper's running example (Figure 2): a small university KG.
+
+Provides the RDF graph of Figure 2a and the SHACL shape schema of
+Figure 2b as in-code fixtures, used by the quickstart example and by the
+unit tests that check the Figure 2c/2d transformation output.
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from ..rdf.turtle import parse_turtle
+from ..shacl.model import ShapeSchema
+from ..shacl.parser import parse_shacl
+
+#: Figure 2b — SHACL shapes for the university schema.
+UNIVERSITY_SHAPES_TTL = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://example.org/university#> .
+@prefix shapes: <http://example.org/shapes#> .
+
+shapes:Person a sh:NodeShape ;
+  sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :dob ;
+      sh:or ( [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ]
+              [ sh:nodeKind sh:Literal ; sh:datatype xsd:date ]
+              [ sh:nodeKind sh:Literal ; sh:datatype xsd:gYear ] ) ;
+      sh:minCount 0 ] ;
+  sh:targetClass :Person .
+
+shapes:Student a sh:NodeShape ;
+  sh:property [ sh:path :regNo ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :advisedBy ;
+      sh:or ( [ sh:nodeKind sh:IRI ; sh:class :Person ]
+              [ sh:nodeKind sh:IRI ; sh:class :Professor ]
+              [ sh:nodeKind sh:IRI ; sh:class :Faculty ] ) ;
+      sh:minCount 0 ] ;
+  sh:targetClass :Student ;
+  sh:node shapes:Person .
+
+shapes:GraduateStudent a sh:NodeShape ;
+  sh:property [ sh:path :takesCourse ;
+      sh:or ( [ sh:nodeKind sh:IRI ; sh:class :Course ]
+              [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ]
+              [ sh:nodeKind sh:IRI ; sh:class :GraduateCourse ] ) ;
+      sh:minCount 1 ] ;
+  sh:targetClass :GraduateStudent ;
+  sh:node shapes:Student .
+
+shapes:Faculty a sh:NodeShape ;
+  sh:targetClass :Faculty ;
+  sh:node shapes:Person .
+
+shapes:Professor a sh:NodeShape ;
+  sh:property [ sh:path :worksFor ; sh:nodeKind sh:IRI ;
+                sh:class :Department ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:targetClass :Professor ;
+  sh:node shapes:Faculty .
+
+shapes:Department a sh:NodeShape ;
+  sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :partOf ; sh:nodeKind sh:IRI ;
+                sh:class :University ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:targetClass :Department .
+
+shapes:University a sh:NodeShape ;
+  sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:targetClass :University .
+
+shapes:Course a sh:NodeShape ;
+  sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:targetClass :Course .
+
+shapes:GraduateCourse a sh:NodeShape ;
+  sh:targetClass :GraduateCourse ;
+  sh:node shapes:Course .
+"""
+
+#: Figure 2a — the instance data (Bob, Alice, the DB course, ...).
+UNIVERSITY_DATA_TTL = """
+@prefix : <http://example.org/university#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+:bob a :Person, :Student, :GraduateStudent ;
+     :name "Bob" ;
+     :regNo "Bs12" ;
+     :dob "1999"^^xsd:gYear ;
+     :advisedBy :alice ;
+     :takesCourse :db, "Intro to Logic" .
+
+:alice a :Person, :Faculty, :Professor ;
+       :name "Alice" ;
+       :dob "1980-02-01"^^xsd:date ;
+       :worksFor :cs .
+
+:db a :Course, :GraduateCourse ;
+    :name "Advanced Databases" .
+
+:cs a :Department ;
+    :name "Computer Science" ;
+    :partOf :aau .
+
+:aau a :University ;
+     :name "Aalborg University" .
+"""
+
+
+def university_shapes() -> ShapeSchema:
+    """Parse the Figure 2b shape schema."""
+    return parse_shacl(UNIVERSITY_SHAPES_TTL)
+
+
+def university_graph() -> Graph:
+    """Parse the Figure 2a instance data."""
+    return parse_turtle(UNIVERSITY_DATA_TTL)

@@ -1,0 +1,159 @@
+"""Benchmark query workloads (Tables 6-7, Figure 6).
+
+The paper's accuracy/runtime queries follow one canonical shape — the
+published Q22::
+
+    SELECT ?e ?p WHERE { ?e a schema:ShoppingCenter ; dbp:address ?p . }
+
+This module derives such (class, predicate) queries from a synthetic
+dataset spec, one group per taxonomy category: single-type (ST),
+multi-type homogeneous literal (MT-Homo L), multi-type homogeneous
+non-literal (MT-Homo NL), and multi-type heterogeneous (MT-Hetero L+NL).
+Heterogeneous pairs are additionally queried through ancestor classes
+(e.g. ``dbp:genre`` via ``dbo:Person``), which is how the paper reaches 15
+heterogeneous queries over a handful of properties with per-query
+accuracy differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import (
+    CATEGORIES,
+    ClassSpec,
+    DatasetSpec,
+    MT_HETERO,
+    MT_HOMO_L,
+    MT_HOMO_NL,
+    PropertyTemplate,
+    ST_LITERAL,
+    ST_NON_LITERAL,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query.
+
+    Attributes:
+        qid: the query identifier (``Q1`` ...).
+        category: taxonomy category of the queried property.
+        class_iri: the queried class (``?e a <class_iri>``).
+        predicate: the queried property.
+        sparql: the ground-truth SPARQL text.
+    """
+
+    qid: str
+    category: str
+    class_iri: str
+    predicate: str
+    sparql: str
+
+
+def _sparql_for(class_iri: str, predicate: str) -> str:
+    return (
+        f"SELECT ?e ?p WHERE {{ ?e a <{class_iri}> ; <{predicate}> ?p . }}"
+    )
+
+
+def _ancestor_chain(spec: DatasetSpec, class_iri: str) -> list[str]:
+    chain: list[str] = []
+    current = class_iri
+    seen = {class_iri}
+    while True:
+        try:
+            cls = spec.class_spec(current)
+        except KeyError:
+            break
+        advanced = False
+        for parent in cls.parents:
+            if parent not in seen:
+                chain.append(parent)
+                seen.add(parent)
+                current = parent
+                advanced = True
+                break
+        if not advanced:
+            break
+    return chain
+
+
+def _category_pairs(
+    spec: DatasetSpec, category: str, include_ancestors: bool
+) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    for cls, prop in spec.properties_by_category(category):
+        pairs.append((cls.iri, prop.predicate))
+        if include_ancestors:
+            for ancestor in _ancestor_chain(spec, cls.iri):
+                pairs.append((ancestor, prop.predicate))
+    return pairs
+
+
+def build_workload(
+    spec: DatasetSpec,
+    n_single: int = 5,
+    n_mt_homo_l: int = 5,
+    n_mt_homo_nl: int = 5,
+    n_hetero: int = 15,
+) -> list[WorkloadQuery]:
+    """Build the four query groups for a dataset spec.
+
+    Group sizes are capped by the number of distinct (class, predicate)
+    pairs the spec offers, so no query is a duplicate of another.
+    """
+    queries: list[WorkloadQuery] = []
+    qid = 1
+
+    def add_group(category: str, pairs: list[tuple[str, str]], limit: int) -> None:
+        nonlocal qid
+        for class_iri, predicate in pairs[:limit]:
+            queries.append(
+                WorkloadQuery(
+                    qid=f"Q{qid}",
+                    category=category,
+                    class_iri=class_iri,
+                    predicate=predicate,
+                    sparql=_sparql_for(class_iri, predicate),
+                )
+            )
+            qid += 1
+
+    # Interleave literal and non-literal single-type pairs so both kinds
+    # are represented in the group.
+    literal_pairs = _category_pairs(spec, ST_LITERAL, include_ancestors=False)
+    non_literal_pairs = _category_pairs(spec, ST_NON_LITERAL, include_ancestors=False)
+    single_pairs = []
+    for index in range(max(len(literal_pairs), len(non_literal_pairs))):
+        if index < len(literal_pairs):
+            single_pairs.append(literal_pairs[index])
+        if index < len(non_literal_pairs):
+            single_pairs.append(non_literal_pairs[index])
+    add_group("Single Type", single_pairs, n_single)
+    add_group(
+        "MT-Homo (L)",
+        _category_pairs(spec, MT_HOMO_L, include_ancestors=False),
+        n_mt_homo_l,
+    )
+    add_group(
+        "MT-Homo (NL)",
+        _category_pairs(spec, MT_HOMO_NL, include_ancestors=False),
+        n_mt_homo_nl,
+    )
+    add_group(
+        "MT-Hetero (L+NL)",
+        _category_pairs(spec, MT_HETERO, include_ancestors=True),
+        n_hetero,
+    )
+    return queries
+
+
+def dbpedia_workload(spec: DatasetSpec) -> list[WorkloadQuery]:
+    """The 30-query DBpedia-style workload (Table 6 layout)."""
+    return build_workload(spec, 5, 5, 5, 15)
+
+
+def bio2rdf_workload(spec: DatasetSpec) -> list[WorkloadQuery]:
+    """The 12-query Bio2RDF-style workload (Table 7 layout)."""
+    return build_workload(spec, 3, 3, 3, 3)

@@ -1,0 +1,84 @@
+"""Result-set comparison and accuracy metrics (Section 5.2).
+
+Ground truth is the SPARQL result over the source RDF graph; each method's
+Cypher result over its transformed PG is compared after applying the value
+translation ``tr(mu)`` of Definition 3.2 (IRIs and blank-node ids become
+strings, literals their lexical forms).  Accuracy is result completeness:
+``|GT ∩ method| / |GT|`` as a percentage over multisets of rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.inverse import scalar_to_lexical
+from ..rdf.terms import IRI, BlankNode, Literal
+
+
+def tr_term(term: object) -> str:
+    """The ``tr`` value translation for one SPARQL result value."""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    return str(term)
+
+
+def normalize_sparql_rows(rows: list[dict]) -> Counter:
+    """SPARQL solutions as a multiset of value tuples (column-order free)."""
+    return Counter(
+        tuple(tr_term(row[key]) for key in sorted(row)) for row in rows
+    )
+
+
+def normalize_cypher_rows(rows: list[dict]) -> Counter:
+    """Cypher rows as a multiset of value tuples (column-order free)."""
+    normalized = []
+    for row in rows:
+        normalized.append(
+            tuple(
+                "" if row[key] is None else scalar_to_lexical(row[key])
+                for key in sorted(row)
+            )
+        )
+    return Counter(normalized)
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Completeness of one method's answer for one query."""
+
+    ground_truth: int
+    returned: int
+    matched: int
+
+    @property
+    def accuracy_percent(self) -> float:
+        """``matched / ground_truth`` as a percentage (100 when GT empty)."""
+        if self.ground_truth == 0:
+            return 100.0
+        return 100.0 * self.matched / self.ground_truth
+
+    @property
+    def spurious(self) -> int:
+        """Rows returned that are not in the ground truth."""
+        return self.returned - self.matched
+
+
+def accuracy(gt_rows: list[dict], method_rows: list[dict]) -> AccuracyResult:
+    """Compare a method's rows against the SPARQL ground truth.
+
+    Both inputs are multisets; a ground-truth row counts as matched at most
+    as many times as the method returned it.
+    """
+    gt = normalize_sparql_rows(gt_rows)
+    method = normalize_cypher_rows(method_rows)
+    matched = sum(min(count, method.get(row, 0)) for row, count in gt.items())
+    return AccuracyResult(
+        ground_truth=sum(gt.values()),
+        returned=sum(method.values()),
+        matched=matched,
+    )

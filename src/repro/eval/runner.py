@@ -1,0 +1,417 @@
+"""Experiment drivers shared by the benchmark harness (Section 5).
+
+Every benchmark under ``benchmarks/`` is a thin wrapper around one of
+these functions, which implement the paper's experiments:
+
+* :func:`load_dataset` — generate a synthetic dataset and extract its
+  SHACL shapes (Tables 2 and 3 inputs);
+* :func:`run_all_transformations` — run S3PG, rdf2pg, and NeoSemantics
+  with phase timing (Table 4) and collect PG statistics (Table 5);
+* :func:`accuracy_experiment` — ground-truth SPARQL vs each method's
+  Cypher, per workload query (Tables 6 and 7);
+* :func:`runtime_experiment` — mean query runtimes per engine (Figure 6);
+* :func:`monotonicity_experiment` — full re-conversion vs delta-only
+  incremental conversion (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines.neosemantics import (
+    NeoSemanticsResult,
+    NeoSemanticsTransformer,
+)
+from ..baselines.neosemantics import (
+    cypher_for_class_property as neosem_cypher_for,
+)
+from ..baselines.rdf2pg import Rdf2pgResult, Rdf2pgTransformer
+from ..baselines.rdf2pg import cypher_for_class_property as rdf2pg_cypher_for
+from ..core.config import DEFAULT_OPTIONS, MONOTONE_OPTIONS, TransformOptions
+from ..core.incremental import apply_delta
+from ..core.pipeline import S3PG, TransformResult
+from ..datasets.bio2rdf import bio2rdf_spec
+from ..datasets.common import DatasetSpec, generate
+from ..datasets.dbpedia import dbpedia2020_spec, dbpedia2022_spec
+from ..datasets.evolution import make_evolution_pair
+from ..datasets.workloads import WorkloadQuery
+from ..pg.store import PropertyGraphStore
+from ..query.cypher.evaluator import CypherEngine
+from ..query.sparql.evaluator import SparqlEngine
+from ..query.translate import SparqlToCypherTranslator
+from ..rdf.graph import Graph
+from ..shacl.model import ShapeSchema
+from ..shapes.extractor import extract_shapes
+from .metrics import AccuracyResult, accuracy
+
+#: Method names in the paper's column order.
+METHODS = ("S3PG", "rdf2pg", "NeoSem")
+
+_SPECS = {
+    "dbpedia2022": (dbpedia2022_spec, 400, 42),
+    "dbpedia2020": (dbpedia2020_spec, 200, 7),
+    "bio2rdf": (bio2rdf_spec, 300, 17),
+}
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset plus its extracted shape schema."""
+
+    name: str
+    spec: DatasetSpec
+    graph: Graph
+    shapes: ShapeSchema
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> DatasetBundle:
+    """Generate one of the three evaluation datasets and extract shapes.
+
+    Args:
+        name: ``dbpedia2022``, ``dbpedia2020``, or ``bio2rdf``.
+        scale: multiplier on the default entity counts.
+        seed: RNG seed override.
+    """
+    spec_fn, base_entities, default_seed = _SPECS[name]
+    spec = spec_fn()
+    graph = generate(
+        spec,
+        base_entities=max(1, int(base_entities * scale)),
+        seed=default_seed if seed is None else seed,
+    )
+    shapes = extract_shapes(graph)
+    return DatasetBundle(name=name, spec=spec, graph=graph, shapes=shapes)
+
+
+# --------------------------------------------------------------------- #
+# Transformation (Tables 4 & 5)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class MethodRun:
+    """One method's transformation output and phase timings."""
+
+    method: str
+    store: PropertyGraphStore
+    transform_s: float | None
+    load_s: float | None
+    combined_s: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pg_stats(self):
+        """Table 5 statistics of the transformed graph."""
+        return self.store.graph.stats()
+
+
+def run_s3pg(
+    bundle: DatasetBundle, options: TransformOptions = DEFAULT_OPTIONS
+) -> tuple[MethodRun, TransformResult]:
+    """Run the full S3PG pipeline and load the output into a store."""
+    result = S3PG(options).transform(bundle.graph, bundle.shapes)
+    store = result.load()
+    run = MethodRun(
+        method="S3PG",
+        store=store,
+        transform_s=result.timings["transform_s"],
+        load_s=result.timings["load_s"],
+        combined_s=result.timings["transform_s"] + result.timings["load_s"],
+    )
+    return run, result
+
+
+def run_rdf2pg(bundle: DatasetBundle) -> tuple[MethodRun, Rdf2pgResult]:
+    """Run the rdf2pg baseline."""
+    result = Rdf2pgTransformer(bundle.shapes).transform(bundle.graph)
+    run = MethodRun(
+        method="rdf2pg",
+        store=result.store,
+        transform_s=result.transform_seconds,
+        load_s=result.load_seconds,
+        combined_s=result.transform_seconds + result.load_seconds,
+        extra={"stats": result.stats},
+    )
+    return run, result
+
+
+def run_neosemantics(bundle: DatasetBundle) -> tuple[MethodRun, NeoSemanticsResult]:
+    """Run the NeoSemantics baseline (single combined phase)."""
+    result = NeoSemanticsTransformer().transform(bundle.graph)
+    run = MethodRun(
+        method="NeoSem",
+        store=result.store,
+        transform_s=None,
+        load_s=None,
+        combined_s=result.combined_seconds,
+        extra={"stats": result.stats},
+    )
+    return run, result
+
+
+@dataclass
+class AllRuns:
+    """All three transformations of one dataset."""
+
+    s3pg_run: MethodRun
+    s3pg_result: TransformResult
+    rdf2pg_run: MethodRun
+    rdf2pg_result: Rdf2pgResult
+    neosem_run: MethodRun
+    neosem_result: NeoSemanticsResult
+
+    def runs(self) -> dict[str, MethodRun]:
+        """Method name -> run, in the paper's order."""
+        return {
+            "S3PG": self.s3pg_run,
+            "rdf2pg": self.rdf2pg_run,
+            "NeoSem": self.neosem_run,
+        }
+
+
+def run_all_transformations(bundle: DatasetBundle) -> AllRuns:
+    """Run all three methods on one dataset (Table 4 / Table 5 driver)."""
+    s3pg_run, s3pg_result = run_s3pg(bundle)
+    rdf2pg_run, rdf2pg_result = run_rdf2pg(bundle)
+    neosem_run, neosem_result = run_neosemantics(bundle)
+    return AllRuns(
+        s3pg_run=s3pg_run,
+        s3pg_result=s3pg_result,
+        rdf2pg_run=rdf2pg_run,
+        rdf2pg_result=rdf2pg_result,
+        neosem_run=neosem_run,
+        neosem_result=neosem_result,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Per-method Cypher generation for the workload queries
+# --------------------------------------------------------------------- #
+
+def s3pg_cypher(query: WorkloadQuery, result: TransformResult) -> str:
+    """The S3PG Cypher for a workload query, via the automated translator."""
+    return SparqlToCypherTranslator(result.mapping).translate_text(query.sparql)
+
+
+def neosem_cypher(query: WorkloadQuery, result: NeoSemanticsResult) -> str:
+    """The NeoSemantics Cypher (UNION ALL of edge and property forms)."""
+    return neosem_cypher_for(result.resolver, query.class_iri, query.predicate)
+
+
+def rdf2pg_cypher(query: WorkloadQuery, result: Rdf2pgResult) -> str:
+    """The rdf2pg Cypher (single realization-dependent access path)."""
+    return rdf2pg_cypher_for(result, query.class_iri, query.predicate)
+
+
+# --------------------------------------------------------------------- #
+# Accuracy (Tables 6 & 7)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class AccuracyRow:
+    """One row of the accuracy tables."""
+
+    qid: str
+    category: str
+    ground_truth: int
+    per_method: dict[str, AccuracyResult]
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a printable table row."""
+        row: dict[str, object] = {
+            "Q": self.qid,
+            "Category": self.category,
+            "# of GT": self.ground_truth,
+        }
+        for method in METHODS:
+            result = self.per_method.get(method)
+            row[method] = f"{result.accuracy_percent:.2f}%" if result else "x"
+        return row
+
+
+def accuracy_experiment(
+    bundle: DatasetBundle,
+    workload: list[WorkloadQuery],
+    all_runs: AllRuns | None = None,
+) -> list[AccuracyRow]:
+    """Run the completeness comparison for every workload query."""
+    runs = all_runs or run_all_transformations(bundle)
+    sparql_engine = SparqlEngine(bundle.graph)
+    engines = {
+        "S3PG": CypherEngine(runs.s3pg_run.store),
+        "rdf2pg": CypherEngine(runs.rdf2pg_run.store),
+        "NeoSem": CypherEngine(runs.neosem_run.store),
+    }
+    rows: list[AccuracyRow] = []
+    for query in workload:
+        gt_rows = sparql_engine.query(query.sparql)
+        per_method: dict[str, AccuracyResult] = {}
+        cypher_texts = {
+            "S3PG": s3pg_cypher(query, runs.s3pg_result),
+            "rdf2pg": rdf2pg_cypher(query, runs.rdf2pg_result),
+            "NeoSem": neosem_cypher(query, runs.neosem_result),
+        }
+        for method, text in cypher_texts.items():
+            method_rows = engines[method].query(text)
+            per_method[method] = accuracy(gt_rows, method_rows)
+        rows.append(
+            AccuracyRow(
+                qid=query.qid,
+                category=query.category,
+                ground_truth=len(gt_rows),
+                per_method=per_method,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Query runtime (Figure 6)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class RuntimeRow:
+    """Mean runtimes (milliseconds) of one query on every engine."""
+
+    qid: str
+    category: str
+    runtimes_ms: dict[str, float]
+
+
+def runtime_experiment(
+    bundle: DatasetBundle,
+    workload: list[WorkloadQuery],
+    all_runs: AllRuns | None = None,
+    repeat: int = 5,
+    warmup: int = 1,
+) -> list[RuntimeRow]:
+    """Measure mean query runtimes on the RDF engine and the three PGs.
+
+    Mirrors the paper's protocol: warm-up executions first, then the mean
+    of ``repeat`` timed runs per query and engine.
+    """
+    runs = all_runs or run_all_transformations(bundle)
+    sparql_engine = SparqlEngine(bundle.graph)
+    for store in (runs.s3pg_run.store, runs.rdf2pg_run.store, runs.neosem_run.store):
+        store.warm_up()
+
+    def timed_runs(fn) -> float:
+        for _ in range(warmup):
+            fn()
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn()
+        return (time.perf_counter() - start) / repeat * 1000.0
+
+    engines = {
+        "S3PG": CypherEngine(runs.s3pg_run.store),
+        "rdf2pg": CypherEngine(runs.rdf2pg_run.store),
+        "NeoSem": CypherEngine(runs.neosem_run.store),
+    }
+    rows: list[RuntimeRow] = []
+    for query in workload:
+        cypher_texts = {
+            "S3PG": s3pg_cypher(query, runs.s3pg_result),
+            "rdf2pg": rdf2pg_cypher(query, runs.rdf2pg_result),
+            "NeoSem": neosem_cypher(query, runs.neosem_result),
+        }
+        runtimes = {
+            "SPARQL(RDF)": timed_runs(lambda: sparql_engine.query(query.sparql)),
+        }
+        for method, text in cypher_texts.items():
+            engine = engines[method]
+            runtimes[method] = timed_runs(lambda t=text, e=engine: e.query(t))
+        rows.append(
+            RuntimeRow(qid=query.qid, category=query.category, runtimes_ms=runtimes)
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Monotonicity (Section 5.4)
+# --------------------------------------------------------------------- #
+
+@dataclass
+class MonotonicityReport:
+    """Timings of the Section 5.4 experiment."""
+
+    parsimonious_old_s: float
+    non_parsimonious_old_s: float
+    parsimonious_new_s: float
+    non_parsimonious_new_s: float
+    delta_only_s: float
+    delta_matches_full: bool
+    n_old_triples: int
+    n_new_triples: int
+    n_added: int
+    n_removed: int
+
+    @property
+    def savings_percent(self) -> float:
+        """Time saved by delta-only conversion vs full re-conversion."""
+        if self.parsimonious_new_s == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.delta_only_s / self.parsimonious_new_s)
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Printable summary rows."""
+        return [
+            {"run": "parsimonious full (old snapshot)",
+             "seconds": self.parsimonious_old_s},
+            {"run": "non-parsimonious full (old snapshot)",
+             "seconds": self.non_parsimonious_old_s},
+            {"run": "parsimonious full (new snapshot)",
+             "seconds": self.parsimonious_new_s},
+            {"run": "non-parsimonious full (new snapshot)",
+             "seconds": self.non_parsimonious_new_s},
+            {"run": "non-parsimonious delta only",
+             "seconds": self.delta_only_s},
+        ]
+
+
+def monotonicity_experiment(
+    bundle: DatasetBundle,
+    add_fraction: float = 0.052,
+    delete_fraction: float = 0.018,
+    seed: int = 99,
+) -> MonotonicityReport:
+    """Run the Section 5.4 comparison on a dataset bundle.
+
+    The delta-applied graph is additionally checked for structural
+    equality against a from-scratch conversion of the new snapshot
+    (Definition 3.4's ``F(S2) ≅ F(S1) ∪ F(SΔ)``).
+    """
+    pair = make_evolution_pair(
+        bundle.graph, add_fraction=add_fraction,
+        delete_fraction=delete_fraction, seed=seed,
+    )
+    shapes = extract_shapes(pair.new | pair.old)
+
+    def timed_transform(graph: Graph, options: TransformOptions):
+        start = time.perf_counter()
+        result = S3PG(options).transform(graph, shapes)
+        return time.perf_counter() - start, result
+
+    pars_old_s, _ = timed_transform(pair.old, DEFAULT_OPTIONS)
+    nonpars_old_s, nonpars_old = timed_transform(pair.old, MONOTONE_OPTIONS)
+    pars_new_s, _ = timed_transform(pair.new, DEFAULT_OPTIONS)
+    nonpars_new_s, nonpars_new = timed_transform(pair.new, MONOTONE_OPTIONS)
+
+    start = time.perf_counter()
+    apply_delta(nonpars_old.transformed, added=pair.added, removed=pair.removed)
+    delta_only_s = time.perf_counter() - start
+
+    matches = nonpars_old.graph.structurally_equal(nonpars_new.graph)
+
+    return MonotonicityReport(
+        parsimonious_old_s=pars_old_s,
+        non_parsimonious_old_s=nonpars_old_s,
+        parsimonious_new_s=pars_new_s,
+        non_parsimonious_new_s=nonpars_new_s,
+        delta_only_s=delta_only_s,
+        delta_matches_full=matches,
+        n_old_triples=len(pair.old),
+        n_new_triples=len(pair.new),
+        n_added=len(pair.added),
+        n_removed=len(pair.removed),
+    )

@@ -1,0 +1,76 @@
+"""ASCII rendering of the paper's tables from experiment rows."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    title: str | None = None,
+    columns: list[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Args:
+        rows: mapping rows; all keys of the first row are used as columns
+            unless ``columns`` is given.
+        title: optional heading printed above the table.
+        columns: explicit column order.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(separator)
+    for row in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    unit: str = "",
+) -> str:
+    """Render named series (e.g. per-query runtimes per engine) as a table.
+
+    Args:
+        title: heading.
+        series: mapping series-name -> {x-label -> value}.
+        unit: optional unit appended to the title.
+    """
+    x_labels: list[str] = []
+    for values in series.values():
+        for x in values:
+            if x not in x_labels:
+                x_labels.append(x)
+    rows = []
+    for name, values in series.items():
+        row: dict[str, object] = {"series": name}
+        for x in x_labels:
+            row[x] = values.get(x, "")
+        rows.append(row)
+    heading = f"{title} ({unit})" if unit else title
+    return render_table(rows, title=heading, columns=["series", *x_labels])

@@ -1,0 +1,79 @@
+"""Phase timing and memory measurement helpers for the experiments."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseTimings:
+    """Named phase durations (seconds), in insertion order."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Store (accumulating re-entries of the same phase)."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Sum of all phases."""
+        return sum(self.phases.values())
+
+    def as_row(self) -> dict[str, float]:
+        """The timings plus a ``total`` column."""
+        row = dict(self.phases)
+        row["total"] = self.total()
+        return row
+
+
+@contextmanager
+def timed(timings: PhaseTimings, name: str):
+    """Context manager recording the elapsed wall time of a phase."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings.record(name, time.perf_counter() - start)
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Peak Python allocation during a measured block (bytes)."""
+
+    peak_bytes: int
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak in mebibytes."""
+        return self.peak_bytes / (1024 * 1024)
+
+
+@contextmanager
+def traced_memory():
+    """Measure peak allocations of a block with :mod:`tracemalloc`.
+
+    Yields a one-element list that holds a :class:`MemoryUsage` after the
+    block exits.  (Tracing adds overhead; use only when the experiment
+    reports memory, as Table 4's memory-limit discussion does.)
+    """
+    holder: list[MemoryUsage] = []
+    tracemalloc.start()
+    try:
+        yield holder
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        holder.append(MemoryUsage(peak_bytes=peak))
+
+
+def time_callable(fn, *args, repeat: int = 1, **kwargs) -> tuple[float, object]:
+    """Run ``fn`` ``repeat`` times; return (mean seconds, last result)."""
+    result = None
+    start = time.perf_counter()
+    for _ in range(repeat):
+        result = fn(*args, **kwargs)
+    elapsed = (time.perf_counter() - start) / repeat
+    return elapsed, result

@@ -1,0 +1,127 @@
+"""Well-known IRI namespaces used throughout the library.
+
+A :class:`Namespace` is a thin helper that concatenates a base IRI with a
+local name, so that ``XSD.string`` or ``SH.targetClass`` read like the
+qualified names in the paper and in W3C documents.
+"""
+
+from __future__ import annotations
+
+
+class Namespace:
+    """A base IRI that can be extended with local names.
+
+    Examples:
+        >>> XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+        >>> XSD.string
+        'http://www.w3.org/2001/XMLSchema#string'
+        >>> XSD["language"]
+        'http://www.w3.org/2001/XMLSchema#language'
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The base IRI of this namespace."""
+        return self._base
+
+    def term(self, local: str) -> str:
+        """Return the full IRI for ``local`` within this namespace."""
+        return self._base + local
+
+    def __getattr__(self, local: str) -> str:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self._base + local
+
+    def __getitem__(self, local: str) -> str:
+        return self._base + local
+
+    def __contains__(self, iri: str) -> bool:
+        return isinstance(iri, str) and iri.startswith(self._base)
+
+    def local_name(self, iri: str) -> str:
+        """Strip the namespace base from ``iri``.
+
+        Raises:
+            ValueError: if ``iri`` does not start with this namespace's base.
+        """
+        if iri not in self:
+            raise ValueError(f"{iri!r} is not in namespace {self._base!r}")
+        return iri[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self._base))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+SH = Namespace("http://www.w3.org/ns/shacl#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+
+# Namespaces used by the synthetic datasets.
+EX = Namespace("http://example.org/")
+UNI = Namespace("http://example.org/university#")
+DBO = Namespace("http://dbpedia.org/ontology/")
+DBP = Namespace("http://dbpedia.org/property/")
+DBR = Namespace("http://dbpedia.org/resource/")
+SCHEMA = Namespace("http://schema.org/")
+CT = Namespace("http://bio2rdf.org/clinicaltrials_vocabulary:")
+CTR = Namespace("http://bio2rdf.org/clinicaltrials:")
+SHAPES = Namespace("http://example.org/shapes#")
+
+#: ``rdf:type`` — the type predicate *a* from Definition 2.1.
+RDF_TYPE = RDF.type
+
+#: Default prefix table used by parsers and serializers.
+WELL_KNOWN_PREFIXES: dict[str, str] = {
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "xsd": XSD.base,
+    "sh": SH.base,
+    "owl": OWL.base,
+    "ex": EX.base,
+    "uni": UNI.base,
+    "dbo": DBO.base,
+    "dbp": DBP.base,
+    "dbr": DBR.base,
+    "schema": SCHEMA.base,
+    "ct": CT.base,
+    "ctr": CTR.base,
+    "shapes": SHAPES.base,
+}
+
+
+def split_iri(iri: str) -> tuple[str, str]:
+    """Split an IRI into (namespace, local-name) at the last ``#`` or ``/``.
+
+    Falls back to splitting at the last ``:`` for URN-style IRIs.
+
+    Examples:
+        >>> split_iri("http://example.org/ns#Person")
+        ('http://example.org/ns#', 'Person')
+    """
+    for sep in ("#", "/"):
+        idx = iri.rfind(sep)
+        if 0 <= idx < len(iri) - 1:
+            return iri[: idx + 1], iri[idx + 1:]
+    idx = iri.rfind(":")
+    if 0 <= idx < len(iri) - 1:
+        return iri[: idx + 1], iri[idx + 1:]
+    return "", iri
+
+
+def local_name(iri: str) -> str:
+    """Return the local-name part of an IRI (see :func:`split_iri`)."""
+    return split_iri(iri)[1]

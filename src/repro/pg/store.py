@@ -1,0 +1,214 @@
+"""An indexed property-graph store — the 'graph DBMS' substrate.
+
+:class:`PropertyGraphStore` wraps a :class:`PropertyGraph` with the indexes
+a database such as Neo4j maintains: a label index, adjacency lists grouped
+by relationship type, and optional property (key, value) indexes.  The
+Cypher engine evaluates against this store, and the *loading* phase of the
+Table 4 experiment is exactly the :func:`PropertyGraphStore.bulk_load`
+call (deserialize + index build), mirroring a bulk CSV import.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from ..errors import GraphError
+from .model import PGEdge, PGNode, PropertyGraph, PropertyValue, Scalar
+
+
+class PropertyGraphStore:
+    """Label-, type-, and property-indexed access over a property graph.
+
+    Args:
+        graph: the graph to index; an empty one is created by default.
+        property_indexes: property keys to index on nodes, e.g. ``("iri",)``.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph | None = None,
+        property_indexes: Iterable[str] = ("iri",),
+    ):
+        self.graph = graph or PropertyGraph()
+        self._indexed_keys = tuple(property_indexes)
+        self._label_index: dict[str, set[str]] = defaultdict(set)
+        self._out: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
+        self._in: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
+        self._property_index: dict[tuple[str, Scalar], set[str]] = defaultdict(set)
+        if graph is not None:
+            self.rebuild_indexes()
+
+    # ------------------------------------------------------------------ #
+    # Index maintenance
+    # ------------------------------------------------------------------ #
+
+    def rebuild_indexes(self) -> None:
+        """Recompute every index from the underlying graph (bulk build)."""
+        self._label_index.clear()
+        self._out.clear()
+        self._in.clear()
+        self._property_index.clear()
+        for node in self.graph.nodes.values():
+            self._index_node(node)
+        for edge in self.graph.edges.values():
+            self._index_edge(edge)
+
+    def _index_node(self, node: PGNode) -> None:
+        for label in node.labels:
+            self._label_index[label].add(node.id)
+        for key in self._indexed_keys:
+            value = node.properties.get(key)
+            if isinstance(value, (str, int, float, bool)):
+                self._property_index[(key, value)].add(node.id)
+
+    def _index_edge(self, edge: PGEdge) -> None:
+        for label in edge.labels:
+            self._out[edge.src][label].append(edge.id)
+            self._in[edge.dst][label].append(edge.id)
+
+    # ------------------------------------------------------------------ #
+    # Mutation (kept index-consistent)
+    # ------------------------------------------------------------------ #
+
+    def add_node(
+        self,
+        node_id: str | None = None,
+        labels: Iterable[str] = (),
+        properties: dict[str, PropertyValue] | None = None,
+    ) -> PGNode:
+        """Insert a node and index it."""
+        node = self.graph.add_node(node_id, labels, properties)
+        self._index_node(node)
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        labels: Iterable[str] = (),
+        properties: dict[str, PropertyValue] | None = None,
+        edge_id: str | None = None,
+    ) -> PGEdge:
+        """Insert an edge and index it."""
+        edge = self.graph.add_edge(src, dst, labels, properties, edge_id)
+        self._index_edge(edge)
+        return edge
+
+    def add_label(self, node_id: str, label: str) -> None:
+        """Add a label to an existing node, keeping the label index fresh."""
+        node = self.graph.get_node(node_id)
+        node.labels.add(label)
+        self._label_index[label].add(node_id)
+
+    def set_node_property(self, node_id: str, key: str, value: PropertyValue) -> None:
+        """Update a node property, keeping property indexes consistent."""
+        node = self.graph.get_node(node_id)
+        old = node.properties.get(key)
+        if key in self._indexed_keys and isinstance(old, (str, int, float, bool)):
+            self._property_index[(key, old)].discard(node_id)
+        node.set_property(key, value)
+        if key in self._indexed_keys and isinstance(value, (str, int, float, bool)):
+            self._property_index[(key, value)].add(node_id)
+
+    def bulk_load(self, graph: PropertyGraph) -> None:
+        """Replace the stored graph and rebuild all indexes.
+
+        This models the *loading* phase (L) of Table 4: the transformed
+        graph is handed to the DBMS, which ingests it and builds its
+        internal indexes before it can serve queries.
+        """
+        self.graph = graph
+        self.rebuild_indexes()
+
+    # ------------------------------------------------------------------ #
+    # Indexed reads
+    # ------------------------------------------------------------------ #
+
+    def nodes_with_label(self, label: str) -> Iterator[PGNode]:
+        """All nodes carrying ``label`` (index lookup)."""
+        for node_id in self._label_index.get(label, ()):
+            yield self.graph.nodes[node_id]
+
+    def count_label(self, label: str) -> int:
+        """Number of nodes carrying ``label``."""
+        return len(self._label_index.get(label, ()))
+
+    def nodes_by_property(self, key: str, value: Scalar) -> Iterator[PGNode]:
+        """All nodes with ``properties[key] == value``.
+
+        Uses the property index when ``key`` is indexed; otherwise scans.
+        """
+        if key in self._indexed_keys:
+            for node_id in self._property_index.get((key, value), ()):
+                yield self.graph.nodes[node_id]
+            return
+        for node in self.graph.nodes.values():
+            if node.properties.get(key) == value:
+                yield node
+
+    def node_by_property(self, key: str, value: Scalar) -> PGNode | None:
+        """An arbitrary single node with the given property value, or None."""
+        for node in self.nodes_by_property(key, value):
+            return node
+        return None
+
+    def out_edges(self, node_id: str, rel_type: str | None = None) -> Iterator[PGEdge]:
+        """Outgoing edges of a node, optionally restricted to one type."""
+        by_type = self._out.get(node_id)
+        if by_type is None:
+            return
+        if rel_type is not None:
+            for edge_id in by_type.get(rel_type, ()):
+                yield self.graph.edges[edge_id]
+            return
+        seen: set[str] = set()
+        for edge_ids in by_type.values():
+            for edge_id in edge_ids:
+                if edge_id not in seen:
+                    seen.add(edge_id)
+                    yield self.graph.edges[edge_id]
+
+    def in_edges(self, node_id: str, rel_type: str | None = None) -> Iterator[PGEdge]:
+        """Incoming edges of a node, optionally restricted to one type."""
+        by_type = self._in.get(node_id)
+        if by_type is None:
+            return
+        if rel_type is not None:
+            for edge_id in by_type.get(rel_type, ()):
+                yield self.graph.edges[edge_id]
+            return
+        seen: set[str] = set()
+        for edge_ids in by_type.values():
+            for edge_id in edge_ids:
+                if edge_id not in seen:
+                    seen.add(edge_id)
+                    yield self.graph.edges[edge_id]
+
+    def edges_with_type(self, rel_type: str) -> Iterator[PGEdge]:
+        """All edges of a given relationship type."""
+        for edge in self.graph.edges.values():
+            if rel_type in edge.labels:
+                yield edge
+
+    def degree(self, node_id: str, rel_type: str | None = None) -> int:
+        """Outgoing degree of a node."""
+        return sum(1 for _ in self.out_edges(node_id, rel_type))
+
+    def warm_up(self) -> int:
+        """Touch every node and edge once (models ``apoc.warmup.run``).
+
+        Returns the number of elements visited.
+        """
+        visited = 0
+        for node in self.graph.nodes.values():
+            visited += 1 if node.id else 0
+        for edge in self.graph.edges.values():
+            visited += 1 if edge.id else 0
+        return visited
+
+    def __repr__(self) -> str:
+        return (
+            f"<PropertyGraphStore |N|={self.graph.node_count()} "
+            f"|E|={self.graph.edge_count()} labels={len(self._label_index)}>"
+        )

@@ -1,0 +1,95 @@
+"""YARS-PG serialization (subset) for property graphs.
+
+The rdf2pg baseline "outputs PG graphs in YARS-PG serialization format"
+[Tomaszuk et al., BDAS 2019].  This module implements the node/edge
+statement subset used for data interchange::
+
+    ("n1" {"Person", "Student"} ["name": "Alice", "age": 30])
+    ("n1")-["knows" ["since": 2020]]->("n2")
+
+Values are JSON-style scalars; arrays use JSON list syntax.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from ..errors import ParseError
+from .model import PropertyGraph, PropertyValue
+
+
+def _encode_props(properties: dict[str, PropertyValue]) -> str:
+    if not properties:
+        return ""
+    parts = [f"{json.dumps(key)}: {json.dumps(value)}" for key, value in properties.items()]
+    return " [" + ", ".join(parts) + "]"
+
+
+def export_yarspg(graph: PropertyGraph) -> str:
+    """Serialize ``graph`` in YARS-PG node/edge statements."""
+    lines: list[str] = ["# YARS-PG 1.0"]
+    for node in graph.nodes.values():
+        labels = "{" + ", ".join(json.dumps(lab) for lab in sorted(node.labels)) + "}"
+        lines.append(f'("{node.id}" {labels}{_encode_props(node.properties)})')
+    for edge in graph.edges.values():
+        label = json.dumps(sorted(edge.labels)[0] if edge.labels else "")
+        lines.append(
+            f'("{edge.src}")-[{label}{_encode_props(edge.properties)}]->("{edge.dst}")'
+        )
+    return "\n".join(lines) + "\n"
+
+
+_NODE_RE = re.compile(r'^\("(?P<id>[^"]+)"\s*\{(?P<labels>[^}]*)\}(?:\s*\[(?P<props>.*)\])?\)$')
+_EDGE_RE = re.compile(
+    r'^\("(?P<src>[^"]+)"\)-\[(?P<label>"[^"]*")(?:\s*\[(?P<props>.*)\])?\]->\("(?P<dst>[^"]+)"\)$'
+)
+
+
+def _parse_props(text: str | None) -> dict[str, PropertyValue]:
+    if not text:
+        return {}
+    # The bracketed property list is JSON-object-like with ':'-separated
+    # pairs; wrap it in braces and parse with the JSON decoder.
+    try:
+        return json.loads("{" + text + "}")
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid YARS-PG property list: {text!r}") from exc
+
+
+def import_yarspg(text: str) -> PropertyGraph:
+    """Parse a YARS-PG document produced by :func:`export_yarspg`."""
+    graph = PropertyGraph()
+    pending_edges: list[tuple[str, str, str, dict[str, PropertyValue]]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            labels = [
+                json.loads(part.strip())
+                for part in node_match.group("labels").split(",")
+                if part.strip()
+            ]
+            graph.add_node(
+                node_match.group("id"),
+                labels=labels,
+                properties=_parse_props(node_match.group("props")),
+            )
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            pending_edges.append(
+                (
+                    edge_match.group("src"),
+                    edge_match.group("dst"),
+                    json.loads(edge_match.group("label")),
+                    _parse_props(edge_match.group("props")),
+                )
+            )
+            continue
+        raise ParseError(f"unrecognized YARS-PG statement: {line!r}", line=lineno)
+    for src, dst, label, properties in pending_edges:
+        graph.add_edge(src, dst, labels=[label] if label else [], properties=properties)
+    return graph

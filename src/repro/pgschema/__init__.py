@@ -1,0 +1,64 @@
+"""PG-Schema substrate: types, PG-Keys, conformance, and DDL round-trip."""
+
+from .conformance import (
+    ConformanceChecker,
+    ConformanceReport,
+    ConformanceViolation,
+    check_conformance,
+    property_value_matches,
+)
+from .ddl import (
+    parse_pgschema_ddl,
+    render_edge_type,
+    render_key,
+    render_node_type,
+    render_pgschema,
+)
+from .keys import UNBOUNDED, CardinalityKey, PGKey, UniqueKey
+from .model import (
+    ANY,
+    BOOLEAN,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INTEGER,
+    STRING,
+    XSD_TO_CONTENT_TYPE,
+    YEAR,
+    EdgeType,
+    NodeType,
+    PGSchema,
+    PropertySpec,
+    content_type_for_datatype,
+)
+
+__all__ = [
+    "ANY",
+    "BOOLEAN",
+    "CardinalityKey",
+    "ConformanceChecker",
+    "ConformanceReport",
+    "ConformanceViolation",
+    "DATE",
+    "DATETIME",
+    "EdgeType",
+    "FLOAT",
+    "INTEGER",
+    "NodeType",
+    "PGKey",
+    "PGSchema",
+    "PropertySpec",
+    "STRING",
+    "UNBOUNDED",
+    "UniqueKey",
+    "XSD_TO_CONTENT_TYPE",
+    "YEAR",
+    "check_conformance",
+    "content_type_for_datatype",
+    "parse_pgschema_ddl",
+    "property_value_matches",
+    "render_edge_type",
+    "render_key",
+    "render_node_type",
+    "render_pgschema",
+]

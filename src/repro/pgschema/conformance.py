@@ -1,0 +1,306 @@
+"""PG-Schema conformance and typing (Definition 2.6).
+
+A node conforms to a node type when it carries the type's (effective)
+labels and its record satisfies the type's (effective) property specs.  An
+edge conforms to an edge type when its label matches and both endpoints
+conform to allowed endpoint types.  A property graph conforms to a schema
+when every element conforms to at least one type, and every PG-Keys
+constraint holds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .keys import CardinalityKey, PGKey, UniqueKey
+from ..pg.model import PGEdge, PGNode, PropertyGraph
+from .model import (
+    ANY,
+    BOOLEAN,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INTEGER,
+    NodeType,
+    PGSchema,
+    PropertySpec,
+    STRING,
+    YEAR,
+)
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """A single conformance failure."""
+
+    element_id: str
+    kind: str  # "node" | "edge" | "key"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.element_id}: {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of checking ``PG ⊨ S_PG``."""
+
+    conforms: bool
+    violations: list[ConformanceViolation] = field(default_factory=list)
+    typing_nodes: dict[str, list[str]] = field(default_factory=dict)
+    typing_edges: dict[str, list[str]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.conforms
+
+
+def _scalar_matches(value: object, content_type: str) -> bool:
+    if content_type == ANY:
+        return True
+    if content_type == STRING:
+        return isinstance(value, str)
+    if content_type == INTEGER:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if content_type == FLOAT:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if content_type == BOOLEAN:
+        return isinstance(value, bool)
+    if content_type in (DATE, DATETIME):
+        return isinstance(value, str)
+    if content_type == YEAR:
+        return isinstance(value, str) or (
+            isinstance(value, int) and not isinstance(value, bool)
+        )
+    return True
+
+
+def property_value_matches(value: object, spec: PropertySpec) -> bool:
+    """True when ``value`` satisfies ``spec`` (type, array bounds)."""
+    if spec.array:
+        values = value if isinstance(value, list) else [value]
+        if len(values) < spec.array_min:
+            return False
+        if spec.array_max is not None and len(values) > spec.array_max:
+            return False
+        return all(_scalar_matches(v, spec.content_type) for v in values)
+    if isinstance(value, list):
+        return False
+    return _scalar_matches(value, spec.content_type)
+
+
+class ConformanceChecker:
+    """Checks property graphs against a :class:`PGSchema` (Definition 2.6).
+
+    Args:
+        schema: the PG-Schema ``S_PG``.
+        max_violations: bound on the number of collected failures.
+    """
+
+    #: Property keys always allowed even when not declared by a type
+    #: (S3PG stores the originating IRI on every element).
+    IMPLICIT_KEYS = frozenset({"iri"})
+
+    #: The two PG-Schema graph-type options (Section 2.2 of the paper).
+    STRICT = "STRICT"
+    LOOSE = "LOOSE"
+
+    def __init__(
+        self,
+        schema: PGSchema,
+        max_violations: int = 10_000,
+        mode: str = "STRICT",
+    ):
+        if mode not in (self.STRICT, self.LOOSE):
+            raise ValueError("mode must be STRICT or LOOSE")
+        self.schema = schema
+        self.max_violations = max_violations
+        self.mode = mode
+        # The type hierarchy is static for the checker's lifetime: cache
+        # the descendant sets so edge checks don't walk it per edge.
+        self._descendants_cache: dict[str, list[str]] = {}
+
+    def _descendants(self, type_name: str) -> list[str]:
+        cached = self._descendants_cache.get(type_name)
+        if cached is None:
+            cached = self.schema.descendants(type_name)
+            self._descendants_cache[type_name] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Element-level conformance
+    # ------------------------------------------------------------------ #
+
+    def node_conforms(self, node: PGNode, node_type: NodeType) -> bool:
+        """``n ⊨ tau``: labels and record satisfy the (effective) type."""
+        required_labels = self.schema.effective_labels(node_type.name)
+        if not required_labels <= node.labels:
+            return False
+        specs = self.schema.effective_properties(node_type.name)
+        for key, spec in specs.items():
+            value = node.properties.get(key)
+            if value is None:
+                if not spec.optional:
+                    return False
+                continue
+            if not property_value_matches(value, spec):
+                # A literal node's value is stored either natively or as
+                # the lexical form (e.g. "958.30"^^xsd:double keeps its
+                # trailing zero); the lexical string is always admissible.
+                if (
+                    node_type.is_literal_type
+                    and key == "value"
+                    and isinstance(value, str)
+                ):
+                    continue
+                return False
+        for key in node.properties:
+            if key not in specs and key not in self.IMPLICIT_KEYS:
+                # Keys that belong to some edge-type annotation (literal
+                # value holders) are allowed on literal node types only.
+                if not (node_type.is_literal_type and key == "value"):
+                    return False
+        return True
+
+    def node_typing(self, node: PGNode) -> list[str]:
+        """``T(v)``: all node types the node conforms to."""
+        return [
+            t.name
+            for t in self.schema.node_types.values()
+            if not t.abstract and self.node_conforms(node, t)
+        ]
+
+    def _conforms_to_or_below(self, node: PGNode, type_name: str) -> bool:
+        """``node`` conforms to ``type_name`` or to one of its subtypes
+        (type hierarchies make an endpoint declared as Person accept a
+        GraduateStudent — standard subtype polymorphism over gamma_S)."""
+        if self.node_conforms(node, self.schema.node_type(type_name)):
+            return True
+        return any(
+            self.node_conforms(node, self.schema.node_type(sub))
+            for sub in self._descendants(type_name)
+        )
+
+    def edge_conforms(self, graph: PropertyGraph, edge: PGEdge, name: str) -> bool:
+        """``e ⊨ sigma`` for the edge type called ``name``."""
+        edge_type = self.schema.edge_type(name)
+        if edge_type.label not in edge.labels:
+            return False
+        src = graph.nodes.get(edge.src)
+        dst = graph.nodes.get(edge.dst)
+        if src is None or dst is None:
+            return False
+        src_ok = not edge_type.source_types or any(
+            self._conforms_to_or_below(src, t) for t in edge_type.source_types
+        )
+        dst_ok = not edge_type.target_types or any(
+            self._conforms_to_or_below(dst, t) for t in edge_type.target_types
+        )
+        return src_ok and dst_ok
+
+    def edge_typing(self, graph: PropertyGraph, edge: PGEdge) -> list[str]:
+        """``T(e)``: all edge types the edge conforms to."""
+        return [
+            name
+            for name in self.schema.edge_types
+            if self.edge_conforms(graph, edge, name)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Graph-level conformance
+    # ------------------------------------------------------------------ #
+
+    def check(self, graph: PropertyGraph) -> ConformanceReport:
+        """Check ``PG ⊨ S_PG``.
+
+        STRICT mode (the default) requires every element to conform to at
+        least one type; LOOSE mode tolerates untyped elements and only
+        enforces the PG-Keys constraints, matching the paper's two
+        graph-type options.
+        """
+        report = ConformanceReport(conforms=True)
+        strict = self.mode == self.STRICT
+        for node in graph.nodes.values():
+            typing = self.node_typing(node)
+            report.typing_nodes[node.id] = typing
+            if strict and not typing:
+                self._record(report, node.id, "node", "conforms to no node type")
+        for edge in graph.edges.values():
+            typing = self.edge_typing(graph, edge)
+            report.typing_edges[edge.id] = typing
+            if strict and not typing:
+                self._record(report, edge.id, "edge", "conforms to no edge type")
+        for key in self.schema.keys:
+            self._check_key(graph, key, report)
+        return report
+
+    def conforms(self, graph: PropertyGraph) -> bool:
+        """Shortcut returning only the boolean outcome."""
+        return self.check(graph).conforms
+
+    # ------------------------------------------------------------------ #
+
+    def _check_key(self, graph: PropertyGraph, key: PGKey, report: ConformanceReport) -> None:
+        if isinstance(key, UniqueKey):
+            seen: dict[object, str] = {}
+            for node in graph.nodes.values():
+                if key.label not in node.labels:
+                    continue
+                value = node.properties.get(key.property_key)
+                if value is None:
+                    self._record(
+                        report, node.id, "key",
+                        f"missing mandatory key property {key.property_key!r}",
+                    )
+                    continue
+                hashable = tuple(value) if isinstance(value, list) else value
+                other = seen.get(hashable)
+                if other is not None:
+                    self._record(
+                        report, node.id, "key",
+                        f"duplicate {key.property_key}={value!r} (also on {other})",
+                    )
+                else:
+                    seen[hashable] = node.id
+            return
+        if isinstance(key, CardinalityKey):
+            counts: dict[str, int] = defaultdict(int)
+            sources = [
+                n for n in graph.nodes.values() if key.source_label in n.labels
+            ]
+            allowed = set(key.target_labels)
+            for edge in graph.edges.values():
+                if key.edge_label not in edge.labels:
+                    continue
+                src = graph.nodes.get(edge.src)
+                dst = graph.nodes.get(edge.dst)
+                if src is None or dst is None or key.source_label not in src.labels:
+                    continue
+                if allowed and not (allowed & dst.labels):
+                    continue
+                counts[edge.src] += 1
+            for node in sources:
+                count = counts.get(node.id, 0)
+                if count < key.lower or count > key.upper:
+                    upper_text = "*" if key.upper == float("inf") else int(key.upper)
+                    self._record(
+                        report, node.id, "key",
+                        f"{key.edge_label} count {count} outside "
+                        f"[{key.lower}, {upper_text}]",
+                    )
+            return
+        raise TypeError(f"unknown PG-Key {key!r}")  # pragma: no cover
+
+    def _record(self, report: ConformanceReport, element_id: str, kind: str, message: str) -> None:
+        report.conforms = False
+        if len(report.violations) < self.max_violations:
+            report.violations.append(
+                ConformanceViolation(element_id=element_id, kind=kind, message=message)
+            )
+
+
+def check_conformance(
+    graph: PropertyGraph, schema: PGSchema, mode: str = "STRICT"
+) -> ConformanceReport:
+    """Module-level convenience wrapper around :class:`ConformanceChecker`."""
+    return ConformanceChecker(schema, mode=mode).check(graph)

@@ -1,0 +1,260 @@
+"""Textual PG-Schema DDL in the paper's Figure 5 style, with a parser.
+
+The emitter produces one statement per line::
+
+    (personType: Person {name: STRING})
+    (studentType: Student {regNo: STRING})
+    (studentType: studentType & personType)
+    (stringType: STRING LITERAL {value: STRING, iri = "http://...#string"})
+    CREATE EDGE TYPE (:professorType)-[worksForType: worksFor {iri = "http://x.y/worksFor"}]->(:departmentType)
+    FOR (p: Professor) COUNT 1..1 OF T WITHIN (p)-[:worksFor]->(T: {Department})
+    FOR (p: Person) EXCLUSIVE MANDATORY SINGLETON p.iri
+
+Conventions: ``key: TYPE`` declares a typed property spec (Table 1 array
+syntax supported); ``key = "literal"`` declares a fixed annotation value;
+``&`` in a content statement lists parent types (``gamma_S``);
+alternatives in edge targets use ``|``.  :func:`parse_pgschema_ddl`
+round-trips everything :func:`render_pgschema` emits.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .keys import UNBOUNDED, CardinalityKey, UniqueKey
+from .model import EdgeType, NodeType, PGSchema, PropertySpec
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+def _render_record(properties: dict[str, PropertySpec], annotations: dict[str, str]) -> str:
+    parts = [spec.render() for spec in properties.values()]
+    parts += [f'{key} = "{value}"' for key, value in annotations.items()]
+    if not parts:
+        return ""
+    return " {" + ", ".join(parts) + "}"
+
+
+def render_node_type(node_type: NodeType) -> list[str]:
+    """Render a node type as one content statement plus an optional
+    inheritance statement (matching Figure 5b)."""
+    labels = " & ".join(sorted(node_type.labels)) if node_type.labels else "ANY"
+    flags = ""
+    if node_type.is_literal_type:
+        flags += " LITERAL"
+    if node_type.abstract:
+        flags += " ABSTRACT"
+    record = _render_record(node_type.properties, node_type.annotations)
+    lines = [f"({node_type.name}: {labels}{flags}{record})"]
+    if node_type.parents:
+        parents = " & ".join((node_type.name, *node_type.parents))
+        lines.append(f"({node_type.name}: {parents})")
+    return lines
+
+
+def render_edge_type(edge_type: EdgeType) -> str:
+    """Render an edge type in the ASCII-art ``( )-[ ]->( )`` notation."""
+    source = " | ".join(f":{t}" for t in edge_type.source_types) or ""
+    target = " | ".join(f":{t}" for t in edge_type.target_types) or ""
+    record = _render_record(edge_type.properties, edge_type.annotations)
+    return (
+        f"CREATE EDGE TYPE ({source})-"
+        f"[{edge_type.name}: {edge_type.label}{record}]->({target})"
+    )
+
+
+def render_key(key: CardinalityKey | UniqueKey) -> str:
+    """Render a PG-Keys constraint."""
+    return key.render()
+
+
+def render_pgschema(schema: PGSchema) -> str:
+    """Render a complete schema as DDL text."""
+    lines: list[str] = []
+    for node_type in schema.node_types.values():
+        lines.extend(render_node_type(node_type))
+    for edge_type in schema.edge_types.values():
+        lines.append(render_edge_type(edge_type))
+    for key in schema.keys:
+        lines.append(render_key(key))
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Parsing
+# --------------------------------------------------------------------- #
+
+_PROP_RE = re.compile(
+    r"^(?P<opt>OPTIONAL\s+)?(?P<key>\w+)\s*:\s*(?P<type>\w+)"
+    r"(?:\s+ARRAY\s*\{(?P<amin>\d+)?\s*(?:,\s*(?P<amax>\d+|\*))?\})?$"
+)
+_ANNOT_RE = re.compile(r'^(?P<key>\w+)\s*=\s*"(?P<value>[^"]*)"$')
+_NODE_RE = re.compile(
+    r"^\((?P<name>\w+)\s*:\s*(?P<body>[^{)]+?)(?P<flags>(?:\s+(?:LITERAL|ABSTRACT))*)"
+    r"\s*(?:\{(?P<record>.*)\})?\s*\)$"
+)
+_EDGE_RE = re.compile(
+    r"^CREATE EDGE TYPE \((?P<src>[^)]*)\)-"
+    r"\[(?P<name>\w+)\s*:\s*(?P<label>[\w.:-]+)\s*(?:\{(?P<record>.*)\})?\]->"
+    r"\((?P<dst>[^)]*)\)$"
+)
+_CARD_KEY_RE = re.compile(
+    r"^FOR \(\w+\s*:\s*(?P<source>[\w.:-]+)\) COUNT (?P<lower>\d+)\.\.(?P<upper>\d*) OF \w+ "
+    r"WITHIN \(\w+\)-\[:(?P<label>[\w.:-]+)\]->\((?:\w+)(?:\s*:\s*(?P<targets>[^)]+))?\)$"
+)
+_UNIQUE_KEY_RE = re.compile(
+    r"^FOR \(\w+\s*:\s*(?P<label>[\w.:-]+)\) EXCLUSIVE MANDATORY SINGLETON \w+\.(?P<key>\w+)$"
+)
+
+
+def _split_record_parts(record: str) -> list[str]:
+    """Split a record body at commas not nested in braces or quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for ch in record:
+        if ch == '"':
+            in_string = not in_string
+        if not in_string:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+                continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_record(record: str | None, lineno: int) -> tuple[dict[str, PropertySpec], dict[str, str]]:
+    properties: dict[str, PropertySpec] = {}
+    annotations: dict[str, str] = {}
+    if not record:
+        return properties, annotations
+    for part in _split_record_parts(record):
+        annot = _ANNOT_RE.match(part)
+        if annot:
+            annotations[annot.group("key")] = annot.group("value")
+            continue
+        prop = _PROP_RE.match(part)
+        if prop:
+            array = "ARRAY" in part
+            amax_text = prop.group("amax")
+            properties[prop.group("key")] = PropertySpec(
+                key=prop.group("key"),
+                content_type=prop.group("type"),
+                optional=bool(prop.group("opt")),
+                array=array,
+                array_min=int(prop.group("amin") or 0) if array else 0,
+                array_max=(
+                    None
+                    if not array or amax_text in (None, "*")
+                    else int(amax_text)
+                ),
+            )
+            continue
+        raise ParseError(f"cannot parse record entry {part!r}", line=lineno)
+    return properties, annotations
+
+
+def parse_pgschema_ddl(text: str) -> PGSchema:
+    """Parse DDL text produced by :func:`render_pgschema`.
+
+    Raises:
+        ParseError: on any unrecognized statement.
+    """
+    schema = PGSchema()
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip().rstrip(";")
+        if not line or line.startswith("#") or line.startswith("//"):
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            properties, annotations = _parse_record(edge_match.group("record"), lineno)
+            sources = tuple(
+                part.strip().lstrip(":")
+                for part in edge_match.group("src").split("|")
+                if part.strip()
+            )
+            targets = tuple(
+                part.strip().lstrip(":")
+                for part in edge_match.group("dst").split("|")
+                if part.strip()
+            )
+            schema.add_edge_type(
+                EdgeType(
+                    name=edge_match.group("name"),
+                    label=edge_match.group("label"),
+                    source_types=sources,
+                    target_types=targets,
+                    properties=properties,
+                    annotations=annotations,
+                )
+            )
+            continue
+        card_match = _CARD_KEY_RE.match(line)
+        if card_match:
+            targets_text = card_match.group("targets") or ""
+            targets_text = targets_text.strip().strip("{}")
+            targets = tuple(
+                part.strip() for part in targets_text.split("|") if part.strip()
+            )
+            upper_text = card_match.group("upper")
+            schema.add_key(
+                CardinalityKey(
+                    source_label=card_match.group("source"),
+                    edge_label=card_match.group("label"),
+                    lower=int(card_match.group("lower")),
+                    upper=UNBOUNDED if not upper_text else float(upper_text),
+                    target_labels=targets,
+                )
+            )
+            continue
+        unique_match = _UNIQUE_KEY_RE.match(line)
+        if unique_match:
+            schema.add_key(
+                UniqueKey(
+                    label=unique_match.group("label"),
+                    property_key=unique_match.group("key"),
+                )
+            )
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            name = node_match.group("name")
+            body = node_match.group("body").strip()
+            flags = node_match.group("flags") or ""
+            parts = [part.strip() for part in body.split("&")]
+            if parts and parts[0] == name:
+                # Inheritance statement: (x: x & parent1 & parent2)
+                existing = schema.node_types.get(name)
+                if existing is None:
+                    raise ParseError(
+                        f"inheritance statement for unknown type {name!r}", line=lineno
+                    )
+                existing.parents = tuple(parts[1:])
+                continue
+            properties, annotations = _parse_record(node_match.group("record"), lineno)
+            labels = set(parts) if body != "ANY" else set()
+            schema.add_node_type(
+                NodeType(
+                    name=name,
+                    labels=labels,
+                    properties=properties,
+                    annotations=annotations,
+                    is_literal_type="LITERAL" in flags,
+                    abstract="ABSTRACT" in flags,
+                )
+            )
+            continue
+        raise ParseError(f"unrecognized PG-Schema statement: {line!r}", line=lineno)
+    return schema

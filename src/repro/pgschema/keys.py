@@ -1,0 +1,83 @@
+"""PG-Keys constraint expressions (``K_S`` in Definition 2.5).
+
+The paper uses PG-Keys of the shape::
+
+    FOR (p: Professor) COUNT 1..1 OF u WITHIN (p)-[:worksFor]->(u: Department)
+
+i.e. participation/cardinality constraints over typed patterns: every node
+matching the source pattern must have between ``lower`` and ``upper``
+distinct results of the ``WITHIN`` query.  We implement this qualifier
+(``COUNT n..m OF``) plus uniqueness keys (``EXCLUSIVE MANDATORY SINGLETON``
+abbreviated as UNIQUE), which is what the schema transformation emits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Upper bound meaning "unbounded" (rendered as an empty upper bound).
+UNBOUNDED = math.inf
+
+
+@dataclass(frozen=True)
+class CardinalityKey:
+    """``FOR (x: SourceLabel) COUNT lower..upper OF T WITHIN (x)-[:label]->(T: targets)``.
+
+    Attributes:
+        source_label: label of the constrained source nodes.
+        edge_label: relationship label of the counted edges.
+        lower: minimum number of distinct targets.
+        upper: maximum number (``UNBOUNDED`` for no limit).
+        target_labels: alternative target labels; empty means any target.
+    """
+
+    source_label: str
+    edge_label: str
+    lower: int
+    upper: float
+    target_labels: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Render in the paper's PG-Keys surface syntax."""
+        upper_text = "" if self.upper == UNBOUNDED else str(int(self.upper))
+        if len(self.target_labels) == 1:
+            target = f"(T: {self.target_labels[0]})"
+        elif self.target_labels:
+            target = "(T: {" + " | ".join(self.target_labels) + "})"
+        else:
+            target = "(T)"
+        source_var = self.source_label[:1].lower() or "x"
+        return (
+            f"FOR ({source_var}: {self.source_label}) "
+            f"COUNT {self.lower}..{upper_text} OF T "
+            f"WITHIN ({source_var})-[:{self.edge_label}]->{target}"
+        )
+
+    def bounds(self) -> tuple[int, float]:
+        """The ``(lower, upper)`` pair."""
+        return (self.lower, self.upper)
+
+
+@dataclass(frozen=True)
+class UniqueKey:
+    """A uniqueness constraint: ``property`` identifies nodes of ``label``.
+
+    S3PG emits one for the ``iri`` property of every converted node type —
+    this is what makes the transformation non-ambiguous and invertible.
+    """
+
+    label: str
+    property_key: str
+
+    def render(self) -> str:
+        """Render in the paper's PG-Keys surface syntax."""
+        var = self.label[:1].lower() or "x"
+        return (
+            f"FOR ({var}: {self.label}) EXCLUSIVE MANDATORY SINGLETON "
+            f"{var}.{self.property_key}"
+        )
+
+
+#: Any PG-Keys constraint.
+PGKey = CardinalityKey | UniqueKey

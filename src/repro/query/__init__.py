@@ -1,0 +1,14 @@
+"""Query substrate: SPARQL engine, Cypher engine, and the translator."""
+
+from .cypher import CypherEngine, parse_cypher
+from .sparql import SparqlEngine, parse_sparql
+from .translate import SparqlToCypherTranslator, translate_sparql_to_cypher
+
+__all__ = [
+    "CypherEngine",
+    "SparqlEngine",
+    "SparqlToCypherTranslator",
+    "parse_cypher",
+    "parse_sparql",
+    "translate_sparql_to_cypher",
+]

@@ -1,0 +1,227 @@
+"""Abstract syntax for the Cypher fragment used in the evaluation.
+
+Covers the query shapes of Section 5.2 (e.g. the Q22 variants)::
+
+    MATCH (n:sch_ShoppingCenter)-[:dbp_address]->(tn)
+    RETURN n.iri AS node_iri, COALESCE(tn.value, tn.iri) AS tn_iri_or_value
+
+    MATCH (node:sch_ShoppingCenter)
+    UNWIND node.sch_address AS v
+    RETURN node.uri AS node_uri, v
+    UNION ALL ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CypherLiteral:
+    """A constant value (string, number, boolean, or null)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A reference to a bound variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PropertyAccess:
+    """``var.key`` — a record lookup on a bound node/edge."""
+
+    var: str
+    key: str
+
+
+@dataclass(frozen=True)
+class Coalesce:
+    """``COALESCE(e1, e2, ...)`` — first non-null argument."""
+
+    args: tuple["CypherExpr", ...]
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``count(*)`` aggregate."""
+
+
+@dataclass(frozen=True)
+class CypherComparison:
+    """``lhs op rhs`` with op in =, <>, <, <=, >, >=."""
+
+    op: str
+    lhs: "CypherExpr"
+    rhs: "CypherExpr"
+
+
+@dataclass(frozen=True)
+class CypherBoolean:
+    """AND / OR combination."""
+
+    op: str  # "and" | "or"
+    operands: tuple["CypherExpr", ...]
+
+
+@dataclass(frozen=True)
+class CypherNot:
+    """Logical NOT."""
+
+    operand: "CypherExpr"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    operand: "CypherExpr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class HasLabel:
+    """``var:Label`` used as a predicate in WHERE."""
+
+    var: str
+    label: str
+
+
+#: Any Cypher expression node.
+CypherExpr = (
+    CypherLiteral | VarRef | PropertyAccess | Coalesce | CountStar
+    | CypherComparison | CypherBoolean | CypherNot | IsNull | HasLabel
+)
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(var:Label1:Label2 {key: value, ...})``."""
+
+    var: str | None
+    labels: tuple[str, ...] = ()
+    properties: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    """``-[var:TYPE1|TYPE2]->`` / ``<-[...]-`` / ``-[...]-``."""
+
+    var: str | None
+    types: tuple[str, ...] = ()
+    direction: str = "out"  # "out" | "in" | "any"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A linear path: node, then (rel, node) hops."""
+
+    start: NodePattern
+    hops: tuple[tuple[RelPattern, NodePattern], ...] = ()
+
+    def node_patterns(self) -> list[NodePattern]:
+        """All node patterns along the path."""
+        return [self.start, *(node for _, node in self.hops)]
+
+
+@dataclass
+class MatchClause:
+    """``[OPTIONAL] MATCH path [, path ...] [WHERE expr]``."""
+
+    paths: list[PathPattern]
+    where: CypherExpr | None = None
+    optional: bool = False
+
+    def pattern_variables(self) -> list[str]:
+        """All variables introduced by the clause's patterns."""
+        names: list[str] = []
+        for path in self.paths:
+            for node in path.node_patterns():
+                if node.var is not None and node.var not in names:
+                    names.append(node.var)
+            for rel, _ in path.hops:
+                if rel.var is not None and rel.var not in names:
+                    names.append(rel.var)
+        return names
+
+
+@dataclass
+class UnwindClause:
+    """``UNWIND expr AS var``."""
+
+    expr: CypherExpr
+    var: str
+
+
+@dataclass
+class WithClause:
+    """``WITH * [WHERE expr]`` — pass-through projection with filtering."""
+
+    where: CypherExpr | None = None
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One projected expression with an optional alias."""
+
+    expr: CypherExpr
+    alias: str | None = None
+
+    def column_name(self) -> str:
+        """The output column name (alias, or a rendering of the expr)."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, VarRef):
+            return self.expr.name
+        if isinstance(self.expr, PropertyAccess):
+            return f"{self.expr.var}.{self.expr.key}"
+        if isinstance(self.expr, CountStar):
+            return "count(*)"
+        return "expr"
+
+
+@dataclass(frozen=True)
+class CypherOrderKey:
+    """One ORDER BY key of a RETURN clause."""
+
+    expr: "CypherExpr"
+    descending: bool = False
+
+
+@dataclass
+class ReturnClause:
+    """``RETURN [DISTINCT] items [ORDER BY keys] [LIMIT n]``."""
+
+    items: list[ReturnItem]
+    distinct: bool = False
+    order_by: list[CypherOrderKey] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass
+class SingleQuery:
+    """One MATCH/UNWIND/RETURN pipeline."""
+
+    clauses: list = field(default_factory=list)  # Match/Unwind, Return last
+
+    @property
+    def return_clause(self) -> ReturnClause:
+        """The trailing RETURN clause."""
+        clause = self.clauses[-1]
+        if not isinstance(clause, ReturnClause):
+            raise ValueError("query must end with RETURN")
+        return clause
+
+
+@dataclass
+class CypherQuery:
+    """One or more single queries combined with UNION ALL."""
+
+    parts: list[SingleQuery]
+
+    def columns(self) -> list[str]:
+        """Output column names (taken from the first part)."""
+        return [item.column_name() for item in self.parts[0].return_clause.items]

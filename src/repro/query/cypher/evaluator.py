@@ -1,0 +1,411 @@
+"""Evaluation of the Cypher fragment over :class:`PropertyGraphStore`.
+
+MATCH paths are evaluated left-to-right, seeding from the label index when
+the start pattern carries a label; UNWIND expands array properties;
+RETURN projects (with DISTINCT, LIMIT, and ``count(*)`` with implicit
+grouping, as in openCypher).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...errors import QueryError
+from ...pg.model import PGEdge, PGNode
+from ...pg.store import PropertyGraphStore
+from .ast import (
+    Coalesce,
+    CountStar,
+    CypherBoolean,
+    CypherComparison,
+    CypherExpr,
+    CypherLiteral,
+    CypherNot,
+    CypherQuery,
+    HasLabel,
+    IsNull,
+    MatchClause,
+    NodePattern,
+    PathPattern,
+    PropertyAccess,
+    RelPattern,
+    ReturnClause,
+    SingleQuery,
+    UnwindClause,
+    VarRef,
+    WithClause,
+)
+
+#: A row of variable bindings.
+Binding = dict[str, object]
+
+
+def _node_matches(node: PGNode, pattern: NodePattern) -> bool:
+    for label in pattern.labels:
+        if label not in node.labels:
+            return False
+    for key, value in pattern.properties:
+        if node.properties.get(key) != value:
+            return False
+    return True
+
+
+def _sort_key(value: object) -> tuple:
+    """A total order over heterogeneous values (nulls first, as Cypher
+    sorts them with ORDER BY ... ASC in this engine)."""
+    if value is None:
+        return (0, "", "")
+    if isinstance(value, bool):
+        return (1, "bool", str(value))
+    if isinstance(value, (int, float)):
+        return (1, "num", float(value))
+    if isinstance(value, str):
+        return (1, "str", value)
+    if isinstance(value, PGNode):
+        return (1, "node", value.id)
+    if isinstance(value, PGEdge):
+        return (1, "edge", value.id)
+    return (1, "other", repr(value))
+
+
+def _value_key(value: object) -> object:
+    """A hashable identity for DISTINCT / grouping."""
+    if isinstance(value, PGNode):
+        return ("node", value.id)
+    if isinstance(value, PGEdge):
+        return ("edge", value.id)
+    if isinstance(value, list):
+        return ("list", tuple(_value_key(v) for v in value))
+    return (type(value).__name__, value)
+
+
+class CypherEngine:
+    """Evaluates parsed Cypher queries against an indexed PG store.
+
+    Example:
+        >>> engine = CypherEngine(store)
+        >>> rows = engine.query("MATCH (n:Person) RETURN n.iri")
+    """
+
+    def __init__(self, store: PropertyGraphStore):
+        self.store = store
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def query(self, text: str) -> list[dict[str, object]]:
+        """Parse and evaluate; returns a list of column-name -> value rows."""
+        from .parser import parse_cypher
+
+        return self.evaluate(parse_cypher(text))
+
+    def count(self, text: str) -> int:
+        """Number of result rows of a query."""
+        return len(self.query(text))
+
+    def evaluate(self, query: CypherQuery) -> list[dict[str, object]]:
+        """Evaluate a parsed query (UNION ALL concatenates parts)."""
+        rows: list[dict[str, object]] = []
+        columns: list[str] | None = None
+        for part in query.parts:
+            part_columns = [item.column_name() for item in part.return_clause.items]
+            if columns is None:
+                columns = part_columns
+            elif len(columns) != len(part_columns):
+                raise QueryError("UNION ALL parts must have the same arity")
+            for row in self._evaluate_single(part):
+                rows.append(dict(zip(columns, row)))
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Pipeline
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_single(self, query: SingleQuery) -> list[tuple]:
+        bindings: list[Binding] = [{}]
+        for clause in query.clauses:
+            if isinstance(clause, MatchClause):
+                bindings = self._apply_match(bindings, clause)
+            elif isinstance(clause, UnwindClause):
+                bindings = self._apply_unwind(bindings, clause)
+            elif isinstance(clause, WithClause):
+                if clause.where is not None:
+                    bindings = [
+                        b for b in bindings
+                        if self._truthy(self._eval(clause.where, b))
+                    ]
+            elif isinstance(clause, ReturnClause):
+                return self._apply_return(bindings, clause)
+            else:  # pragma: no cover - parser only emits these
+                raise QueryError(f"unsupported clause {clause!r}")
+        raise QueryError("query did not end with RETURN")
+
+    def _apply_match(self, bindings: list[Binding], clause: MatchClause) -> list[Binding]:
+        if not clause.optional:
+            result = bindings
+            for path in clause.paths:
+                extended: list[Binding] = []
+                for binding in result:
+                    extended.extend(self._match_path(binding, path))
+                result = extended
+            if clause.where is not None:
+                result = [
+                    b for b in result if self._truthy(self._eval(clause.where, b))
+                ]
+            return result
+        # OPTIONAL MATCH: per input row, keep the row (with the clause's
+        # variables bound to null) when the pattern finds no match.
+        pattern_vars = clause.pattern_variables()
+        result = []
+        for binding in bindings:
+            extended = [binding]
+            for path in clause.paths:
+                next_round: list[Binding] = []
+                for current in extended:
+                    next_round.extend(self._match_path(current, path))
+                extended = next_round
+            if clause.where is not None:
+                extended = [
+                    b for b in extended
+                    if self._truthy(self._eval(clause.where, b))
+                ]
+            if extended:
+                result.extend(extended)
+            else:
+                nulled = dict(binding)
+                for name in pattern_vars:
+                    nulled.setdefault(name, None)
+                result.append(nulled)
+        return result
+
+    def _match_path(self, binding: Binding, path: PathPattern) -> Iterator[Binding]:
+        for start_node, start_binding in self._candidate_starts(binding, path.start):
+            yield from self._extend_hops(start_binding, start_node, path.hops, 0)
+
+    def _candidate_starts(
+        self, binding: Binding, pattern: NodePattern
+    ) -> Iterator[tuple[PGNode, Binding]]:
+        if pattern.var is not None and pattern.var in binding:
+            bound = binding[pattern.var]
+            if isinstance(bound, PGNode) and _node_matches(bound, pattern):
+                yield bound, binding
+            return
+        if pattern.labels:
+            candidates: Iterator[PGNode] = self.store.nodes_with_label(pattern.labels[0])
+        else:
+            candidates = iter(self.store.graph.nodes.values())
+        for node in candidates:
+            if _node_matches(node, pattern):
+                if pattern.var is not None:
+                    extended = dict(binding)
+                    extended[pattern.var] = node
+                    yield node, extended
+                else:
+                    yield node, binding
+
+    def _extend_hops(
+        self,
+        binding: Binding,
+        current: PGNode,
+        hops: tuple[tuple[RelPattern, NodePattern], ...],
+        index: int,
+    ) -> Iterator[Binding]:
+        if index == len(hops):
+            yield binding
+            return
+        rel_pattern, node_pattern = hops[index]
+        for edge, neighbour in self._neighbours(current, rel_pattern):
+            if not _node_matches(neighbour, node_pattern):
+                continue
+            extended = binding
+            if rel_pattern.var is not None:
+                bound = binding.get(rel_pattern.var)
+                if bound is not None and bound is not edge:
+                    continue
+                extended = dict(extended)
+                extended[rel_pattern.var] = edge
+            if node_pattern.var is not None:
+                bound = extended.get(node_pattern.var)
+                if bound is not None:
+                    if not (isinstance(bound, PGNode) and bound.id == neighbour.id):
+                        continue
+                else:
+                    if extended is binding:
+                        extended = dict(extended)
+                    extended[node_pattern.var] = neighbour
+            yield from self._extend_hops(extended, neighbour, hops, index + 1)
+
+    def _neighbours(
+        self, node: PGNode, rel: RelPattern
+    ) -> Iterator[tuple[PGEdge, PGNode]]:
+        directions = []
+        if rel.direction in ("out", "any"):
+            directions.append("out")
+        if rel.direction in ("in", "any"):
+            directions.append("in")
+        types = rel.types or (None,)
+        for direction in directions:
+            for rel_type in types:
+                edges = (
+                    self.store.out_edges(node.id, rel_type)
+                    if direction == "out"
+                    else self.store.in_edges(node.id, rel_type)
+                )
+                for edge in edges:
+                    other_id = edge.dst if direction == "out" else edge.src
+                    yield edge, self.store.graph.nodes[other_id]
+
+    def _apply_unwind(self, bindings: list[Binding], clause: UnwindClause) -> list[Binding]:
+        result: list[Binding] = []
+        for binding in bindings:
+            value = self._eval(clause.expr, binding)
+            if value is None:
+                continue
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                extended = dict(binding)
+                extended[clause.var] = item
+                result.append(extended)
+        return result
+
+    def _apply_return(self, bindings: list[Binding], clause: ReturnClause) -> list[tuple]:
+        has_count = any(isinstance(item.expr, CountStar) for item in clause.items)
+        if has_count:
+            rows = self._aggregate_count(bindings, clause)
+        else:
+            rows = [
+                tuple(self._eval(item.expr, binding) for item in clause.items)
+                for binding in bindings
+            ]
+        if clause.order_by:
+            for key in reversed(clause.order_by):
+                # An ORDER BY referencing a returned alias sorts by that
+                # column; otherwise the expression is evaluated per row
+                # (only possible while rows and bindings are aligned).
+                column_index = next(
+                    (
+                        index
+                        for index, item in enumerate(clause.items)
+                        if isinstance(key.expr, VarRef)
+                        and item.column_name() == key.expr.name
+                    ),
+                    None,
+                )
+                if column_index is not None:
+                    rows.sort(
+                        key=lambda row, i=column_index: _sort_key(row[i]),
+                        reverse=key.descending,
+                    )
+                elif not has_count and len(rows) == len(bindings):
+                    decorated = [
+                        (_sort_key(self._eval(key.expr, binding)), row)
+                        for row, binding in zip(rows, bindings)
+                    ]
+                    decorated.sort(key=lambda d: d[0], reverse=key.descending)
+                    rows = [row for _, row in decorated]
+                else:
+                    raise QueryError(
+                        "ORDER BY with aggregation must reference a returned alias"
+                    )
+        if clause.distinct:
+            seen: set[tuple] = set()
+            unique: list[tuple] = []
+            for row in rows:
+                key = tuple(_value_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        if clause.limit is not None:
+            rows = rows[: clause.limit]
+        return rows
+
+    def _aggregate_count(self, bindings: list[Binding], clause: ReturnClause) -> list[tuple]:
+        """``count(*)`` with implicit grouping by the other return items."""
+        group_indexes = [
+            i for i, item in enumerate(clause.items)
+            if not isinstance(item.expr, CountStar)
+        ]
+        groups: dict[tuple, list] = {}
+        group_values: dict[tuple, tuple] = {}
+        for binding in bindings:
+            values = tuple(
+                self._eval(clause.items[i].expr, binding) for i in group_indexes
+            )
+            key = tuple(_value_key(v) for v in values)
+            groups.setdefault(key, []).append(binding)
+            group_values[key] = values
+        if not group_indexes and not groups:
+            return [tuple(0 for _ in clause.items)]
+        rows: list[tuple] = []
+        for key, members in groups.items():
+            values = iter(group_values[key])
+            row = tuple(
+                len(members) if isinstance(item.expr, CountStar) else next(values)
+                for item in clause.items
+            )
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def _eval(self, expr: CypherExpr, binding: Binding) -> object:
+        if isinstance(expr, CypherLiteral):
+            return expr.value
+        if isinstance(expr, VarRef):
+            if expr.name not in binding:
+                raise QueryError(f"unbound variable {expr.name!r}")
+            return binding[expr.name]
+        if isinstance(expr, PropertyAccess):
+            element = binding.get(expr.var)
+            if isinstance(element, (PGNode, PGEdge)):
+                return element.properties.get(expr.key)
+            return None
+        if isinstance(expr, Coalesce):
+            for arg in expr.args:
+                value = self._eval(arg, binding)
+                if value is not None:
+                    return value
+            return None
+        if isinstance(expr, CypherComparison):
+            lhs = self._eval(expr.lhs, binding)
+            rhs = self._eval(expr.rhs, binding)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                if expr.op == "=":
+                    return lhs == rhs
+                if expr.op == "<>":
+                    return lhs != rhs
+                if expr.op == "<":
+                    return lhs < rhs
+                if expr.op == "<=":
+                    return lhs <= rhs
+                if expr.op == ">":
+                    return lhs > rhs
+                if expr.op == ">=":
+                    return lhs >= rhs
+            except TypeError:
+                return None
+            raise QueryError(f"unknown operator {expr.op}")
+        if isinstance(expr, CypherBoolean):
+            values = [self._truthy(self._eval(op, binding)) for op in expr.operands]
+            return all(values) if expr.op == "and" else any(values)
+        if isinstance(expr, CypherNot):
+            return not self._truthy(self._eval(expr.operand, binding))
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.operand, binding)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, HasLabel):
+            element = binding.get(expr.var)
+            return isinstance(element, PGNode) and expr.label in element.labels
+        if isinstance(expr, CountStar):
+            raise QueryError("count(*) is only allowed in RETURN")
+        raise QueryError(f"cannot evaluate {expr!r}")
+
+    @staticmethod
+    def _truthy(value: object) -> bool:
+        return bool(value) and value is not None

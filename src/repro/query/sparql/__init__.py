@@ -1,0 +1,37 @@
+"""SPARQL subset: parser and evaluator over the RDF substrate."""
+
+from .ast import (
+    BooleanOp,
+    Comparison,
+    Expression,
+    IsIriFn,
+    IsLiteralFn,
+    NotOp,
+    OrderKey,
+    RegexFn,
+    SelectQuery,
+    StrFn,
+    TriplePattern,
+    Var,
+)
+from .evaluator import SparqlEngine, evaluate
+from .parser import SparqlParser, parse_sparql
+
+__all__ = [
+    "BooleanOp",
+    "Comparison",
+    "Expression",
+    "IsIriFn",
+    "IsLiteralFn",
+    "NotOp",
+    "OrderKey",
+    "RegexFn",
+    "SelectQuery",
+    "SparqlEngine",
+    "SparqlParser",
+    "StrFn",
+    "TriplePattern",
+    "Var",
+    "evaluate",
+    "parse_sparql",
+]

@@ -1,0 +1,157 @@
+"""Abstract syntax for the SPARQL fragment used in the evaluation.
+
+The fragment covers the paper's workload queries (Section 5.2): SELECT
+(optionally DISTINCT) over a basic graph pattern with FILTER expressions
+and LIMIT, e.g.::
+
+    SELECT ?e ?p WHERE { ?e a schema:ShoppingCenter ; dbp:address ?p . }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...rdf.terms import IRI, BlankNode, Literal
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable, e.g. ``?e``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A pattern term: a variable or a concrete RDF term.
+PatternTerm = Var | IRI | BlankNode | Literal
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One ``s p o`` pattern inside a basic graph pattern."""
+
+    s: PatternTerm
+    p: PatternTerm
+    o: PatternTerm
+
+    def variables(self) -> set[str]:
+        """Names of the variables occurring in this pattern."""
+        return {t.name for t in (self.s, self.p, self.o) if isinstance(t, Var)}
+
+    def __str__(self) -> str:
+        def term(t: PatternTerm) -> str:
+            return str(t) if isinstance(t, Var) else t.n3()
+
+        return f"{term(self.s)} {term(self.p)} {term(self.o)} ."
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A FILTER comparison ``lhs op rhs`` (op in =, !=, <, <=, >, >=)."""
+
+    op: str
+    lhs: "Expression"
+    rhs: "Expression"
+
+
+@dataclass(frozen=True)
+class BooleanOp:
+    """``&&`` / ``||`` combination of filter expressions."""
+
+    op: str  # "and" | "or"
+    operands: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Logical negation ``!expr``."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsLiteralFn:
+    """``isLiteral(?v)`` builtin."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsIriFn:
+    """``isIRI(?v)`` builtin."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class StrFn:
+    """``STR(?v)`` builtin: the lexical/IRI string of a term."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class RegexFn:
+    """``REGEX(?v, "pattern")`` builtin (case-sensitive)."""
+
+    operand: "Expression"
+    pattern: str
+
+
+#: Filter expression nodes.
+Expression = (
+    Var | IRI | Literal | Comparison | BooleanOp | NotOp
+    | IsLiteralFn | IsIriFn | StrFn | RegexFn
+)
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ORDER BY sort key."""
+
+    var: Var
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query.
+
+    Attributes:
+        variables: projected variables; empty means ``SELECT *``.
+        patterns: the basic graph pattern.
+        optionals: OPTIONAL groups (each a list of patterns, left-joined).
+        unions: alternatives of one ``{ A } UNION { B }`` group (each a
+            list of patterns); empty when the query has no UNION.
+        filters: FILTER expressions (conjunctive).
+        distinct: SELECT DISTINCT.
+        order_by: ORDER BY keys (applied before LIMIT).
+        limit: LIMIT value, or None.
+        count: when set, the query is ``SELECT (COUNT(*) AS ?name)``.
+        ask: True for ``ASK { ... }`` queries (boolean result).
+    """
+
+    variables: list[Var] = field(default_factory=list)
+    patterns: list[TriplePattern] = field(default_factory=list)
+    optionals: list[list[TriplePattern]] = field(default_factory=list)
+    unions: list[list[TriplePattern]] = field(default_factory=list)
+    filters: list[Expression] = field(default_factory=list)
+    distinct: bool = False
+    order_by: list[OrderKey] = field(default_factory=list)
+    limit: int | None = None
+    count: str | None = None
+    ask: bool = False
+
+    def all_variables(self) -> list[str]:
+        """All variable names bound by the BGP (including optional
+        groups), in first-use order."""
+        seen: list[str] = []
+        groups = [self.patterns, *self.optionals]
+        for group in groups:
+            for pattern in group:
+                for term in (pattern.s, pattern.p, pattern.o):
+                    if isinstance(term, Var) and term.name not in seen:
+                        seen.append(term.name)
+        return seen

@@ -1,0 +1,306 @@
+"""Evaluation of the SPARQL fragment over the indexed RDF store.
+
+Basic graph patterns are evaluated by iterative binding extension with a
+greedy join order: at each step the pattern with the most bound positions
+(under the current bindings) is evaluated next, which keeps the common
+``?e a :C ; :p ?v`` workload queries index-driven.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+from ...errors import QueryError
+from ...rdf.graph import Graph
+from ...rdf.terms import IRI, BlankNode, Literal, Term
+from .ast import (
+    BooleanOp,
+    Comparison,
+    Expression,
+    IsIriFn,
+    IsLiteralFn,
+    NotOp,
+    RegexFn,
+    SelectQuery,
+    StrFn,
+    TriplePattern,
+    Var,
+)
+
+#: A solution mapping: variable name -> bound term.
+Binding = dict[str, Term]
+
+
+def _resolve(term, binding: Binding):
+    """Bound value of a pattern term under ``binding`` (None if unbound)."""
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    return term
+
+
+def _pattern_selectivity(pattern: TriplePattern, binding: Binding) -> int:
+    """Number of positions that are concrete under the current bindings."""
+    return sum(
+        1
+        for term in (pattern.s, pattern.p, pattern.o)
+        if _resolve(term, binding) is not None
+    )
+
+
+def _match_pattern(
+    graph: Graph, pattern: TriplePattern, binding: Binding
+) -> Iterator[Binding]:
+    s = _resolve(pattern.s, binding)
+    p = _resolve(pattern.p, binding)
+    o = _resolve(pattern.o, binding)
+    if p is not None and not isinstance(p, IRI):
+        return  # a bound predicate that is not an IRI can never match
+    if s is not None and isinstance(s, Literal):
+        return
+    for triple in graph.triples(
+        s if isinstance(s, (IRI, BlankNode)) else None,
+        p,
+        o,
+    ):
+        extended = dict(binding)
+        ok = True
+        for term, value in ((pattern.s, triple.s), (pattern.p, triple.p), (pattern.o, triple.o)):
+            if isinstance(term, Var):
+                bound = extended.get(term.name)
+                if bound is None:
+                    extended[term.name] = value
+                elif bound != value:
+                    ok = False
+                    break
+        if ok:
+            yield extended
+
+
+def _evaluate_optional_group(
+    graph: Graph, group: list[TriplePattern], binding: Binding
+) -> Iterator[Binding]:
+    """All extensions of ``binding`` that satisfy the optional group."""
+
+    def extend(current: Binding, remaining: list[TriplePattern]) -> Iterator[Binding]:
+        if not remaining:
+            yield current
+            return
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: _pattern_selectivity(remaining[i], current),
+        )
+        pattern = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1:]
+        for extended in _match_pattern(graph, pattern, current):
+            yield from extend(extended, rest)
+
+    yield from extend(binding, list(group))
+
+
+def _evaluate_bgp(graph: Graph, patterns: list[TriplePattern]) -> Iterator[Binding]:
+    if not patterns:
+        yield {}
+        return
+
+    def extend(binding: Binding, remaining: list[TriplePattern]) -> Iterator[Binding]:
+        if not remaining:
+            yield binding
+            return
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: _pattern_selectivity(remaining[i], binding),
+        )
+        pattern = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1:]
+        for extended in _match_pattern(graph, pattern, binding):
+            yield from extend(extended, rest)
+
+    yield from extend({}, list(patterns))
+
+
+# --------------------------------------------------------------------- #
+# FILTER evaluation
+# --------------------------------------------------------------------- #
+
+def _effective_value(term: object) -> object:
+    """The comparison value of a term: literals compare by typed value,
+    IRIs/blank nodes by their string form."""
+    if isinstance(term, Literal):
+        return term.to_python()
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, BlankNode):
+        return str(term)
+    return term
+
+
+def _evaluate_expression(expression: Expression, binding: Binding) -> object:
+    if isinstance(expression, Var):
+        value = binding.get(expression.name)
+        if value is None:
+            raise QueryError(f"unbound variable ?{expression.name} in FILTER")
+        return value
+    if isinstance(expression, (IRI, Literal)):
+        return expression
+    if isinstance(expression, Comparison):
+        lhs = _effective_value(_evaluate_expression(expression.lhs, binding))
+        rhs = _effective_value(_evaluate_expression(expression.rhs, binding))
+        try:
+            if expression.op == "=":
+                return lhs == rhs
+            if expression.op == "!=":
+                return lhs != rhs
+            if expression.op == "<":
+                return lhs < rhs
+            if expression.op == "<=":
+                return lhs <= rhs
+            if expression.op == ">":
+                return lhs > rhs
+            if expression.op == ">=":
+                return lhs >= rhs
+        except TypeError:
+            return False
+        raise QueryError(f"unknown comparison {expression.op}")
+    if isinstance(expression, BooleanOp):
+        values = (_as_bool(_evaluate_expression(op, binding)) for op in expression.operands)
+        return all(values) if expression.op == "and" else any(values)
+    if isinstance(expression, NotOp):
+        return not _as_bool(_evaluate_expression(expression.operand, binding))
+    if isinstance(expression, IsLiteralFn):
+        return isinstance(_evaluate_expression(expression.operand, binding), Literal)
+    if isinstance(expression, IsIriFn):
+        return isinstance(_evaluate_expression(expression.operand, binding), IRI)
+    if isinstance(expression, StrFn):
+        value = _evaluate_expression(expression.operand, binding)
+        if isinstance(value, Literal):
+            return Literal(value.lexical)
+        if isinstance(value, IRI):
+            return Literal(value.value)
+        return Literal(str(value))
+    if isinstance(expression, RegexFn):
+        value = _evaluate_expression(expression.operand, binding)
+        text = value.lexical if isinstance(value, Literal) else str(value)
+        return re.search(expression.pattern, text) is not None
+    raise QueryError(f"cannot evaluate expression {expression!r}")
+
+
+def _as_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        return bool(value.to_python())
+    return bool(value)
+
+
+# --------------------------------------------------------------------- #
+# Query execution
+# --------------------------------------------------------------------- #
+
+def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
+    """Evaluate ``query`` over ``graph``; returns solution mappings.
+
+    For ``SELECT (COUNT(*) AS ?n)`` a single row with an integer literal
+    is returned under the chosen variable name.
+    """
+    solutions: list[Binding] = []
+    for binding in _evaluate_bgp(graph, query.patterns):
+        extended = [binding]
+        if query.unions:
+            # UNION: bag-union of the alternatives' extensions.
+            unioned: list[Binding] = []
+            for alternative in query.unions:
+                for current in extended:
+                    unioned.extend(
+                        _evaluate_optional_group(graph, alternative, current)
+                    )
+            extended = unioned
+        # OPTIONAL groups: left outer join — keep the original binding
+        # whenever the group does not match.
+        for group in query.optionals:
+            next_round: list[Binding] = []
+            for current in extended:
+                matches = list(
+                    _evaluate_optional_group(graph, group, current)
+                )
+                next_round.extend(matches if matches else [current])
+            extended = next_round
+        for candidate in extended:
+            try:
+                ok = all(
+                    _as_bool(_evaluate_expression(f, candidate))
+                    for f in query.filters
+                )
+            except QueryError:
+                ok = False  # unbound optional variable in FILTER -> error -> false
+            if ok:
+                solutions.append(candidate)
+
+    if query.ask:
+        from ...namespaces import XSD
+
+        return [{
+            "ask": Literal("true" if solutions else "false", XSD.boolean)
+        }]
+    if query.count is not None:
+        from ...namespaces import XSD
+
+        return [{query.count: Literal(str(len(solutions)), XSD.integer)}]
+
+    projected = [v.name for v in query.variables] or query.all_variables()
+    rows = [
+        {name: binding[name] for name in projected if name in binding}
+        for binding in solutions
+    ]
+    if query.distinct:
+        seen: set[tuple] = set()
+        unique_rows = []
+        for row in rows:
+            key = tuple(sorted((k, v.n3()) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique_rows.append(row)
+        rows = unique_rows
+    for key in reversed(query.order_by):
+        def sort_key(row, name=key.var.name):
+            value = row.get(name)
+            if value is None:
+                return (0, "")  # unbound sorts first, as in SPARQL
+            effective = _effective_value(value)
+            if isinstance(effective, bool):
+                return (1, ("bool", str(effective)))
+            if isinstance(effective, (int, float)):
+                return (1, ("num", float(effective)))
+            return (1, (type(effective).__name__, effective))
+
+        rows.sort(key=sort_key, reverse=key.descending)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+class SparqlEngine:
+    """A tiny SPARQL endpoint over a :class:`Graph`.
+
+    Example:
+        >>> engine = SparqlEngine(graph)
+        >>> rows = engine.query('SELECT ?s WHERE { ?s a <http://x/C> . }')
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def query(self, text: str) -> list[dict[str, Term]]:
+        """Parse and evaluate a SELECT query."""
+        from .parser import parse_sparql
+
+        return evaluate(self.graph, parse_sparql(text))
+
+    def count(self, text: str) -> int:
+        """Number of solutions of a SELECT query."""
+        return len(self.query(text))
+
+    def ask(self, text: str) -> bool:
+        """Evaluate an ASK query to a boolean."""
+        rows = self.query(text)
+        return bool(rows and rows[0].get("ask", Literal("false")).to_python())

@@ -1,0 +1,400 @@
+"""Parser for the SPARQL SELECT fragment (see :mod:`.ast`).
+
+Grammar (informal)::
+
+    query    := prologue SELECT [DISTINCT] (vars | * | (COUNT(*) AS ?v))
+                WHERE { block } [LIMIT n]
+    prologue := (PREFIX name: <iri>)*
+    block    := (triples | FILTER(expr))*
+    triples  := subject pov (';' pov)* '.'
+    pov      := predicate object (',' object)*
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...errors import QueryError
+from ...namespaces import RDF_TYPE, XSD
+from ...rdf.namespace import PrefixMap
+from ...rdf.terms import IRI, Literal
+from .ast import (
+    BooleanOp,
+    Comparison,
+    Expression,
+    IsIriFn,
+    IsLiteralFn,
+    NotOp,
+    OrderKey,
+    RegexFn,
+    SelectQuery,
+    StrFn,
+    TriplePattern,
+    Var,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<double>[-+]?(?:\d+\.\d*|\.\d+|\d+)[eE][-+]?\d+)
+  | (?P<decimal>[-+]?\d*\.\d+)
+  | (?P<integer>[-+]?\d+)
+  | (?P<dtype>\^\^)
+  | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<op><=|>=|!=|=|<|>|&&|\|\||!)
+  | (?P<word>[A-Za-z_][\w]*(?::[\w.%-]*)?|:[\w.%-]*)
+  | (?P<punct>[{}().;,*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "where", "filter", "limit", "prefix", "a",
+    "count", "as", "regex", "isliteral", "isiri", "str",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(f"unexpected character {text[pos]!r} in SPARQL query")
+        kind = match.lastgroup or "word"
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, match.group()))
+        pos = match.end()
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+class SparqlParser:
+    """Recursive-descent parser for the supported SELECT fragment."""
+
+    def __init__(self, prefixes: PrefixMap | None = None):
+        self.prefixes = prefixes or PrefixMap.with_defaults()
+        self._tokens: list[_Token] = []
+        self._index = 0
+
+    def parse(self, text: str) -> SelectQuery:
+        """Parse ``text``; raises :class:`QueryError` on invalid input."""
+        self._tokens = _tokenize(text)
+        self._index = 0
+        query = SelectQuery()
+        self._parse_prologue()
+        if self._at_word("ask"):
+            self._next()
+            query.ask = True
+            if self._at_word("where"):
+                self._next()
+        else:
+            self._expect_word("select")
+            if self._at_word("distinct"):
+                self._next()
+                query.distinct = True
+            self._parse_projection(query)
+            self._expect_word("where")
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            if self._at_word("filter"):
+                self._next()
+                self._expect_punct("(")
+                query.filters.append(self._parse_expression())
+                self._expect_punct(")")
+                if self._at_punct("."):
+                    self._next()
+                continue
+            if self._at_punct("{"):
+                # { A } UNION { B } [ UNION { C } ... ]
+                if query.unions:
+                    raise QueryError("only one UNION group is supported")
+                alternatives = [self._parse_group_patterns()]
+                while self._at_word("union"):
+                    self._next()
+                    alternatives.append(self._parse_group_patterns())
+                if len(alternatives) < 2:
+                    raise QueryError("a braced group must be part of a UNION")
+                query.unions = alternatives
+                if self._at_punct("."):
+                    self._next()
+                continue
+            if self._at_word("optional"):
+                self._next()
+                self._expect_punct("{")
+                group = SelectQuery()
+                while not self._at_punct("}"):
+                    self._parse_triples_block(group)
+                self._expect_punct("}")
+                query.optionals.append(group.patterns)
+                if self._at_punct("."):
+                    self._next()
+                continue
+            self._parse_triples_block(query)
+        self._expect_punct("}")
+        if self._at_word("order"):
+            self._next()
+            self._expect_word("by")
+            while True:
+                token = self._peek()
+                if token.kind == "var":
+                    self._next()
+                    query.order_by.append(OrderKey(Var(token.text[1:])))
+                elif token.kind == "word" and token.text.lower() in ("asc", "desc"):
+                    descending = token.text.lower() == "desc"
+                    self._next()
+                    self._expect_punct("(")
+                    var_token = self._next()
+                    if var_token.kind != "var":
+                        raise QueryError("ORDER BY ASC/DESC requires a variable")
+                    self._expect_punct(")")
+                    query.order_by.append(
+                        OrderKey(Var(var_token.text[1:]), descending=descending)
+                    )
+                else:
+                    break
+            if not query.order_by:
+                raise QueryError("ORDER BY requires at least one key")
+        if self._at_word("limit"):
+            self._next()
+            token = self._next()
+            if token.kind != "integer":
+                raise QueryError("LIMIT requires an integer")
+            query.limit = int(token.text)
+        if not self._at("eof"):
+            raise QueryError(f"trailing content: {self._peek().text!r}")
+        return query
+
+    # ------------------------------------------------------------------ #
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _at(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _at_word(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "word" and token.text.lower() == word
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.text == text
+
+    def _expect_word(self, word: str) -> None:
+        if not self._at_word(word):
+            raise QueryError(f"expected {word.upper()}, found {self._peek().text!r}")
+        self._next()
+
+    def _expect_punct(self, text: str) -> None:
+        if not self._at_punct(text):
+            raise QueryError(f"expected {text!r}, found {self._peek().text!r}")
+        self._next()
+
+    def _parse_group_patterns(self) -> list[TriplePattern]:
+        """Parse ``{ triples... }`` into a pattern list."""
+        self._expect_punct("{")
+        group = SelectQuery()
+        while not self._at_punct("}"):
+            self._parse_triples_block(group)
+        self._expect_punct("}")
+        return group.patterns
+
+    # ------------------------------------------------------------------ #
+
+    def _parse_prologue(self) -> None:
+        while self._at_word("prefix"):
+            self._next()
+            name_token = self._next()
+            if name_token.kind != "word" or not name_token.text.endswith(":"):
+                raise QueryError("PREFIX requires 'name:'")
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise QueryError("PREFIX requires an <iri>")
+            self.prefixes.bind(name_token.text[:-1], iri_token.text[1:-1])
+
+    def _parse_projection(self, query: SelectQuery) -> None:
+        if self._at_punct("*"):
+            self._next()
+            return
+        if self._at_punct("("):
+            # (COUNT(*) AS ?name)
+            self._next()
+            self._expect_word("count")
+            self._expect_punct("(")
+            self._expect_punct("*")
+            self._expect_punct(")")
+            self._expect_word("as")
+            var_token = self._next()
+            if var_token.kind != "var":
+                raise QueryError("COUNT(*) AS requires a variable")
+            self._expect_punct(")")
+            query.count = var_token.text[1:]
+            return
+        while self._at("var"):
+            query.variables.append(Var(self._next().text[1:]))
+        if not query.variables:
+            raise QueryError("SELECT requires variables, *, or COUNT(*)")
+
+    def _parse_triples_block(self, query: SelectQuery) -> None:
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                query.patterns.append(TriplePattern(subject, predicate, obj))
+                if self._at_punct(","):
+                    self._next()
+                    continue
+                break
+            if self._at_punct(";"):
+                self._next()
+                if self._at_punct(".") or self._at_punct("}"):
+                    break
+                continue
+            break
+        if self._at_punct("."):
+            self._next()
+
+    def _parse_term(self, position: str):
+        token = self._next()
+        if token.kind == "var":
+            return Var(token.text[1:])
+        if token.kind == "iri":
+            return IRI(token.text[1:-1])
+        if token.kind == "word":
+            lowered = token.text.lower()
+            if lowered == "a" and position == "predicate":
+                return IRI(RDF_TYPE)
+            if ":" in token.text:
+                try:
+                    return IRI(self.prefixes.expand(token.text))
+                except Exception as exc:
+                    raise QueryError(str(exc)) from exc
+            raise QueryError(f"unexpected word {token.text!r} as {position}")
+        if token.kind == "string" and position == "object":
+            return self._finish_literal(token)
+        if token.kind == "integer" and position == "object":
+            return Literal(token.text, XSD.integer)
+        if token.kind in ("decimal", "double") and position == "object":
+            return Literal(token.text, XSD.double)
+        raise QueryError(f"invalid {position} term {token.text!r}")
+
+    def _finish_literal(self, token: _Token) -> Literal:
+        lexical = token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        nxt = self._peek()
+        if nxt.kind == "langtag":
+            self._next()
+            return Literal(lexical, language=nxt.text[1:])
+        if nxt.kind == "dtype":
+            self._next()
+            dt_token = self._next()
+            if dt_token.kind == "iri":
+                return Literal(lexical, dt_token.text[1:-1])
+            if dt_token.kind == "word" and ":" in dt_token.text:
+                return Literal(lexical, self.prefixes.expand(dt_token.text))
+            raise QueryError("expected datatype after ^^")
+        return Literal(lexical)
+
+    # ------------------------------------------------------------------ #
+    # FILTER expressions (precedence: || < && < ! < comparison)
+    # ------------------------------------------------------------------ #
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._peek().kind == "op" and self._peek().text == "||":
+            self._next()
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._peek().kind == "op" and self._peek().text == "&&":
+            self._next()
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", tuple(operands))
+
+    def _parse_not(self) -> Expression:
+        if self._peek().kind == "op" and self._peek().text == "!":
+            self._next()
+            return NotOp(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        lhs = self._parse_primary()
+        token = self._peek()
+        if token.kind == "op" and token.text in ("=", "!=", "<", "<=", ">", ">="):
+            self._next()
+            rhs = self._parse_primary()
+            return Comparison(token.text, lhs, rhs)
+        return lhs
+
+    def _parse_primary(self) -> Expression:
+        token = self._next()
+        if token.kind == "var":
+            return Var(token.text[1:])
+        if token.kind == "iri":
+            return IRI(token.text[1:-1])
+        if token.kind == "string":
+            return self._finish_literal(token)
+        if token.kind == "integer":
+            return Literal(token.text, XSD.integer)
+        if token.kind in ("decimal", "double"):
+            return Literal(token.text, XSD.double)
+        if token.kind == "word":
+            lowered = token.text.lower()
+            if lowered in ("isliteral", "isiri", "str", "regex"):
+                self._expect_punct("(")
+                operand = self._parse_expression()
+                if lowered == "regex":
+                    self._expect_punct(",")
+                    pat_token = self._next()
+                    if pat_token.kind != "string":
+                        raise QueryError("REGEX requires a string pattern")
+                    self._expect_punct(")")
+                    return RegexFn(operand, pat_token.text[1:-1])
+                self._expect_punct(")")
+                if lowered == "isliteral":
+                    return IsLiteralFn(operand)
+                if lowered == "isiri":
+                    return IsIriFn(operand)
+                return StrFn(operand)
+            if ":" in token.text:
+                return IRI(self.prefixes.expand(token.text))
+        if token.kind == "punct" and token.text == "(":
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+        raise QueryError(f"invalid expression token {token.text!r}")
+
+
+def parse_sparql(text: str, prefixes: PrefixMap | None = None) -> SelectQuery:
+    """Parse a SPARQL SELECT query (module-level convenience)."""
+    return SparqlParser(prefixes).parse(text)

@@ -1,0 +1,55 @@
+"""RDF substrate: terms, indexed triple store, and serializations.
+
+Public entry points::
+
+    from repro.rdf import IRI, BlankNode, Literal, Triple, Graph
+    from repro.rdf import parse_ntriples, serialize_ntriples
+    from repro.rdf import parse_turtle, serialize_turtle
+"""
+
+from .graph import Graph, GraphStats, graphs_equal_modulo_bnodes
+from .namespace import PrefixMap
+from .ntriples import (
+    iter_ntriples,
+    parse_ntriples,
+    serialize_ntriples,
+    write_ntriples,
+)
+from .terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Object,
+    Subject,
+    Term,
+    Triple,
+    is_blank,
+    is_iri,
+    is_literal,
+)
+from .turtle import TurtleParser, parse_turtle, rdf_list_items, serialize_turtle
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "Term",
+    "Subject",
+    "Object",
+    "Graph",
+    "GraphStats",
+    "PrefixMap",
+    "TurtleParser",
+    "graphs_equal_modulo_bnodes",
+    "is_blank",
+    "is_iri",
+    "is_literal",
+    "iter_ntriples",
+    "parse_ntriples",
+    "parse_turtle",
+    "rdf_list_items",
+    "serialize_ntriples",
+    "serialize_turtle",
+    "write_ntriples",
+]

@@ -1,0 +1,433 @@
+"""An in-memory indexed RDF triple store.
+
+The :class:`Graph` maintains three permutation indexes (SPO, POS, OSP), the
+standard layout for in-memory RDF stores, so that any triple pattern with
+fixed terms can be answered without a full scan.  This is the substrate on
+which shape extraction, SHACL validation, the S3PG data transformation
+(Algorithm 1), and the SPARQL engine all run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..namespaces import RDF_TYPE, RDFS
+from .terms import IRI, BlankNode, Literal, Object, Subject, Triple, is_literal
+
+_SUBCLASS_OF = IRI(RDFS.subClassOf)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Dataset characteristics as reported in Table 2 of the paper."""
+
+    n_triples: int
+    n_subjects: int
+    n_objects: int
+    n_literals: int
+    n_instances: int
+    n_classes: int
+    n_properties: int
+    size_bytes: int
+
+    def as_row(self) -> dict[str, int]:
+        """Return the statistics as a plain dict (one table row)."""
+        return {
+            "# of triples": self.n_triples,
+            "# of objects": self.n_objects,
+            "# of subjects": self.n_subjects,
+            "# of literals": self.n_literals,
+            "# of instances": self.n_instances,
+            "# of classes": self.n_classes,
+            "# of properties": self.n_properties,
+            "size in bytes": self.size_bytes,
+        }
+
+
+class Graph:
+    """A set of RDF triples with SPO/POS/OSP indexes.
+
+    The store behaves like a set of :class:`Triple` objects: adding a
+    duplicate triple is a no-op, iteration yields each triple once, and the
+    usual set algebra (union / difference) is available for computing and
+    applying deltas between graph snapshots.
+
+    Examples:
+        >>> g = Graph()
+        >>> alice = IRI("http://example.org/alice")
+        >>> _ = g.add(Triple(alice, IRI(RDF_TYPE), IRI("http://example.org/Person")))
+        >>> len(g)
+        1
+    """
+
+    def __init__(self, triples: Iterable[Triple] | None = None):
+        # spo[s][p] -> set of o ; pos[p][o] -> set of s ; osp[o][s] -> set of p
+        self._spo: dict[Subject, dict[IRI, set[Object]]] = {}
+        self._pos: dict[IRI, dict[Object, set[Subject]]] = {}
+        self._osp: dict[Object, dict[Subject, set[IRI]]] = {}
+        self._size = 0
+        if triples is not None:
+            for t in triples:
+                self.add(t)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Triple) -> bool:
+        """Insert ``triple``; return True when it was not already present."""
+        s, p, o = triple.s, triple.p, triple.o
+        by_p = self._spo.setdefault(s, {})
+        objs = by_p.setdefault(p, set())
+        if o in objs:
+            return False
+        objs.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def add_triple(self, s: Subject, p: IRI, o: Object) -> bool:
+        """Convenience wrapper building the :class:`Triple` for the caller."""
+        return self.add(Triple(s, p, o))
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete ``triple``; return True when it was present."""
+        s, p, o = triple.s, triple.p, triple.o
+        objs = self._spo.get(s, {}).get(p)
+        if objs is None or o not in objs:
+            return False
+        objs.discard(o)
+        if not objs:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        subs = self._pos[p][o]
+        subs.discard(s)
+        if not subs:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        preds = self._osp[o][s]
+        preds.discard(p)
+        if not preds:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def discard_all(self, triples: Iterable[Triple]) -> int:
+        """Remove many triples; return the number actually removed."""
+        return sum(1 for t in triples if self.remove(t))
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.o in self._spo.get(triple.s, {}).get(triple.p, ())
+
+    def __iter__(self) -> Iterator[Triple]:
+        # Bypass Triple.__init__ validation: every stored term was already
+        # validated on insertion, and iteration is the hottest path of the
+        # streaming transformation (the graph is scanned twice per run).
+        new = Triple.__new__
+        setattr_ = object.__setattr__
+        for s, by_p in self._spo.items():
+            for p, objs in by_p.items():
+                for o in objs:
+                    t = new(Triple)
+                    setattr_(t, "s", s)
+                    setattr_(t, "p", p)
+                    setattr_(t, "o", o)
+                    yield t
+
+    def triples(
+        self,
+        s: Subject | None = None,
+        p: IRI | None = None,
+        o: Object | None = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the pattern; ``None`` is a wildcard.
+
+        The best index for the bound positions is chosen automatically.
+        """
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return
+            if p is not None:
+                objs = by_p.get(p)
+                if objs is None:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objs:
+                    yield Triple(s, p, obj)
+                return
+            if o is not None:
+                preds = self._osp.get(o, {}).get(s)
+                if preds is None:
+                    return
+                for pred in preds:
+                    yield Triple(s, pred, o)
+                return
+            for pred, objs in by_p.items():
+                for obj in objs:
+                    yield Triple(s, pred, obj)
+            return
+        if p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return
+            if o is not None:
+                for sub in by_o.get(o, ()):
+                    yield Triple(sub, p, o)
+                return
+            for obj, subs in by_o.items():
+                for sub in subs:
+                    yield Triple(sub, p, obj)
+            return
+        if o is not None:
+            for sub, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(sub, pred, o)
+            return
+        yield from self
+
+    def count(
+        self,
+        s: Subject | None = None,
+        p: IRI | None = None,
+        o: Object | None = None,
+    ) -> int:
+        """Count triples matching the pattern without materializing them."""
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is None and p is None and o is None:
+            return self._size
+        return sum(1 for _ in self.triples(s, p, o))
+
+    def objects(self, s: Subject, p: IRI) -> Iterator[Object]:
+        """Yield all objects ``o`` with ``(s, p, o)`` in the graph."""
+        yield from self._spo.get(s, {}).get(p, ())
+
+    def subjects(self, p: IRI, o: Object) -> Iterator[Subject]:
+        """Yield all subjects ``s`` with ``(s, p, o)`` in the graph."""
+        yield from self._pos.get(p, {}).get(o, ())
+
+    def value(self, s: Subject, p: IRI) -> Object | None:
+        """Return an arbitrary single object of ``(s, p, ·)``, or None."""
+        for o in self.objects(s, p):
+            return o
+        return None
+
+    def predicates_of(self, s: Subject) -> Iterator[IRI]:
+        """Yield the distinct predicates attached to subject ``s``."""
+        yield from self._spo.get(s, {})
+
+    def subject_set(self) -> set[Subject]:
+        """The set of all subjects."""
+        return set(self._spo)
+
+    def predicate_set(self) -> set[IRI]:
+        """The set of all predicates (the set ``P`` of Definition 2.1)."""
+        return set(self._pos)
+
+    def object_set(self) -> set[Object]:
+        """The set of all objects."""
+        return set(self._osp)
+
+    # ------------------------------------------------------------------ #
+    # Typing helpers (the `a` predicate of Definition 2.1)
+    # ------------------------------------------------------------------ #
+
+    def types_of(self, entity: Subject) -> set[IRI]:
+        """All classes ``c`` with ``(entity, rdf:type, c)`` in the graph."""
+        return {
+            o for o in self._spo.get(entity, {}).get(IRI(RDF_TYPE), ())
+            if isinstance(o, IRI)
+        }
+
+    def instances_of(self, cls: IRI) -> Iterator[Subject]:
+        """All entities typed with ``cls``."""
+        yield from self._pos.get(IRI(RDF_TYPE), {}).get(cls, ())
+
+    def classes(self) -> set[IRI]:
+        """The set ``C``: IRIs used as an object of ``rdf:type`` or in
+        ``rdfs:subClassOf`` statements (Definition 2.1)."""
+        result: set[IRI] = {
+            o for o in self._pos.get(IRI(RDF_TYPE), ()) if isinstance(o, IRI)
+        }
+        for t in self.triples(p=_SUBCLASS_OF):
+            if isinstance(t.s, IRI):
+                result.add(t.s)
+            if isinstance(t.o, IRI):
+                result.add(t.o)
+        return result
+
+    def superclasses(self, cls: IRI) -> set[IRI]:
+        """Transitive closure of ``rdfs:subClassOf`` starting at ``cls``
+        (excluding ``cls`` itself)."""
+        seen: set[IRI] = set()
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for o in self.objects(current, _SUBCLASS_OF):
+                if isinstance(o, IRI) and o not in seen:
+                    seen.add(o)
+                    frontier.append(o)
+        return seen
+
+    def is_instance_of(self, entity: Subject, cls: IRI) -> bool:
+        """True when ``entity`` is typed with ``cls`` or a subclass of it."""
+        types = self.types_of(entity)
+        if cls in types:
+            return True
+        return any(cls in self.superclasses(t) for t in types)
+
+    # ------------------------------------------------------------------ #
+    # Set algebra (used by the evolution / monotonicity experiments)
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "Graph") -> "Graph":
+        """A new graph containing the triples of both operands."""
+        result = Graph(self)
+        result.update(other)
+        return result
+
+    def difference(self, other: "Graph") -> "Graph":
+        """A new graph with the triples of ``self`` not in ``other``."""
+        return Graph(t for t in self if t not in other)
+
+    def intersection(self, other: "Graph") -> "Graph":
+        """A new graph with the triples present in both operands."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return Graph(t for t in small if t in large)
+
+    def copy(self) -> "Graph":
+        """A shallow copy (terms are immutable, so this is a full snapshot)."""
+        return Graph(self)
+
+    def __or__(self, other: "Graph") -> "Graph":
+        return self.union(other)
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        return self.difference(other)
+
+    def __and__(self, other: "Graph") -> "Graph":
+        return self.intersection(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"<Graph with {self._size} triples>"
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table 2)
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> GraphStats:
+        """Compute the dataset characteristics reported in Table 2."""
+        literals = {o for o in self._osp if is_literal(o)}
+        type_pred = IRI(RDF_TYPE)
+        instances: set[Subject] = set()
+        for subs in self._pos.get(type_pred, {}).values():
+            instances.update(subs)
+        size_bytes = sum(len(t.n3()) + 1 for t in self)
+        return GraphStats(
+            n_triples=self._size,
+            n_subjects=len(self._spo),
+            n_objects=len(self._osp),
+            n_literals=len(literals),
+            n_instances=len(instances),
+            n_classes=len(self.classes()),
+            n_properties=len(self._pos),
+            size_bytes=size_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[tuple[Subject, IRI, Object]]) -> "Graph":
+        """Build a graph from raw ``(s, p, o)`` tuples."""
+        g = cls()
+        for s, p, o in triples:
+            g.add(Triple(s, p, o))
+        return g
+
+    def isomorphic_signature(self) -> frozenset[str]:
+        """A canonical signature treating blank-node labels as opaque.
+
+        Two graphs that differ only in blank-node labels map to the same
+        signature, which is what the information-preservation check
+        (Proposition 4.1) needs. Blank nodes are canonicalized by the
+        multiset of their ground neighbourhood, iterated to a fixpoint
+        (a simple colour-refinement).
+        """
+        colour: dict[BlankNode, str] = {}
+        bnodes = [n for n in set(self._spo) | set(self._osp) if isinstance(n, BlankNode)]
+        for b in bnodes:
+            colour[b] = "b"
+        for _ in range(max(1, len(bnodes))):
+            new_colour: dict[BlankNode, str] = {}
+            for b in bnodes:
+                parts = []
+                for t in self.triples(s=b):
+                    o_key = colour.get(t.o, t.o.n3()) if isinstance(t.o, BlankNode) else t.o.n3()
+                    parts.append(f">{t.p.value}:{o_key}")
+                for t in self.triples(o=b):
+                    s_key = colour.get(t.s, t.s.n3()) if isinstance(t.s, BlankNode) else t.s.n3()
+                    parts.append(f"<{t.p.value}:{s_key}")
+                new_colour[b] = "|".join(sorted(parts))
+            if new_colour == colour:
+                break
+            colour = new_colour
+        lines = []
+        for t in self:
+            s_key = colour.get(t.s, None) if isinstance(t.s, BlankNode) else None
+            o_key = colour.get(t.o, None) if isinstance(t.o, BlankNode) else None
+            s_repr = f"_:{s_key}" if s_key is not None else t.s.n3()
+            o_repr = f"_:{o_key}" if o_key is not None else t.o.n3()
+            lines.append(f"{s_repr} {t.p.n3()} {o_repr}")
+        return frozenset(lines)
+
+
+def graphs_equal_modulo_bnodes(a: Graph, b: Graph) -> bool:
+    """True when the two graphs are isomorphic up to blank-node renaming."""
+    if len(a) != len(b):
+        return False
+    return a.isomorphic_signature() == b.isomorphic_signature()

@@ -1,0 +1,88 @@
+"""Prefix management for Turtle parsing/serialization and display.
+
+A :class:`PrefixMap` maps short prefixes (``xsd``, ``dbp``, ...) to base
+IRIs and supports both expansion (``qname -> IRI``) and compaction
+(``IRI -> qname``), preferring the longest matching base on compaction.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..namespaces import WELL_KNOWN_PREFIXES
+
+
+class PrefixMap:
+    """A bidirectional prefix <-> namespace table.
+
+    Examples:
+        >>> pm = PrefixMap.with_defaults()
+        >>> pm.expand("xsd:string")
+        'http://www.w3.org/2001/XMLSchema#string'
+        >>> pm.compact("http://www.w3.org/2001/XMLSchema#string")
+        'xsd:string'
+    """
+
+    def __init__(self, mapping: dict[str, str] | None = None):
+        self._forward: dict[str, str] = {}
+        if mapping:
+            for prefix, base in mapping.items():
+                self.bind(prefix, base)
+
+    @classmethod
+    def with_defaults(cls) -> "PrefixMap":
+        """A prefix map preloaded with the library's well-known prefixes."""
+        return cls(dict(WELL_KNOWN_PREFIXES))
+
+    def bind(self, prefix: str, base: str) -> None:
+        """Associate ``prefix`` with namespace ``base`` (rebinding allowed)."""
+        self._forward[prefix] = base
+
+    def namespaces(self) -> dict[str, str]:
+        """A copy of the current prefix table."""
+        return dict(self._forward)
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._forward
+
+    def expand(self, qname: str) -> str:
+        """Expand ``prefix:local`` to a full IRI.
+
+        Raises:
+            ParseError: when the prefix is unknown or the input has no colon.
+        """
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ParseError(f"not a qualified name: {qname!r}")
+        base = self._forward.get(prefix)
+        if base is None:
+            raise ParseError(f"unknown prefix {prefix!r} in {qname!r}")
+        return base + local
+
+    def compact(self, iri: str) -> str:
+        """Compact a full IRI to ``prefix:local`` when possible.
+
+        Falls back to returning the IRI unchanged if no bound namespace is a
+        prefix of it, or if the local part would contain characters that are
+        not valid in a Turtle local name.
+        """
+        best_prefix = None
+        best_base = ""
+        for prefix, base in self._forward.items():
+            if iri.startswith(base) and len(base) > len(best_base):
+                best_prefix, best_base = prefix, base
+        if best_prefix is None:
+            return iri
+        local = iri[len(best_base):]
+        if not local or not _is_valid_local(local):
+            return iri
+        return f"{best_prefix}:{local}"
+
+    def __repr__(self) -> str:
+        return f"PrefixMap({len(self._forward)} prefixes)"
+
+
+def _is_valid_local(local: str) -> bool:
+    """A conservative check for Turtle PN_LOCAL validity."""
+    if local[0] in ".-":
+        return False
+    return all(ch.isalnum() or ch in "_-." for ch in local) and not local.endswith(".")

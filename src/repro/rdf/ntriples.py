@@ -1,0 +1,248 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF serialization used for the streaming
+data-transformation pipeline (Algorithm 1 reads the input graph "triple by
+triple" from a file), so this parser is written as a generator that never
+holds more than one line in memory.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from ..errors import ParseError, TermError
+from .graph import Graph
+from .terms import IRI, BlankNode, Literal, Object, Subject, Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+class _LineParser:
+    """A cursor over a single N-Triples line."""
+
+    def __init__(self, line: str, lineno: int):
+        self.line = line
+        self.pos = 0
+        self.lineno = lineno
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.lineno, column=self.pos + 1)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        return self.line[self.pos] if self.pos < len(self.line) else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(f"expected {ch!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def parse_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end == -1:
+            raise self.error("unterminated IRI")
+        value = self.line[self.pos:end]
+        self.pos = end + 1
+        try:
+            return IRI(_unescape(value, self))
+        except TermError as exc:
+            raise self.error(str(exc)) from exc
+
+    def parse_bnode(self) -> BlankNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.line) and (
+            self.line[self.pos].isalnum() or self.line[self.pos] in "_-."
+        ):
+            self.pos += 1
+        label = self.line[start:self.pos]
+        if not label:
+            raise self.error("empty blank node label")
+        return BlankNode(label)
+
+    def parse_literal(self) -> Literal:
+        self.expect('"')
+        chars: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            ch = self.line[self.pos]
+            self.pos += 1
+            if ch == '"':
+                break
+            if ch == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                esc = self.line[self.pos]
+                self.pos += 1
+                if esc in _ESCAPES:
+                    chars.append(_ESCAPES[esc])
+                elif esc == "u":
+                    chars.append(self._read_unicode(4))
+                elif esc == "U":
+                    chars.append(self._read_unicode(8))
+                else:
+                    raise self.error(f"invalid escape sequence \\{esc}")
+            else:
+                chars.append(ch)
+        lexical = "".join(chars)
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.line) and (
+                self.line[self.pos].isalnum() or self.line[self.pos] == "-"
+            ):
+                self.pos += 1
+            tag = self.line[start:self.pos]
+            if not tag:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=tag)
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.parse_iri()
+            return Literal(lexical, datatype.value)
+        return Literal(lexical)
+
+    def _read_unicode(self, width: int) -> str:
+        hexdigits = self.line[self.pos:self.pos + width]
+        if len(hexdigits) != width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(hexdigits, 16)
+        except ValueError as exc:
+            raise self.error(f"invalid unicode escape {hexdigits!r}") from exc
+        self.pos += width
+        return chr(code)
+
+    def parse_subject(self) -> Subject:
+        ch = self.peek()
+        if ch == "<":
+            return self.parse_iri()
+        if ch == "_":
+            return self.parse_bnode()
+        raise self.error(f"invalid subject start {ch!r}")
+
+    def parse_object(self) -> Object:
+        ch = self.peek()
+        if ch == "<":
+            return self.parse_iri()
+        if ch == "_":
+            return self.parse_bnode()
+        if ch == '"':
+            return self.parse_literal()
+        raise self.error(f"invalid object start {ch!r}")
+
+
+def _unescape(value: str, parser: _LineParser) -> str:
+    """Resolve ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes inside an IRI."""
+    if "\\" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value) and value[i + 1] in "uU":
+            width = 4 if value[i + 1] == "u" else 8
+            hexdigits = value[i + 2:i + 2 + width]
+            if len(hexdigits) != width:
+                raise parser.error("truncated unicode escape in IRI")
+            out.append(chr(int(hexdigits, 16)))
+            i += 2 + width
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_line(line: str, lineno: int = 1) -> Triple | None:
+    """Parse one N-Triples line; return None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parser = _LineParser(stripped, lineno)
+    s = parser.parse_subject()
+    parser.skip_ws()
+    if parser.peek() != "<":
+        raise parser.error("predicate must be an IRI")
+    p = parser.parse_iri()
+    parser.skip_ws()
+    o = parser.parse_object()
+    parser.skip_ws()
+    parser.expect(".")
+    parser.skip_ws()
+    if not parser.at_end():
+        raise parser.error("trailing content after '.'")
+    return Triple(s, p, o)
+
+
+def iter_ntriples(source: str | Path | io.TextIOBase) -> Iterator[Triple]:
+    """Stream triples from an N-Triples document.
+
+    Args:
+        source: a path, an open text file, or the document text itself
+            (a string containing a newline or starting with a term marker).
+    """
+    if isinstance(source, io.TextIOBase):
+        lines: Iterable[str] = source
+    elif isinstance(source, Path):
+        with source.open("r", encoding="utf-8") as handle:
+            yield from iter_ntriples(handle)
+            return
+    elif isinstance(source, str) and ("\n" in source or source.lstrip()[:1] in ("<", "_", "#", "")):
+        lines = source.splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from iter_ntriples(handle)
+            return
+    for lineno, line in enumerate(lines, start=1):
+        triple = parse_line(line, lineno)
+        if triple is not None:
+            yield triple
+
+
+def parse_ntriples(source: str | Path | io.TextIOBase) -> Graph:
+    """Parse a complete N-Triples document into a :class:`Graph`."""
+    return Graph(iter_ntriples(source))
+
+
+def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:
+    """Serialize triples as an N-Triples document.
+
+    Args:
+        triples: any iterable of triples (a :class:`Graph` works).
+        sort: emit statements in lexicographic order for stable output.
+    """
+    lines = [t.n3() for t in triples]
+    if sort:
+        lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_ntriples(triples: Iterable[Triple], path: str | Path) -> int:
+    """Write triples to ``path`` in N-Triples format; return the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for t in triples:
+            handle.write(t.n3())
+            handle.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,272 @@
+"""RDF term model: IRIs, blank nodes, literals, and triples.
+
+Implements the vocabulary of Definition 2.1 in the paper: pairwise disjoint
+sets of IRIs ``I``, blank nodes ``B``, and literals ``L``.  All terms are
+immutable, hashable value objects, so they can be used freely as dictionary
+keys inside the indexed triple store.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+from ..errors import TermError
+from ..namespaces import XSD
+
+
+class IRI:
+    """A global identifier (member of the set ``I`` in Definition 2.1).
+
+    Compares equal by value, so two ``IRI`` objects with the same string are
+    interchangeable.
+
+    Examples:
+        >>> IRI("http://example.org/alice")
+        IRI('http://example.org/alice')
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not isinstance(value, str) or not value:
+            raise TermError(f"IRI value must be a non-empty string, got {value!r}")
+        if any(ch in value for ch in " \n\t\r<>"):
+            raise TermError(f"IRI contains forbidden characters: {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IRI objects are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((IRI, self.value))
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax: ``<iri>``."""
+        return f"<{self.value}>"
+
+
+class BlankNode:
+    """An anonymous node (member of the set ``B`` in Definition 2.1).
+
+    Blank nodes are identified by a local label.  Labels are only meaningful
+    within a single graph/document.
+
+    Examples:
+        >>> BlankNode("b0")
+        BlankNode('b0')
+        >>> BlankNode() != BlankNode()  # fresh labels are unique
+        True
+    """
+
+    __slots__ = ("label",)
+
+    _counter = itertools.count()
+
+    def __init__(self, label: str | None = None):
+        if label is None:
+            label = f"gen{next(BlankNode._counter)}"
+        if not isinstance(label, str) or not label:
+            raise TermError(f"blank node label must be a non-empty string, got {label!r}")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BlankNode objects are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlankNode) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash((BlankNode, self.label))
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax: ``_:label``."""
+        return f"_:{self.label}"
+
+
+class Literal:
+    """A typed (optionally language-tagged) literal value.
+
+    The lexical form is kept verbatim; :meth:`to_python` converts to a native
+    Python value based on the XSD datatype.
+
+    Args:
+        lexical: the lexical form, e.g. ``"42"``.
+        datatype: full datatype IRI string; defaults to ``xsd:string``
+            (or ``rdf:langString`` when a ``language`` tag is given).
+        language: BCP-47 language tag, e.g. ``"en"``.
+
+    Examples:
+        >>> Literal("42", XSD.integer).to_python()
+        42
+        >>> Literal("hi", language="en").language
+        'en'
+    """
+
+    __slots__ = ("lexical", "datatype", "language")
+
+    LANG_STRING = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+    def __init__(self, lexical: str, datatype: str | None = None, language: str | None = None):
+        if not isinstance(lexical, str):
+            raise TermError(f"literal lexical form must be a string, got {lexical!r}")
+        if language is not None:
+            if datatype is not None and datatype != self.LANG_STRING:
+                raise TermError("a language-tagged literal must have datatype rdf:langString")
+            datatype = self.LANG_STRING
+        elif datatype is None:
+            datatype = XSD.string
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Literal objects are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.lexical == self.lexical
+            and other.datatype == self.datatype
+            and other.language == self.language
+        )
+
+    def __hash__(self) -> int:
+        return hash((Literal, self.lexical, self.datatype, self.language))
+
+    def __repr__(self) -> str:
+        if self.language is not None:
+            return f"Literal({self.lexical!r}, language={self.language!r})"
+        if self.datatype == XSD.string:
+            return f"Literal({self.lexical!r})"
+        return f"Literal({self.lexical!r}, {self.datatype!r})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def n3(self) -> str:
+        """Render in N-Triples syntax with escaping, type, and language tag."""
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language is not None:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype == XSD.string:
+            return f'"{escaped}"'
+        return f'"{escaped}"^^<{self.datatype}>'
+
+    def to_python(self) -> object:
+        """Convert to a native Python value according to the XSD datatype.
+
+        Unknown datatypes and malformed lexical forms fall back to the raw
+        string, matching the lenient behaviour of common RDF toolkits.
+        """
+        dt = self.datatype
+        try:
+            if dt in (XSD.integer, XSD.int, XSD.long, XSD.short, XSD.byte,
+                      XSD.nonNegativeInteger, XSD.positiveInteger,
+                      XSD.negativeInteger, XSD.nonPositiveInteger,
+                      XSD.unsignedInt, XSD.unsignedLong):
+                return int(self.lexical)
+            if dt in (XSD.decimal, XSD.double, XSD.float):
+                return float(self.lexical)
+            if dt == XSD.boolean:
+                if self.lexical in ("true", "1"):
+                    return True
+                if self.lexical in ("false", "0"):
+                    return False
+                return self.lexical
+        except ValueError:
+            return self.lexical
+        return self.lexical
+
+
+#: A subject may be an IRI or a blank node.
+Subject = Union[IRI, BlankNode]
+#: An object may be an IRI, blank node, or literal.
+Object = Union[IRI, BlankNode, Literal]
+#: Any RDF term.
+Term = Union[IRI, BlankNode, Literal]
+
+
+class Triple:
+    """An ``<s, p, o>`` statement (an edge of the RDF graph, Definition 2.1).
+
+    Supports tuple-style unpacking::
+
+        s, p, o = triple
+    """
+
+    __slots__ = ("s", "p", "o")
+
+    def __init__(self, s: Subject, p: IRI, o: Object):
+        if not isinstance(s, (IRI, BlankNode)):
+            raise TermError(f"triple subject must be an IRI or blank node, got {s!r}")
+        if not isinstance(p, IRI):
+            raise TermError(f"triple predicate must be an IRI, got {p!r}")
+        if not isinstance(o, (IRI, BlankNode, Literal)):
+            raise TermError(f"triple object must be an RDF term, got {o!r}")
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "o", o)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Triple objects are immutable")
+
+    def __iter__(self):
+        return iter((self.s, self.p, self.o))
+
+    def __getitem__(self, index: int) -> Term:
+        return (self.s, self.p, self.o)[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.s == self.s
+            and other.p == self.p
+            and other.o == self.o
+        )
+
+    def __hash__(self) -> int:
+        return hash((Triple, self.s, self.p, self.o))
+
+    def __repr__(self) -> str:
+        return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"
+
+    def n3(self) -> str:
+        """Render as an N-Triples statement (without the trailing newline)."""
+        return f"{self.s.n3()} {self.p.n3()} {self.o.n3()} ."
+
+
+def is_literal(term: object) -> bool:
+    """True when ``term`` is a :class:`Literal`."""
+    return isinstance(term, Literal)
+
+
+def is_iri(term: object) -> bool:
+    """True when ``term`` is an :class:`IRI`."""
+    return isinstance(term, IRI)
+
+
+def is_blank(term: object) -> bool:
+    """True when ``term`` is a :class:`BlankNode`."""
+    return isinstance(term, BlankNode)

@@ -1,0 +1,435 @@
+"""A Turtle parser and serializer for the subset used by SHACL documents.
+
+Supported syntax: ``@prefix``/``PREFIX`` directives, ``@base``, prefixed
+names, IRIs, the ``a`` keyword, string literals (single/triple quoted) with
+language tags and datatypes, numeric and boolean shorthand, labelled and
+anonymous blank nodes (``[ ... ]``), RDF collections (``( ... )``), and the
+``;`` / ``,`` predicate-object shorthand.  This covers every construct in
+the paper's Figure 4 shapes and all shapes emitted by our extractor.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from ..errors import ParseError
+from ..namespaces import RDF, XSD
+from .graph import Graph
+from .namespace import PrefixMap
+from .terms import IRI, BlankNode, Literal, Object, Subject, Triple
+
+_RDF_FIRST = IRI(RDF.first)
+_RDF_REST = IRI(RDF.rest)
+_RDF_NIL = IRI(RDF.nil)
+_RDF_TYPE = IRI(RDF.type)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<triple_string>\"\"\"(?:[^"\\]|\\.|\"(?!\"\"))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<prefix_directive>@prefix\b|@base\b|PREFIX\b|BASE\b)
+  | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<dtype_marker>\^\^)
+  | (?P<double>[-+]?(?:\d+\.\d*|\.\d+|\d+)[eE][-+]?\d+)
+  | (?P<decimal>[-+]?\d*\.\d+)
+  | (?P<integer>[-+]?\d+)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<a_kw>\ba\b)
+  | (?P<bnode>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<pname>[A-Za-z_][\w.-]*)?:(?:[A-Za-z0-9_%][\w.%-]*)?
+  | (?P<punct>[;,.\[\]()])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line=line)
+        line += text[pos:match.end()].count("\n")
+        kind = match.lastgroup
+        token_text = match.group()
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind is None:
+            # The pname alternative has no group name when only the bare
+            # colon form matches; normalize it.
+            kind = "pname"
+        tokens.append(_Token(kind, token_text, line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class TurtleParser:
+    """Recursive-descent parser producing a :class:`Graph`.
+
+    Args:
+        prefixes: initial prefix bindings (the document's own ``@prefix``
+            directives extend/override these).
+    """
+
+    def __init__(self, prefixes: PrefixMap | None = None):
+        self.prefixes = prefixes or PrefixMap.with_defaults()
+        self.base = ""
+        self._tokens: list[_Token] = []
+        self._index = 0
+        self._graph = Graph()
+        self._bnode_counter = 0
+
+    # ------------------------------------------------------------------ #
+
+    def parse(self, text: str) -> Graph:
+        """Parse a Turtle document and return the resulting graph."""
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._graph = Graph()
+        while not self._at("eof"):
+            if self._at("prefix_directive"):
+                self._parse_directive()
+            else:
+                self._parse_statement()
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _at(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.text == text
+
+    def _expect_punct(self, text: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}", line=token.line)
+
+    def _fresh_bnode(self) -> BlankNode:
+        self._bnode_counter += 1
+        return BlankNode(f"ttl{self._bnode_counter}")
+
+    # ------------------------------------------------------------------ #
+
+    def _parse_directive(self) -> None:
+        directive = self._next()
+        keyword = directive.text.lower().lstrip("@")
+        if keyword == "prefix":
+            pname = self._next()
+            if pname.kind != "pname":
+                raise ParseError("expected prefix name after @prefix", line=pname.line)
+            prefix = pname.text[:-1] if pname.text.endswith(":") else pname.text.split(":")[0]
+            iri_tok = self._next()
+            if iri_tok.kind != "iri":
+                raise ParseError("expected IRI after prefix name", line=iri_tok.line)
+            self.prefixes.bind(prefix, iri_tok.text[1:-1])
+        elif keyword == "base":
+            iri_tok = self._next()
+            if iri_tok.kind != "iri":
+                raise ParseError("expected IRI after @base", line=iri_tok.line)
+            self.base = iri_tok.text[1:-1]
+        else:  # pragma: no cover - regex only matches prefix/base
+            raise ParseError(f"unknown directive {directive.text!r}", line=directive.line)
+        if directive.text.startswith("@"):
+            self._expect_punct(".")
+        elif self._at_punct("."):
+            self._next()
+
+    def _parse_statement(self) -> None:
+        subject = self._parse_subject()
+        self._parse_predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _parse_subject(self) -> Subject:
+        token = self._peek()
+        if token.kind == "iri":
+            return self._parse_iri()
+        if token.kind == "pname":
+            return self._parse_pname()
+        if token.kind == "bnode":
+            self._next()
+            return BlankNode(token.text[2:])
+        if token.kind == "punct" and token.text == "[":
+            return self._parse_bnode_property_list()
+        if token.kind == "punct" and token.text == "(":
+            return self._parse_collection()
+        raise ParseError(f"invalid subject {token.text!r}", line=token.line)
+
+    def _parse_iri(self) -> IRI:
+        token = self._next()
+        value = token.text[1:-1]
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
+            value = self.base + value
+        return IRI(value)
+
+    def _parse_pname(self) -> IRI:
+        token = self._next()
+        try:
+            return IRI(self.prefixes.expand(token.text))
+        except ParseError as exc:
+            raise ParseError(str(exc), line=token.line) from exc
+
+    def _parse_predicate(self) -> IRI:
+        token = self._peek()
+        if token.kind == "a_kw":
+            self._next()
+            return _RDF_TYPE
+        if token.kind == "iri":
+            return self._parse_iri()
+        if token.kind == "pname":
+            return self._parse_pname()
+        raise ParseError(f"invalid predicate {token.text!r}", line=token.line)
+
+    def _parse_predicate_object_list(self, subject: Subject) -> None:
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                self._graph.add(Triple(subject, predicate, obj))
+                if self._at_punct(","):
+                    self._next()
+                    continue
+                break
+            if self._at_punct(";"):
+                self._next()
+                # A ';' may be trailing (immediately followed by '.' or ']').
+                if self._at_punct(".") or self._at_punct("]") or self._at_punct(";"):
+                    while self._at_punct(";"):
+                        self._next()
+                    return
+                continue
+            return
+
+    def _parse_object(self) -> Object:
+        token = self._peek()
+        if token.kind == "iri":
+            return self._parse_iri()
+        if token.kind == "pname":
+            return self._parse_pname()
+        if token.kind == "bnode":
+            self._next()
+            return BlankNode(token.text[2:])
+        if token.kind in ("string", "triple_string"):
+            return self._parse_literal()
+        if token.kind == "integer":
+            self._next()
+            return Literal(token.text, XSD.integer)
+        if token.kind == "decimal":
+            self._next()
+            return Literal(token.text, XSD.decimal)
+        if token.kind == "double":
+            self._next()
+            return Literal(token.text, XSD.double)
+        if token.kind == "boolean":
+            self._next()
+            return Literal(token.text, XSD.boolean)
+        if token.kind == "punct" and token.text == "[":
+            return self._parse_bnode_property_list()
+        if token.kind == "punct" and token.text == "(":
+            return self._parse_collection()
+        raise ParseError(f"invalid object {token.text!r}", line=token.line)
+
+    def _parse_literal(self) -> Literal:
+        token = self._next()
+        if token.kind == "triple_string":
+            raw = token.text[3:-3]
+        else:
+            raw = token.text[1:-1]
+        lexical = _unescape_string(raw, token.line)
+        nxt = self._peek()
+        if nxt.kind == "langtag":
+            self._next()
+            return Literal(lexical, language=nxt.text[1:])
+        if nxt.kind == "dtype_marker":
+            self._next()
+            dtype_token = self._peek()
+            if dtype_token.kind == "iri":
+                datatype = self._parse_iri()
+            elif dtype_token.kind == "pname":
+                datatype = self._parse_pname()
+            else:
+                raise ParseError("expected datatype IRI after ^^", line=dtype_token.line)
+            return Literal(lexical, datatype.value)
+        return Literal(lexical)
+
+    def _parse_bnode_property_list(self) -> BlankNode:
+        self._expect_punct("[")
+        node = self._fresh_bnode()
+        if not self._at_punct("]"):
+            self._parse_predicate_object_list(node)
+        self._expect_punct("]")
+        return node
+
+    def _parse_collection(self) -> Object:
+        self._expect_punct("(")
+        items: list[Object] = []
+        while not self._at_punct(")"):
+            items.append(self._parse_object())
+        self._expect_punct(")")
+        if not items:
+            return _RDF_NIL
+        head = self._fresh_bnode()
+        current = head
+        for index, item in enumerate(items):
+            self._graph.add(Triple(current, _RDF_FIRST, item))
+            if index + 1 < len(items):
+                nxt = self._fresh_bnode()
+                self._graph.add(Triple(current, _RDF_REST, nxt))
+                current = nxt
+            else:
+                self._graph.add(Triple(current, _RDF_REST, _RDF_NIL))
+        return head
+
+
+def _unescape_string(raw: str, line: int) -> str:
+    if "\\" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    escapes = {"t": "\t", "n": "\n", "r": "\r", '"': '"', "\\": "\\", "'": "'",
+               "b": "\b", "f": "\f"}
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise ParseError("dangling escape in string", line=line)
+        esc = raw[i + 1]
+        if esc in escapes:
+            out.append(escapes[esc])
+            i += 2
+        elif esc in "uU":
+            width = 4 if esc == "u" else 8
+            hexdigits = raw[i + 2:i + 2 + width]
+            if len(hexdigits) != width:
+                raise ParseError("truncated unicode escape", line=line)
+            out.append(chr(int(hexdigits, 16)))
+            i += 2 + width
+        else:
+            raise ParseError(f"invalid escape \\{esc}", line=line)
+    return "".join(out)
+
+
+def parse_turtle(text: str, prefixes: PrefixMap | None = None) -> Graph:
+    """Parse a Turtle document into a :class:`Graph`."""
+    return TurtleParser(prefixes).parse(text)
+
+
+def rdf_list_items(graph: Graph, head: Object) -> list[Object]:
+    """Materialize an RDF collection starting at ``head`` into a list."""
+    items: list[Object] = []
+    seen: set[Object] = set()
+    current = head
+    while current != _RDF_NIL:
+        if not isinstance(current, (IRI, BlankNode)) or current in seen:
+            raise ParseError("malformed RDF collection")
+        seen.add(current)
+        first = graph.value(current, _RDF_FIRST)
+        if first is None:
+            raise ParseError("RDF collection node missing rdf:first")
+        items.append(first)
+        rest = graph.value(current, _RDF_REST)
+        if rest is None:
+            raise ParseError("RDF collection node missing rdf:rest")
+        current = rest
+    return items
+
+
+def serialize_turtle(
+    graph: Graph | Iterable[Triple],
+    prefixes: PrefixMap | None = None,
+) -> str:
+    """Serialize triples as Turtle, grouping by subject with ';' shorthand.
+
+    Blank-node structures are emitted with explicit ``_:`` labels (not
+    nested ``[ ]``), which is always valid Turtle and round-trips exactly.
+    """
+    pm = prefixes or PrefixMap.with_defaults()
+    triples = list(graph)
+    used_prefixes: set[str] = set()
+
+    def term_text(term: object) -> str:
+        if isinstance(term, IRI):
+            compacted = pm.compact(term.value)
+            if compacted != term.value:
+                used_prefixes.add(compacted.split(":", 1)[0])
+                return compacted
+            return f"<{term.value}>"
+        if isinstance(term, BlankNode):
+            return f"_:{term.label}"
+        if isinstance(term, Literal):
+            if term.language is None and term.datatype not in (XSD.string,):
+                compacted = pm.compact(term.datatype)
+                if compacted != term.datatype:
+                    used_prefixes.add(compacted.split(":", 1)[0])
+                    body = term.n3().rsplit("^^", 1)[0]
+                    return f"{body}^^{compacted}"
+            return term.n3()
+        raise TypeError(f"not an RDF term: {term!r}")
+
+    by_subject: dict[str, list[tuple[str, str]]] = {}
+    subject_order: list[str] = []
+    for t in sorted(triples, key=lambda t: (t.s.n3(), t.p.n3(), t.o.n3())):
+        s_text = term_text(t.s)
+        if s_text not in by_subject:
+            by_subject[s_text] = []
+            subject_order.append(s_text)
+        by_subject[s_text].append((term_text(t.p), term_text(t.o)))
+
+    body_lines: list[str] = []
+    for s_text in subject_order:
+        pairs = by_subject[s_text]
+        by_pred: dict[str, list[str]] = {}
+        pred_order: list[str] = []
+        for p_text, o_text in pairs:
+            if p_text not in by_pred:
+                by_pred[p_text] = []
+                pred_order.append(p_text)
+            by_pred[p_text].append(o_text)
+        parts = []
+        for p_text in pred_order:
+            display_p = "a" if p_text == "rdf:type" else p_text
+            parts.append(f"{display_p} {', '.join(by_pred[p_text])}")
+        body_lines.append(f"{s_text} " + " ;\n    ".join(parts) + " .")
+
+    header_lines = [
+        f"@prefix {prefix}: <{pm.namespaces()[prefix]}> ."
+        for prefix in sorted(used_prefixes | ({"rdf"} if any("a " in line or " a " in line for line in body_lines) else set()))
+        if prefix in pm.namespaces()
+    ]
+    sections = []
+    if header_lines:
+        sections.append("\n".join(header_lines))
+    sections.append("\n\n".join(body_lines))
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,58 @@
+"""SHACL substrate: shape model, parser, serializer, validator, statistics."""
+
+from .model import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShape,
+    NodeShapeRef,
+    PropertyShape,
+    PropertyShapeKind,
+    ShapeSchema,
+    ValueType,
+    string_shape,
+)
+from .parser import parse_shacl, parse_shacl_graph
+from .report import graph_to_report, report_to_graph
+from .serializer import serialize_shacl, shacl_to_graph
+from .stats import ShapeStats, shape_stats
+from .taxonomy import (
+    TaxonomyEntry,
+    classify_property_shape,
+    classify_schema,
+    is_multi_type,
+    is_single_type,
+    kind_histogram,
+)
+from .validator import ShaclValidator, ValidationReport, Violation, validate
+
+__all__ = [
+    "UNBOUNDED",
+    "ClassType",
+    "LiteralType",
+    "NodeShape",
+    "NodeShapeRef",
+    "PropertyShape",
+    "PropertyShapeKind",
+    "ShapeSchema",
+    "ShapeStats",
+    "ShaclValidator",
+    "TaxonomyEntry",
+    "ValidationReport",
+    "ValueType",
+    "Violation",
+    "classify_property_shape",
+    "graph_to_report",
+    "classify_schema",
+    "is_multi_type",
+    "is_single_type",
+    "kind_histogram",
+    "parse_shacl",
+    "parse_shacl_graph",
+    "report_to_graph",
+    "serialize_shacl",
+    "shacl_to_graph",
+    "shape_stats",
+    "string_shape",
+    "validate",
+]

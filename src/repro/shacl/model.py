@@ -1,0 +1,341 @@
+"""SHACL shape schema model (Definition 2.2).
+
+A :class:`ShapeSchema` ``S_G`` is a set of node shapes ``<s, tau_s, Phi_s>``:
+``s`` is the shape name, ``tau_s`` the target class (or a parent node shape
+for inheritance), and ``Phi_s`` a set of property shapes
+``phi = <tau_p, T_p, C_p>`` where ``tau_p`` is the target property, ``T_p``
+the value-type constraint set (literal datatypes, class constraints, or node
+shape references), and ``C_p = (min, max)`` the cardinality constraints.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..errors import ShapeError
+from ..namespaces import XSD
+
+#: Max-cardinality value meaning "unbounded" (the paper's ``∞`` / ``*``).
+UNBOUNDED = math.inf
+
+
+@dataclass(frozen=True)
+class LiteralType:
+    """A literal value-type constraint: values must be literals of ``datatype``.
+
+    Corresponds to ``sh:nodeKind sh:Literal ; sh:datatype <datatype>``.
+    """
+
+    datatype: str
+
+    def is_literal(self) -> bool:
+        """Always True for literal types (taxonomy dispatch helper)."""
+        return True
+
+    def __str__(self) -> str:
+        return f"Literal<{self.datatype}>"
+
+
+@dataclass(frozen=True)
+class ClassType:
+    """A class value-type constraint: values must be IRIs typed with ``cls``.
+
+    Corresponds to ``sh:nodeKind sh:IRI ; sh:class <cls>``.
+    """
+
+    cls: str
+
+    def is_literal(self) -> bool:
+        """Always False for class types (taxonomy dispatch helper)."""
+        return False
+
+    def __str__(self) -> str:
+        return f"Class<{self.cls}>"
+
+
+@dataclass(frozen=True)
+class NodeShapeRef:
+    """A node-type value constraint: values must conform to another shape.
+
+    Corresponds to ``sh:node <shape>`` used inside a property shape.
+    """
+
+    shape: str
+
+    def is_literal(self) -> bool:
+        """Always False: shape references target IRI/blank nodes."""
+        return False
+
+    def __str__(self) -> str:
+        return f"Shape<{self.shape}>"
+
+
+#: A single value-type alternative within ``T_p``.
+ValueType = LiteralType | ClassType | NodeShapeRef
+
+
+class PropertyShapeKind:
+    """The Figure 3 taxonomy of property-shape node kinds."""
+
+    SINGLE_LITERAL = "single-type-literal"
+    SINGLE_NON_LITERAL = "single-type-non-literal"
+    MULTI_HOMO_LITERAL = "multi-type-homogeneous-literal"
+    MULTI_HOMO_NON_LITERAL = "multi-type-homogeneous-non-literal"
+    MULTI_HETERO = "multi-type-heterogeneous"
+
+    ALL = (
+        SINGLE_LITERAL,
+        SINGLE_NON_LITERAL,
+        MULTI_HOMO_LITERAL,
+        MULTI_HOMO_NON_LITERAL,
+        MULTI_HETERO,
+    )
+
+
+@dataclass(frozen=True)
+class PropertyShape:
+    """A property shape ``phi = <tau_p, T_p, C_p>`` (Definition 2.2).
+
+    Args:
+        path: the target property IRI ``tau_p`` (``sh:path``).
+        value_types: the alternatives in ``T_p``; more than one element
+            models an ``sh:or`` of node-kind alternatives.
+        min_count: ``C_p`` lower bound (``sh:minCount``, default 0).
+        max_count: ``C_p`` upper bound (``sh:maxCount``); ``UNBOUNDED``
+            when absent.
+    """
+
+    path: str
+    value_types: tuple[ValueType, ...]
+    min_count: int = 0
+    max_count: float = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        if not self.value_types:
+            raise ShapeError(f"property shape for {self.path} has no value types")
+        if self.min_count < 0:
+            raise ShapeError(f"negative minCount on {self.path}")
+        if self.max_count != UNBOUNDED and self.max_count < self.min_count:
+            raise ShapeError(
+                f"maxCount {self.max_count} < minCount {self.min_count} on {self.path}"
+            )
+
+    # -- taxonomy ------------------------------------------------------- #
+
+    def kind(self) -> str:
+        """Classify this shape into the Figure 3 taxonomy."""
+        literals = [v for v in self.value_types if v.is_literal()]
+        non_literals = [v for v in self.value_types if not v.is_literal()]
+        if literals and non_literals:
+            return PropertyShapeKind.MULTI_HETERO
+        if len(self.value_types) == 1:
+            return (
+                PropertyShapeKind.SINGLE_LITERAL
+                if literals
+                else PropertyShapeKind.SINGLE_NON_LITERAL
+            )
+        return (
+            PropertyShapeKind.MULTI_HOMO_LITERAL
+            if literals
+            else PropertyShapeKind.MULTI_HOMO_NON_LITERAL
+        )
+
+    def is_single_type(self) -> bool:
+        """True when ``T_p`` has exactly one alternative."""
+        return len(self.value_types) == 1
+
+    def sole_literal_type(self) -> LiteralType | None:
+        """The single literal datatype, when this is a single-literal shape."""
+        if self.is_single_type() and isinstance(self.value_types[0], LiteralType):
+            return self.value_types[0]
+        return None
+
+    def literal_types(self) -> tuple[LiteralType, ...]:
+        """All literal alternatives in ``T_p``."""
+        return tuple(v for v in self.value_types if isinstance(v, LiteralType))
+
+    def non_literal_types(self) -> tuple[ValueType, ...]:
+        """All class/shape alternatives in ``T_p``."""
+        return tuple(v for v in self.value_types if not v.is_literal())
+
+    def cardinality(self) -> tuple[int, float]:
+        """The pair ``C_p = (min, max)``."""
+        return (self.min_count, self.max_count)
+
+    def is_mandatory(self) -> bool:
+        """True when ``min >= 1``."""
+        return self.min_count >= 1
+
+    def is_functional(self) -> bool:
+        """True when ``max <= 1`` (at most one value)."""
+        return self.max_count != UNBOUNDED and self.max_count <= 1
+
+
+@dataclass
+class NodeShape:
+    """A node shape ``<s, tau_s, Phi_s>`` (Definition 2.2).
+
+    Args:
+        name: the shape IRI ``s``.
+        target_class: ``tau_s`` when it denotes a class (``sh:targetClass``).
+        extends: parent node shapes referenced through ``sh:node``
+            (inheritance: this shape also enforces the parents' constraints).
+        property_shapes: the set ``Phi_s``.
+    """
+
+    name: str
+    target_class: str | None = None
+    extends: tuple[str, ...] = ()
+    property_shapes: list[PropertyShape] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_class is None and not self.extends:
+            raise ShapeError(f"node shape {self.name} has neither target class nor parent")
+
+    def property_shape_for(self, path: str) -> PropertyShape | None:
+        """The *locally declared* property shape for ``path``, if any."""
+        for phi in self.property_shapes:
+            if phi.path == path:
+                return phi
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeShape({self.name!r}, target={self.target_class!r}, "
+            f"extends={list(self.extends)}, |Phi|={len(self.property_shapes)})"
+        )
+
+
+class ShapeSchema:
+    """The shape schema ``S_G``: a named collection of node shapes.
+
+    Provides the inheritance-aware views the transformation and the
+    validator need: effective property shapes (local plus inherited) and
+    the shape targeting a given class.
+    """
+
+    def __init__(self, shapes: Iterable[NodeShape] = ()):
+        self._shapes: dict[str, NodeShape] = {}
+        for shape in shapes:
+            self.add(shape)
+
+    def add(self, shape: NodeShape) -> None:
+        """Insert or replace a node shape (keyed by its name)."""
+        self._shapes[shape.name] = shape
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __iter__(self) -> Iterator[NodeShape]:
+        return iter(self._shapes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shapes
+
+    def get(self, name: str) -> NodeShape | None:
+        """The shape named ``name``, or None."""
+        return self._shapes.get(name)
+
+    def __getitem__(self, name: str) -> NodeShape:
+        try:
+            return self._shapes[name]
+        except KeyError:
+            raise ShapeError(f"unknown node shape {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All shape names, in insertion order."""
+        return list(self._shapes)
+
+    def shape_for_class(self, cls: str) -> NodeShape | None:
+        """The node shape whose ``sh:targetClass`` is ``cls``, if any."""
+        for shape in self._shapes.values():
+            if shape.target_class == cls:
+                return shape
+        return None
+
+    def target_classes(self) -> dict[str, str]:
+        """Mapping class IRI -> shape name for all targeted classes."""
+        return {
+            s.target_class: s.name
+            for s in self._shapes.values()
+            if s.target_class is not None
+        }
+
+    def ancestors(self, name: str) -> list[str]:
+        """Parent shapes of ``name`` in depth-first order (transitively).
+
+        Raises:
+            ShapeError: on an inheritance cycle or a missing parent.
+        """
+        result: list[str] = []
+        seen: set[str] = {name}
+        stack = list(self[name].extends)
+        while stack:
+            parent = stack.pop(0)
+            if parent in seen:
+                raise ShapeError(f"inheritance cycle involving {parent!r}")
+            if parent not in self._shapes:
+                raise ShapeError(f"shape {name!r} extends unknown shape {parent!r}")
+            seen.add(parent)
+            result.append(parent)
+            stack.extend(self[parent].extends)
+        return result
+
+    def effective_property_shapes(self, name: str) -> list[PropertyShape]:
+        """Local property shapes plus all inherited ones.
+
+        A locally declared shape for a path overrides an inherited shape
+        for the same path (standard refinement semantics).
+        """
+        shape = self[name]
+        result: list[PropertyShape] = list(shape.property_shapes)
+        covered = {phi.path for phi in result}
+        for parent in self.ancestors(name):
+            for phi in self[parent].property_shapes:
+                if phi.path not in covered:
+                    result.append(phi)
+                    covered.add(phi.path)
+        return result
+
+    def all_property_shapes(self) -> list[tuple[NodeShape, PropertyShape]]:
+        """Every locally declared (node shape, property shape) pair."""
+        return [
+            (shape, phi)
+            for shape in self._shapes.values()
+            for phi in shape.property_shapes
+        ]
+
+    def validate_references(self) -> None:
+        """Check that every NodeShapeRef / extends points to a known shape.
+
+        Raises:
+            ShapeError: listing the first dangling reference found.
+        """
+        for shape in self._shapes.values():
+            for parent in shape.extends:
+                if parent not in self._shapes:
+                    raise ShapeError(
+                        f"shape {shape.name!r} extends unknown shape {parent!r}"
+                    )
+            for phi in shape.property_shapes:
+                for vt in phi.value_types:
+                    if isinstance(vt, NodeShapeRef) and vt.shape not in self._shapes:
+                        raise ShapeError(
+                            f"property {phi.path!r} of {shape.name!r} references "
+                            f"unknown shape {vt.shape!r}"
+                        )
+
+    def __repr__(self) -> str:
+        return f"<ShapeSchema with {len(self._shapes)} node shapes>"
+
+
+def string_shape(path: str, min_count: int = 1, max_count: float = 1) -> PropertyShape:
+    """Convenience: a single-type ``xsd:string`` property shape."""
+    return PropertyShape(
+        path=path,
+        value_types=(LiteralType(XSD.string),),
+        min_count=min_count,
+        max_count=max_count,
+    )

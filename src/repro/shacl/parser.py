@@ -1,0 +1,176 @@
+"""Parse SHACL documents (RDF graphs) into the :class:`ShapeSchema` model.
+
+Handles the SHACL core constructs of the paper's Figure 4: ``sh:NodeShape``
+declarations with ``sh:targetClass``, shape inheritance via a top-level
+``sh:node``, and property shapes with ``sh:path``, ``sh:nodeKind``,
+``sh:datatype``, ``sh:class``, nested ``sh:node`` references,
+``sh:minCount`` / ``sh:maxCount``, and ``sh:or`` lists of node-kind
+alternatives.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..namespaces import RDF_TYPE, SH, XSD
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, BlankNode, Literal, Object, Subject
+from ..rdf.turtle import parse_turtle, rdf_list_items
+from .model import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShape,
+    NodeShapeRef,
+    PropertyShape,
+    ShapeSchema,
+    ValueType,
+)
+
+_SH_NODE_SHAPE = IRI(SH.NodeShape)
+_SH_TARGET_CLASS = IRI(SH.targetClass)
+_SH_NODE = IRI(SH.node)
+_SH_PROPERTY = IRI(SH.property)
+_SH_PATH = IRI(SH.path)
+_SH_DATATYPE = IRI(SH.datatype)
+_SH_CLASS = IRI(SH["class"])
+_SH_NODE_KIND_LOWER = IRI(SH.nodeKind)
+_SH_NODE_KIND_UPPER = IRI(SH.NodeKind)
+_SH_MIN_COUNT = IRI(SH.minCount)
+_SH_MAX_COUNT = IRI(SH.maxCount)
+_SH_OR = IRI(SH["or"])
+_SH_LITERAL = IRI(SH.Literal)
+_SH_IRI_KIND = IRI(SH.IRI)
+_TYPE = IRI(RDF_TYPE)
+
+
+def parse_shacl_graph(graph: Graph) -> ShapeSchema:
+    """Extract the shape schema from an RDF graph of SHACL declarations.
+
+    Raises:
+        ShapeError: when a shape is structurally invalid (e.g. a property
+            shape without ``sh:path``).
+    """
+    schema = ShapeSchema()
+    shape_subjects = sorted(
+        (s for s in graph.subjects(_TYPE, _SH_NODE_SHAPE) if isinstance(s, IRI)),
+        key=lambda s: s.value,
+    )
+    for subject in shape_subjects:
+        schema.add(_parse_node_shape(graph, subject, set(shape_subjects)))
+    return schema
+
+
+def parse_shacl(text: str) -> ShapeSchema:
+    """Parse a Turtle SHACL document into a :class:`ShapeSchema`."""
+    return parse_shacl_graph(parse_turtle(text))
+
+
+def _parse_node_shape(graph: Graph, subject: IRI, shape_iris: set[IRI]) -> NodeShape:
+    target_class: str | None = None
+    tc = graph.value(subject, _SH_TARGET_CLASS)
+    if isinstance(tc, IRI):
+        target_class = tc.value
+
+    extends: list[str] = []
+    for parent in sorted(graph.objects(subject, _SH_NODE), key=lambda o: o.n3()):
+        if isinstance(parent, IRI):
+            extends.append(parent.value)
+
+    property_shapes: list[PropertyShape] = []
+    prop_nodes = sorted(
+        graph.objects(subject, _SH_PROPERTY),
+        key=lambda o: _property_sort_key(graph, o),
+    )
+    for prop_node in prop_nodes:
+        if not isinstance(prop_node, (IRI, BlankNode)):
+            raise ShapeError(f"sh:property of {subject.value} must be a node")
+        property_shapes.append(_parse_property_shape(graph, prop_node, subject))
+
+    try:
+        return NodeShape(
+            name=subject.value,
+            target_class=target_class,
+            extends=tuple(extends),
+            property_shapes=property_shapes,
+        )
+    except ShapeError as exc:
+        raise ShapeError(f"invalid node shape {subject.value}: {exc}") from exc
+
+
+def _property_sort_key(graph: Graph, node: Object) -> str:
+    if isinstance(node, (IRI, BlankNode)):
+        path = graph.value(node, _SH_PATH)
+        if path is not None:
+            return path.n3()
+    return node.n3()
+
+
+def _parse_property_shape(graph: Graph, node: Subject, owner: IRI) -> PropertyShape:
+    path = graph.value(node, _SH_PATH)
+    if not isinstance(path, IRI):
+        raise ShapeError(f"property shape in {owner.value} is missing sh:path")
+
+    min_count = _int_value(graph, node, _SH_MIN_COUNT, default=0)
+    max_raw = _int_value(graph, node, _SH_MAX_COUNT, default=None)
+    max_count: float = UNBOUNDED if max_raw is None else float(max_raw)
+
+    value_types: list[ValueType] = []
+    or_head = graph.value(node, _SH_OR)
+    if or_head is not None:
+        for alt in rdf_list_items(graph, or_head):
+            if not isinstance(alt, (IRI, BlankNode)):
+                raise ShapeError(f"sh:or alternative in {owner.value} must be a node")
+            value_types.append(_parse_value_type(graph, alt, owner, path))
+    else:
+        value_types.append(_parse_value_type(graph, node, owner, path))
+
+    try:
+        return PropertyShape(
+            path=path.value,
+            value_types=tuple(value_types),
+            min_count=min_count,
+            max_count=max_count,
+        )
+    except ShapeError as exc:
+        raise ShapeError(
+            f"invalid property shape {path.value} in {owner.value}: {exc}"
+        ) from exc
+
+
+def _parse_value_type(graph: Graph, node: Subject, owner: IRI, path: IRI) -> ValueType:
+    datatype = graph.value(node, _SH_DATATYPE)
+    cls = graph.value(node, _SH_CLASS)
+    shape_ref = graph.value(node, _SH_NODE)
+    node_kind = graph.value(node, _SH_NODE_KIND_LOWER) or graph.value(
+        node, _SH_NODE_KIND_UPPER
+    )
+
+    if isinstance(datatype, IRI):
+        return LiteralType(datatype.value)
+    if isinstance(cls, IRI):
+        return ClassType(cls.value)
+    if isinstance(shape_ref, IRI):
+        return NodeShapeRef(shape_ref.value)
+    if node_kind == _SH_LITERAL:
+        # A literal constraint without explicit datatype: default to string.
+        return LiteralType(XSD.string)
+    if node_kind == _SH_IRI_KIND:
+        raise ShapeError(
+            f"property shape {path.value} in {owner.value} has sh:nodeKind sh:IRI "
+            "but neither sh:class nor sh:node"
+        )
+    raise ShapeError(
+        f"property shape {path.value} in {owner.value} has no recognizable "
+        "value-type constraint (sh:datatype / sh:class / sh:node)"
+    )
+
+
+def _int_value(graph: Graph, node: Subject, predicate: IRI, default: int | None) -> int | None:
+    value = graph.value(node, predicate)
+    if value is None:
+        return default
+    if isinstance(value, Literal):
+        converted = value.to_python()
+        if isinstance(converted, int):
+            return converted
+    raise ShapeError(f"{predicate.value} must be an integer literal, got {value!r}")

@@ -1,0 +1,87 @@
+"""SHACL validation reports as RDF (``sh:ValidationReport``).
+
+The W3C SHACL specification defines a results vocabulary so that
+validation outcomes are themselves RDF.  This module renders our
+:class:`~repro.shacl.validator.ValidationReport` in that vocabulary —
+useful for interoperability with standard SHACL tooling — and can read
+such a graph back into a report.
+"""
+
+from __future__ import annotations
+
+from ..namespaces import RDF_TYPE, SH, XSD
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, BlankNode, Literal, Triple
+from .validator import ValidationReport, Violation
+
+_TYPE = IRI(RDF_TYPE)
+_REPORT = IRI(SH.ValidationReport)
+_RESULT_CLASS = IRI(SH.ValidationResult)
+_CONFORMS = IRI(SH.conforms)
+_RESULT = IRI(SH.result)
+_FOCUS = IRI(SH.focusNode)
+_PATH = IRI(SH.resultPath)
+_MESSAGE = IRI(SH.resultMessage)
+_SOURCE_SHAPE = IRI(SH.sourceShape)
+_SEVERITY = IRI(SH.resultSeverity)
+_VIOLATION = IRI(SH.Violation)
+
+
+def report_to_graph(report: ValidationReport) -> Graph:
+    """Encode a validation report in the SHACL results vocabulary."""
+    graph = Graph()
+    report_node = BlankNode("report")
+    graph.add(Triple(report_node, _TYPE, _REPORT))
+    graph.add(Triple(
+        report_node, _CONFORMS,
+        Literal("true" if report.conforms else "false", XSD.boolean),
+    ))
+    for index, violation in enumerate(report.violations):
+        result_node = BlankNode(f"result{index}")
+        graph.add(Triple(report_node, _RESULT, result_node))
+        graph.add(Triple(result_node, _TYPE, _RESULT_CLASS))
+        graph.add(Triple(result_node, _SEVERITY, _VIOLATION))
+        focus = (
+            IRI(violation.focus)
+            if not violation.focus.startswith("_:")
+            else BlankNode(violation.focus[2:])
+        )
+        graph.add(Triple(result_node, _FOCUS, focus))
+        graph.add(Triple(result_node, _SOURCE_SHAPE, IRI(violation.shape)))
+        if violation.path is not None:
+            graph.add(Triple(result_node, _PATH, IRI(violation.path)))
+        graph.add(Triple(result_node, _MESSAGE, Literal(violation.message)))
+    return graph
+
+
+def graph_to_report(graph: Graph) -> ValidationReport:
+    """Read a SHACL results graph back into a :class:`ValidationReport`.
+
+    Raises:
+        ValueError: when the graph contains no ``sh:ValidationReport``.
+    """
+    report_node = None
+    for subject in graph.subjects(_TYPE, _REPORT):
+        report_node = subject
+        break
+    if report_node is None:
+        raise ValueError("graph contains no sh:ValidationReport")
+    conforms_term = graph.value(report_node, _CONFORMS)
+    conforms = isinstance(conforms_term, Literal) and conforms_term.to_python() is True
+    violations: list[Violation] = []
+    for result_node in graph.objects(report_node, _RESULT):
+        focus = graph.value(result_node, _FOCUS)
+        shape = graph.value(result_node, _SOURCE_SHAPE)
+        path = graph.value(result_node, _PATH)
+        message = graph.value(result_node, _MESSAGE)
+        violations.append(Violation(
+            focus=str(focus) if focus is not None else "",
+            shape=shape.value if isinstance(shape, IRI) else "",
+            path=path.value if isinstance(path, IRI) else None,
+            message=message.lexical if isinstance(message, Literal) else "",
+        ))
+    return ValidationReport(
+        conforms=conforms,
+        violations=violations,
+        checked_entities=0,
+    )

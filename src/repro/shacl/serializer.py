@@ -1,0 +1,125 @@
+"""Serialize a :class:`ShapeSchema` back to SHACL (RDF graph / Turtle).
+
+The emitted graph uses exactly the constructs the parser understands, so
+``parse_shacl(serialize_shacl(schema))`` reproduces the schema — this
+round-trip is the computable mapping ``N`` restricted to SHACL documents
+and is exercised by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from ..namespaces import RDF_TYPE, SH
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, BlankNode, Literal, Triple
+from ..rdf.turtle import serialize_turtle
+from ..namespaces import XSD
+from .model import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShape,
+    NodeShapeRef,
+    PropertyShape,
+    ShapeSchema,
+    ValueType,
+)
+
+_TYPE = IRI(RDF_TYPE)
+_SH_NODE_SHAPE = IRI(SH.NodeShape)
+_SH_TARGET_CLASS = IRI(SH.targetClass)
+_SH_NODE = IRI(SH.node)
+_SH_PROPERTY = IRI(SH.property)
+_SH_PATH = IRI(SH.path)
+_SH_DATATYPE = IRI(SH.datatype)
+_SH_CLASS = IRI(SH["class"])
+_SH_NODE_KIND = IRI(SH.nodeKind)
+_SH_MIN_COUNT = IRI(SH.minCount)
+_SH_MAX_COUNT = IRI(SH.maxCount)
+_SH_OR = IRI(SH["or"])
+_SH_LITERAL = IRI(SH.Literal)
+_SH_IRI_KIND = IRI(SH.IRI)
+_RDF_FIRST = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#first")
+_RDF_REST = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#rest")
+_RDF_NIL = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#nil")
+
+
+class _BNodeFactory:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def __call__(self) -> BlankNode:
+        self._counter += 1
+        return BlankNode(f"sh{self._counter}")
+
+
+def shacl_to_graph(schema: ShapeSchema) -> Graph:
+    """Encode the shape schema as an RDF graph of SHACL declarations."""
+    graph = Graph()
+    fresh = _BNodeFactory()
+    for shape in schema:
+        _emit_node_shape(graph, shape, fresh)
+    return graph
+
+
+def serialize_shacl(schema: ShapeSchema) -> str:
+    """Render the shape schema as a Turtle document."""
+    return serialize_turtle(shacl_to_graph(schema))
+
+
+def _emit_node_shape(graph: Graph, shape: NodeShape, fresh: _BNodeFactory) -> None:
+    subject = IRI(shape.name)
+    graph.add(Triple(subject, _TYPE, _SH_NODE_SHAPE))
+    if shape.target_class is not None:
+        graph.add(Triple(subject, _SH_TARGET_CLASS, IRI(shape.target_class)))
+    for parent in shape.extends:
+        graph.add(Triple(subject, _SH_NODE, IRI(parent)))
+    for phi in shape.property_shapes:
+        prop_node = fresh()
+        graph.add(Triple(subject, _SH_PROPERTY, prop_node))
+        _emit_property_shape(graph, prop_node, phi, fresh)
+
+
+def _emit_property_shape(
+    graph: Graph, node: BlankNode, phi: PropertyShape, fresh: _BNodeFactory
+) -> None:
+    graph.add(Triple(node, _SH_PATH, IRI(phi.path)))
+    if phi.min_count > 0:
+        graph.add(Triple(node, _SH_MIN_COUNT, Literal(str(phi.min_count), XSD.integer)))
+    if phi.max_count != UNBOUNDED:
+        graph.add(
+            Triple(node, _SH_MAX_COUNT, Literal(str(int(phi.max_count)), XSD.integer))
+        )
+    if len(phi.value_types) == 1:
+        _emit_value_type(graph, node, phi.value_types[0])
+        return
+    # sh:or over an RDF collection of alternative blank nodes.
+    alt_nodes: list[BlankNode] = []
+    for vt in phi.value_types:
+        alt = fresh()
+        _emit_value_type(graph, alt, vt)
+        alt_nodes.append(alt)
+    head = fresh()
+    graph.add(Triple(node, _SH_OR, head))
+    current = head
+    for index, alt in enumerate(alt_nodes):
+        graph.add(Triple(current, _RDF_FIRST, alt))
+        if index + 1 < len(alt_nodes):
+            nxt = fresh()
+            graph.add(Triple(current, _RDF_REST, nxt))
+            current = nxt
+        else:
+            graph.add(Triple(current, _RDF_REST, _RDF_NIL))
+
+
+def _emit_value_type(graph: Graph, node: BlankNode, vt: ValueType) -> None:
+    if isinstance(vt, LiteralType):
+        graph.add(Triple(node, _SH_NODE_KIND, _SH_LITERAL))
+        graph.add(Triple(node, _SH_DATATYPE, IRI(vt.datatype)))
+    elif isinstance(vt, ClassType):
+        graph.add(Triple(node, _SH_NODE_KIND, _SH_IRI_KIND))
+        graph.add(Triple(node, _SH_CLASS, IRI(vt.cls)))
+    elif isinstance(vt, NodeShapeRef):
+        graph.add(Triple(node, _SH_NODE_KIND, _SH_IRI_KIND))
+        graph.add(Triple(node, _SH_NODE, IRI(vt.shape)))
+    else:  # pragma: no cover - exhaustive over the ValueType union
+        raise TypeError(f"unknown value type {vt!r}")

@@ -1,0 +1,66 @@
+"""SHACL shape statistics in the layout of Table 3.
+
+For each dataset the paper reports: number of node shapes (NS), number of
+property shapes (PS), how many PS are single- vs multi-type, and the
+breakdown of PS into the five taxonomy categories — with the multi-type
+heterogeneous column combining literals & non-literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import PropertyShapeKind, ShapeSchema
+from .taxonomy import kind_histogram
+
+
+@dataclass(frozen=True)
+class ShapeStats:
+    """One row of Table 3."""
+
+    n_node_shapes: int
+    n_property_shapes: int
+    n_single_type: int
+    n_multi_type: int
+    single_literals: int
+    single_non_literals: int
+    multi_homo_literals: int
+    multi_homo_non_literals: int
+    multi_hetero: int
+
+    def as_row(self) -> dict[str, int]:
+        """The statistics as an ordered dict matching the Table 3 columns."""
+        return {
+            "# of NS": self.n_node_shapes,
+            "# of PS": self.n_property_shapes,
+            "# of Single Type PS": self.n_single_type,
+            "# of Multi Type PS": self.n_multi_type,
+            "Single Type PS (Literals)": self.single_literals,
+            "Single Type PS (Non-Literals)": self.single_non_literals,
+            "Multi Type Homo PS (Literals)": self.multi_homo_literals,
+            "Multi Type Homo PS (Non-Literals)": self.multi_homo_non_literals,
+            "Multi Type Hetero PS (L & NL)": self.multi_hetero,
+        }
+
+
+def shape_stats(schema: ShapeSchema) -> ShapeStats:
+    """Compute the Table 3 statistics for ``schema``."""
+    histogram = kind_histogram(schema)
+    single_literals = histogram.get(PropertyShapeKind.SINGLE_LITERAL, 0)
+    single_non_literals = histogram.get(PropertyShapeKind.SINGLE_NON_LITERAL, 0)
+    multi_homo_literals = histogram.get(PropertyShapeKind.MULTI_HOMO_LITERAL, 0)
+    multi_homo_non_literals = histogram.get(PropertyShapeKind.MULTI_HOMO_NON_LITERAL, 0)
+    multi_hetero = histogram.get(PropertyShapeKind.MULTI_HETERO, 0)
+    n_single = single_literals + single_non_literals
+    n_multi = multi_homo_literals + multi_homo_non_literals + multi_hetero
+    return ShapeStats(
+        n_node_shapes=len(schema),
+        n_property_shapes=n_single + n_multi,
+        n_single_type=n_single,
+        n_multi_type=n_multi,
+        single_literals=single_literals,
+        single_non_literals=single_non_literals,
+        multi_homo_literals=multi_homo_literals,
+        multi_homo_non_literals=multi_homo_non_literals,
+        multi_hetero=multi_hetero,
+    )

@@ -1,0 +1,69 @@
+"""The Figure 3 taxonomy of node-shape constraints.
+
+Classifies property shapes into the five leaf categories that drive both
+the schema transformation rules (Section 4.1) and the query workload
+categories of the evaluation (Tables 6 and 7):
+
+* single-type literal
+* single-type non-literal
+* multi-type homogeneous literal
+* multi-type homogeneous non-literal
+* multi-type heterogeneous (literal & non-literal)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .model import NodeShape, PropertyShape, PropertyShapeKind, ShapeSchema
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One classified property shape."""
+
+    shape_name: str
+    path: str
+    kind: str
+    n_value_types: int
+    min_count: int
+    max_count: float
+
+
+def classify_property_shape(phi: PropertyShape) -> str:
+    """The Figure 3 category of ``phi`` (see :class:`PropertyShapeKind`)."""
+    return phi.kind()
+
+
+def classify_schema(schema: ShapeSchema) -> list[TaxonomyEntry]:
+    """Classify every locally declared property shape in the schema."""
+    return [
+        TaxonomyEntry(
+            shape_name=shape.name,
+            path=phi.path,
+            kind=phi.kind(),
+            n_value_types=len(phi.value_types),
+            min_count=phi.min_count,
+            max_count=phi.max_count,
+        )
+        for shape, phi in schema.all_property_shapes()
+    ]
+
+
+def kind_histogram(schema: ShapeSchema) -> Counter[str]:
+    """Count property shapes per taxonomy category."""
+    return Counter(entry.kind for entry in classify_schema(schema))
+
+
+def is_single_type(kind: str) -> bool:
+    """True for the two single-type leaves of the taxonomy."""
+    return kind in (
+        PropertyShapeKind.SINGLE_LITERAL,
+        PropertyShapeKind.SINGLE_NON_LITERAL,
+    )
+
+
+def is_multi_type(kind: str) -> bool:
+    """True for the three multi-type leaves of the taxonomy."""
+    return not is_single_type(kind)

@@ -1,0 +1,221 @@
+"""SHACL validation implementing the shape semantics of Definition 2.3.
+
+Given a graph ``G`` and shape schema ``S_G``, every entity ``e`` with
+``<e, a, tau_s> ∈ G`` for a node shape ``<s, tau_s, Phi_s>`` is checked
+against all property shapes in ``Phi_s`` (including inherited ones):
+
+* literal value-type constraints: every object of ``tau_p`` must be a
+  literal of the specified datatype;
+* class value-type constraints: every object must be an instance of one of
+  the allowed classes (or a subclass), and conform to that class's shape
+  when one exists;
+* node value-type constraints: every object must conform to the referenced
+  shape;
+* cardinality: the number of ``<e, tau_p, ·>`` triples must lie in
+  ``[min, max]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..namespaces import RDF_TYPE
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Object, Subject
+from .model import (
+    ClassType,
+    LiteralType,
+    NodeShape,
+    NodeShapeRef,
+    PropertyShape,
+    ShapeSchema,
+)
+
+_TYPE = IRI(RDF_TYPE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single conformance failure.
+
+    Attributes:
+        focus: the entity that fails.
+        shape: the node shape being checked.
+        path: the property involved, or None for shape-level problems.
+        message: human-readable description.
+    """
+
+    focus: str
+    shape: str
+    path: str | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f" on {self.path}" if self.path else ""
+        return f"[{self.shape}] {self.focus}{where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating a graph against a shape schema."""
+
+    conforms: bool
+    violations: list[Violation] = field(default_factory=list)
+    checked_entities: int = 0
+
+    def __bool__(self) -> bool:
+        return self.conforms
+
+
+class ShaclValidator:
+    """Validates RDF graphs against a :class:`ShapeSchema` (Definition 2.3).
+
+    Args:
+        schema: the shape schema ``S_G``.
+        max_violations: stop collecting after this many failures
+            (validation outcome is still exact; only the report is bounded).
+    """
+
+    def __init__(self, schema: ShapeSchema, max_violations: int = 10_000):
+        self.schema = schema
+        self.max_violations = max_violations
+
+    def validate(self, graph: Graph) -> ValidationReport:
+        """Validate every targeted entity in ``graph``."""
+        report = ValidationReport(conforms=True)
+        class_to_shape = self.schema.target_classes()
+        # Memo of (entity, shape-name) conformance to keep recursive
+        # shape-reference checks linear.
+        memo: dict[tuple[Subject, str], bool] = {}
+        for cls_iri, shape_name in class_to_shape.items():
+            for entity in graph.instances_of(IRI(cls_iri)):
+                report.checked_entities += 1
+                self._check_entity(graph, entity, shape_name, report, memo)
+                if len(report.violations) >= self.max_violations:
+                    report.conforms = False
+                    return report
+        return report
+
+    def conforms(self, graph: Graph) -> bool:
+        """Shortcut: True when ``graph ⊨ S_G``."""
+        return self.validate(graph).conforms
+
+    def entity_conforms(self, graph: Graph, entity: Subject, shape_name: str) -> bool:
+        """Check a single entity against a single shape (``e ⊨_G s``)."""
+        report = ValidationReport(conforms=True)
+        self._check_entity(graph, entity, shape_name, report, {})
+        return report.conforms
+
+    # ------------------------------------------------------------------ #
+
+    def _check_entity(
+        self,
+        graph: Graph,
+        entity: Subject,
+        shape_name: str,
+        report: ValidationReport,
+        memo: dict[tuple[Subject, str], bool],
+    ) -> bool:
+        key = (entity, shape_name)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        # Optimistically assume conformance to break reference cycles.
+        memo[key] = True
+        ok = True
+        for phi in self.schema.effective_property_shapes(shape_name):
+            if not self._check_property(graph, entity, shape_name, phi, report, memo):
+                ok = False
+        memo[key] = ok
+        if not ok:
+            report.conforms = False
+        return ok
+
+    def _check_property(
+        self,
+        graph: Graph,
+        entity: Subject,
+        shape_name: str,
+        phi: PropertyShape,
+        report: ValidationReport,
+        memo: dict[tuple[Subject, str], bool],
+    ) -> bool:
+        path = IRI(phi.path)
+        values = list(graph.objects(entity, path))
+        ok = True
+
+        count = len(values)
+        if count < phi.min_count or count > phi.max_count:
+            ok = False
+            self._record(
+                report,
+                entity,
+                shape_name,
+                phi.path,
+                f"cardinality {count} outside [{phi.min_count}, "
+                f"{'*' if phi.max_count == float('inf') else int(phi.max_count)}]",
+            )
+
+        for value in values:
+            if not self._value_matches_any(graph, value, phi, memo, report):
+                ok = False
+                self._record(
+                    report,
+                    entity,
+                    shape_name,
+                    phi.path,
+                    f"value {value.n3()} matches none of "
+                    f"{[str(v) for v in phi.value_types]}",
+                )
+        return ok
+
+    def _value_matches_any(
+        self,
+        graph: Graph,
+        value: Object,
+        phi: PropertyShape,
+        memo: dict[tuple[Subject, str], bool],
+        report: ValidationReport,
+    ) -> bool:
+        for vt in phi.value_types:
+            if isinstance(vt, LiteralType):
+                if isinstance(value, Literal) and value.datatype == vt.datatype:
+                    return True
+            elif isinstance(vt, ClassType):
+                if isinstance(value, IRI) and graph.is_instance_of(value, IRI(vt.cls)):
+                    nested = self.schema.shape_for_class(vt.cls)
+                    if nested is None:
+                        return True
+                    sub_report = ValidationReport(conforms=True)
+                    if self._check_entity(graph, value, nested.name, sub_report, memo):
+                        return True
+            elif isinstance(vt, NodeShapeRef):
+                if isinstance(value, IRI) and vt.shape in self.schema:
+                    sub_report = ValidationReport(conforms=True)
+                    if self._check_entity(graph, value, vt.shape, sub_report, memo):
+                        return True
+        return False
+
+    def _record(
+        self,
+        report: ValidationReport,
+        entity: Subject,
+        shape_name: str,
+        path: str | None,
+        message: str,
+    ) -> None:
+        if len(report.violations) < self.max_violations:
+            report.violations.append(
+                Violation(
+                    focus=str(entity),
+                    shape=shape_name,
+                    path=path,
+                    message=message,
+                )
+            )
+        report.conforms = False
+
+
+def validate(graph: Graph, schema: ShapeSchema) -> ValidationReport:
+    """Validate ``graph`` against ``schema`` (module-level convenience)."""
+    return ShaclValidator(schema).validate(graph)

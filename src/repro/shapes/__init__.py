@@ -1,0 +1,5 @@
+"""Shape extraction from RDF data (QSE-style, the paper's reference [33])."""
+
+from .extractor import ExtractionConfig, ShapeExtractor, extract_shapes
+
+__all__ = ["ExtractionConfig", "ShapeExtractor", "extract_shapes"]

@@ -1,0 +1,246 @@
+"""SHACL shape extraction from RDF data (the paper's reference [33]).
+
+The paper assumes a shape schema is available, extracting one with QSE
+[Rabbani, Lissandrini, Hose; PVLDB 2023] when it is not.  This module
+implements the same frequency-based idea: for every class, observe which
+predicates its instances use, the kinds and datatypes of their values, and
+their per-entity multiplicities, then emit node/property shapes with
+support- and confidence-based pruning.
+
+Extraction rules:
+
+* one node shape per class with at least ``min_class_support`` instances;
+* one property shape per (class, predicate) with support above
+  ``min_property_support`` (fraction of the class's instances using it);
+* value types: every observed literal datatype, plus a class constraint
+  for every observed object class (pruned below ``min_type_confidence``);
+* ``sh:minCount 1`` when every instance has the property, else 0;
+  ``sh:maxCount 1`` when no instance has two values, else unbounded;
+* ``rdfs:subClassOf`` links between shaped classes become ``sh:node``
+  inheritance, and property shapes identical to a parent's are removed
+  from the child.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..namespaces import RDF_TYPE, RDFS, SHAPES, local_name
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, BlankNode, Literal
+from ..shacl.model import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShape,
+    PropertyShape,
+    ShapeSchema,
+    ValueType,
+)
+
+_TYPE = IRI(RDF_TYPE)
+_SUBCLASS = IRI(RDFS.subClassOf)
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Support/confidence thresholds for shape extraction.
+
+    Attributes:
+        min_class_support: minimum number of instances for a class to get
+            a node shape.
+        min_property_support: minimum fraction of instances using a
+            predicate for it to get a property shape.
+        min_type_confidence: minimum fraction of a property's values a
+            value type must cover to be kept in ``sh:or``.
+        derive_hierarchy: turn ``rdfs:subClassOf`` into ``sh:node``.
+    """
+
+    min_class_support: int = 1
+    min_property_support: float = 0.0
+    min_type_confidence: float = 0.0
+    derive_hierarchy: bool = True
+
+
+class ShapeExtractor:
+    """Extracts a :class:`ShapeSchema` from instance data (QSE-style)."""
+
+    def __init__(self, config: ExtractionConfig | None = None):
+        self.config = config or ExtractionConfig()
+
+    def extract(self, graph: Graph) -> ShapeSchema:
+        """Run extraction over ``graph``."""
+        config = self.config
+        schema = ShapeSchema()
+        classes = sorted(
+            (
+                c
+                for c in graph.classes()
+                if sum(1 for _ in graph.instances_of(c)) >= config.min_class_support
+            ),
+            key=lambda c: c.value,
+        )
+        class_set = {c.value for c in classes}
+        shape_names = {
+            c.value: SHAPES.term(local_name(c.value) + "Shape") for c in classes
+        }
+        # Disambiguate local-name collisions across namespaces.
+        seen: dict[str, str] = {}
+        for class_iri, shape_name in list(shape_names.items()):
+            other = seen.get(shape_name)
+            if other is not None:
+                shape_names[class_iri] = shape_name + "_" + str(len(seen))
+            seen[shape_names[class_iri]] = class_iri
+
+        for cls in classes:
+            shape = self._extract_node_shape(
+                graph, cls, shape_names, class_set
+            )
+            schema.add(shape)
+
+        if config.derive_hierarchy:
+            self._apply_hierarchy(graph, schema, shape_names, class_set)
+        return schema
+
+    # ------------------------------------------------------------------ #
+
+    def _extract_node_shape(
+        self,
+        graph: Graph,
+        cls: IRI,
+        shape_names: dict[str, str],
+        class_set: set[str],
+    ) -> NodeShape:
+        config = self.config
+        instances = list(graph.instances_of(cls))
+        n_instances = len(instances)
+        usage: dict[IRI, int] = Counter()  # instances using the predicate
+        multi: dict[IRI, bool] = defaultdict(bool)
+        value_kinds: dict[IRI, Counter] = defaultdict(Counter)
+        value_totals: dict[IRI, int] = Counter()
+
+        for entity in instances:
+            for predicate in list(graph.predicates_of(entity)):
+                if predicate == _TYPE:
+                    continue
+                values = list(graph.objects(entity, predicate))
+                usage[predicate] += 1
+                if len(values) > 1:
+                    multi[predicate] = True
+                for value in values:
+                    value_totals[predicate] += 1
+                    for kind in self._value_kinds(graph, value):
+                        value_kinds[predicate][kind] += 1
+
+        property_shapes: list[PropertyShape] = []
+        for predicate in sorted(usage, key=lambda p: p.value):
+            support = usage[predicate] / n_instances if n_instances else 0.0
+            if support < config.min_property_support:
+                continue
+            value_types = self._select_value_types(
+                value_kinds[predicate], value_totals[predicate]
+            )
+            if not value_types:
+                continue
+            property_shapes.append(
+                PropertyShape(
+                    path=predicate.value,
+                    value_types=value_types,
+                    min_count=1 if usage[predicate] == n_instances else 0,
+                    max_count=UNBOUNDED if multi[predicate] else 1,
+                )
+            )
+        return NodeShape(
+            name=shape_names[cls.value],
+            target_class=cls.value,
+            property_shapes=property_shapes,
+        )
+
+    @staticmethod
+    def _value_kinds(graph: Graph, value) -> list[tuple[str, str]]:
+        if isinstance(value, Literal):
+            if value.language is not None:
+                return [("literal", Literal.LANG_STRING)]
+            return [("literal", value.datatype)]
+        if isinstance(value, (IRI, BlankNode)):
+            types = graph.types_of(value)
+            # Keep only the most specific types: drop any type that is a
+            # superclass of another type the object carries, so that an
+            # object typed {Settlement, Place} yields just Settlement.
+            specific = [
+                t
+                for t in types
+                if not any(
+                    t in graph.superclasses(other) for other in types if other != t
+                )
+            ]
+            return [
+                ("class", t.value)
+                for t in sorted(specific, key=lambda t: t.value)
+            ]  # untyped IRIs contribute no constraint
+        return []
+
+    def _select_value_types(
+        self, kinds: Counter, total: int
+    ) -> tuple[ValueType, ...]:
+        config = self.config
+        selected: list[ValueType] = []
+        # Order by descending support (the first literal type is the
+        # property's dominant datatype, which schema-dependent consumers
+        # like rdf2pg treat as the declared attribute type).
+        for (kind, iri), count in sorted(
+            kinds.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            confidence = count / total if total else 0.0
+            if confidence < config.min_type_confidence:
+                continue
+            if kind == "literal":
+                selected.append(LiteralType(iri))
+            else:
+                selected.append(ClassType(iri))
+        return tuple(selected)
+
+    # ------------------------------------------------------------------ #
+
+    def _apply_hierarchy(
+        self,
+        graph: Graph,
+        schema: ShapeSchema,
+        shape_names: dict[str, str],
+        class_set: set[str],
+    ) -> None:
+        for triple in graph.triples(p=_SUBCLASS):
+            if not (isinstance(triple.s, IRI) and isinstance(triple.o, IRI)):
+                continue
+            child_iri, parent_iri = triple.s.value, triple.o.value
+            if child_iri not in class_set or parent_iri not in class_set:
+                continue
+            child = schema[shape_names[child_iri]]
+            parent_name = shape_names[parent_iri]
+            if parent_name not in child.extends:
+                child.extends = (*child.extends, parent_name)
+        # Remove child-local property shapes identical to an inherited one.
+        for shape in schema:
+            if not shape.extends:
+                continue
+            inherited: dict[str, PropertyShape] = {}
+            for ancestor in schema.ancestors(shape.name):
+                for phi in schema[ancestor].property_shapes:
+                    inherited.setdefault(phi.path, phi)
+            shape.property_shapes = [
+                phi
+                for phi in shape.property_shapes
+                if not (
+                    phi.path in inherited
+                    and set(phi.value_types) == set(inherited[phi.path].value_types)
+                    and phi.cardinality() == inherited[phi.path].cardinality()
+                )
+            ]
+
+
+def extract_shapes(
+    graph: Graph, config: ExtractionConfig | None = None
+) -> ShapeSchema:
+    """Extract a shape schema from ``graph`` (module-level convenience)."""
+    return ShapeExtractor(config).extract(graph)

@@ -1,0 +1,114 @@
+"""Tests for the NeoSemantics baseline: mapping behaviour and loss modes."""
+
+import pytest
+
+from repro.baselines import NeoSemanticsTransformer, neosemantics_transform
+from repro.baselines.neosemantics import cypher_for_class_property
+from repro.namespaces import XSD
+from repro.rdf import parse_turtle
+
+PREFIX = "@prefix : <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+
+
+def run(body: str, **kwargs):
+    return neosemantics_transform(parse_turtle(PREFIX + body), **kwargs)
+
+
+class TestMapping:
+    def test_types_become_labels(self):
+        result = run(":a a :Person .")
+        node = result.graph.get_node("http://x/a")
+        assert "Person" in node.labels
+
+    def test_uri_property_key(self):
+        result = run(":a a :Person .")
+        assert result.graph.get_node("http://x/a").properties["uri"] == "http://x/a"
+
+    def test_iri_objects_become_relationships(self):
+        result = run(":a :knows :b .")
+        edges = list(result.graph.edges.values())
+        assert len(edges) == 1 and "knows" in edges[0].labels
+
+    def test_unseen_target_gets_resource_label(self):
+        result = run(":a :knows :b .")
+        assert "Resource" in result.graph.get_node("http://x/b").labels
+
+    def test_literals_become_properties(self):
+        result = run(':a :name "A" .')
+        assert result.graph.get_node("http://x/a").properties["name"] == "A"
+
+    def test_multivalued_array_accumulates(self):
+        result = run(':a :tag "x", "y" .')
+        assert sorted(result.graph.get_node("http://x/a").properties["tag"]) == ["x", "y"]
+
+    def test_blank_nodes_kept(self):
+        result = run('_:b :name "B" .')
+        assert result.graph.has_node("_:b")
+
+
+class TestLossModes:
+    def test_datatype_erasure_collides(self):
+        """"1999"^^gYear and "1999" are distinct in RDF but merge in n10s."""
+        result = run(':a :year "1999"^^xsd:gYear, "1999" .')
+        assert result.graph.get_node("http://x/a").properties["year"] == "1999"
+        assert result.stats.values_merged == 1
+
+    def test_language_tags_stripped_and_merged(self):
+        result = run(':a :label "foo"@en, "foo"@de .')
+        assert result.graph.get_node("http://x/a").properties["label"] == "foo"
+        assert result.stats.values_merged == 1
+
+    def test_distinct_values_not_merged(self):
+        result = run(':a :year "1999"^^xsd:gYear, "2000" .')
+        assert sorted(result.graph.get_node("http://x/a").properties["year"]) == [
+            "1999", "2000",
+        ]
+
+    def test_numeric_types_kept_native(self):
+        result = run(":a :n 42 .")
+        assert result.graph.get_node("http://x/a").properties["n"] == 42
+
+    def test_overwrite_strategy_keeps_last_value(self):
+        result = run(':a :tag "x" . :a :tag "y" .', handle_multival="OVERWRITE")
+        tag = result.graph.get_node("http://x/a").properties["tag"]
+        assert isinstance(tag, str)
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            NeoSemanticsTransformer(handle_multival="NOPE")
+
+
+class TestTransactions:
+    def test_commits_counted(self):
+        result = run(':a :name "A" .')
+        assert result.stats.commits == 1
+        assert result.stats.wal_bytes > 0
+
+    def test_commit_size_respected(self):
+        body = "\n".join(f':e{i} :name "v{i}" .' for i in range(10))
+        transformer = NeoSemanticsTransformer(commit_size=3)
+        result = transformer.transform(parse_turtle(PREFIX + body))
+        assert result.stats.commits == 4  # 3+3+3+1
+
+    def test_combined_time_recorded(self):
+        assert run(':a :name "A" .').combined_seconds > 0
+
+
+class TestQueryGeneration:
+    def test_union_all_shape(self):
+        result = run(":a a :Person .")
+        cypher = cypher_for_class_property(
+            result.resolver, "http://x/Person", "http://x/addr"
+        )
+        assert "UNION ALL" in cypher
+        assert "UNWIND" in cypher
+        assert "node.uri" in cypher
+
+    def test_generated_cypher_parses(self):
+        from repro.query.cypher import parse_cypher
+
+        result = run(":a a :Person .")
+        cypher = cypher_for_class_property(
+            result.resolver, "http://x/Person", "http://x/addr"
+        )
+        assert len(parse_cypher(cypher).parts) == 2

@@ -1,0 +1,122 @@
+"""Tests for the rdf2pg baseline: realizations and loss modes."""
+
+from repro.baselines import ATTRIBUTE, EDGE, Rdf2pgTransformer, rdf2pg_transform
+from repro.baselines.rdf2pg import cypher_for_class_property
+from repro.namespaces import XSD
+from repro.rdf import parse_turtle
+from repro.shacl import parse_shacl
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Album a sh:NodeShape ; sh:targetClass :Album ;
+  sh:property [ sh:path :title ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :released ;
+    sh:or ( [ sh:datatype xsd:date ] [ sh:datatype xsd:string ] ) ;
+    sh:minCount 0 ] ;
+  sh:property [ sh:path :writer ;
+    sh:or ( [ sh:nodeKind sh:IRI ; sh:class :Person ]
+            [ sh:datatype xsd:string ] ) ; sh:minCount 0 ] .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] .
+""")
+
+PREFIX = "@prefix : <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+
+
+def run(body: str):
+    return rdf2pg_transform(parse_turtle(PREFIX + body), SHAPES)
+
+
+class TestRealizations:
+    def test_literal_only_property_is_attribute(self):
+        transformer = Rdf2pgTransformer(SHAPES)
+        realization = transformer.realization_for("http://x/title")
+        assert realization.kind == ATTRIBUTE
+        assert realization.primary_datatype == XSD.string
+
+    def test_multi_literal_primary_is_first_declared(self):
+        transformer = Rdf2pgTransformer(SHAPES)
+        realization = transformer.realization_for("http://x/released")
+        assert realization.kind == ATTRIBUTE
+        assert realization.primary_datatype == XSD.date
+
+    def test_heterogeneous_property_is_edge(self):
+        transformer = Rdf2pgTransformer(SHAPES)
+        assert transformer.realization_for("http://x/writer").kind == EDGE
+
+    def test_unknown_predicate_defaults_to_edge(self):
+        transformer = Rdf2pgTransformer(SHAPES)
+        assert transformer.realization_for("http://x/unknown").kind == EDGE
+
+
+class TestLossModes:
+    def test_literal_value_of_edge_property_dropped(self):
+        result = run(':a a :Album ; :title "T" ; :writer "Tofer Brown" .')
+        assert result.stats.dropped_literals == 1
+        assert result.graph.edge_count() == 0
+
+    def test_iri_value_of_edge_property_kept(self):
+        result = run(":a a :Album ; :writer :w . :w a :Person .")
+        assert result.graph.edge_count() == 1
+
+    def test_wrong_datatype_attribute_value_dropped(self):
+        result = run(':a a :Album ; :released "1999" .')  # string, primary is date
+        assert result.stats.dropped_wrong_datatype == 1
+        assert "released" not in result.graph.get_node("http://x/a").properties
+
+    def test_primary_datatype_attribute_value_kept(self):
+        result = run(':a a :Album ; :released "1999-01-01"^^xsd:date .')
+        assert result.graph.get_node("http://x/a").properties["released"] == "1999-01-01"
+
+    def test_language_tagged_values_dropped(self):
+        result = run(':a a :Album ; :title "T"@en .')
+        assert result.stats.dropped_lang_tagged == 1
+
+    def test_blank_nodes_dropped(self):
+        result = run('_:b a :Album ; :title "T" .')
+        assert result.stats.dropped_bnodes == 2
+        assert result.graph.node_count() == 0
+
+
+class TestPipeline:
+    def test_phases_timed_separately(self):
+        result = run(':a a :Album ; :title "T" .')
+        assert result.transform_seconds > 0
+        assert result.load_seconds > 0
+
+    def test_yarspg_intermediate_produced(self):
+        result = run(':a a :Album ; :title "T" .')
+        assert result.yarspg_size > 0
+
+    def test_loaded_store_is_queryable(self):
+        result = run(':a a :Album ; :title "T" .')
+        assert result.store.count_label("Album") == 1
+
+    def test_iri_property_key(self):
+        result = run(':a a :Album ; :title "T" .')
+        assert result.graph.get_node("http://x/a").properties["iri"] == "http://x/a"
+
+
+class TestQueryGeneration:
+    def test_attribute_query_uses_unwind(self):
+        result = run(':a a :Album ; :title "T" .')
+        cypher = cypher_for_class_property(result, "http://x/Album", "http://x/title")
+        assert "UNWIND" in cypher and "UNION" not in cypher
+
+    def test_edge_query_uses_relationship(self):
+        result = run(':a a :Album ; :title "T" .')
+        cypher = cypher_for_class_property(result, "http://x/Album", "http://x/writer")
+        assert "-[:writer]->" in cypher
+
+    def test_generated_cypher_parses(self):
+        from repro.query.cypher import parse_cypher
+
+        result = run(':a a :Album ; :title "T" .')
+        for predicate in ("http://x/title", "http://x/writer"):
+            cypher = cypher_for_class_property(result, "http://x/Album", predicate)
+            assert parse_cypher(cypher).parts

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import transform
+from repro.datasets import university_graph, university_shapes
+from repro.eval import load_dataset
+
+
+@pytest.fixture(scope="session")
+def uni_graph():
+    """The Figure 2a university RDF graph."""
+    return university_graph()
+
+
+@pytest.fixture(scope="session")
+def uni_shapes():
+    """The Figure 2b university shape schema."""
+    return university_shapes()
+
+
+@pytest.fixture(scope="session")
+def uni_result(uni_graph, uni_shapes):
+    """The Figure 2c/2d transformation result (parsimonious)."""
+    return transform(uni_graph, uni_shapes)
+
+
+@pytest.fixture(scope="session")
+def small_dbpedia():
+    """A small DBpedia-like bundle (graph + extracted shapes)."""
+    return load_dataset("dbpedia2022", scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_bio2rdf():
+    """A small Bio2RDF-like bundle (graph + extracted shapes)."""
+    return load_dataset("bio2rdf", scale=0.1)

@@ -1,0 +1,78 @@
+"""Tests for the G2GML mapping emitter."""
+
+from repro.core import render_g2gml, transform_schema
+from repro.datasets import university_shapes
+from repro.shacl import parse_shacl
+
+
+def g2g_for(shapes_text: str) -> str:
+    schema = parse_shacl(shapes_text)
+    result = transform_schema(schema)
+    return render_g2gml(result.mapping)
+
+
+SHAPES = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :nick ; sh:datatype xsd:string ; sh:minCount 0 ] ;
+  sh:property [ sh:path :knows ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] ;
+  sh:property [ sh:path :note ;
+     sh:or ( [ sh:datatype xsd:string ] [ sh:datatype xsd:gYear ] ) ;
+     sh:minCount 0 ] .
+"""
+
+
+class TestNodeMaps:
+    def test_node_map_with_type_pattern(self):
+        text = g2g_for(SHAPES)
+        assert "(e:Person {iri: e, name: name, nick: nick})" in text
+        assert "?e rdf:type <http://x/Person> ." in text
+
+    def test_mandatory_property_is_plain_pattern(self):
+        text = g2g_for(SHAPES)
+        assert "?e <http://x/name> ?name ." in text
+
+    def test_optional_property_wrapped(self):
+        text = g2g_for(SHAPES)
+        assert "OPTIONAL { ?e <http://x/nick> ?nick }" in text
+
+    def test_prefix_header(self):
+        assert g2g_for(SHAPES).startswith("PREFIX rdf:")
+
+
+class TestEdgeMaps:
+    def test_resource_edge_map(self):
+        text = g2g_for(SHAPES)
+        assert "(e1:Person)-[:knows]->(e2:Person)" in text
+        assert "?e1 <http://x/knows> ?e2 ." in text
+
+    def test_literal_node_edge_maps_with_datatype_filter(self):
+        text = g2g_for(SHAPES)
+        assert "(e1:Person)-[:note]->(v:STRING {value: v})" in text
+        assert "(e1:Person)-[:note]->(v:YEAR {value: v})" in text
+        assert "FILTER(datatype(?v) = <http://www.w3.org/2001/XMLSchema#gYear>)" in text
+
+
+class TestUniversityFixture:
+    def test_covers_every_shape(self):
+        result = transform_schema(university_shapes())
+        text = render_g2gml(result.mapping)
+        for label in ("uni_Person", "uni_Student", "uni_GraduateStudent",
+                      "uni_Department", "uni_University"):
+            assert f"(e:{label}" in text
+
+    def test_heterogeneous_takes_course_has_both_edge_kinds(self):
+        result = transform_schema(university_shapes())
+        text = render_g2gml(result.mapping)
+        assert "(e1:uni_GraduateStudent)-[:uni_takesCourse]->(e2:uni_Course)" in text
+        assert "(v:STRING {value: v})" in text
+
+    def test_deterministic(self):
+        result = transform_schema(university_shapes())
+        assert render_g2gml(result.mapping) == render_g2gml(result.mapping)

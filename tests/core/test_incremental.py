@@ -1,0 +1,152 @@
+"""Tests for incremental (monotone) maintenance (Definition 3.4)."""
+
+import pytest
+
+from repro.core import (
+    IncrementalTransformer,
+    MONOTONE_OPTIONS,
+    S3PG,
+    apply_delta,
+)
+from repro.datasets import make_evolution_pair
+from repro.rdf import Graph, parse_turtle
+from repro.shacl import parse_shacl
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :friend ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] ;
+  sh:property [ sh:path :note ;
+     sh:or ( [ sh:datatype xsd:string ] [ sh:datatype xsd:integer ] ) ;
+     sh:minCount 0 ] .
+""")
+
+PREFIX = "@prefix : <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+
+BASE = PREFIX + """
+:a a :Person ; :name "A" ; :friend :b ; :note "n1" .
+:b a :Person ; :name "B" .
+"""
+
+
+def full_transform(graph: Graph):
+    return S3PG(MONOTONE_OPTIONS).transform(graph, SHAPES)
+
+
+class TestAdditions:
+    def test_added_entity_appears(self):
+        result = full_transform(parse_turtle(BASE))
+        delta = parse_turtle(PREFIX + ':c a :Person ; :name "C" .')
+        stats = apply_delta(result.transformed, added=delta)
+        assert result.graph.get_node("http://x/c").labels == {"Person"}
+        assert stats.added_triples == 2
+
+    def test_added_edge_appears(self):
+        result = full_transform(parse_turtle(BASE))
+        delta = parse_turtle(PREFIX + ":b :friend :a .")
+        apply_delta(result.transformed, added=delta)
+        assert "http://x/b|friend|http://x/a" in result.graph.edges
+
+    def test_duplicate_addition_is_idempotent(self):
+        result = full_transform(parse_turtle(BASE))
+        before = result.graph.canonical_form()
+        apply_delta(result.transformed, added=parse_turtle(BASE))
+        assert result.graph.canonical_form() == before
+
+    def test_addition_matches_full_transform(self):
+        base = parse_turtle(BASE)
+        delta = parse_turtle(PREFIX + """
+        :c a :Person ; :name "C" ; :friend :a ; :note 5 .
+        """)
+        incremental = full_transform(base)
+        apply_delta(incremental.transformed, added=delta)
+        from_scratch = full_transform(base | delta)
+        assert incremental.graph.structurally_equal(from_scratch.graph)
+
+    def test_new_type_on_existing_resource_upgrades_it(self):
+        result = full_transform(parse_turtle(PREFIX + ':a a :Person ; :name "A" ; :friend :c .'))
+        assert result.graph.get_node("http://x/c").labels == {"Resource"}
+        apply_delta(result.transformed, added=parse_turtle(PREFIX + ':c a :Person .'))
+        assert result.graph.get_node("http://x/c").labels == {"Person"}
+
+
+class TestDeletions:
+    def test_removed_edge_disappears(self):
+        result = full_transform(parse_turtle(BASE))
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ":a :friend :b ."))
+        assert "http://x/a|friend|http://x/b" not in result.graph.edges
+
+    def test_removed_literal_value_gcs_orphan_node(self):
+        result = full_transform(parse_turtle(BASE))
+        n_before = result.graph.node_count()
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ':a :note "n1" .'))
+        assert result.graph.node_count() == n_before - 1
+
+    def test_shared_literal_node_survives_partial_removal(self):
+        base = parse_turtle(BASE + ':b :note "n1" .')
+        result = full_transform(base)
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ':a :note "n1" .'))
+        # :b still references the "n1" literal node.
+        assert any(
+            n.properties.get("value") == "n1" for n in result.graph.nodes.values()
+        )
+
+    def test_deletion_matches_full_transform(self):
+        base = parse_turtle(BASE)
+        removed = parse_turtle(PREFIX + ':a :note "n1" .')
+        incremental = full_transform(base)
+        apply_delta(incremental.transformed, removed=removed)
+        from_scratch = full_transform(base - removed)
+        assert incremental.graph.structurally_equal(from_scratch.graph)
+
+    def test_removing_type_label(self):
+        result = full_transform(parse_turtle(BASE))
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ":a a :Person ."))
+        assert "Person" not in result.graph.get_node("http://x/a").labels
+
+    def test_removing_unknown_triple_is_noop(self):
+        result = full_transform(parse_turtle(BASE))
+        before = result.graph.canonical_form()
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ':zz :note "gone" .'))
+        assert result.graph.canonical_form() == before
+
+
+class TestMonotonicityProperty:
+    def test_definition_3_4_on_synthetic_snapshots(self, small_dbpedia):
+        pair = make_evolution_pair(small_dbpedia.graph, seed=5)
+        assert pair.check_invariants()
+        from repro.shapes import extract_shapes
+
+        shapes = extract_shapes(pair.new | pair.old)
+        s3pg = S3PG(MONOTONE_OPTIONS)
+        old_result = s3pg.transform(pair.old, shapes)
+        new_result = s3pg.transform(pair.new, shapes)
+        apply_delta(old_result.transformed, added=pair.added, removed=pair.removed)
+        assert old_result.graph.structurally_equal(new_result.graph)
+
+    def test_union_decomposition(self):
+        """F(G1 ∪ Δ) == F(G1) ∪ F(Δ) for disjoint additions."""
+        g1 = parse_turtle(BASE)
+        delta = parse_turtle(PREFIX + ':c a :Person ; :name "C" .')
+        left = full_transform(g1 | delta)
+        right = full_transform(g1)
+        apply_delta(right.transformed, added=delta)
+        assert left.graph.structurally_equal(right.graph)
+
+    def test_incremental_transformer_reusable(self):
+        result = full_transform(parse_turtle(BASE))
+        inc = IncrementalTransformer(result.transformed)
+        inc.apply_additions(parse_turtle(PREFIX + ':c a :Person ; :name "C" .'))
+        inc.apply_additions(parse_turtle(PREFIX + ":c :friend :a ."))
+        assert "http://x/c|friend|http://x/a" in result.graph.edges

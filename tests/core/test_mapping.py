@@ -1,0 +1,137 @@
+"""Tests for the F_st schema mapping structure and its persistence."""
+
+import pytest
+
+from repro.core import (
+    ClassMapping,
+    LiteralTypeInfo,
+    MODE_EDGE,
+    MODE_KEY_VALUE,
+    PropertyMapping,
+    SchemaMapping,
+    transform_schema,
+)
+from repro.errors import TransformError
+from repro.namespaces import XSD
+from repro.shacl import UNBOUNDED
+
+
+def build_mapping() -> SchemaMapping:
+    mapping = SchemaMapping(parsimonious=True)
+    mapping.add_literal_type(LiteralTypeInfo(XSD.string, "stringType", "STRING", "STRING"))
+    mapping.add_class(ClassMapping(
+        class_iri="http://x/Person",
+        shape_name="http://x/shapes#Person",
+        node_type_name="personType",
+        label="Person",
+        properties={
+            "http://x/name": PropertyMapping(
+                predicate="http://x/name", mode=MODE_KEY_VALUE,
+                pg_key="name", datatype=XSD.string, min_count=1, max_count=1,
+            ),
+            "http://x/knows": PropertyMapping(
+                predicate="http://x/knows", mode=MODE_EDGE, rel_type="knows",
+                resource_targets={"http://x/Person": "Person"},
+                min_count=0, max_count=UNBOUNDED,
+            ),
+        },
+        local_predicates=("http://x/name", "http://x/knows"),
+    ))
+    return mapping
+
+
+class TestLookups:
+    def test_forward_class_lookup(self):
+        mapping = build_mapping()
+        assert mapping.label_for_class("http://x/Person") == "Person"
+        assert mapping.label_for_class("http://x/Nope") is None
+
+    def test_backward_label_lookup(self):
+        mapping = build_mapping()
+        assert mapping.class_for_label("Person") == "http://x/Person"
+
+    def test_property_resolution_with_class_context(self):
+        mapping = build_mapping()
+        prop = mapping.property_for(["http://x/Person"], "http://x/name")
+        assert prop.pg_key == "name"
+
+    def test_property_resolution_without_context_scans_classes(self):
+        mapping = build_mapping()
+        prop = mapping.property_for([], "http://x/knows")
+        assert prop.rel_type == "knows"
+
+    def test_unknown_property_returns_none(self):
+        assert build_mapping().property_for([], "http://x/ghost") is None
+
+    def test_backward_predicate_lookups(self):
+        mapping = build_mapping()
+        assert mapping.predicate_for_rel("knows") == "http://x/knows"
+        assert mapping.predicate_for_key("name") == "http://x/name"
+        assert mapping.predicate_for_rel("ghost") is None
+
+    def test_datatype_for_key(self):
+        assert build_mapping().datatype_for_key("name") == XSD.string
+
+    def test_literal_info_for_label(self):
+        info = build_mapping().literal_info_for_label("STRING")
+        assert info.datatype == XSD.string
+        assert build_mapping().literal_info_for_label("YEAR") is None
+
+    def test_fallback_registration(self):
+        mapping = build_mapping()
+        mapping.add_fallback(PropertyMapping(
+            predicate="http://x/extra", mode=MODE_EDGE, rel_type="extra",
+        ))
+        assert mapping.property_for([], "http://x/extra").rel_type == "extra"
+
+
+class TestConflicts:
+    def test_rel_type_name_conflict_detected(self):
+        mapping = build_mapping()
+        with pytest.raises(TransformError):
+            mapping.add_fallback(PropertyMapping(
+                predicate="http://other/knows", mode=MODE_EDGE, rel_type="knows",
+            ))
+
+    def test_record_key_conflict_detected(self):
+        mapping = build_mapping()
+        conflicting = ClassMapping(
+            class_iri="http://x/Other",
+            shape_name="http://x/shapes#Other",
+            node_type_name="otherType",
+            label="Other",
+            properties={
+                "http://other/name": PropertyMapping(
+                    predicate="http://other/name", mode=MODE_KEY_VALUE,
+                    pg_key="name", datatype=XSD.string,
+                ),
+            },
+        )
+        with pytest.raises(TransformError):
+            mapping.add_class(conflicting)
+
+
+class TestPersistence:
+    def test_json_round_trip(self):
+        mapping = build_mapping()
+        again = SchemaMapping.from_json(mapping.to_json())
+        assert again.parsimonious == mapping.parsimonious
+        assert again.label_for_class("http://x/Person") == "Person"
+        prop = again.property_for(["http://x/Person"], "http://x/knows")
+        assert prop.mode == MODE_EDGE
+        assert prop.max_count == UNBOUNDED
+        assert again.datatype_for_key("name") == XSD.string
+
+    def test_json_round_trip_of_real_transformation(self, uni_shapes):
+        result = transform_schema(uni_shapes)
+        again = SchemaMapping.from_json(result.mapping.to_json())
+        assert set(again.classes) == set(result.mapping.classes)
+        assert again.rel_types == result.mapping.rel_types
+        assert again.pg_keys == result.mapping.pg_keys
+
+    def test_local_predicates_survive_json(self):
+        again = SchemaMapping.from_json(build_mapping().to_json())
+        class_mapping = again.class_mapping("http://x/Person")
+        assert set(class_mapping.local_predicates) == {
+            "http://x/name", "http://x/knows",
+        }

@@ -1,0 +1,203 @@
+"""Property-based tests for the S3PG transformation invariants.
+
+Randomly generated shape schemas plus conforming instance data are pushed
+through the transformation, and the paper's three guarantees are checked:
+
+* information preservation: ``M(F_dt(G)) == G`` and ``N(F_st(S)) == S``;
+* semantics preservation (positive direction): conforming RDF maps to a
+  conforming PG;
+* monotonicity: converting a random split ``G = G1 ∪ Δ`` incrementally
+  equals converting ``G`` at once.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_OPTIONS,
+    MONOTONE_OPTIONS,
+    S3PG,
+    apply_delta,
+    pg_to_rdf,
+    pgschema_to_shacl,
+    shape_schemas_equivalent,
+)
+from repro.namespaces import RDF_TYPE, XSD
+from repro.pgschema import check_conformance
+from repro.rdf import Graph, IRI, Literal, Triple, graphs_equal_modulo_bnodes
+from repro.shacl import (
+    ClassType,
+    LiteralType,
+    NodeShape,
+    PropertyShape,
+    ShapeSchema,
+    UNBOUNDED,
+)
+
+_CLASS_NAMES = ["Alpha", "Beta", "Gamma", "Delta"]
+_DATATYPES = [XSD.string, XSD.integer, XSD.date, XSD.gYear]
+
+
+@st.composite
+def shape_schemas(draw) -> ShapeSchema:
+    n_classes = draw(st.integers(min_value=1, max_value=4))
+    classes = _CLASS_NAMES[:n_classes]
+    schema = ShapeSchema()
+    for index, name in enumerate(classes):
+        n_props = draw(st.integers(min_value=0, max_value=3))
+        property_shapes = []
+        for prop_index in range(n_props):
+            path = f"http://x/{name.lower()}P{prop_index}"
+            kind = draw(st.sampled_from(["lit", "cls", "multi", "hetero"]))
+            if kind == "lit":
+                datatype = draw(st.sampled_from(_DATATYPES))
+                value_types = (LiteralType(datatype),)
+            elif kind == "cls":
+                target = draw(st.sampled_from(classes))
+                value_types = (ClassType(f"http://x/{target}"),)
+            elif kind == "multi":
+                dts = draw(st.lists(st.sampled_from(_DATATYPES), min_size=2,
+                                    max_size=3, unique=True))
+                value_types = tuple(LiteralType(dt) for dt in dts)
+            else:
+                datatype = draw(st.sampled_from(_DATATYPES))
+                target = draw(st.sampled_from(classes))
+                value_types = (LiteralType(datatype), ClassType(f"http://x/{target}"))
+            min_count = draw(st.integers(min_value=0, max_value=1))
+            max_count = draw(st.sampled_from([1, 3, UNBOUNDED]))
+            if max_count != UNBOUNDED and max_count < min_count:
+                max_count = min_count
+            property_shapes.append(PropertyShape(
+                path=path, value_types=value_types,
+                min_count=min_count, max_count=max_count,
+            ))
+        parents = ()
+        if index > 0 and draw(st.booleans()):
+            parents = (f"http://x/shapes#{classes[index - 1]}",)
+        schema.add(NodeShape(
+            name=f"http://x/shapes#{name}",
+            target_class=f"http://x/{name}",
+            extends=parents,
+            property_shapes=property_shapes,
+        ))
+    return schema
+
+
+def _literal_for(rng_text: str, datatype: str, index: int) -> Literal:
+    if datatype == XSD.integer:
+        return Literal(str(1000 + index), XSD.integer)
+    if datatype == XSD.date:
+        return Literal(f"2020-01-{(index % 28) + 1:02d}", XSD.date)
+    if datatype == XSD.gYear:
+        return Literal(str(1900 + index % 100), XSD.gYear)
+    return Literal(f"{rng_text}{index}", XSD.string)
+
+
+@st.composite
+def conforming_data(draw, schema: ShapeSchema) -> Graph:
+    graph = Graph()
+    counts = {}
+    # Create 1-3 entities per shape, typed with the class and ancestors'.
+    for shape in schema:
+        count = draw(st.integers(min_value=1, max_value=3))
+        counts[shape.name] = count
+        class_iri = shape.target_class
+        for i in range(count):
+            entity = IRI(f"{class_iri}_{i}")
+            graph.add(Triple(entity, IRI(RDF_TYPE), IRI(class_iri)))
+            for ancestor in schema.ancestors(shape.name):
+                graph.add(Triple(
+                    entity, IRI(RDF_TYPE), IRI(schema[ancestor].target_class)
+                ))
+    for shape in schema:
+        class_iri = shape.target_class
+        for i in range(counts[shape.name]):
+            entity = IRI(f"{class_iri}_{i}")
+            for phi in schema.effective_property_shapes(shape.name):
+                max_values = 2 if phi.max_count == UNBOUNDED else int(phi.max_count)
+                n_values = draw(st.integers(
+                    min_value=phi.min_count, max_value=max(phi.min_count, min(max_values, 2))
+                ))
+                for v in range(n_values):
+                    vt = draw(st.sampled_from(list(phi.value_types)))
+                    if isinstance(vt, LiteralType):
+                        obj = _literal_for("v", vt.datatype, v + i)
+                    else:
+                        target_shape = schema.shape_for_class(vt.cls)
+                        target_count = counts.get(
+                            target_shape.name if target_shape else "", 1
+                        )
+                        obj = IRI(f"{vt.cls}_{v % max(1, target_count)}")
+                    graph.add(Triple(entity, IRI(phi.path), obj))
+    return graph
+
+
+@st.composite
+def schema_and_data(draw):
+    schema = draw(shape_schemas())
+    graph = draw(conforming_data(schema))
+    return schema, graph
+
+
+@given(shape_schemas())
+@settings(max_examples=30, deadline=None)
+def test_n_inverts_fst(schema):
+    """N(F_st(S_G)) == S_G for random shape schemas (Proposition 4.1)."""
+    result = S3PG().transform_schema(schema)
+    assert shape_schemas_equivalent(schema, pgschema_to_shacl(result.mapping))
+
+
+@given(schema_and_data())
+@settings(max_examples=25, deadline=None)
+def test_m_inverts_fdt_parsimonious(pair):
+    """M(F_dt(G)) == G (Proposition 4.1, parsimonious model)."""
+    schema, graph = pair
+    result = S3PG(DEFAULT_OPTIONS).transform(graph, schema)
+    assert graphs_equal_modulo_bnodes(graph, pg_to_rdf(result.graph, result.mapping))
+
+
+@given(schema_and_data())
+@settings(max_examples=25, deadline=None)
+def test_m_inverts_fdt_non_parsimonious(pair):
+    """M(F_dt(G)) == G (non-parsimonious model)."""
+    schema, graph = pair
+    result = S3PG(MONOTONE_OPTIONS).transform(graph, schema)
+    assert graphs_equal_modulo_bnodes(graph, pg_to_rdf(result.graph, result.mapping))
+
+
+@given(schema_and_data())
+@settings(max_examples=20, deadline=None)
+def test_semantics_preservation_positive(pair):
+    """G ⊨ S_G implies F_dt(G) ⊨ S_PG (Proposition 4.2, forward)."""
+    from repro.shacl import validate
+
+    schema, graph = pair
+    if not validate(graph, schema).conforms:
+        return  # generator occasionally violates inherited cardinalities
+    result = S3PG(DEFAULT_OPTIONS).transform(graph, schema)
+    assert check_conformance(result.graph, result.pg_schema).conforms
+
+
+@given(schema_and_data(), st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_monotonicity_random_split(pair, rng):
+    """F(G) == F(G1) + Δ-apply for a random split G = G1 ∪ Δ."""
+    schema, graph = pair
+    triples = sorted(graph, key=lambda t: t.n3())
+    split = rng.randint(0, len(triples))
+    type_pred = IRI(RDF_TYPE)
+    # Keep all type triples in the base so entity typing is stable.
+    base = Graph(t for t in triples if t.p == type_pred)
+    rest = [t for t in triples if t.p != type_pred]
+    base.update(rest[:split])
+    delta = Graph(rest[split:])
+
+    s3pg = S3PG(MONOTONE_OPTIONS)
+    incremental = s3pg.transform(base, schema)
+    apply_delta(incremental.transformed, added=delta)
+    from_scratch = s3pg.transform(graph, schema)
+    assert incremental.graph.structurally_equal(from_scratch.graph)

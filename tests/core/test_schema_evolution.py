@@ -1,0 +1,129 @@
+"""Tests for monotone schema evolution (Section 4.1.1 / Prop. 4.3)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_OPTIONS,
+    MONOTONE_OPTIONS,
+    SchemaTransformer,
+    transform_schema,
+)
+from repro.core.schema_evolution import (
+    SchemaDeltaStats,
+    SchemaEvolutionConflict,
+    apply_schema_delta,
+    merge_shape_schemas,
+)
+from repro.errors import TransformError
+from repro.pgschema import render_pgschema
+from repro.shacl import parse_shacl
+
+PREFIXES = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+"""
+
+BASE = parse_shacl(PREFIXES + """
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :knows ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] .
+""")
+
+NEW_SHAPE = parse_shacl(PREFIXES + """
+shapes:Company a sh:NodeShape ; sh:targetClass :Company ;
+  sh:property [ sh:path :label ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :employs ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] .
+""")
+
+CONFLICTING = parse_shacl(PREFIXES + """
+shapes:Robot a sh:NodeShape ; sh:targetClass :Robot ;
+  sh:property [ sh:path :name ; sh:datatype xsd:integer ;
+                sh:minCount 1 ; sh:maxCount 1 ] .
+""")
+
+
+class TestMonotoneExtension:
+    def test_non_parsimonious_delta_equals_full(self):
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        apply_schema_delta(result, BASE, NEW_SHAPE)
+        merged = merge_shape_schemas(BASE, NEW_SHAPE)
+        full = transform_schema(merged, MONOTONE_OPTIONS)
+        assert (
+            set(render_pgschema(result.pg_schema).splitlines())
+            == set(render_pgschema(full.pg_schema).splitlines())
+        )
+        assert set(result.mapping.classes) == set(full.mapping.classes)
+
+    def test_parsimonious_delta_without_conflict(self):
+        result = transform_schema(BASE, DEFAULT_OPTIONS)
+        stats = apply_schema_delta(result, BASE, NEW_SHAPE)
+        assert stats.node_types_added >= 1
+        assert "companyType" in result.pg_schema.node_types
+        merged = merge_shape_schemas(BASE, NEW_SHAPE)
+        full = transform_schema(merged, DEFAULT_OPTIONS)
+        assert (
+            set(render_pgschema(result.pg_schema).splitlines())
+            == set(render_pgschema(full.pg_schema).splitlines())
+        )
+
+    def test_existing_elements_untouched(self):
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        person_before = result.pg_schema.node_types["personType"]
+        apply_schema_delta(result, BASE, NEW_SHAPE)
+        assert result.pg_schema.node_types["personType"] is person_before
+
+    def test_stats_reported(self):
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        stats = apply_schema_delta(result, BASE, NEW_SHAPE)
+        assert isinstance(stats, SchemaDeltaStats)
+        assert stats.shapes_added == ["http://x/shapes#Company"]
+        assert stats.keys_added > 0
+
+
+class TestConflictDetection:
+    def test_parsimonious_realization_conflict_raises(self):
+        # :name was key/value (string); Robot declares it integer — under
+        # the merged schema it must be edge-realized: conflict.
+        result = transform_schema(BASE, DEFAULT_OPTIONS)
+        with pytest.raises(SchemaEvolutionConflict) as err:
+            apply_schema_delta(result, BASE, CONFLICTING)
+        assert "http://x/name" in err.value.predicates
+
+    def test_non_parsimonious_has_no_conflicts(self):
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        apply_schema_delta(result, BASE, CONFLICTING)
+        assert "robotType" in result.pg_schema.node_types
+
+    def test_redefining_existing_shape_rejected(self):
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        with pytest.raises(TransformError):
+            apply_schema_delta(result, BASE, BASE)
+
+
+class TestDataAfterSchemaDelta:
+    def test_new_shape_usable_by_incremental_data(self):
+        """Schema delta + data delta: the full evolving-graph workflow."""
+        from repro.core import DataTransformer, apply_delta
+        from repro.rdf import parse_turtle
+
+        result = transform_schema(BASE, MONOTONE_OPTIONS)
+        data = parse_turtle("""
+        @prefix : <http://x/> .
+        :p a :Person ; :name "P" .
+        """)
+        transformed = DataTransformer(result, MONOTONE_OPTIONS).transform(data)
+        apply_schema_delta(result, BASE, NEW_SHAPE)
+        delta = parse_turtle("""
+        @prefix : <http://x/> .
+        :acme a :Company ; :label "ACME" ; :employs :p .
+        """)
+        apply_delta(transformed, added=delta)
+        acme = transformed.graph.get_node("http://x/acme")
+        assert "Company" in acme.labels
+        assert "http://x/acme|employs|http://x/p" in transformed.graph.edges

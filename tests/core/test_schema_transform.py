@@ -1,0 +1,290 @@
+"""Unit tests for the schema transformation F_st (Section 4.1 rules)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_OPTIONS,
+    MODE_EDGE,
+    MODE_KEY_VALUE,
+    MONOTONE_OPTIONS,
+    TransformOptions,
+    transform_schema,
+)
+from repro.namespaces import XSD
+from repro.pgschema import CardinalityKey, UNBOUNDED as PG_UNBOUNDED, UniqueKey
+from repro.shacl import parse_shacl
+
+PREFIXES = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+"""
+
+
+def transform(body: str, options: TransformOptions = DEFAULT_OPTIONS):
+    return transform_schema(parse_shacl(PREFIXES + body), options)
+
+
+class TestNodeShapeRule:
+    BODY = """
+    shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+      sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    """
+
+    def test_node_type_created_with_label(self):
+        result = transform(self.BODY)
+        node_type = result.pg_schema.node_types["personType"]
+        assert node_type.labels == {"Person"}
+
+    def test_iri_record_key_declared(self):
+        result = transform(self.BODY)
+        node_type = result.pg_schema.node_types["personType"]
+        assert "iri" in node_type.properties
+
+    def test_unique_key_emitted(self):
+        result = transform(self.BODY)
+        assert UniqueKey("Person", "iri") in result.pg_schema.keys
+
+    def test_mapping_records_class(self):
+        result = transform(self.BODY)
+        assert result.mapping.label_for_class("http://x/Person") == "Person"
+        assert result.mapping.class_for_label("Person") == "http://x/Person"
+
+
+class TestInheritanceRule:
+    BODY = """
+    shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+      sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    shapes:Student a sh:NodeShape ; sh:targetClass :Student ;
+      sh:node shapes:Person ;
+      sh:property [ sh:path :regNo ; sh:datatype xsd:string ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    """
+
+    def test_parent_types_linked(self):
+        result = transform(self.BODY)
+        student = result.pg_schema.node_types["studentType"]
+        assert student.parents == ("personType",)
+
+    def test_inherited_property_mappings_folded(self):
+        result = transform(self.BODY)
+        student_mapping = result.mapping.class_mapping("http://x/Student")
+        assert "http://x/name" in student_mapping.properties
+        assert student_mapping.local_predicates == ("http://x/regNo",)
+
+
+class TestTable1Cardinalities:
+    def body(self, min_count, max_count):
+        max_line = f"sh:maxCount {max_count} ;" if max_count is not None else ""
+        return f"""
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :p ; sh:datatype xsd:string ;
+                        sh:minCount {min_count} ; {max_line} ] .
+        """
+
+    def spec(self, min_count, max_count):
+        result = transform(self.body(min_count, max_count))
+        node_type = result.pg_schema.node_types["aType"]
+        key = result.mapping.class_mapping("http://x/A").properties["http://x/p"].pg_key
+        return node_type.properties[key]
+
+    def test_1_1_mandatory_scalar(self):
+        spec = self.spec(1, 1)
+        assert not spec.optional and not spec.array
+
+    def test_0_1_optional_scalar(self):
+        spec = self.spec(0, 1)
+        assert spec.optional and not spec.array
+
+    def test_0_unbounded_optional_array(self):
+        spec = self.spec(0, None)
+        assert spec.optional and spec.array and spec.array_max is None
+
+    def test_0_n_bounded_array(self):
+        spec = self.spec(0, 4)
+        assert spec.array and spec.array_max == 4
+
+    def test_1_n_mandatory_array(self):
+        spec = self.spec(1, 4)
+        assert not spec.optional and spec.array_min == 1 and spec.array_max == 4
+
+    def test_m_n_array(self):
+        spec = self.spec(2, 5)
+        assert spec.array_min == 2 and spec.array_max == 5
+
+
+class TestSingleNonLiteralRule:
+    BODY = """
+    shapes:Professor a sh:NodeShape ; sh:targetClass :Professor ;
+      sh:property [ sh:path :worksFor ; sh:nodeKind sh:IRI ;
+                    sh:class :Department ; sh:minCount 1 ; sh:maxCount 1 ] .
+    shapes:Department a sh:NodeShape ; sh:targetClass :Department .
+    """
+
+    def test_edge_type_created(self):
+        result = transform(self.BODY)
+        edge = result.pg_schema.edge_types["worksForType"]
+        assert edge.label == "worksFor"
+        assert edge.source_types == ("professorType",)
+        assert edge.target_types == ("departmentType",)
+
+    def test_cardinality_key_emitted(self):
+        result = transform(self.BODY)
+        keys = [k for k in result.pg_schema.keys if isinstance(k, CardinalityKey)]
+        assert keys[0].bounds() == (1, 1)
+        assert keys[0].target_labels == ("Department",)
+
+    def test_mapping_is_edge_mode(self):
+        result = transform(self.BODY)
+        prop = result.mapping.class_mapping("http://x/Professor").properties[
+            "http://x/worksFor"
+        ]
+        assert prop.mode == MODE_EDGE
+        assert prop.resource_targets == {"http://x/Department": "Department"}
+
+
+class TestMultiLiteralRule:
+    BODY = """
+    shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+      sh:property [ sh:path :dob ;
+        sh:or ( [ sh:datatype xsd:string ] [ sh:datatype xsd:date ]
+                [ sh:datatype xsd:gYear ] ) ; sh:minCount 0 ] .
+    """
+
+    def test_literal_node_types_created(self):
+        result = transform(self.BODY)
+        names = set(result.pg_schema.node_types)
+        assert {"stringType", "dateType", "gYearType"} <= names
+
+    def test_literal_types_carry_datatype_iri(self):
+        result = transform(self.BODY)
+        assert result.pg_schema.node_types["gYearType"].annotations["iri"] == XSD.gYear
+
+    def test_edge_targets_are_alternatives(self):
+        result = transform(self.BODY)
+        edge = result.pg_schema.edge_types["dobType"]
+        assert set(edge.target_types) == {"stringType", "dateType", "gYearType"}
+
+    def test_cardinality_key_unbounded(self):
+        result = transform(self.BODY)
+        key = [k for k in result.pg_schema.keys if isinstance(k, CardinalityKey)][0]
+        assert key.upper == PG_UNBOUNDED
+
+
+class TestHeterogeneousRule:
+    BODY = """
+    shapes:GS a sh:NodeShape ; sh:targetClass :GS ;
+      sh:property [ sh:path :takesCourse ;
+        sh:or ( [ sh:nodeKind sh:IRI ; sh:class :Course ]
+                [ sh:datatype xsd:string ] ) ; sh:minCount 1 ] .
+    shapes:Course a sh:NodeShape ; sh:targetClass :Course .
+    """
+
+    def test_mixed_targets(self):
+        result = transform(self.BODY)
+        edge = result.pg_schema.edge_types["takesCourseType"]
+        assert set(edge.target_types) == {"stringType", "courseType"}
+
+    def test_mapping_records_both_target_kinds(self):
+        result = transform(self.BODY)
+        prop = result.mapping.class_mapping("http://x/GS").properties[
+            "http://x/takesCourse"
+        ]
+        assert prop.literal_targets == {XSD.string: "STRING"}
+        assert prop.resource_targets == {"http://x/Course": "Course"}
+
+
+class TestShapeRefRule:
+    BODY = """
+    shapes:A a sh:NodeShape ; sh:targetClass :A .
+    shapes:B a sh:NodeShape ; sh:targetClass :B ;
+      sh:property [ sh:path :rel ; sh:node shapes:A ; sh:minCount 0 ] .
+    """
+
+    def test_shape_targets_tracked_separately(self):
+        result = transform(self.BODY)
+        prop = result.mapping.class_mapping("http://x/B").properties["http://x/rel"]
+        assert prop.shape_targets == {"http://x/shapes#A": "A"}
+        assert prop.resource_targets == {}
+
+
+class TestExternalClassRule:
+    BODY = """
+    shapes:B a sh:NodeShape ; sh:targetClass :B ;
+      sh:property [ sh:path :rel ; sh:nodeKind sh:IRI ;
+                    sh:class :NoShapeClass ; sh:minCount 0 ] .
+    """
+
+    def test_external_class_gets_node_type(self):
+        result = transform(self.BODY)
+        assert result.mapping.label_for_class("http://x/NoShapeClass") is not None
+
+    def test_external_class_not_from_shape(self):
+        result = transform(self.BODY)
+        mapping = result.mapping.class_mapping("http://x/NoShapeClass")
+        assert mapping.from_shape is False
+
+
+class TestGlobalRealization:
+    BODY = """
+    shapes:A a sh:NodeShape ; sh:targetClass :A ;
+      sh:property [ sh:path :p ; sh:datatype xsd:string ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    shapes:B a sh:NodeShape ; sh:targetClass :B ;
+      sh:property [ sh:path :p ; sh:datatype xsd:integer ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    """
+
+    def test_conflicting_datatypes_force_edge_everywhere(self):
+        result = transform(self.BODY)
+        prop_a = result.mapping.class_mapping("http://x/A").properties["http://x/p"]
+        prop_b = result.mapping.class_mapping("http://x/B").properties["http://x/p"]
+        assert prop_a.mode == MODE_EDGE
+        assert prop_b.mode == MODE_EDGE
+
+    def test_same_datatype_stays_key_value(self):
+        result = transform("""
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :p ; sh:datatype xsd:string ;
+                        sh:minCount 1 ; sh:maxCount 1 ] .
+        shapes:B a sh:NodeShape ; sh:targetClass :B ;
+          sh:property [ sh:path :p ; sh:datatype xsd:string ;
+                        sh:minCount 1 ; sh:maxCount 1 ] .
+        """)
+        prop = result.mapping.class_mapping("http://x/A").properties["http://x/p"]
+        assert prop.mode == MODE_KEY_VALUE
+
+
+class TestNonParsimoniousMode:
+    BODY = """
+    shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+      sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                    sh:minCount 1 ; sh:maxCount 1 ] .
+    """
+
+    def test_single_literal_becomes_edge(self):
+        result = transform(self.BODY, MONOTONE_OPTIONS)
+        prop = result.mapping.class_mapping("http://x/Person").properties[
+            "http://x/name"
+        ]
+        assert prop.mode == MODE_EDGE
+        assert "stringType" in result.pg_schema.node_types
+
+    def test_parsimonious_flag_recorded(self):
+        assert transform(self.BODY).mapping.parsimonious is True
+        assert transform(self.BODY, MONOTONE_OPTIONS).mapping.parsimonious is False
+
+
+class TestLangStringNeverKeyValue:
+    def test_langstring_routes_to_edge(self):
+        result = transform("""
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :p ;
+            sh:datatype <http://www.w3.org/1999/02/22-rdf-syntax-ns#langString> ;
+            sh:minCount 1 ; sh:maxCount 1 ] .
+        """)
+        prop = result.mapping.class_mapping("http://x/A").properties["http://x/p"]
+        assert prop.mode == MODE_EDGE

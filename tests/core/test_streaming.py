@@ -1,0 +1,51 @@
+"""Tests for the file-based streaming transformation."""
+
+import pytest
+
+from repro.core import DEFAULT_OPTIONS, MONOTONE_OPTIONS, S3PG, transform_schema
+from repro.core.streaming import StreamingDataTransformer, transform_file
+from repro.datasets import university_graph, university_shapes
+from repro.rdf import write_ntriples
+
+
+@pytest.fixture
+def nt_path(tmp_path):
+    path = tmp_path / "uni.nt"
+    write_ntriples(university_graph(), path)
+    return path
+
+
+class TestStreaming:
+    def test_matches_in_memory_transform(self, nt_path):
+        shapes = university_shapes()
+        schema_result = transform_schema(shapes)
+        streamed = transform_file(nt_path, schema_result)
+        in_memory = S3PG().transform(university_graph(), shapes)
+        assert streamed.graph.structurally_equal(in_memory.graph)
+
+    def test_matches_in_memory_non_parsimonious(self, nt_path):
+        shapes = university_shapes()
+        schema_result = transform_schema(shapes, MONOTONE_OPTIONS)
+        streamed = transform_file(nt_path, schema_result, MONOTONE_OPTIONS)
+        in_memory = S3PG(MONOTONE_OPTIONS).transform(university_graph(), shapes)
+        assert streamed.graph.structurally_equal(in_memory.graph)
+
+    def test_triples_counted_once(self, nt_path):
+        schema_result = transform_schema(university_shapes())
+        streamed = transform_file(nt_path, schema_result)
+        assert streamed.stats.triples_processed == len(university_graph())
+
+    def test_on_synthetic_dataset(self, tmp_path, small_dbpedia):
+        path = tmp_path / "dbp.nt"
+        write_ntriples(small_dbpedia.graph, path)
+        schema_result = transform_schema(small_dbpedia.shapes)
+        streamed = StreamingDataTransformer(
+            schema_result, DEFAULT_OPTIONS
+        ).transform_file(path)
+        in_memory = S3PG().transform(small_dbpedia.graph, small_dbpedia.shapes)
+        assert streamed.graph.structurally_equal(in_memory.graph)
+
+    def test_missing_file_raises(self):
+        schema_result = transform_schema(university_shapes())
+        with pytest.raises(FileNotFoundError):
+            transform_file("/nonexistent/file.nt", schema_result)

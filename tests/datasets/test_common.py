@@ -1,0 +1,112 @@
+"""Tests for the synthetic dataset generator machinery."""
+
+from repro.datasets import (
+    CATEGORIES,
+    ClassSpec,
+    DatasetSpec,
+    MT_HETERO,
+    MT_HOMO_L,
+    PropertyTemplate,
+    ST_LITERAL,
+    ST_NON_LITERAL,
+    generate,
+)
+from repro.namespaces import RDF_TYPE, XSD
+from repro.rdf import IRI, Literal
+
+
+def small_spec() -> DatasetSpec:
+    return DatasetSpec(
+        name="test",
+        entity_namespace="http://t/",
+        classes=[
+            ClassSpec(
+                iri="http://t/ns#A",
+                weight=1.0,
+                properties=(
+                    PropertyTemplate("http://t/ns#name", ST_LITERAL, (XSD.string,)),
+                    PropertyTemplate(
+                        "http://t/ns#rel", ST_NON_LITERAL,
+                        target_classes=("http://t/ns#B",),
+                    ),
+                    PropertyTemplate(
+                        "http://t/ns#mix", MT_HETERO, (XSD.string,),
+                        target_classes=("http://t/ns#B",),
+                        literal_ratio=0.5, multiplicity=2,
+                    ),
+                ),
+            ),
+            ClassSpec(iri="http://t/ns#B", weight=0.5,
+                      parents=("http://t/ns#Base",)),
+            ClassSpec(iri="http://t/ns#Base", weight=0.0),
+        ],
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate(small_spec(), base_entities=30, seed=5)
+        b = generate(small_spec(), base_entities=30, seed=5)
+        assert a == b
+
+    def test_different_seed_different_graph(self):
+        a = generate(small_spec(), base_entities=30, seed=5)
+        b = generate(small_spec(), base_entities=30, seed=6)
+        assert a != b
+
+    def test_scaling_increases_size(self):
+        small = generate(small_spec(), base_entities=10, seed=5)
+        large = generate(small_spec(), base_entities=50, seed=5)
+        assert len(large) > len(small)
+
+
+class TestStructure:
+    def test_entities_typed_with_ancestors(self):
+        graph = generate(small_spec(), base_entities=10, seed=5)
+        b_instances = list(graph.instances_of(IRI("http://t/ns#B")))
+        assert b_instances
+        for entity in b_instances:
+            assert IRI("http://t/ns#Base") in graph.types_of(entity)
+
+    def test_subclass_triples_emitted(self):
+        graph = generate(small_spec(), base_entities=10, seed=5)
+        from repro.namespaces import RDFS
+
+        assert graph.count(IRI("http://t/ns#B"), IRI(RDFS.subClassOf)) == 1
+
+    def test_single_literal_values_are_strings(self):
+        graph = generate(small_spec(), base_entities=20, seed=5)
+        for t in graph.triples(p=IRI("http://t/ns#name")):
+            assert isinstance(t.o, Literal)
+            assert t.o.datatype == XSD.string
+
+    def test_non_literal_targets_exist(self):
+        graph = generate(small_spec(), base_entities=20, seed=5)
+        for t in graph.triples(p=IRI("http://t/ns#rel")):
+            assert IRI(RDF_TYPE) in set(x.p for x in graph.triples(s=t.o))
+
+    def test_hetero_property_mixes_kinds(self):
+        graph = generate(small_spec(), base_entities=60, seed=5)
+        objects = [t.o for t in graph.triples(p=IRI("http://t/ns#mix"))]
+        assert any(isinstance(o, Literal) for o in objects)
+        assert any(isinstance(o, IRI) for o in objects)
+
+    def test_zero_weight_classes_still_resolve(self):
+        # weight 0.0 -> max(1, ...) == 1 direct instance: targets exist.
+        graph = generate(small_spec(), base_entities=10, seed=5)
+        assert IRI("http://t/Base_0") in graph.subject_set()
+
+
+class TestSpecHelpers:
+    def test_properties_by_category(self):
+        spec = small_spec()
+        assert len(spec.properties_by_category(ST_LITERAL)) == 1
+        assert len(spec.properties_by_category(MT_HETERO)) == 1
+        assert len(spec.properties_by_category(MT_HOMO_L)) == 0
+
+    def test_class_spec_lookup(self):
+        spec = small_spec()
+        assert spec.class_spec("http://t/ns#A").weight == 1.0
+
+    def test_categories_constant_complete(self):
+        assert len(CATEGORIES) == 5

@@ -1,0 +1,81 @@
+"""Sanity tests for the concrete dataset specs (DBpedia, Bio2RDF, university)."""
+
+from repro.datasets import (
+    MT_HETERO,
+    MT_HOMO_L,
+    bio2rdf_spec,
+    build_bio2rdf,
+    build_dbpedia2020,
+    build_dbpedia2022,
+    dbpedia2020_spec,
+    dbpedia2022_spec,
+    university_graph,
+    university_shapes,
+)
+from repro.shacl import shape_stats, validate
+from repro.shapes import extract_shapes
+
+
+class TestDbpedia2022:
+    def test_generates_deterministically(self):
+        assert build_dbpedia2022(50) == build_dbpedia2022(50)
+
+    def test_has_all_five_categories(self):
+        spec = dbpedia2022_spec()
+        from repro.datasets import CATEGORIES
+
+        for category in CATEGORIES:
+            assert spec.properties_by_category(category), category
+
+    def test_extracted_shapes_have_hetero(self):
+        shapes = extract_shapes(build_dbpedia2022(60))
+        stats = shape_stats(shapes)
+        assert stats.multi_hetero > 0
+        assert stats.multi_homo_literals > 0
+
+
+class TestDbpedia2020:
+    def test_no_hetero_or_mt_literal_templates(self):
+        spec = dbpedia2020_spec()
+        assert spec.properties_by_category(MT_HETERO) == []
+        assert spec.properties_by_category(MT_HOMO_L) == []
+
+    def test_extracted_shapes_match(self):
+        shapes = extract_shapes(build_dbpedia2020(60))
+        stats = shape_stats(shapes)
+        assert stats.multi_hetero == 0
+
+    def test_smaller_than_2022(self):
+        assert len(build_dbpedia2020(50)) < len(build_dbpedia2022(50))
+
+
+class TestBio2rdf:
+    def test_domain_classes_present(self):
+        graph = build_bio2rdf(40)
+        class_names = {c.value.rsplit(":", 1)[-1] for c in graph.classes()}
+        assert "ClinicalStudy" in class_names
+
+    def test_few_hetero_properties(self):
+        spec = bio2rdf_spec()
+        assert 1 <= len(spec.properties_by_category(MT_HETERO)) <= 4
+
+
+class TestUniversityFixture:
+    def test_data_conforms_to_shapes(self):
+        report = validate(university_graph(), university_shapes())
+        assert report.conforms, [str(v) for v in report.violations]
+
+    def test_figure2_entities_present(self):
+        graph = university_graph()
+        from repro.namespaces import UNI
+        from repro.rdf import IRI
+
+        bob_types = graph.types_of(IRI(UNI.bob))
+        assert IRI(UNI.GraduateStudent) in bob_types
+
+    def test_all_shape_categories_exercised(self):
+        shapes = university_shapes()
+        stats = shape_stats(shapes)
+        assert stats.multi_hetero >= 1       # takesCourse
+        assert stats.multi_homo_literals >= 1  # dob
+        assert stats.single_non_literals >= 1  # worksFor

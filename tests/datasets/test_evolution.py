@@ -1,0 +1,45 @@
+"""Tests for evolving-graph snapshot generation (Section 5.4 inputs)."""
+
+from repro.datasets import make_evolution_pair, make_snapshots, dbpedia2020_spec
+from repro.namespaces import RDF_TYPE
+from repro.rdf import IRI
+
+
+def test_invariants_hold(small_dbpedia):
+    pair = make_evolution_pair(small_dbpedia.graph)
+    assert pair.check_invariants()
+
+
+def test_added_fraction_approximate(small_dbpedia):
+    base = small_dbpedia.graph
+    pair = make_evolution_pair(base, add_fraction=0.05, delete_fraction=0.02)
+    assert 0.02 <= len(pair.added) / len(base) <= 0.08
+    assert len(pair.removed) > 0
+
+
+def test_added_disjoint_from_old(small_dbpedia):
+    pair = make_evolution_pair(small_dbpedia.graph)
+    assert all(t not in pair.old for t in pair.added)
+
+
+def test_removed_subset_of_old(small_dbpedia):
+    pair = make_evolution_pair(small_dbpedia.graph)
+    assert all(t in pair.old for t in pair.removed)
+
+
+def test_type_triples_kept_in_old(small_dbpedia):
+    pair = make_evolution_pair(small_dbpedia.graph)
+    type_pred = IRI(RDF_TYPE)
+    assert not any(t.p == type_pred for t in pair.added)
+
+
+def test_deterministic(small_dbpedia):
+    a = make_evolution_pair(small_dbpedia.graph, seed=3)
+    b = make_evolution_pair(small_dbpedia.graph, seed=3)
+    assert a.old == b.old and a.added == b.added and a.removed == b.removed
+
+
+def test_make_snapshots_end_to_end():
+    pair = make_snapshots(dbpedia2020_spec(), base_entities=30, seed=9)
+    assert pair.check_invariants()
+    assert len(pair.new) > 0

@@ -1,0 +1,66 @@
+"""Tests for the benchmark query workloads (Tables 6-7 inputs)."""
+
+from repro.datasets import (
+    bio2rdf_spec,
+    bio2rdf_workload,
+    build_workload,
+    dbpedia2022_spec,
+    dbpedia_workload,
+)
+from repro.query.sparql import parse_sparql
+
+
+def test_dbpedia_workload_has_all_groups():
+    workload = dbpedia_workload(dbpedia2022_spec())
+    categories = {q.category for q in workload}
+    assert categories == {
+        "Single Type", "MT-Homo (L)", "MT-Homo (NL)", "MT-Hetero (L+NL)",
+    }
+
+
+def test_query_ids_sequential():
+    workload = dbpedia_workload(dbpedia2022_spec())
+    assert [q.qid for q in workload] == [f"Q{i + 1}" for i in range(len(workload))]
+
+
+def test_no_duplicate_class_predicate_pairs():
+    workload = dbpedia_workload(dbpedia2022_spec())
+    pairs = [(q.class_iri, q.predicate) for q in workload]
+    assert len(pairs) == len(set(pairs))
+
+
+def test_sparql_texts_parse():
+    for query in dbpedia_workload(dbpedia2022_spec()):
+        parsed = parse_sparql(query.sparql)
+        assert len(parsed.patterns) == 2
+
+
+def test_hetero_queries_include_ancestor_classes():
+    workload = dbpedia_workload(dbpedia2022_spec())
+    hetero = [q for q in workload if q.category == "MT-Hetero (L+NL)"]
+    classes = {q.class_iri for q in hetero}
+    assert "http://dbpedia.org/ontology/Person" in classes  # via MusicalArtist
+
+
+def test_bio2rdf_workload_sizes():
+    workload = bio2rdf_workload(bio2rdf_spec())
+    per_category = {}
+    for q in workload:
+        per_category[q.category] = per_category.get(q.category, 0) + 1
+    assert per_category["Single Type"] == 3
+    assert per_category["MT-Hetero (L+NL)"] >= 2
+
+
+def test_group_sizes_capped_by_available_pairs():
+    workload = build_workload(dbpedia2022_spec(), n_single=100, n_mt_homo_l=100,
+                              n_mt_homo_nl=100, n_hetero=100)
+    # Capped: can't exceed the number of distinct pairs in the spec.
+    assert len(workload) < 100
+
+
+def test_single_type_group_mixes_literal_and_non_literal():
+    workload = dbpedia_workload(dbpedia2022_spec())
+    single = [q for q in workload if q.category == "Single Type"]
+    predicates = {q.predicate for q in single}
+    assert any("birthPlace" in p or "artist" in p or "country" in p
+               for p in predicates)

@@ -1,0 +1,71 @@
+"""Tests for the accuracy metrics (tr(mu) and completeness)."""
+
+from repro.eval import accuracy, normalize_cypher_rows, normalize_sparql_rows, tr_term
+from repro.namespaces import XSD
+from repro.rdf import BlankNode, IRI, Literal
+
+
+class TestTrTerm:
+    def test_iri_to_string(self):
+        assert tr_term(IRI("http://x/a")) == "http://x/a"
+
+    def test_literal_to_lexical(self):
+        assert tr_term(Literal("1999", XSD.gYear)) == "1999"
+
+    def test_blank_node_to_id(self):
+        assert tr_term(BlankNode("b1")) == "_:b1"
+
+
+class TestNormalization:
+    def test_sparql_rows_column_order_free(self):
+        rows = [{"b": Literal("2"), "a": Literal("1")}]
+        assert list(normalize_sparql_rows(rows)) == [("1", "2")]
+
+    def test_cypher_rows_value_translation(self):
+        rows = [{"v": 1999, "u": True}]
+        assert list(normalize_cypher_rows(rows)) == [("true", "1999")]
+
+    def test_cypher_null_becomes_empty(self):
+        rows = [{"v": None}]
+        assert list(normalize_cypher_rows(rows)) == [("",)]
+
+    def test_multiset_semantics(self):
+        rows = [{"v": Literal("x")}, {"v": Literal("x")}]
+        counter = normalize_sparql_rows(rows)
+        assert counter[("x",)] == 2
+
+
+class TestAccuracy:
+    def test_perfect_match(self):
+        gt = [{"v": Literal("a")}, {"v": Literal("b")}]
+        method = [{"v": "a"}, {"v": "b"}]
+        result = accuracy(gt, method)
+        assert result.accuracy_percent == 100.0
+        assert result.spurious == 0
+
+    def test_partial_match(self):
+        gt = [{"v": Literal("a")}, {"v": Literal("b")}, {"v": Literal("c")}]
+        method = [{"v": "a"}]
+        assert abs(accuracy(gt, method).accuracy_percent - 33.33) < 0.1
+
+    def test_duplicates_matched_at_most_gt_multiplicity(self):
+        gt = [{"v": Literal("a")}]
+        method = [{"v": "a"}, {"v": "a"}]
+        result = accuracy(gt, method)
+        assert result.matched == 1
+        assert result.spurious == 1
+
+    def test_typed_values_compare_by_lexical(self):
+        gt = [{"v": Literal("1999", XSD.gYear)}]
+        method = [{"v": 1999}]
+        assert accuracy(gt, method).accuracy_percent == 100.0
+
+    def test_empty_ground_truth_is_100(self):
+        assert accuracy([], []).accuracy_percent == 100.0
+
+    def test_spurious_rows_do_not_raise_accuracy(self):
+        gt = [{"v": Literal("a")}]
+        method = [{"v": "b"}, {"v": "c"}]
+        result = accuracy(gt, method)
+        assert result.accuracy_percent == 0.0
+        assert result.returned == 2

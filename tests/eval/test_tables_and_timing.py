@@ -1,0 +1,80 @@
+"""Tests for table rendering and timing helpers."""
+
+import time
+
+from repro.eval import (
+    MemoryUsage,
+    PhaseTimings,
+    render_series,
+    render_table,
+    time_callable,
+    timed,
+    traced_memory,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table([{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        assert render_table([{"a": 1}], title="T").startswith("T\n")
+
+    def test_explicit_column_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_number_formatting(self):
+        text = render_table([{"n": 1234567, "f": 0.5, "big": 1234.5}])
+        assert "1,234,567" in text and "0.50" in text and "1,234" in text
+
+    def test_missing_cell_blank(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            "Runtime", {"S3PG": {"Q1": 1.0, "Q2": 2.0}, "rdf2pg": {"Q1": 3.0}},
+            unit="ms",
+        )
+        lines = text.splitlines()
+        assert "Q1" in lines[1] and "Q2" in lines[1]
+        assert any(line.startswith("S3PG") for line in lines)
+
+
+class TestTiming:
+    def test_phase_timings_accumulate(self):
+        timings = PhaseTimings()
+        timings.record("a", 1.0)
+        timings.record("a", 0.5)
+        timings.record("b", 2.0)
+        assert timings.phases["a"] == 1.5
+        assert timings.total() == 3.5
+        assert timings.as_row()["total"] == 3.5
+
+    def test_timed_context_manager(self):
+        timings = PhaseTimings()
+        with timed(timings, "sleep"):
+            time.sleep(0.01)
+        assert timings.phases["sleep"] >= 0.01
+
+    def test_time_callable(self):
+        elapsed, result = time_callable(lambda: 7, repeat=3)
+        assert result == 7 and elapsed >= 0
+
+    def test_traced_memory(self):
+        with traced_memory() as holder:
+            _ = ["x"] * 100_000
+        usage = holder[0]
+        assert isinstance(usage, MemoryUsage)
+        assert usage.peak_bytes > 0
+        assert usage.peak_mb > 0

@@ -1,0 +1,78 @@
+"""Failure-injection tests for two-directional semantics preservation.
+
+Definition 3.3 requires both directions: conforming RDF maps to a
+conforming PG, and *violating* RDF maps to a *violating* PG.  These tests
+take the conforming university fixture, inject one violation of each
+constraint family, and check that the violation is (a) caught by the
+SHACL validator on the RDF side and (b) still visible to the PG-Schema
+conformance checker after transformation.
+"""
+
+import pytest
+
+from repro.core import transform
+from repro.datasets import university_graph, university_shapes
+from repro.namespaces import UNI, XSD
+from repro.pgschema import check_conformance
+from repro.rdf import IRI, Literal, Triple
+from repro.shacl import validate
+
+
+def _bob():
+    return IRI(UNI.bob)
+
+
+def _inject(mutation):
+    graph = university_graph()
+    mutation(graph)
+    return graph
+
+
+VIOLATIONS = {
+    "missing mandatory property": lambda g: g.remove(
+        Triple(_bob(), IRI(UNI.name), Literal("Bob"))
+    ),
+    "max cardinality exceeded": lambda g: g.add(
+        Triple(_bob(), IRI(UNI.regNo), Literal("second-reg"))
+    ),
+    "wrong datatype": lambda g: (
+        g.remove(Triple(_bob(), IRI(UNI.regNo), Literal("Bs12"))),
+        g.add(Triple(_bob(), IRI(UNI.regNo), Literal("12", XSD.integer))),
+    ),
+    "mandatory edge missing": lambda g: g.remove(
+        Triple(IRI(UNI.alice), IRI(UNI.worksFor), IRI(UNI.cs))
+    ),
+    "edge target of wrong class": lambda g: (
+        g.remove(Triple(IRI(UNI.alice), IRI(UNI.worksFor), IRI(UNI.cs))),
+        g.add(Triple(IRI(UNI.alice), IRI(UNI.worksFor), IRI(UNI.db))),
+    ),
+    "min cardinality of hetero property": lambda g: (
+        g.remove(Triple(_bob(), IRI(UNI.takesCourse), IRI(UNI.db))),
+        g.remove(Triple(_bob(), IRI(UNI.takesCourse), Literal("Intro to Logic"))),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return university_shapes()
+
+
+class TestBothDirections:
+    @pytest.mark.parametrize("name", sorted(VIOLATIONS))
+    def test_rdf_violation_detected(self, name, shapes):
+        graph = _inject(VIOLATIONS[name])
+        assert not validate(graph, shapes).conforms, name
+
+    @pytest.mark.parametrize("name", sorted(VIOLATIONS))
+    def test_pg_violation_detected(self, name, shapes):
+        graph = _inject(VIOLATIONS[name])
+        result = transform(graph, shapes)
+        report = check_conformance(result.graph, result.pg_schema)
+        assert not report.conforms, name
+
+    def test_baseline_clean_fixture_conforms_both_sides(self, shapes):
+        graph = university_graph()
+        assert validate(graph, shapes).conforms
+        result = transform(graph, shapes)
+        assert check_conformance(result.graph, result.pg_schema).conforms

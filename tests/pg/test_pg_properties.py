@@ -1,0 +1,65 @@
+"""Property-based tests for property-graph serializations."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pg import PropertyGraph, export_csv, export_yarspg, import_csv, import_yarspg
+
+_IDENT = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=6)
+_LABEL = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+_KEY = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_TEXT = st.text(
+    alphabet=string.ascii_letters + string.digits + ' ;,\\.:"\'-_&é',
+    max_size=16,
+)
+_SCALAR = st.one_of(
+    _TEXT,
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ),
+)
+_VALUE = st.one_of(_SCALAR, st.lists(_SCALAR, min_size=1, max_size=4))
+
+
+@st.composite
+def property_graphs(draw) -> PropertyGraph:
+    graph = PropertyGraph()
+    node_ids = draw(st.lists(_IDENT, min_size=1, max_size=6, unique=True))
+    for node_id in node_ids:
+        labels = draw(st.sets(_LABEL, max_size=3))
+        properties = draw(st.dictionaries(_KEY, _VALUE, max_size=4))
+        graph.add_node(node_id, labels=labels, properties=properties)
+    n_edges = draw(st.integers(min_value=0, max_value=8))
+    for index in range(n_edges):
+        src = draw(st.sampled_from(node_ids))
+        dst = draw(st.sampled_from(node_ids))
+        label = draw(_LABEL)
+        properties = draw(st.dictionaries(_KEY, _SCALAR, max_size=2))
+        graph.add_edge(src, dst, labels={label}, properties=properties,
+                       edge_id=f"edge{index}")
+    return graph
+
+
+@given(property_graphs())
+@settings(max_examples=60, deadline=None)
+def test_csv_round_trip(graph):
+    """import(export(PG)) is structurally identical for arbitrary graphs."""
+    again = import_csv(*export_csv(graph))
+    assert graph.structurally_equal(again)
+
+
+@given(property_graphs())
+@settings(max_examples=40, deadline=None)
+def test_yarspg_round_trip_counts(graph):
+    """YARS-PG round trip preserves node/edge structure."""
+    again = import_yarspg(export_yarspg(graph))
+    assert again.node_count() == graph.node_count()
+    assert again.edge_count() == graph.edge_count()
+    for node_id, node in graph.nodes.items():
+        other = again.get_node(node_id)
+        assert other.labels == node.labels
+        assert other.properties == node.properties

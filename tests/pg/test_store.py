@@ -1,0 +1,95 @@
+"""Unit tests for the indexed property-graph store."""
+
+import pytest
+
+from repro.pg import PropertyGraph, PropertyGraphStore
+
+
+@pytest.fixture
+def store() -> PropertyGraphStore:
+    s = PropertyGraphStore()
+    s.add_node("a", labels={"Person"}, properties={"iri": "http://x/a", "age": 30})
+    s.add_node("b", labels={"Person", "Student"}, properties={"iri": "http://x/b"})
+    s.add_node("c", labels={"Course"}, properties={"iri": "http://x/c"})
+    s.add_edge("a", "b", labels={"knows"})
+    s.add_edge("b", "c", labels={"takes"})
+    s.add_edge("a", "c", labels={"teaches"})
+    return s
+
+
+class TestLabelIndex:
+    def test_nodes_with_label(self, store):
+        assert {n.id for n in store.nodes_with_label("Person")} == {"a", "b"}
+
+    def test_count_label(self, store):
+        assert store.count_label("Person") == 2
+        assert store.count_label("Robot") == 0
+
+    def test_add_label_updates_index(self, store):
+        store.add_label("c", "Archived")
+        assert {n.id for n in store.nodes_with_label("Archived")} == {"c"}
+
+
+class TestPropertyIndex:
+    def test_indexed_lookup(self, store):
+        assert store.node_by_property("iri", "http://x/a").id == "a"
+
+    def test_indexed_lookup_miss(self, store):
+        assert store.node_by_property("iri", "http://x/none") is None
+
+    def test_unindexed_key_falls_back_to_scan(self, store):
+        assert [n.id for n in store.nodes_by_property("age", 30)] == ["a"]
+
+    def test_set_node_property_keeps_index_fresh(self, store):
+        store.set_node_property("a", "iri", "http://x/a2")
+        assert store.node_by_property("iri", "http://x/a") is None
+        assert store.node_by_property("iri", "http://x/a2").id == "a"
+
+
+class TestAdjacency:
+    def test_out_edges_by_type(self, store):
+        assert [e.dst for e in store.out_edges("a", "knows")] == ["b"]
+
+    def test_out_edges_all_types(self, store):
+        assert {e.dst for e in store.out_edges("a")} == {"b", "c"}
+
+    def test_in_edges_by_type(self, store):
+        assert [e.src for e in store.in_edges("c", "takes")] == ["b"]
+
+    def test_in_edges_all_types(self, store):
+        assert {e.src for e in store.in_edges("c")} == {"a", "b"}
+
+    def test_unknown_node_has_no_edges(self, store):
+        assert list(store.out_edges("zzz")) == []
+
+    def test_degree(self, store):
+        assert store.degree("a") == 2
+        assert store.degree("a", "knows") == 1
+
+    def test_edges_with_type(self, store):
+        assert sum(1 for _ in store.edges_with_type("knows")) == 1
+
+
+class TestBulkLoad:
+    def test_bulk_load_replaces_and_reindexes(self, store):
+        fresh = PropertyGraph()
+        fresh.add_node("x", labels={"Thing"}, properties={"iri": "http://x/x"})
+        store.bulk_load(fresh)
+        assert store.count_label("Person") == 0
+        assert store.node_by_property("iri", "http://x/x").id == "x"
+
+    def test_rebuild_indexes_after_manual_mutation(self, store):
+        store.graph.get_node("a").labels.add("Admin")
+        assert store.count_label("Admin") == 0  # index is stale
+        store.rebuild_indexes()
+        assert store.count_label("Admin") == 1
+
+    def test_warm_up_visits_everything(self, store):
+        assert store.warm_up() == store.graph.node_count() + store.graph.edge_count()
+
+    def test_constructor_indexes_existing_graph(self):
+        pg = PropertyGraph()
+        pg.add_node("n", labels={"L"}, properties={"iri": "u"})
+        store = PropertyGraphStore(pg)
+        assert store.count_label("L") == 1
+        assert store.node_by_property("iri", "u").id == "n"

@@ -1,0 +1,64 @@
+"""Round-trip tests for the YARS-PG serialization."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pg import PropertyGraph, export_yarspg, import_yarspg
+
+
+def build_graph() -> PropertyGraph:
+    g = PropertyGraph()
+    g.add_node("n1", labels={"Person", "Student"},
+               properties={"name": "Alice", "age": 30})
+    g.add_node("n2", labels={"Course"}, properties={"title": "DB: intro"})
+    g.add_edge("n1", "n2", labels={"takes"}, properties={"term": "S1"})
+    return g
+
+
+def test_round_trip_structure():
+    g = build_graph()
+    again = import_yarspg(export_yarspg(g))
+    assert again.node_count() == 2
+    assert again.edge_count() == 1
+    assert again.get_node("n1").labels == {"Person", "Student"}
+    assert again.get_node("n1").properties["age"] == 30
+
+
+def test_edge_properties_round_trip():
+    again = import_yarspg(export_yarspg(build_graph()))
+    edge = next(iter(again.edges.values()))
+    assert edge.properties["term"] == "S1"
+    assert edge.labels == {"takes"}
+
+
+def test_header_comment_present():
+    assert export_yarspg(build_graph()).startswith("# YARS-PG")
+
+
+def test_special_characters_in_values():
+    g = PropertyGraph()
+    g.add_node("n", labels={"T"}, properties={"text": 'quote " and colon:'})
+    again = import_yarspg(export_yarspg(g))
+    assert again.get_node("n").properties["text"] == 'quote " and colon:'
+
+
+def test_propertyless_node():
+    g = PropertyGraph()
+    g.add_node("n", labels={"T"})
+    again = import_yarspg(export_yarspg(g))
+    assert again.get_node("n").properties == {}
+
+
+def test_invalid_statement_raises():
+    with pytest.raises(ParseError):
+        import_yarspg("not a yarspg statement\n")
+
+
+def test_invalid_property_list_raises():
+    with pytest.raises(ParseError):
+        import_yarspg('("n" {"T"} [broken])\n')
+
+
+def test_comments_and_blank_lines_ignored():
+    text = export_yarspg(build_graph()) + "\n# trailing comment\n\n"
+    assert import_yarspg(text).node_count() == 2

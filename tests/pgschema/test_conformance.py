@@ -1,0 +1,250 @@
+"""Unit tests for PG-Schema conformance checking (Definition 2.6)."""
+
+import pytest
+
+from repro.pg import PropertyGraph
+from repro.pgschema import (
+    CardinalityKey,
+    ConformanceChecker,
+    EdgeType,
+    INTEGER,
+    NodeType,
+    PGSchema,
+    PropertySpec,
+    STRING,
+    UNBOUNDED,
+    UniqueKey,
+    check_conformance,
+    property_value_matches,
+)
+
+
+def build_schema() -> PGSchema:
+    schema = PGSchema()
+    schema.add_node_type(NodeType(
+        "personType", labels={"Person"},
+        properties={
+            "iri": PropertySpec("iri", STRING),
+            "name": PropertySpec("name", STRING),
+            "age": PropertySpec("age", INTEGER, optional=True),
+        },
+    ))
+    schema.add_node_type(NodeType(
+        "studentType", labels={"Student"},
+        properties={"regNo": PropertySpec("regNo", STRING)},
+        parents=("personType",),
+    ))
+    schema.add_node_type(NodeType(
+        "courseType", labels={"Course"},
+        properties={"iri": PropertySpec("iri", STRING)},
+    ))
+    schema.add_edge_type(EdgeType(
+        "takesType", label="takes",
+        source_types=("studentType",), target_types=("courseType",),
+    ))
+    return schema
+
+
+def conforming_graph() -> PropertyGraph:
+    pg = PropertyGraph()
+    pg.add_node("s", labels={"Person", "Student"},
+                properties={"iri": "http://x/s", "name": "S", "regNo": "1"})
+    pg.add_node("c", labels={"Course"}, properties={"iri": "http://x/c"})
+    pg.add_edge("s", "c", labels={"takes"})
+    return pg
+
+
+class TestPropertyValueMatching:
+    def test_scalar_type_checks(self):
+        assert property_value_matches("x", PropertySpec("k", STRING))
+        assert not property_value_matches(5, PropertySpec("k", STRING))
+        assert property_value_matches(5, PropertySpec("k", INTEGER))
+        assert not property_value_matches(True, PropertySpec("k", INTEGER))
+
+    def test_array_bounds(self):
+        spec = PropertySpec("k", STRING, array=True, array_min=1, array_max=2)
+        assert property_value_matches(["a"], spec)
+        assert property_value_matches(["a", "b"], spec)
+        assert not property_value_matches([], spec)
+        assert not property_value_matches(["a", "b", "c"], spec)
+
+    def test_scalar_accepted_as_singleton_array(self):
+        spec = PropertySpec("k", STRING, array=True, array_min=1)
+        assert property_value_matches("a", spec)
+
+    def test_list_rejected_for_scalar_spec(self):
+        assert not property_value_matches(["a"], PropertySpec("k", STRING))
+
+
+class TestNodeConformance:
+    def test_conforming_node(self):
+        checker = ConformanceChecker(build_schema())
+        pg = conforming_graph()
+        assert "studentType" in checker.node_typing(pg.get_node("s"))
+
+    def test_missing_required_property(self):
+        checker = ConformanceChecker(build_schema())
+        pg = PropertyGraph()
+        node = pg.add_node("p", labels={"Person"}, properties={"iri": "u"})
+        assert not checker.node_conforms(node, build_schema().node_type("personType"))
+
+    def test_optional_property_may_be_absent(self):
+        checker = ConformanceChecker(build_schema())
+        pg = PropertyGraph()
+        node = pg.add_node("p", labels={"Person"},
+                           properties={"iri": "u", "name": "N"})
+        assert checker.node_conforms(node, build_schema().node_type("personType"))
+
+    def test_wrong_type_for_optional_property(self):
+        schema = build_schema()
+        checker = ConformanceChecker(schema)
+        pg = PropertyGraph()
+        node = pg.add_node("p", labels={"Person"},
+                           properties={"iri": "u", "name": "N", "age": "old"})
+        assert not checker.node_conforms(node, schema.node_type("personType"))
+
+    def test_undeclared_property_violates_closed_record(self):
+        schema = build_schema()
+        checker = ConformanceChecker(schema)
+        pg = PropertyGraph()
+        node = pg.add_node("p", labels={"Person"},
+                           properties={"iri": "u", "name": "N", "extra": 1})
+        assert not checker.node_conforms(node, schema.node_type("personType"))
+
+    def test_missing_label_fails(self):
+        schema = build_schema()
+        checker = ConformanceChecker(schema)
+        pg = PropertyGraph()
+        node = pg.add_node("p", labels=set(), properties={"iri": "u", "name": "N"})
+        assert not checker.node_conforms(node, schema.node_type("personType"))
+
+    def test_inherited_labels_required(self):
+        schema = build_schema()
+        checker = ConformanceChecker(schema)
+        pg = PropertyGraph()
+        # Student without the inherited Person label.
+        node = pg.add_node("s", labels={"Student"},
+                           properties={"iri": "u", "name": "N", "regNo": "1"})
+        assert not checker.node_conforms(node, schema.node_type("studentType"))
+
+
+class TestEdgeConformance:
+    def test_conforming_edge(self):
+        report = check_conformance(conforming_graph(), build_schema())
+        assert report.conforms
+
+    def test_wrong_target_type(self):
+        pg = conforming_graph()
+        pg.add_edge("s", "s", labels={"takes"})  # takes must target a Course
+        report = check_conformance(pg, build_schema())
+        assert not report.conforms
+        assert any(v.kind == "edge" for v in report.violations)
+
+    def test_unknown_relationship_type(self):
+        pg = conforming_graph()
+        pg.add_edge("s", "c", labels={"bogus"})
+        assert not check_conformance(pg, build_schema()).conforms
+
+    def test_subtype_accepted_at_supertype_endpoint(self):
+        schema = build_schema()
+        schema.add_edge_type(EdgeType(
+            "knowsType", label="knows",
+            source_types=("personType",), target_types=("personType",),
+        ))
+        pg = conforming_graph()
+        pg.add_node("p2", labels={"Person"},
+                    properties={"iri": "http://x/p2", "name": "P"})
+        # Source is a Student (subtype of Person, with extra record keys).
+        pg.add_edge("s", "p2", labels={"knows"})
+        assert check_conformance(pg, schema).conforms
+
+
+class TestKeys:
+    def test_unique_key_satisfied(self):
+        schema = build_schema()
+        schema.add_key(UniqueKey("Person", "iri"))
+        assert check_conformance(conforming_graph(), schema).conforms
+
+    def test_unique_key_duplicate_detected(self):
+        schema = build_schema()
+        schema.add_key(UniqueKey("Person", "iri"))
+        pg = conforming_graph()
+        pg.add_node("dup", labels={"Person"},
+                    properties={"iri": "http://x/s", "name": "D"})
+        report = check_conformance(pg, schema)
+        assert any("duplicate" in v.message for v in report.violations)
+
+    def test_unique_key_missing_property_detected(self):
+        schema = build_schema()
+        schema.add_key(UniqueKey("Person", "iri"))
+        pg = conforming_graph()
+        pg.add_node("x", labels={"Person"}, properties={"name": "X"})
+        report = check_conformance(pg, schema)
+        assert any("missing mandatory" in v.message for v in report.violations)
+
+    def test_cardinality_key_satisfied(self):
+        schema = build_schema()
+        schema.add_key(CardinalityKey("Student", "takes", 1, 2, ("Course",)))
+        assert check_conformance(conforming_graph(), schema).conforms
+
+    def test_cardinality_key_lower_bound_violated(self):
+        schema = build_schema()
+        schema.add_key(CardinalityKey("Student", "takes", 2, UNBOUNDED, ("Course",)))
+        report = check_conformance(conforming_graph(), schema)
+        assert any(v.kind == "key" for v in report.violations)
+
+    def test_cardinality_key_upper_bound_violated(self):
+        schema = build_schema()
+        schema.add_key(CardinalityKey("Student", "takes", 0, 0, ("Course",)))
+        assert not check_conformance(conforming_graph(), schema).conforms
+
+    def test_cardinality_key_ignores_other_targets(self):
+        schema = build_schema()
+        schema.add_key(CardinalityKey("Student", "takes", 0, 0, ("Person",)))
+        # The takes edge targets a Course, not a Person: count is 0.
+        assert check_conformance(conforming_graph(), schema).conforms
+
+
+class TestReport:
+    def test_typing_maps_filled(self):
+        report = check_conformance(conforming_graph(), build_schema())
+        assert set(report.typing_nodes) == {"s", "c"}
+        assert all(report.typing_nodes.values())
+
+    def test_unmatched_node_reported(self):
+        pg = conforming_graph()
+        pg.add_node("alien", labels={"Alien"})
+        report = check_conformance(pg, build_schema())
+        assert not report.conforms
+        assert report.typing_nodes["alien"] == []
+
+
+class TestStrictLoose:
+    """The paper's STRICT vs LOOSE graph-type options (Section 2.2)."""
+
+    def test_loose_tolerates_untyped_elements(self):
+        pg = conforming_graph()
+        pg.add_node("alien", labels={"Alien"})
+        schema = build_schema()
+        assert not check_conformance(pg, schema).conforms
+        assert check_conformance(pg, schema, mode="LOOSE").conforms
+
+    def test_loose_still_enforces_keys(self):
+        schema = build_schema()
+        schema.add_key(UniqueKey("Person", "iri"))
+        pg = conforming_graph()
+        pg.add_node("dup", labels={"Person"},
+                    properties={"iri": "http://x/s", "name": "D"})
+        assert not check_conformance(pg, schema, mode="LOOSE").conforms
+
+    def test_loose_typing_maps_still_filled(self):
+        pg = conforming_graph()
+        pg.add_node("alien", labels={"Alien"})
+        report = check_conformance(pg, build_schema(), mode="LOOSE")
+        assert report.typing_nodes["alien"] == []
+
+    def test_invalid_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConformanceChecker(build_schema(), mode="RELAXED")

@@ -1,0 +1,133 @@
+"""Round-trip tests for the PG-Schema DDL (Figure 5 style)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pgschema import (
+    CardinalityKey,
+    EdgeType,
+    NodeType,
+    PGSchema,
+    PropertySpec,
+    STRING,
+    INTEGER,
+    UNBOUNDED,
+    UniqueKey,
+    parse_pgschema_ddl,
+    render_pgschema,
+)
+
+
+def build_schema() -> PGSchema:
+    schema = PGSchema()
+    schema.add_node_type(NodeType(
+        "personType", labels={"Person"},
+        properties={
+            "iri": PropertySpec("iri", STRING),
+            "nick": PropertySpec("nick", STRING, optional=True),
+            "scores": PropertySpec("scores", INTEGER, array=True,
+                                   array_min=1, array_max=3),
+        },
+        annotations={"iri_src": "http://x/Person"},
+    ))
+    schema.add_node_type(NodeType(
+        "studentType", labels={"Student"},
+        properties={"regNo": PropertySpec("regNo", STRING)},
+        parents=("personType",),
+    ))
+    schema.add_node_type(NodeType(
+        "stringType", labels={"STRING"},
+        properties={"value": PropertySpec("value", STRING)},
+        annotations={"iri": "http://www.w3.org/2001/XMLSchema#string"},
+        is_literal_type=True,
+    ))
+    schema.add_edge_type(EdgeType(
+        "knowsType", label="knows",
+        source_types=("personType",),
+        target_types=("personType", "stringType"),
+        annotations={"iri": "http://x/knows"},
+    ))
+    schema.add_key(CardinalityKey("Person", "knows", 0, UNBOUNDED,
+                                  ("Person", "STRING")))
+    schema.add_key(UniqueKey("Person", "iri"))
+    return schema
+
+
+class TestRoundTrip:
+    def test_node_types_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        assert set(again.node_types) == {"personType", "studentType", "stringType"}
+
+    def test_properties_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        person = again.node_type("personType")
+        assert person.properties["nick"].optional
+        scores = person.properties["scores"]
+        assert scores.array and scores.array_min == 1 and scores.array_max == 3
+
+    def test_inheritance_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        assert again.node_type("studentType").parents == ("personType",)
+
+    def test_literal_flag_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        assert again.node_type("stringType").is_literal_type
+
+    def test_annotations_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        assert again.node_type("stringType").annotations["iri"].endswith("#string")
+
+    def test_edge_type_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        edge = again.edge_type("knowsType")
+        assert edge.label == "knows"
+        assert edge.source_types == ("personType",)
+        assert set(edge.target_types) == {"personType", "stringType"}
+        assert edge.annotations["iri"] == "http://x/knows"
+
+    def test_keys_preserved(self):
+        again = parse_pgschema_ddl(render_pgschema(build_schema()))
+        cardinality = [k for k in again.keys if isinstance(k, CardinalityKey)]
+        unique = [k for k in again.keys if isinstance(k, UniqueKey)]
+        assert cardinality[0].edge_label == "knows"
+        assert cardinality[0].upper == UNBOUNDED
+        assert set(cardinality[0].target_labels) == {"Person", "STRING"}
+        assert unique[0] == UniqueKey("Person", "iri")
+
+    def test_double_round_trip_is_stable(self):
+        text1 = render_pgschema(build_schema())
+        text2 = render_pgschema(parse_pgschema_ddl(text1))
+        assert text1 == text2
+
+
+class TestParserDetails:
+    def test_comments_and_blank_lines_ignored(self):
+        schema = parse_pgschema_ddl(
+            "# comment\n\n// other comment\n(aType: A {iri: STRING})\n"
+        )
+        assert "aType" in schema.node_types
+
+    def test_abstract_flag(self):
+        schema = parse_pgschema_ddl("(aType: A ABSTRACT)")
+        assert schema.node_type("aType").abstract
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_pgschema_ddl("THIS IS NOT DDL")
+
+    def test_inheritance_before_definition_raises(self):
+        with pytest.raises(ParseError):
+            parse_pgschema_ddl("(aType: aType & parentType)")
+
+    def test_bad_record_entry_raises(self):
+        with pytest.raises(ParseError):
+            parse_pgschema_ddl("(aType: A {this is broken})")
+
+    def test_exact_cardinality_key(self):
+        schema = parse_pgschema_ddl(
+            "FOR (p: Professor) COUNT 1..1 OF T "
+            "WITHIN (p)-[:worksFor]->(T: Department)"
+        )
+        key = schema.keys[0]
+        assert key.lower == 1 and key.upper == 1
+        assert key.target_labels == ("Department",)

@@ -1,0 +1,39 @@
+"""Tests for PG-Keys rendering (the paper's FOR ... COUNT ... syntax)."""
+
+from repro.pgschema import UNBOUNDED, CardinalityKey, UniqueKey
+
+
+class TestCardinalityKey:
+    def test_render_exact_bounds(self):
+        key = CardinalityKey("Professor", "worksFor", 1, 1, ("Department",))
+        assert key.render() == (
+            "FOR (p: Professor) COUNT 1..1 OF T "
+            "WITHIN (p)-[:worksFor]->(T: Department)"
+        )
+
+    def test_render_unbounded_upper(self):
+        key = CardinalityKey("GS", "takesCourse", 1, UNBOUNDED, ("Course",))
+        assert "COUNT 1.. OF" in key.render()
+
+    def test_render_multiple_targets_braced(self):
+        key = CardinalityKey("P", "dob", 0, UNBOUNDED, ("DATE", "STRING", "YEAR"))
+        assert "(T: {DATE | STRING | YEAR})" in key.render()
+
+    def test_render_no_targets(self):
+        key = CardinalityKey("P", "rel", 0, 2, ())
+        assert key.render().endswith("(T)")
+
+    def test_bounds(self):
+        assert CardinalityKey("P", "r", 2, 5, ()).bounds() == (2, 5)
+
+
+class TestUniqueKey:
+    def test_render(self):
+        key = UniqueKey("Person", "iri")
+        assert key.render() == (
+            "FOR (p: Person) EXCLUSIVE MANDATORY SINGLETON p.iri"
+        )
+
+    def test_keys_are_value_objects(self):
+        assert UniqueKey("A", "iri") == UniqueKey("A", "iri")
+        assert len({UniqueKey("A", "iri"), UniqueKey("A", "iri")}) == 1

@@ -1,0 +1,78 @@
+"""Tests for SPARQL ASK queries and their translation."""
+
+import pytest
+
+from repro.core import transform
+from repro.pg import PropertyGraphStore
+from repro.query import CypherEngine, SparqlEngine, translate_sparql_to_cypher
+from repro.rdf import parse_turtle
+from repro.shacl import parse_shacl
+
+GRAPH = parse_turtle("""
+@prefix : <http://x/> .
+:a a :P ; :name "A" ; :buddy :b .
+:b a :P ; :name "B" .
+""")
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:P a sh:NodeShape ; sh:targetClass :P ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :buddy ; sh:nodeKind sh:IRI ; sh:class :P ;
+                sh:minCount 0 ] .
+""")
+
+PROLOG = "PREFIX : <http://x/> "
+
+
+@pytest.fixture(scope="module")
+def engines():
+    result = transform(GRAPH, SHAPES)
+    return result, SparqlEngine(GRAPH), CypherEngine(PropertyGraphStore(result.graph))
+
+
+class TestSparqlAsk:
+    def test_true_when_pattern_matches(self):
+        assert SparqlEngine(GRAPH).ask(PROLOG + "ASK { ?e a :P . }")
+
+    def test_false_when_no_match(self):
+        assert not SparqlEngine(GRAPH).ask(PROLOG + "ASK { ?e a :Ghost . }")
+
+    def test_where_keyword_optional(self):
+        engine = SparqlEngine(GRAPH)
+        assert engine.ask(PROLOG + "ASK WHERE { :a :buddy :b . }")
+        assert engine.ask(PROLOG + "ASK { :a :buddy :b . }")
+
+    def test_ask_with_filter(self):
+        assert SparqlEngine(GRAPH).ask(
+            PROLOG + 'ASK { ?e :name ?n . FILTER(?n = "B") }'
+        )
+        assert not SparqlEngine(GRAPH).ask(
+            PROLOG + 'ASK { ?e :name ?n . FILTER(?n = "Z") }'
+        )
+
+    def test_result_row_shape(self):
+        rows = SparqlEngine(GRAPH).query(PROLOG + "ASK { ?e a :P . }")
+        assert rows[0]["ask"].to_python() is True
+
+
+class TestAskTranslation:
+    @pytest.mark.parametrize(
+        "body,expected",
+        [
+            ("{ ?e a :P ; :name ?n . }", True),
+            ("{ ?e a :P ; :buddy :b . }", True),
+            ('{ ?e a :P ; :name "Z" . }', False),
+        ],
+    )
+    def test_translated_ask_agrees(self, engines, body, expected):
+        result, sparql_engine, cypher_engine = engines
+        sparql = PROLOG + "ASK " + body
+        cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        assert "count(*) AS ask" in cypher
+        assert sparql_engine.ask(sparql) is expected
+        assert (cypher_engine.query(cypher)[0]["ask"] > 0) is expected

@@ -1,0 +1,153 @@
+"""Unit tests for the Cypher parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.cypher import (
+    Coalesce,
+    CountStar,
+    CypherComparison,
+    HasLabel,
+    IsNull,
+    MatchClause,
+    PropertyAccess,
+    ReturnClause,
+    UnwindClause,
+    WithClause,
+    parse_cypher,
+)
+
+
+class TestNodePatterns:
+    def test_labels_and_var(self):
+        q = parse_cypher("MATCH (n:Person:Student) RETURN n")
+        node = q.parts[0].clauses[0].paths[0].start
+        assert node.var == "n" and node.labels == ("Person", "Student")
+
+    def test_anonymous_node(self):
+        q = parse_cypher("MATCH (:Person)-[:knows]->(m) RETURN m")
+        assert q.parts[0].clauses[0].paths[0].start.var is None
+
+    def test_property_constraints(self):
+        q = parse_cypher("MATCH (n {iri: 'http://x/a', age: 3}) RETURN n")
+        node = q.parts[0].clauses[0].paths[0].start
+        assert dict(node.properties) == {"iri": "http://x/a", "age": 3}
+
+    def test_boolean_property_value(self):
+        q = parse_cypher("MATCH (n {active: true}) RETURN n")
+        assert dict(q.parts[0].clauses[0].paths[0].start.properties) == {"active": True}
+
+
+class TestRelationshipPatterns:
+    def test_outgoing(self):
+        q = parse_cypher("MATCH (a)-[:knows]->(b) RETURN a")
+        rel = q.parts[0].clauses[0].paths[0].hops[0][0]
+        assert rel.direction == "out" and rel.types == ("knows",)
+
+    def test_incoming(self):
+        q = parse_cypher("MATCH (a)<-[:knows]-(b) RETURN a")
+        assert q.parts[0].clauses[0].paths[0].hops[0][0].direction == "in"
+
+    def test_undirected(self):
+        q = parse_cypher("MATCH (a)-[:knows]-(b) RETURN a")
+        assert q.parts[0].clauses[0].paths[0].hops[0][0].direction == "any"
+
+    def test_alternative_types(self):
+        q = parse_cypher("MATCH (a)-[:x|y|:z]->(b) RETURN a")
+        assert q.parts[0].clauses[0].paths[0].hops[0][0].types == ("x", "y", "z")
+
+    def test_relationship_variable(self):
+        q = parse_cypher("MATCH (a)-[r:knows]->(b) RETURN r")
+        assert q.parts[0].clauses[0].paths[0].hops[0][0].var == "r"
+
+    def test_multi_hop_path(self):
+        q = parse_cypher("MATCH (a)-[:x]->(b)-[:y]->(c) RETURN c")
+        assert len(q.parts[0].clauses[0].paths[0].hops) == 2
+
+    def test_multiple_paths_in_match(self):
+        q = parse_cypher("MATCH (a)-[:x]->(b), (c:L) RETURN a")
+        assert len(q.parts[0].clauses[0].paths) == 2
+
+
+class TestClauses:
+    def test_where(self):
+        q = parse_cypher("MATCH (n) WHERE n.age > 3 RETURN n")
+        assert isinstance(q.parts[0].clauses[0].where, CypherComparison)
+
+    def test_unwind(self):
+        q = parse_cypher("MATCH (n) UNWIND n.tags AS t RETURN t")
+        unwind = q.parts[0].clauses[1]
+        assert isinstance(unwind, UnwindClause) and unwind.var == "t"
+
+    def test_with_star_where(self):
+        q = parse_cypher("MATCH (n) UNWIND n.xs AS x WITH * WHERE x > 1 RETURN x")
+        clause = q.parts[0].clauses[2]
+        assert isinstance(clause, WithClause)
+        assert clause.where is not None
+
+    def test_return_alias(self):
+        q = parse_cypher("MATCH (n) RETURN n.iri AS id")
+        item = q.parts[0].return_clause.items[0]
+        assert item.alias == "id"
+        assert isinstance(item.expr, PropertyAccess)
+
+    def test_return_distinct_limit(self):
+        q = parse_cypher("MATCH (n) RETURN DISTINCT n LIMIT 7")
+        assert q.parts[0].return_clause.distinct
+        assert q.parts[0].return_clause.limit == 7
+
+    def test_count_star(self):
+        q = parse_cypher("MATCH (n) RETURN count(*) AS c")
+        assert isinstance(q.parts[0].return_clause.items[0].expr, CountStar)
+
+    def test_union_all(self):
+        q = parse_cypher("MATCH (n:A) RETURN n.x AS v UNION ALL MATCH (n:B) RETURN n.y AS v")
+        assert len(q.parts) == 2
+        assert q.columns() == ["v"]
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse_cypher("MATCH (n) RETURN n;").parts
+
+
+class TestExpressions:
+    def test_coalesce(self):
+        q = parse_cypher("MATCH (n) RETURN COALESCE(n.value, n.iri) AS v")
+        assert isinstance(q.parts[0].return_clause.items[0].expr, Coalesce)
+
+    def test_is_null(self):
+        q = parse_cypher("MATCH (n) WHERE n.x IS NULL RETURN n")
+        assert isinstance(q.parts[0].clauses[0].where, IsNull)
+
+    def test_is_not_null(self):
+        q = parse_cypher("MATCH (n) WHERE n.x IS NOT NULL RETURN n")
+        where = q.parts[0].clauses[0].where
+        assert isinstance(where, IsNull) and where.negated
+
+    def test_has_label_predicate(self):
+        q = parse_cypher("MATCH (n) WHERE n:Admin RETURN n")
+        assert isinstance(q.parts[0].clauses[0].where, HasLabel)
+
+    def test_and_or_precedence(self):
+        from repro.query.cypher import CypherBoolean
+
+        q = parse_cypher("MATCH (n) WHERE n.a = 1 AND n.b = 2 OR n.c = 3 RETURN n")
+        where = q.parts[0].clauses[0].where
+        assert isinstance(where, CypherBoolean) and where.op == "or"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "MATCH (n)",                       # no RETURN
+            "RETURN",                          # no items
+            "MATCH (n RETURN n",               # unterminated node
+            "MATCH (a)-[:x] (b) RETURN a",     # dangling relationship
+            "MATCH (n) RETURN n LIMIT x",
+            "MATCH (n) RETURN n extra",
+            "MATCH (a)<-[:x]->(b) RETURN a",   # both directions
+        ],
+    )
+    def test_invalid_queries_raise(self, bad):
+        with pytest.raises(QueryError):
+            parse_cypher(bad)

@@ -1,0 +1,135 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.namespaces import RDF_TYPE, XSD
+from repro.query.sparql import (
+    Comparison,
+    IsLiteralFn,
+    RegexFn,
+    TriplePattern,
+    Var,
+    parse_sparql,
+)
+from repro.rdf import IRI, Literal
+
+
+class TestProjection:
+    def test_select_vars(self):
+        q = parse_sparql("SELECT ?a ?b WHERE { ?a <http://x/p> ?b . }")
+        assert [v.name for v in q.variables] == ["a", "b"]
+
+    def test_select_star(self):
+        q = parse_sparql("SELECT * WHERE { ?a <http://x/p> ?b . }")
+        assert q.variables == []
+        assert q.all_variables() == ["a", "b"]
+
+    def test_select_distinct(self):
+        q = parse_sparql("SELECT DISTINCT ?a WHERE { ?a <http://x/p> ?b . }")
+        assert q.distinct
+
+    def test_count_star(self):
+        q = parse_sparql("SELECT (COUNT(*) AS ?n) WHERE { ?a <http://x/p> ?b . }")
+        assert q.count == "n"
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sparql("SELECT WHERE { ?a <http://x/p> ?b . }")
+
+
+class TestPatterns:
+    def test_a_keyword_expands_to_rdf_type(self):
+        q = parse_sparql("SELECT ?e WHERE { ?e a <http://x/C> . }")
+        assert q.patterns[0].p == IRI(RDF_TYPE)
+
+    def test_prefixed_names(self):
+        q = parse_sparql("PREFIX ex: <http://x/> SELECT ?e WHERE { ?e ex:p ex:o . }")
+        assert q.patterns[0].p == IRI("http://x/p")
+        assert q.patterns[0].o == IRI("http://x/o")
+
+    def test_semicolon_and_comma(self):
+        q = parse_sparql(
+            "PREFIX ex: <http://x/> SELECT ?e WHERE "
+            "{ ?e ex:p ?a, ?b ; ex:q ?c . }"
+        )
+        assert len(q.patterns) == 3
+
+    def test_literal_objects(self):
+        q = parse_sparql(
+            'PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> '
+            'SELECT ?e WHERE { ?e <http://x/p> "v"^^xsd:date . }'
+        )
+        assert q.patterns[0].o == Literal("v", XSD.date)
+
+    def test_numeric_literal_object(self):
+        q = parse_sparql("SELECT ?e WHERE { ?e <http://x/p> 42 . }")
+        assert q.patterns[0].o == Literal("42", XSD.integer)
+
+    def test_language_literal_object(self):
+        q = parse_sparql('SELECT ?e WHERE { ?e <http://x/p> "v"@en . }')
+        assert q.patterns[0].o == Literal("v", language="en")
+
+    def test_multiple_statement_blocks(self):
+        q = parse_sparql(
+            "SELECT ?a ?b WHERE { ?a <http://x/p> ?x . ?b <http://x/q> ?x . }"
+        )
+        assert len(q.patterns) == 2
+
+    def test_limit(self):
+        q = parse_sparql("SELECT ?a WHERE { ?a <http://x/p> ?b . } LIMIT 5")
+        assert q.limit == 5
+
+
+class TestFilters:
+    def test_comparison_filter(self):
+        q = parse_sparql(
+            "SELECT ?a WHERE { ?a <http://x/p> ?v . FILTER(?v > 3) }"
+        )
+        assert isinstance(q.filters[0], Comparison)
+        assert q.filters[0].op == ">"
+
+    def test_boolean_combination(self):
+        q = parse_sparql(
+            "SELECT ?a WHERE { ?a <http://x/p> ?v . FILTER(?v > 3 && ?v < 9) }"
+        )
+        from repro.query.sparql import BooleanOp
+
+        assert isinstance(q.filters[0], BooleanOp)
+
+    def test_builtins(self):
+        q = parse_sparql(
+            "SELECT ?a WHERE { ?a <http://x/p> ?v . FILTER(isLiteral(?v)) }"
+        )
+        assert isinstance(q.filters[0], IsLiteralFn)
+
+    def test_regex(self):
+        q = parse_sparql(
+            'SELECT ?a WHERE { ?a <http://x/p> ?v . FILTER(REGEX(?v, "ab.*")) }'
+        )
+        assert isinstance(q.filters[0], RegexFn)
+        assert q.filters[0].pattern == "ab.*"
+
+    def test_negation(self):
+        from repro.query.sparql import NotOp
+
+        q = parse_sparql(
+            "SELECT ?a WHERE { ?a <http://x/p> ?v . FILTER(!(?v = 1)) }"
+        )
+        assert isinstance(q.filters[0], NotOp)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT ?a { ?a <http://x/p> ?b . }",  # missing WHERE
+            "SELECT ?a WHERE { ?a <http://x/p> ?b . ",  # unterminated block
+            "SELECT ?a WHERE { ?a <http://x/p> ?b . } LIMIT x",
+            "SELECT ?a WHERE { ?a <http://x/p> ?b . } trailing",
+            "SELECT ?a WHERE { ?a zzz:p ?b . }",  # unknown prefix
+        ],
+    )
+    def test_invalid_queries_raise(self, bad):
+        with pytest.raises(QueryError):
+            parse_sparql(bad)

@@ -1,0 +1,188 @@
+"""Tests for the automated SPARQL-to-Cypher translator."""
+
+import pytest
+
+from repro.core import scalar_to_lexical, transform
+from repro.errors import TranslationError
+from repro.pg import PropertyGraphStore
+from repro.query import CypherEngine, SparqlEngine, translate_sparql_to_cypher
+from repro.rdf import parse_turtle
+from repro.shacl import parse_shacl
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Album a sh:NodeShape ; sh:targetClass :Album ;
+  sh:property [ sh:path :title ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :year ; sh:datatype xsd:integer ;
+                sh:minCount 0 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :writer ;
+    sh:or ( [ sh:nodeKind sh:IRI ; sh:class :Person ]
+            [ sh:datatype xsd:string ] ) ; sh:minCount 0 ] .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] .
+""")
+
+GRAPH = parse_turtle("""
+@prefix : <http://x/> .
+:a1 a :Album ; :title "One" ; :year 2001 ; :writer :w1, "Guest Writer" .
+:a2 a :Album ; :title "Two" ; :writer "Solo" .
+:w1 a :Person ; :name "Billy" .
+""")
+
+PROLOG = "PREFIX : <http://x/> "
+
+
+@pytest.fixture(scope="module")
+def setup():
+    result = transform(GRAPH, SHAPES)
+    return result, SparqlEngine(GRAPH), CypherEngine(PropertyGraphStore(result.graph))
+
+
+def assert_equivalent(setup, sparql: str):
+    result, sparql_engine, cypher_engine = setup
+    cypher = translate_sparql_to_cypher(sparql, result.mapping)
+    gt = sparql_engine.query(sparql)
+    pg_rows = cypher_engine.query(cypher)
+    gt_norm = sorted(
+        tuple(str(row[key]) for key in sorted(row)) for row in gt
+    )
+    pg_norm = sorted(
+        tuple(scalar_to_lexical(row[key]) for key in sorted(row)) for row in pg_rows
+    )
+    assert gt_norm == pg_norm, cypher
+    return cypher
+
+
+class TestEquivalence:
+    def test_type_only_query(self, setup):
+        assert_equivalent(setup, PROLOG + "SELECT ?e WHERE { ?e a :Album . }")
+
+    def test_key_value_property(self, setup):
+        cypher = assert_equivalent(
+            setup, PROLOG + "SELECT ?e ?t WHERE { ?e a :Album ; :title ?t . }"
+        )
+        assert "UNWIND" in cypher
+
+    def test_heterogeneous_property(self, setup):
+        cypher = assert_equivalent(
+            setup, PROLOG + "SELECT ?e ?w WHERE { ?e a :Album ; :writer ?w . }"
+        )
+        assert "COALESCE" in cypher
+
+    def test_join_query(self, setup):
+        assert_equivalent(
+            setup,
+            PROLOG + "SELECT ?e ?n WHERE { ?e a :Album ; :writer ?w . "
+                     "?w a :Person ; :name ?n . }",
+        )
+
+    def test_filter_on_key_value(self, setup):
+        assert_equivalent(
+            setup,
+            PROLOG + 'SELECT ?e WHERE { ?e a :Album ; :title ?t . FILTER(?t = "Two") }',
+        )
+
+    def test_numeric_filter(self, setup):
+        assert_equivalent(
+            setup,
+            PROLOG + "SELECT ?e ?y WHERE { ?e a :Album ; :year ?y . FILTER(?y > 2000) }",
+        )
+
+    def test_constant_literal_object(self, setup):
+        assert_equivalent(
+            setup, PROLOG + 'SELECT ?e WHERE { ?e a :Album ; :writer "Solo" . }'
+        )
+
+    def test_constant_iri_object(self, setup):
+        assert_equivalent(
+            setup, PROLOG + "SELECT ?e WHERE { ?e :writer :w1 . }"
+        )
+
+    def test_constant_subject(self, setup):
+        assert_equivalent(
+            setup, PROLOG + "SELECT ?w WHERE { :a1 :writer ?w . }"
+        )
+
+    def test_count_query(self, setup):
+        assert_equivalent(
+            setup,
+            PROLOG + "SELECT (COUNT(*) AS ?n) WHERE { ?e a :Album ; :writer ?w . }",
+        )
+
+    def test_distinct(self, setup):
+        assert_equivalent(
+            setup,
+            PROLOG + "SELECT DISTINCT ?e WHERE { ?e a :Album ; :writer ?w . }",
+        )
+
+    def test_untyped_subject_query(self, setup):
+        assert_equivalent(
+            setup, PROLOG + "SELECT ?e ?t WHERE { ?e :title ?t . }"
+        )
+
+
+class TestUnsupportedConstructs:
+    def test_variable_predicate_rejected(self, setup):
+        result, _, _ = setup
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?e WHERE { ?e ?p ?o . }", result.mapping
+            )
+
+    def test_variable_class_rejected(self, setup):
+        result, _, _ = setup
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?e WHERE { ?e a ?c . }", result.mapping
+            )
+
+    def test_unknown_class_rejected(self, setup):
+        result, _, _ = setup
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?e WHERE { ?e a :Ghost . }", result.mapping
+            )
+
+    def test_unknown_predicate_rejected(self, setup):
+        result, _, _ = setup
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?e WHERE { ?e :ghost ?v . }", result.mapping
+            )
+
+    def test_unsupported_filter_rejected(self, setup):
+        result, _, _ = setup
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?e WHERE { ?e a :Album ; :title ?t . "
+                         "FILTER(isLiteral(?t)) }",
+                result.mapping,
+            )
+
+
+class TestTypedLiteralValuesOption:
+    def test_untyped_graphs_match_constant_queries(self):
+        """The translator must encode constants the way the graph stores
+        them (typed_literal_values=False keeps lexical forms)."""
+        from repro.core import TransformOptions
+
+        untyped = TransformOptions(typed_literal_values=False)
+        result = transform(GRAPH, SHAPES, options=untyped)
+        engine = CypherEngine(PropertyGraphStore(result.graph))
+        sparql = PROLOG + "SELECT ?e WHERE { ?e a :Album ; :year 2001 . }"
+        cypher = translate_sparql_to_cypher(
+            sparql, result.mapping, typed_literal_values=False
+        )
+        assert len(engine.query(cypher)) == len(SparqlEngine(GRAPH).query(sparql))
+
+    def test_default_typed_translation_unchanged(self):
+        result = transform(GRAPH, SHAPES)
+        engine = CypherEngine(PropertyGraphStore(result.graph))
+        sparql = PROLOG + "SELECT ?e WHERE { ?e a :Album ; :year 2001 . }"
+        cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        assert len(engine.query(cypher)) == 1

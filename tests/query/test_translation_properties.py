@@ -1,0 +1,82 @@
+"""Property-based query-preservation test (Definition 3.2).
+
+Random shape schemas with conforming instance data are transformed with
+S3PG; for every (class, predicate) pair of the schema, the canonical
+benchmark query shape is evaluated as SPARQL over the RDF graph and as
+automatically translated Cypher over the PG.  Under ``tr(mu)`` the result
+multisets must be identical — this is the paper's query-preservation
+property, checked over the whole randomized space rather than a fixed
+workload.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DEFAULT_OPTIONS, MONOTONE_OPTIONS, S3PG
+from repro.eval.metrics import normalize_cypher_rows, normalize_sparql_rows
+from repro.pg import PropertyGraphStore
+from repro.query import CypherEngine, SparqlEngine, SparqlToCypherTranslator
+
+from tests.core.test_properties import schema_and_data
+
+
+def _queries_for(schema) -> list[str]:
+    queries = []
+    for shape in schema:
+        for phi in schema.effective_property_shapes(shape.name):
+            queries.append(
+                f"SELECT ?e ?v WHERE {{ ?e a <{shape.target_class}> ; "
+                f"<{phi.path}> ?v . }}"
+            )
+    return queries
+
+
+def _check_equivalence(schema, graph, options):
+    result = S3PG(options).transform(graph, schema)
+    sparql_engine = SparqlEngine(graph)
+    cypher_engine = CypherEngine(PropertyGraphStore(result.graph))
+    translator = SparqlToCypherTranslator(result.mapping)
+    for sparql in _queries_for(schema):
+        cypher = translator.translate_text(sparql)
+        gt = normalize_sparql_rows(sparql_engine.query(sparql))
+        pg = normalize_cypher_rows(cypher_engine.query(cypher))
+        assert gt == pg, (sparql, cypher)
+
+
+@given(schema_and_data())
+@settings(max_examples=25, deadline=None)
+def test_query_preservation_parsimonious(pair):
+    """tr([[Q]]_G) == [[Q*]]_PG for every schema property (parsimonious)."""
+    schema, graph = pair
+    _check_equivalence(schema, graph, DEFAULT_OPTIONS)
+
+
+@given(schema_and_data())
+@settings(max_examples=20, deadline=None)
+def test_query_preservation_non_parsimonious(pair):
+    """Query preservation also holds for the non-parsimonious model."""
+    schema, graph = pair
+    _check_equivalence(schema, graph, MONOTONE_OPTIONS)
+
+
+@given(schema_and_data())
+@settings(max_examples=15, deadline=None)
+def test_count_queries_preserved(pair):
+    """COUNT(*) queries return identical counts on both sides."""
+    schema, graph = pair
+    result = S3PG(DEFAULT_OPTIONS).transform(graph, schema)
+    sparql_engine = SparqlEngine(graph)
+    cypher_engine = CypherEngine(PropertyGraphStore(result.graph))
+    translator = SparqlToCypherTranslator(result.mapping)
+    for shape in schema:
+        for phi in shape.property_shapes:
+            sparql = (
+                f"SELECT (COUNT(*) AS ?n) WHERE {{ ?e a <{shape.target_class}> ; "
+                f"<{phi.path}> ?v . }}"
+            )
+            cypher = translator.translate_text(sparql)
+            gt = sparql_engine.query(sparql)[0]["n"].to_python()
+            pg = cypher_engine.query(cypher)[0]["n"]
+            assert gt == pg, (sparql, cypher)

@@ -1,0 +1,127 @@
+"""Tests for SPARQL UNION and its translation to Cypher UNION ALL."""
+
+import pytest
+
+from repro.core import scalar_to_lexical, transform
+from repro.errors import QueryError, TranslationError
+from repro.pg import PropertyGraphStore
+from repro.query import CypherEngine, SparqlEngine, translate_sparql_to_cypher
+from repro.query.sparql import parse_sparql
+from repro.rdf import parse_turtle
+from repro.shacl import parse_shacl
+
+GRAPH = parse_turtle("""
+@prefix : <http://x/> .
+:a a :P ; :email "a@x" ; :phone "111" .
+:b a :P ; :phone "222" .
+:c a :P ; :email "c@x" .
+:d a :P .
+""")
+
+PROLOG = "PREFIX : <http://x/> "
+
+
+class TestSparqlUnion:
+    def test_bag_union_of_alternatives(self):
+        rows = SparqlEngine(GRAPH).query(
+            PROLOG + "SELECT ?e ?c WHERE { ?e a :P . "
+                     "{ ?e :email ?c } UNION { ?e :phone ?c } }"
+        )
+        assert len(rows) == 4  # a gets two rows, b and c one each
+
+    def test_union_alternatives_share_outer_bindings(self):
+        rows = SparqlEngine(GRAPH).query(
+            PROLOG + 'SELECT ?c WHERE { :a a :P . '
+                     "{ :a :email ?c } UNION { :a :phone ?c } }"
+        )
+        assert sorted(str(r["c"]) for r in rows) == ["111", "a@x"]
+
+    def test_three_way_union(self):
+        rows = SparqlEngine(GRAPH).query(
+            PROLOG + "SELECT ?c WHERE { "
+                     "{ ?e :email ?c } UNION { ?e :phone ?c } "
+                     "UNION { ?e a ?c } }"
+        )
+        assert len(rows) == 4 + 4  # values plus one type row per entity
+
+    def test_union_with_filter(self):
+        rows = SparqlEngine(GRAPH).query(
+            PROLOG + "SELECT ?e ?c WHERE { ?e a :P . "
+                     '{ ?e :email ?c } UNION { ?e :phone ?c } '
+                     'FILTER(?c = "222") }'
+        )
+        assert [str(r["e"]) for r in rows] == ["http://x/b"]
+
+    def test_parse_populates_unions(self):
+        query = parse_sparql(
+            PROLOG + "SELECT ?c WHERE { { ?e :email ?c } UNION { ?e :phone ?c } }"
+        )
+        assert len(query.unions) == 2
+
+    def test_single_group_without_union_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sparql(PROLOG + "SELECT ?c WHERE { { ?e :email ?c } }")
+
+    def test_two_union_groups_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sparql(
+                PROLOG + "SELECT ?c WHERE { "
+                         "{ ?e :email ?c } UNION { ?e :phone ?c } "
+                         "{ ?e :a ?x } UNION { ?e :b ?x } }"
+            )
+
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:P a sh:NodeShape ; sh:targetClass :P ;
+  sh:property [ sh:path :email ; sh:datatype xsd:string ;
+                sh:minCount 0 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :phone ; sh:datatype xsd:string ;
+                sh:minCount 0 ; sh:maxCount 1 ] .
+""")
+
+
+@pytest.fixture(scope="module")
+def engines():
+    result = transform(GRAPH, SHAPES)
+    return result, SparqlEngine(GRAPH), CypherEngine(PropertyGraphStore(result.graph))
+
+
+class TestUnionTranslation:
+    def test_translated_union_agrees(self, engines):
+        result, sparql_engine, cypher_engine = engines
+        sparql = (
+            PROLOG + "SELECT ?e ?c WHERE { ?e a :P . "
+                     "{ ?e :email ?c } UNION { ?e :phone ?c } }"
+        )
+        cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        assert "UNION ALL" in cypher
+        gt = sorted(
+            (str(r["e"]), str(r["c"])) for r in sparql_engine.query(sparql)
+        )
+        pg = sorted(
+            (scalar_to_lexical(r["e"]), scalar_to_lexical(r["c"]))
+            for r in cypher_engine.query(cypher)
+        )
+        assert gt == pg
+
+    def test_limit_over_union_rejected(self, engines):
+        result, _, _ = engines
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT ?c WHERE { { ?e :email ?c } UNION "
+                         "{ ?e :phone ?c } } LIMIT 2",
+                result.mapping,
+            )
+
+    def test_count_over_union_rejected(self, engines):
+        result, _, _ = engines
+        with pytest.raises(TranslationError):
+            translate_sparql_to_cypher(
+                PROLOG + "SELECT (COUNT(*) AS ?n) WHERE { "
+                         "{ ?e :email ?c } UNION { ?e :phone ?c } }",
+                result.mapping,
+            )

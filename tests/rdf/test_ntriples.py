@@ -1,0 +1,124 @@
+"""Unit tests for the N-Triples parser and serializer."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.namespaces import XSD
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    Triple,
+    iter_ntriples,
+    parse_ntriples,
+    serialize_ntriples,
+    write_ntriples,
+)
+from repro.rdf.ntriples import parse_line
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = parse_line("<http://x/s> <http://x/p> <http://x/o> .")
+        assert triple == Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))
+
+    def test_plain_literal(self):
+        triple = parse_line('<http://x/s> <http://x/p> "hello" .')
+        assert triple.o == Literal("hello")
+
+    def test_typed_literal(self):
+        line = f'<http://x/s> <http://x/p> "5"^^<{XSD.integer}> .'
+        assert parse_line(line).o == Literal("5", XSD.integer)
+
+    def test_language_literal(self):
+        triple = parse_line('<http://x/s> <http://x/p> "hi"@en-GB .')
+        assert triple.o == Literal("hi", language="en-GB")
+
+    def test_blank_nodes(self):
+        triple = parse_line("_:a <http://x/p> _:b .")
+        assert triple.s == BlankNode("a") and triple.o == BlankNode("b")
+
+    def test_escapes_in_literal(self):
+        triple = parse_line('<http://x/s> <http://x/p> "a\\"b\\nc\\\\d" .')
+        assert triple.o.lexical == 'a"b\nc\\d'
+
+    def test_unicode_escapes(self):
+        triple = parse_line('<http://x/s> <http://x/p> "\\u00e9\\U0001F600" .')
+        assert triple.o.lexical == "é\U0001F600"
+
+    def test_comment_line_is_none(self):
+        assert parse_line("# a comment") is None
+
+    def test_blank_line_is_none(self):
+        assert parse_line("   ") is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",      # missing dot
+            '"s" <http://x/p> <http://x/o> .',              # literal subject
+            "<http://x/s> _:p <http://x/o> .",              # bnode predicate
+            "<http://x/s> <http://x/p> .",                  # missing object
+            '<http://x/s> <http://x/p> "unterminated .',
+            "<http://x/s <http://x/p> <http://x/o> .",      # unterminated IRI
+            "<http://x/s> <http://x/p> <http://x/o> . junk",
+        ],
+    )
+    def test_invalid_lines_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_line(bad)
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(ParseError) as err:
+            parse_line("<http://x/s> ???", lineno=7)
+        assert err.value.line == 7
+
+
+class TestDocuments:
+    DOC = (
+        "# header comment\n"
+        "<http://x/a> <http://x/p> <http://x/b> .\n"
+        "\n"
+        '<http://x/a> <http://x/name> "A" .\n'
+    )
+
+    def test_parse_document(self):
+        g = parse_ntriples(self.DOC)
+        assert len(g) == 2
+
+    def test_iter_streaming(self):
+        triples = list(iter_ntriples(io.StringIO(self.DOC)))
+        assert len(triples) == 2
+
+    def test_parse_from_file(self, tmp_path):
+        path = tmp_path / "data.nt"
+        path.write_text(self.DOC, encoding="utf-8")
+        assert len(parse_ntriples(path)) == 2
+
+    def test_round_trip(self):
+        g = parse_ntriples(self.DOC)
+        again = parse_ntriples(serialize_ntriples(g))
+        assert again == g
+
+    def test_serialize_sorted_is_deterministic(self):
+        g = parse_ntriples(self.DOC)
+        assert serialize_ntriples(g, sort=True) == serialize_ntriples(g, sort=True)
+
+    def test_serialize_empty(self):
+        assert serialize_ntriples([]) == ""
+
+    def test_write_ntriples(self, tmp_path):
+        g = parse_ntriples(self.DOC)
+        path = tmp_path / "out.nt"
+        count = write_ntriples(g, path)
+        assert count == 2
+        assert parse_ntriples(path) == g
+
+    def test_round_trip_special_values(self):
+        g = parse_ntriples(
+            '_:b1 <http://x/p> "line1\\nline2"@en .\n'
+            f'<http://x/s> <http://x/q> "3.14"^^<{XSD.double}> .\n'
+        )
+        assert parse_ntriples(serialize_ntriples(g)) == g

@@ -1,0 +1,114 @@
+"""Property-based tests for the RDF substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.namespaces import XSD
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    graphs_equal_modulo_bnodes,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+
+_SAFE = string.ascii_letters + string.digits
+_LOCAL = st.text(alphabet=_SAFE, min_size=1, max_size=8)
+
+iris = _LOCAL.map(lambda s: IRI("http://example.org/" + s))
+bnodes = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6).map(BlankNode)
+datatypes = st.sampled_from([XSD.string, XSD.integer, XSD.date, XSD.gYear, None])
+lexicals = st.text(
+    alphabet=string.ascii_letters + string.digits + ' .,:;!?\'"\\\n\t-_éü€',
+    max_size=20,
+)
+
+
+@st.composite
+def literals(draw):
+    lexical = draw(lexicals)
+    if draw(st.booleans()):
+        return Literal(lexical, language=draw(st.sampled_from(["en", "de", "fr-CA"])))
+    return Literal(lexical, draw(datatypes))
+
+
+subjects = st.one_of(iris, bnodes)
+objects = st.one_of(iris, bnodes, literals())
+triples = st.builds(Triple, subjects, iris, objects)
+graphs = st.lists(triples, max_size=30).map(Graph)
+
+
+@given(graphs)
+@settings(max_examples=60)
+def test_ntriples_round_trip(graph):
+    """parse(serialize(G)) == G for arbitrary graphs."""
+    assert parse_ntriples(serialize_ntriples(graph)) == graph
+
+
+@given(graphs)
+@settings(max_examples=40)
+def test_turtle_round_trip(graph):
+    """Turtle serialization round-trips up to blank-node renaming."""
+    again = parse_turtle(serialize_turtle(graph))
+    assert graphs_equal_modulo_bnodes(graph, again)
+
+
+@given(graphs, graphs)
+@settings(max_examples=40)
+def test_union_is_commutative_and_contains_operands(a, b):
+    union = a | b
+    assert union == (b | a)
+    assert all(t in union for t in a)
+    assert all(t in union for t in b)
+
+
+@given(graphs, graphs)
+@settings(max_examples=40)
+def test_difference_union_identity(a, b):
+    """(A - B) | (A & B) == A."""
+    assert ((a - b) | (a & b)) == a
+
+
+@given(graphs, triples)
+@settings(max_examples=40)
+def test_add_remove_is_identity(graph, triple):
+    if triple in graph:
+        graph.remove(triple)
+    before = graph.copy()
+    graph.add(triple)
+    graph.remove(triple)
+    assert graph == before
+
+
+@given(graphs)
+@settings(max_examples=40)
+def test_pattern_queries_partition_the_graph(graph):
+    """Summing s-bound matches over all subjects covers every triple."""
+    total = sum(
+        len(list(graph.triples(s=s))) for s in graph.subject_set()
+    )
+    assert total == len(graph)
+
+
+@given(graphs)
+@settings(max_examples=40)
+def test_stats_are_consistent(graph):
+    stats = graph.stats()
+    assert stats.n_triples == len(graph)
+    assert stats.n_subjects == len(graph.subject_set())
+    assert stats.n_objects == len(graph.object_set())
+    assert stats.n_instances <= stats.n_subjects
+
+
+@given(st.lists(triples, max_size=20))
+@settings(max_examples=40)
+def test_graph_deduplicates(triple_list):
+    graph = Graph(triple_list)
+    assert len(graph) == len(set(triple_list))

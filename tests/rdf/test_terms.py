@@ -1,0 +1,190 @@
+"""Unit tests for the RDF term model (IRI, BlankNode, Literal, Triple)."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.namespaces import XSD
+from repro.rdf import IRI, BlankNode, Literal, Triple, is_blank, is_iri, is_literal
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        assert IRI("http://example.org/a").value == "http://example.org/a"
+
+    def test_equality_by_value(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert IRI("http://x/a") != IRI("http://x/b")
+
+    def test_hashable(self):
+        assert len({IRI("http://x/a"), IRI("http://x/a")}) == 1
+
+    def test_n3(self):
+        assert IRI("http://x/a").n3() == "<http://x/a>"
+
+    def test_str(self):
+        assert str(IRI("http://x/a")) == "http://x/a"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            IRI("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TermError):
+            IRI(42)
+
+    @pytest.mark.parametrize("bad", ["http://x/a b", "http://x/<a>", "a\nb", "a\tb"])
+    def test_rejects_forbidden_characters(self, bad):
+        with pytest.raises(TermError):
+            IRI(bad)
+
+    def test_immutable(self):
+        iri = IRI("http://x/a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://x/b"
+
+    def test_not_equal_to_string(self):
+        assert IRI("http://x/a") != "http://x/a"
+
+
+class TestBlankNode:
+    def test_label(self):
+        assert BlankNode("b1").label == "b1"
+
+    def test_fresh_labels_unique(self):
+        assert BlankNode() != BlankNode()
+
+    def test_equality_by_label(self):
+        assert BlankNode("b") == BlankNode("b")
+
+    def test_n3(self):
+        assert BlankNode("b1").n3() == "_:b1"
+
+    def test_str(self):
+        assert str(BlankNode("b1")) == "_:b1"
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(TermError):
+            BlankNode("")
+
+    def test_immutable(self):
+        node = BlankNode("b")
+        with pytest.raises(AttributeError):
+            node.label = "c"
+
+    def test_distinct_from_iri(self):
+        assert BlankNode("b") != IRI("http://x/b")
+
+
+class TestLiteral:
+    def test_default_datatype_is_string(self):
+        assert Literal("hi").datatype == XSD.string
+
+    def test_language_tag_implies_langstring(self):
+        lit = Literal("hi", language="en")
+        assert lit.language == "en"
+        assert lit.datatype == Literal.LANG_STRING
+
+    def test_language_with_conflicting_datatype_rejected(self):
+        with pytest.raises(TermError):
+            Literal("hi", XSD.string, language="en")
+
+    def test_rejects_non_string_lexical(self):
+        with pytest.raises(TermError):
+            Literal(42)
+
+    def test_equality_includes_datatype(self):
+        assert Literal("1", XSD.integer) != Literal("1", XSD.string)
+        assert Literal("1", XSD.integer) == Literal("1", XSD.integer)
+
+    def test_equality_includes_language(self):
+        assert Literal("a", language="en") != Literal("a", language="de")
+
+    def test_n3_plain(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_n3_typed(self):
+        assert Literal("5", XSD.integer).n3() == f'"5"^^<{XSD.integer}>'
+
+    def test_n3_language(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_n3_escaping(self):
+        assert Literal('a"b\\c\nd').n3() == '"a\\"b\\\\c\\nd"'
+
+    @pytest.mark.parametrize(
+        "lexical,datatype,expected",
+        [
+            ("42", XSD.integer, 42),
+            ("-7", XSD.int, -7),
+            ("3.5", XSD.double, 3.5),
+            ("2.0", XSD.decimal, 2.0),
+            ("true", XSD.boolean, True),
+            ("false", XSD.boolean, False),
+            ("plain", XSD.string, "plain"),
+        ],
+    )
+    def test_to_python(self, lexical, datatype, expected):
+        assert Literal(lexical, datatype).to_python() == expected
+
+    def test_to_python_malformed_falls_back_to_lexical(self):
+        assert Literal("not-a-number", XSD.integer).to_python() == "not-a-number"
+
+    def test_to_python_unknown_datatype(self):
+        assert Literal("x", "http://custom/dt").to_python() == "x"
+
+    def test_immutable(self):
+        lit = Literal("a")
+        with pytest.raises(AttributeError):
+            lit.lexical = "b"
+
+
+class TestTriple:
+    def test_unpacking(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        s, p, o = t
+        assert (s, p, o) == (t.s, t.p, t.o)
+
+    def test_indexing(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert t[0] == t.s and t[1] == t.p and t[2] == t.o
+
+    def test_equality_and_hash(self):
+        a = Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))
+        b = Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("s"), IRI("http://x/p"), Literal("o"))
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(IRI("http://x/s"), BlankNode("p"), Literal("o"))
+
+    def test_blank_node_subject_allowed(self):
+        t = Triple(BlankNode("b"), IRI("http://x/p"), IRI("http://x/o"))
+        assert t.s == BlankNode("b")
+
+    def test_n3(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert t.n3() == '<http://x/s> <http://x/p> "o" .'
+
+    def test_immutable(self):
+        t = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        with pytest.raises(AttributeError):
+            t.s = IRI("http://x/other")
+
+
+class TestPredicates:
+    def test_is_literal(self):
+        assert is_literal(Literal("a"))
+        assert not is_literal(IRI("http://x/a"))
+
+    def test_is_iri(self):
+        assert is_iri(IRI("http://x/a"))
+        assert not is_iri(BlankNode("b"))
+
+    def test_is_blank(self):
+        assert is_blank(BlankNode("b"))
+        assert not is_blank(Literal("b"))

@@ -1,0 +1,215 @@
+"""Unit tests for the Turtle parser and serializer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.namespaces import RDF, RDF_TYPE, XSD
+from repro.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    PrefixMap,
+    Triple,
+    graphs_equal_modulo_bnodes,
+    parse_turtle,
+    rdf_list_items,
+    serialize_turtle,
+)
+
+
+class TestDirectives:
+    def test_prefix_binding(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b .")
+        assert Triple(IRI("http://x/a"), IRI("http://x/p"), IRI("http://x/b")) in g
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle("PREFIX ex: <http://x/>\nex:a ex:p ex:b .")
+        assert len(g) == 1
+
+    def test_empty_prefix(self):
+        g = parse_turtle("@prefix : <http://x/> . :a :p :b .")
+        assert Triple(IRI("http://x/a"), IRI("http://x/p"), IRI("http://x/b")) in g
+
+    def test_base_resolution(self):
+        g = parse_turtle("@base <http://x/> . <a> <p> <b> .")
+        assert Triple(IRI("http://x/a"), IRI("http://x/p"), IRI("http://x/b")) in g
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("zzz:a zzz:p zzz:b .")
+
+
+class TestStatements:
+    def test_a_keyword(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a a ex:C .")
+        assert Triple(IRI("http://x/a"), IRI(RDF_TYPE), IRI("http://x/C")) in g
+
+    def test_semicolon_shorthand(self):
+        g = parse_turtle(
+            "@prefix ex: <http://x/> . ex:a ex:p ex:b ; ex:q ex:c ."
+        )
+        assert len(g) == 2
+
+    def test_comma_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b, ex:c .")
+        assert len(list(g.objects(IRI("http://x/a"), IRI("http://x/p")))) == 2
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b ; .")
+        assert len(g) == 1
+
+    def test_comments_ignored(self):
+        g = parse_turtle(
+            "@prefix ex: <http://x/> . # comment\nex:a ex:p ex:b . # tail"
+        )
+        assert len(g) == 1
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b")
+
+
+class TestLiterals:
+    def test_plain_string(self):
+        g = parse_turtle('@prefix ex: <http://x/> . ex:a ex:p "v" .')
+        assert Literal("v") in g.object_set()
+
+    def test_language_tag(self):
+        g = parse_turtle('@prefix ex: <http://x/> . ex:a ex:p "v"@fr .')
+        assert Literal("v", language="fr") in g.object_set()
+
+    def test_typed_literal_prefixed(self):
+        g = parse_turtle(
+            "@prefix ex: <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> ."
+            ' ex:a ex:p "5"^^xsd:integer .'
+        )
+        assert Literal("5", XSD.integer) in g.object_set()
+
+    def test_integer_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p 42 .")
+        assert Literal("42", XSD.integer) in g.object_set()
+
+    def test_decimal_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p 4.5 .")
+        assert Literal("4.5", XSD.decimal) in g.object_set()
+
+    def test_double_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p 1e3 .")
+        assert Literal("1e3", XSD.double) in g.object_set()
+
+    def test_boolean_shorthand(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p true .")
+        assert Literal("true", XSD.boolean) in g.object_set()
+
+    def test_triple_quoted_string(self):
+        g = parse_turtle('@prefix ex: <http://x/> . ex:a ex:p """multi\nline""" .')
+        assert Literal("multi\nline") in g.object_set()
+
+    def test_escapes(self):
+        g = parse_turtle('@prefix ex: <http://x/> . ex:a ex:p "a\\tb\\u0041" .')
+        assert Literal("a\tbA") in g.object_set()
+
+
+class TestBlankNodes:
+    def test_labelled(self):
+        g = parse_turtle("@prefix ex: <http://x/> . _:x ex:p _:y .")
+        assert Triple(BlankNode("x"), IRI("http://x/p"), BlankNode("y")) in g
+
+    def test_anonymous_property_list(self):
+        g = parse_turtle('@prefix ex: <http://x/> . ex:a ex:p [ ex:q "v" ] .')
+        assert len(g) == 2
+        inner = g.value(IRI("http://x/a"), IRI("http://x/p"))
+        assert isinstance(inner, BlankNode)
+        assert g.value(inner, IRI("http://x/q")) == Literal("v")
+
+    def test_nested_property_lists(self):
+        g = parse_turtle(
+            '@prefix ex: <http://x/> . ex:a ex:p [ ex:q [ ex:r "v" ] ] .'
+        )
+        assert len(g) == 3
+
+    def test_bnode_as_subject(self):
+        g = parse_turtle('@prefix ex: <http://x/> . [ ex:p "v" ] ex:q ex:b .')
+        assert len(g) == 2
+
+
+class TestCollections:
+    def test_collection_structure(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ( ex:x ex:y ) .")
+        head = g.value(IRI("http://x/a"), IRI("http://x/p"))
+        items = rdf_list_items(g, head)
+        assert items == [IRI("http://x/x"), IRI("http://x/y")]
+
+    def test_empty_collection_is_nil(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p () .")
+        assert g.value(IRI("http://x/a"), IRI("http://x/p")) == IRI(RDF.nil)
+
+    def test_nested_collection(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ( ( ex:x ) ex:y ) .")
+        head = g.value(IRI("http://x/a"), IRI("http://x/p"))
+        outer = rdf_list_items(g, head)
+        assert len(outer) == 2
+        assert rdf_list_items(g, outer[0]) == [IRI("http://x/x")]
+
+    def test_malformed_list_raises(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b .")
+        with pytest.raises(ParseError):
+            rdf_list_items(g, IRI("http://x/b"))
+
+
+class TestSerializer:
+    def test_round_trip_rich_document(self):
+        g = parse_turtle(
+            """
+            @prefix ex: <http://x/> .
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            ex:a a ex:C ; ex:name "A"@en ; ex:age "30"^^xsd:integer ;
+                 ex:knows ex:b, ex:c .
+            _:b1 ex:p ex:a .
+            """
+        )
+        again = parse_turtle(serialize_turtle(g))
+        assert graphs_equal_modulo_bnodes(g, again)
+
+    def test_serializer_uses_prefixes(self):
+        g = parse_turtle("@prefix ex: <http://example.org/> . ex:a ex:p ex:b .")
+        text = serialize_turtle(g, PrefixMap({"ex": "http://example.org/"}))
+        assert "ex:a" in text
+
+    def test_serializer_falls_back_to_full_iri(self):
+        g = parse_turtle("@prefix q: <http://unknown.example/> . q:a q:p q:b .")
+        text = serialize_turtle(g, PrefixMap({}))
+        assert "<http://unknown.example/a>" in text
+
+    def test_deterministic_output(self):
+        g = parse_turtle("@prefix ex: <http://x/> . ex:a ex:p ex:b ; ex:q ex:c .")
+        assert serialize_turtle(g) == serialize_turtle(g)
+
+
+class TestPrefixMap:
+    def test_expand(self):
+        pm = PrefixMap({"ex": "http://x/"})
+        assert pm.expand("ex:a") == "http://x/a"
+
+    def test_expand_unknown_raises(self):
+        with pytest.raises(ParseError):
+            PrefixMap({}).expand("ex:a")
+
+    def test_expand_requires_colon(self):
+        with pytest.raises(ParseError):
+            PrefixMap({}).expand("noprefix")
+
+    def test_compact_longest_match(self):
+        pm = PrefixMap({"a": "http://x/", "b": "http://x/sub/"})
+        assert pm.compact("http://x/sub/name") == "b:name"
+
+    def test_compact_no_match_returns_iri(self):
+        pm = PrefixMap({"ex": "http://x/"})
+        assert pm.compact("http://other/a") == "http://other/a"
+
+    def test_compact_invalid_local_returns_iri(self):
+        pm = PrefixMap({"ex": "http://x/"})
+        assert pm.compact("http://x/a/b c") == "http://x/a/b c"
+
+    def test_with_defaults_has_xsd(self):
+        assert "xsd" in PrefixMap.with_defaults()

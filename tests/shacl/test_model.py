@@ -1,0 +1,229 @@
+"""Unit tests for the SHACL shape model (Definition 2.2)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.namespaces import XSD
+from repro.shacl import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShape,
+    NodeShapeRef,
+    PropertyShape,
+    PropertyShapeKind,
+    ShapeSchema,
+    string_shape,
+)
+
+P = "http://x/p"
+
+
+class TestValueTypes:
+    def test_literal_type_is_literal(self):
+        assert LiteralType(XSD.string).is_literal()
+
+    def test_class_type_is_not_literal(self):
+        assert not ClassType("http://x/C").is_literal()
+
+    def test_shape_ref_is_not_literal(self):
+        assert not NodeShapeRef("http://x/S").is_literal()
+
+    def test_value_types_hashable(self):
+        assert len({LiteralType(XSD.string), LiteralType(XSD.string)}) == 1
+
+
+class TestPropertyShape:
+    def test_requires_value_types(self):
+        with pytest.raises(ShapeError):
+            PropertyShape(path=P, value_types=())
+
+    def test_rejects_negative_min(self):
+        with pytest.raises(ShapeError):
+            PropertyShape(P, (LiteralType(XSD.string),), min_count=-1)
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(ShapeError):
+            PropertyShape(P, (LiteralType(XSD.string),), min_count=2, max_count=1)
+
+    def test_unbounded_max_accepts_any_min(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string),), min_count=5)
+        assert phi.max_count == UNBOUNDED
+
+    @pytest.mark.parametrize(
+        "types,expected",
+        [
+            ((LiteralType(XSD.string),), PropertyShapeKind.SINGLE_LITERAL),
+            ((ClassType("http://x/C"),), PropertyShapeKind.SINGLE_NON_LITERAL),
+            ((NodeShapeRef("http://x/S"),), PropertyShapeKind.SINGLE_NON_LITERAL),
+            (
+                (LiteralType(XSD.string), LiteralType(XSD.date)),
+                PropertyShapeKind.MULTI_HOMO_LITERAL,
+            ),
+            (
+                (ClassType("http://x/C"), ClassType("http://x/D")),
+                PropertyShapeKind.MULTI_HOMO_NON_LITERAL,
+            ),
+            (
+                (LiteralType(XSD.string), ClassType("http://x/C")),
+                PropertyShapeKind.MULTI_HETERO,
+            ),
+            (
+                (NodeShapeRef("http://x/S"), LiteralType(XSD.gYear)),
+                PropertyShapeKind.MULTI_HETERO,
+            ),
+        ],
+    )
+    def test_taxonomy_kinds(self, types, expected):
+        assert PropertyShape(P, types).kind() == expected
+
+    def test_sole_literal_type(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string),))
+        assert phi.sole_literal_type() == LiteralType(XSD.string)
+
+    def test_sole_literal_type_none_for_multi(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string), LiteralType(XSD.date)))
+        assert phi.sole_literal_type() is None
+
+    def test_literal_and_non_literal_partitions(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string), ClassType("http://x/C")))
+        assert phi.literal_types() == (LiteralType(XSD.string),)
+        assert phi.non_literal_types() == (ClassType("http://x/C"),)
+
+    def test_cardinality_helpers(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string),), min_count=1, max_count=1)
+        assert phi.cardinality() == (1, 1)
+        assert phi.is_mandatory()
+        assert phi.is_functional()
+
+    def test_unbounded_not_functional(self):
+        phi = PropertyShape(P, (LiteralType(XSD.string),), min_count=0)
+        assert not phi.is_functional()
+        assert not phi.is_mandatory()
+
+    def test_string_shape_helper(self):
+        phi = string_shape(P)
+        assert phi.kind() == PropertyShapeKind.SINGLE_LITERAL
+        assert phi.cardinality() == (1, 1)
+
+
+def shape(name, target=None, extends=(), props=()):
+    return NodeShape(
+        name=f"http://x/{name}",
+        target_class=f"http://x/{target}" if target else None,
+        extends=tuple(f"http://x/{e}" for e in extends),
+        property_shapes=list(props),
+    )
+
+
+class TestNodeShape:
+    def test_requires_target_or_parent(self):
+        with pytest.raises(ShapeError):
+            NodeShape(name="http://x/S")
+
+    def test_mixin_with_parent_only(self):
+        s = shape("S", extends=["T"])
+        assert s.target_class is None
+
+    def test_property_shape_for(self):
+        phi = string_shape(P)
+        s = shape("S", target="C", props=[phi])
+        assert s.property_shape_for(P) is phi
+        assert s.property_shape_for("http://x/other") is None
+
+
+class TestShapeSchema:
+    def test_add_and_lookup(self):
+        schema = ShapeSchema([shape("S", target="C")])
+        assert "http://x/S" in schema
+        assert schema["http://x/S"].target_class == "http://x/C"
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(ShapeError):
+            ShapeSchema()["http://x/missing"]
+
+    def test_get_returns_none(self):
+        assert ShapeSchema().get("http://x/missing") is None
+
+    def test_shape_for_class(self):
+        schema = ShapeSchema([shape("S", target="C")])
+        assert schema.shape_for_class("http://x/C").name == "http://x/S"
+        assert schema.shape_for_class("http://x/D") is None
+
+    def test_target_classes(self):
+        schema = ShapeSchema([shape("S", target="C"), shape("M", extends=["S"])])
+        assert schema.target_classes() == {"http://x/C": "http://x/S"}
+
+    def test_ancestors_depth_first(self):
+        schema = ShapeSchema([
+            shape("A", target="CA"),
+            shape("B", target="CB", extends=["A"]),
+            shape("C", target="CC", extends=["B"]),
+        ])
+        assert schema.ancestors("http://x/C") == ["http://x/B", "http://x/A"]
+
+    def test_ancestors_cycle_raises(self):
+        schema = ShapeSchema([
+            shape("A", target="CA", extends=["B"]),
+            shape("B", target="CB", extends=["A"]),
+        ])
+        with pytest.raises(ShapeError):
+            schema.ancestors("http://x/A")
+
+    def test_ancestors_missing_parent_raises(self):
+        schema = ShapeSchema([shape("A", target="CA", extends=["ZZ"])])
+        with pytest.raises(ShapeError):
+            schema.ancestors("http://x/A")
+
+    def test_effective_property_shapes_inherits(self):
+        parent_phi = string_shape("http://x/name")
+        child_phi = string_shape("http://x/reg")
+        schema = ShapeSchema([
+            shape("A", target="CA", props=[parent_phi]),
+            shape("B", target="CB", extends=["A"], props=[child_phi]),
+        ])
+        effective = schema.effective_property_shapes("http://x/B")
+        assert {phi.path for phi in effective} == {"http://x/name", "http://x/reg"}
+
+    def test_local_declaration_overrides_inherited(self):
+        parent_phi = string_shape("http://x/name", min_count=1)
+        override = string_shape("http://x/name", min_count=0)
+        schema = ShapeSchema([
+            shape("A", target="CA", props=[parent_phi]),
+            shape("B", target="CB", extends=["A"], props=[override]),
+        ])
+        effective = schema.effective_property_shapes("http://x/B")
+        assert len(effective) == 1
+        assert effective[0].min_count == 0
+
+    def test_validate_references_accepts_valid(self):
+        schema = ShapeSchema([
+            shape("A", target="CA"),
+            shape("B", target="CB", extends=["A"],
+                  props=[PropertyShape(P, (NodeShapeRef("http://x/A"),))]),
+        ])
+        schema.validate_references()
+
+    def test_validate_references_dangling_ref(self):
+        schema = ShapeSchema([
+            shape("B", target="CB",
+                  props=[PropertyShape(P, (NodeShapeRef("http://x/GONE"),))]),
+        ])
+        with pytest.raises(ShapeError):
+            schema.validate_references()
+
+    def test_validate_references_dangling_parent(self):
+        schema = ShapeSchema([shape("B", target="CB", extends=["GONE"])])
+        with pytest.raises(ShapeError):
+            schema.validate_references()
+
+    def test_all_property_shapes(self):
+        schema = ShapeSchema([
+            shape("A", target="CA", props=[string_shape("http://x/n")]),
+            shape("B", target="CB", props=[string_shape("http://x/m")]),
+        ])
+        assert len(schema.all_property_shapes()) == 2
+
+    def test_iteration_order_is_insertion_order(self):
+        schema = ShapeSchema([shape("B", target="CB"), shape("A", target="CA")])
+        assert schema.names() == ["http://x/B", "http://x/A"]

@@ -1,0 +1,153 @@
+"""Unit tests for the SHACL document parser (Figure 4 constructs)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.namespaces import XSD
+from repro.shacl import (
+    UNBOUNDED,
+    ClassType,
+    LiteralType,
+    NodeShapeRef,
+    PropertyShapeKind,
+    parse_shacl,
+)
+
+PREFIXES = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+"""
+
+
+def parse(body: str):
+    return parse_shacl(PREFIXES + body)
+
+
+class TestNodeShapes:
+    def test_figure_4a_person(self):
+        schema = parse("""
+        shapes:Person a sh:NodeShape ;
+          sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                        sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] ;
+          sh:targetClass :Person .
+        """)
+        shape = schema["http://x/shapes#Person"]
+        assert shape.target_class == "http://x/Person"
+        phi = shape.property_shapes[0]
+        assert phi.path == "http://x/name"
+        assert phi.value_types == (LiteralType(XSD.string),)
+        assert phi.cardinality() == (1, 1)
+
+    def test_figure_4b_inheritance(self):
+        schema = parse("""
+        shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+          sh:property [ sh:path :name ; sh:datatype xsd:string ] .
+        shapes:Student a sh:NodeShape ; sh:targetClass :Student ;
+          sh:node shapes:Person ;
+          sh:property [ sh:path :regNo ; sh:datatype xsd:string ] .
+        """)
+        student = schema["http://x/shapes#Student"]
+        assert student.extends == ("http://x/shapes#Person",)
+
+    def test_figure_4c_class_constraint(self):
+        schema = parse("""
+        shapes:Professor a sh:NodeShape ; sh:targetClass :Professor ;
+          sh:property [ sh:path :worksFor ; sh:nodeKind sh:IRI ;
+                        sh:class :Department ; sh:minCount 1 ; sh:maxCount 1 ] .
+        """)
+        phi = schema["http://x/shapes#Professor"].property_shapes[0]
+        assert phi.value_types == (ClassType("http://x/Department"),)
+        assert phi.kind() == PropertyShapeKind.SINGLE_NON_LITERAL
+
+    def test_figure_4d_multi_literal_or(self):
+        schema = parse("""
+        shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+          sh:property [ sh:path :dob ;
+            sh:or ( [ sh:nodeKind sh:Literal ; sh:datatype xsd:string ]
+                    [ sh:nodeKind sh:Literal ; sh:datatype xsd:date ]
+                    [ sh:nodeKind sh:Literal ; sh:datatype xsd:gYear ] ) ;
+            sh:minCount 1 ] .
+        """)
+        phi = schema["http://x/shapes#Person"].property_shapes[0]
+        assert phi.kind() == PropertyShapeKind.MULTI_HOMO_LITERAL
+        assert set(phi.value_types) == {
+            LiteralType(XSD.string), LiteralType(XSD.date), LiteralType(XSD.gYear),
+        }
+        assert phi.max_count == UNBOUNDED
+
+    def test_figure_4f_heterogeneous(self):
+        schema = parse("""
+        shapes:GS a sh:NodeShape ; sh:targetClass :GS ;
+          sh:property [ sh:path :takesCourse ;
+            sh:or ( [ sh:NodeKind sh:IRI ; sh:class :Course ]
+                    [ sh:NodeKind sh:Literal ; sh:datatype xsd:string ] ) ;
+            sh:minCount 1 ] .
+        """)
+        phi = schema["http://x/shapes#GS"].property_shapes[0]
+        assert phi.kind() == PropertyShapeKind.MULTI_HETERO
+
+    def test_nested_shape_reference(self):
+        schema = parse("""
+        shapes:A a sh:NodeShape ; sh:targetClass :A .
+        shapes:B a sh:NodeShape ; sh:targetClass :B ;
+          sh:property [ sh:path :rel ; sh:node shapes:A ] .
+        """)
+        phi = schema["http://x/shapes#B"].property_shapes[0]
+        assert phi.value_types == (NodeShapeRef("http://x/shapes#A"),)
+
+    def test_literal_nodekind_without_datatype_defaults_to_string(self):
+        schema = parse("""
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :p ; sh:nodeKind sh:Literal ] .
+        """)
+        phi = schema["http://x/shapes#A"].property_shapes[0]
+        assert phi.value_types == (LiteralType(XSD.string),)
+
+    def test_property_shapes_sorted_by_path(self):
+        schema = parse("""
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :zz ; sh:datatype xsd:string ] ;
+          sh:property [ sh:path :aa ; sh:datatype xsd:string ] .
+        """)
+        paths = [phi.path for phi in schema["http://x/shapes#A"].property_shapes]
+        assert paths == sorted(paths)
+
+
+class TestErrors:
+    def test_missing_path_raises(self):
+        with pytest.raises(ShapeError):
+            parse("""
+            shapes:A a sh:NodeShape ; sh:targetClass :A ;
+              sh:property [ sh:datatype xsd:string ] .
+            """)
+
+    def test_iri_nodekind_without_class_raises(self):
+        with pytest.raises(ShapeError):
+            parse("""
+            shapes:A a sh:NodeShape ; sh:targetClass :A ;
+              sh:property [ sh:path :p ; sh:nodeKind sh:IRI ] .
+            """)
+
+    def test_no_constraint_raises(self):
+        with pytest.raises(ShapeError):
+            parse("""
+            shapes:A a sh:NodeShape ; sh:targetClass :A ;
+              sh:property [ sh:path :p ] .
+            """)
+
+    def test_non_integer_min_count_raises(self):
+        with pytest.raises(ShapeError):
+            parse("""
+            shapes:A a sh:NodeShape ; sh:targetClass :A ;
+              sh:property [ sh:path :p ; sh:datatype xsd:string ;
+                            sh:minCount "lots" ] .
+            """)
+
+    def test_shape_without_target_or_parent_raises(self):
+        with pytest.raises(ShapeError):
+            parse("shapes:A a sh:NodeShape .")
+
+    def test_empty_document_gives_empty_schema(self):
+        assert len(parse("")) == 0

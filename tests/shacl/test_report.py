@@ -1,0 +1,68 @@
+"""Tests for SHACL validation reports as RDF."""
+
+import pytest
+
+from repro.namespaces import SH
+from repro.rdf import Graph, IRI, parse_turtle
+from repro.shacl import (
+    graph_to_report,
+    parse_shacl,
+    report_to_graph,
+    validate,
+)
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] .
+""")
+
+
+def violating_report():
+    data = parse_turtle("@prefix : <http://x/> . :p a :Person .")
+    return validate(data, SHAPES)
+
+
+def conforming_report():
+    data = parse_turtle('@prefix : <http://x/> . :p a :Person ; :name "P" .')
+    return validate(data, SHAPES)
+
+
+class TestReportToGraph:
+    def test_conforming_report_structure(self):
+        graph = report_to_graph(conforming_report())
+        assert graph.count(p=IRI(SH.conforms)) == 1
+        assert graph.count(p=IRI(SH.result)) == 0
+
+    def test_violating_report_structure(self):
+        graph = report_to_graph(violating_report())
+        assert graph.count(p=IRI(SH.result)) == 1
+        assert graph.count(p=IRI(SH.resultMessage)) == 1
+        assert graph.count(p=IRI(SH.focusNode)) == 1
+        assert graph.count(p=IRI(SH.resultPath)) == 1
+
+    def test_severity_is_violation(self):
+        graph = report_to_graph(violating_report())
+        assert graph.count(p=IRI(SH.resultSeverity), o=IRI(SH.Violation)) == 1
+
+
+class TestRoundTrip:
+    def test_conforms_flag_round_trips(self):
+        assert graph_to_report(report_to_graph(conforming_report())).conforms
+        assert not graph_to_report(report_to_graph(violating_report())).conforms
+
+    def test_violation_details_round_trip(self):
+        original = violating_report()
+        again = graph_to_report(report_to_graph(original))
+        assert len(again.violations) == len(original.violations)
+        assert again.violations[0].focus == original.violations[0].focus
+        assert again.violations[0].path == original.violations[0].path
+        assert again.violations[0].message == original.violations[0].message
+
+    def test_missing_report_rejected(self):
+        with pytest.raises(ValueError):
+            graph_to_report(Graph())

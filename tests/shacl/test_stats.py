@@ -1,0 +1,81 @@
+"""Tests for the Table 3 shape statistics."""
+
+from repro.namespaces import XSD
+from repro.shacl import (
+    ClassType,
+    LiteralType,
+    NodeShape,
+    PropertyShape,
+    ShapeSchema,
+    kind_histogram,
+    classify_schema,
+    is_multi_type,
+    is_single_type,
+    shape_stats,
+    PropertyShapeKind,
+)
+
+
+def build_schema() -> ShapeSchema:
+    lit = LiteralType(XSD.string)
+    date = LiteralType(XSD.date)
+    cls_a = ClassType("http://x/A")
+    cls_b = ClassType("http://x/B")
+    return ShapeSchema([
+        NodeShape(
+            name="http://x/shapes#S",
+            target_class="http://x/S",
+            property_shapes=[
+                PropertyShape("http://x/p1", (lit,), 1, 1),          # single L
+                PropertyShape("http://x/p2", (cls_a,), 1, 1),        # single NL
+                PropertyShape("http://x/p3", (lit, date), 0),        # MT homo L
+                PropertyShape("http://x/p4", (cls_a, cls_b), 0),     # MT homo NL
+                PropertyShape("http://x/p5", (lit, cls_a), 0),       # hetero
+            ],
+        ),
+    ])
+
+
+def test_stats_counts_each_category():
+    stats = shape_stats(build_schema())
+    assert stats.n_node_shapes == 1
+    assert stats.n_property_shapes == 5
+    assert stats.n_single_type == 2
+    assert stats.n_multi_type == 3
+    assert stats.single_literals == 1
+    assert stats.single_non_literals == 1
+    assert stats.multi_homo_literals == 1
+    assert stats.multi_homo_non_literals == 1
+    assert stats.multi_hetero == 1
+
+
+def test_as_row_matches_table3_columns():
+    row = shape_stats(build_schema()).as_row()
+    assert row["# of NS"] == 1
+    assert row["# of PS"] == 5
+    assert row["Multi Type Hetero PS (L & NL)"] == 1
+
+
+def test_kind_histogram():
+    histogram = kind_histogram(build_schema())
+    assert histogram[PropertyShapeKind.MULTI_HETERO] == 1
+    assert sum(histogram.values()) == 5
+
+
+def test_classify_schema_entries():
+    entries = classify_schema(build_schema())
+    assert len(entries) == 5
+    assert {e.path for e in entries} == {f"http://x/p{i}" for i in range(1, 6)}
+
+
+def test_single_multi_predicates():
+    assert is_single_type(PropertyShapeKind.SINGLE_LITERAL)
+    assert is_single_type(PropertyShapeKind.SINGLE_NON_LITERAL)
+    assert is_multi_type(PropertyShapeKind.MULTI_HETERO)
+    assert not is_multi_type(PropertyShapeKind.SINGLE_LITERAL)
+
+
+def test_empty_schema_stats():
+    stats = shape_stats(ShapeSchema())
+    assert stats.n_node_shapes == 0
+    assert stats.n_property_shapes == 0

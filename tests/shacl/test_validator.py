@@ -1,0 +1,174 @@
+"""Unit tests for the SHACL validator (Definition 2.3 semantics)."""
+
+import pytest
+
+from repro.rdf import parse_turtle
+from repro.shacl import ShaclValidator, parse_shacl, validate
+
+SHAPES = """
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                sh:datatype xsd:string ; sh:minCount 1 ; sh:maxCount 1 ] .
+
+shapes:Student a sh:NodeShape ; sh:targetClass :Student ;
+  sh:node shapes:Person ;
+  sh:property [ sh:path :regNo ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :advisedBy ; sh:nodeKind sh:IRI ;
+                sh:class :Person ; sh:minCount 0 ] .
+
+shapes:Course a sh:NodeShape ; sh:targetClass :Course ;
+  sh:property [ sh:path :credits ; sh:datatype xsd:integer ;
+                sh:minCount 1 ; sh:maxCount 2 ] .
+
+shapes:Enrolment a sh:NodeShape ; sh:targetClass :Enrolment ;
+  sh:property [ sh:path :inCourse ; sh:node shapes:Course ;
+                sh:minCount 1 ; sh:maxCount 1 ] .
+"""
+
+DATA_PREFIX = "@prefix : <http://x/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_shacl(SHAPES)
+
+
+def check(schema, data_body: str):
+    return validate(parse_turtle(DATA_PREFIX + data_body), schema)
+
+
+class TestLiteralConstraints:
+    def test_conforming_entity(self, schema):
+        report = check(schema, ':p a :Person ; :name "Ann" .')
+        assert report.conforms
+        assert report.checked_entities == 1
+
+    def test_missing_mandatory_property(self, schema):
+        report = check(schema, ":p a :Person .")
+        assert not report.conforms
+        assert any("cardinality 0" in str(v) for v in report.violations)
+
+    def test_too_many_values(self, schema):
+        report = check(schema, ':p a :Person ; :name "Ann", "Bea" .')
+        assert not report.conforms
+
+    def test_wrong_datatype(self, schema):
+        report = check(schema, ':p a :Person ; :name "5"^^xsd:integer .')
+        assert not report.conforms
+
+    def test_language_tag_violates_string_datatype(self, schema):
+        report = check(schema, ':p a :Person ; :name "Ann"@en .')
+        assert not report.conforms
+
+    def test_iri_where_literal_expected(self, schema):
+        report = check(schema, ":p a :Person ; :name :notALiteral .")
+        assert not report.conforms
+
+    def test_cardinality_range(self, schema):
+        assert check(schema, ":c a :Course ; :credits 5 .").conforms
+        assert check(schema, ":c a :Course ; :credits 5, 7 .").conforms
+        assert not check(schema, ":c a :Course ; :credits 5, 7, 9 .").conforms
+
+
+class TestClassConstraints:
+    def test_object_of_right_class(self, schema):
+        report = check(schema, """
+        :s a :Student ; :name "S" ; :regNo "1" ; :advisedBy :a .
+        :a a :Person ; :name "A" .
+        """)
+        assert report.conforms
+
+    def test_object_of_wrong_class(self, schema):
+        report = check(schema, """
+        :s a :Student ; :name "S" ; :regNo "1" ; :advisedBy :c .
+        :c a :Course ; :credits 3 .
+        """)
+        assert not report.conforms
+
+    def test_object_must_also_conform_to_class_shape(self, schema):
+        # :a is a Person but violates the Person shape (no name).
+        report = check(schema, """
+        :s a :Student ; :name "S" ; :regNo "1" ; :advisedBy :a .
+        :a a :Person .
+        """)
+        assert not report.conforms
+
+    def test_untyped_object_fails_class_constraint(self, schema):
+        report = check(schema, """
+        :s a :Student ; :name "S" ; :regNo "1" ; :advisedBy :nobody .
+        """)
+        assert not report.conforms
+
+
+class TestShapeRefConstraints:
+    def test_node_ref_conforming(self, schema):
+        report = check(schema, """
+        :e a :Enrolment ; :inCourse :c .
+        :c a :Course ; :credits 3 .
+        """)
+        assert report.conforms
+
+    def test_node_ref_violating_target_shape(self, schema):
+        report = check(schema, """
+        :e a :Enrolment ; :inCourse :c .
+        :c a :Course .
+        """)
+        assert not report.conforms
+
+
+class TestInheritance:
+    def test_child_checks_inherited_property(self, schema):
+        report = check(schema, ':s a :Student ; :regNo "1" .')  # missing name
+        assert not report.conforms
+
+    def test_child_conforms_with_all_properties(self, schema):
+        report = check(schema, ':s a :Student ; :regNo "1" ; :name "S" .')
+        assert report.conforms
+
+
+class TestRecursion:
+    def test_cyclic_shape_references_terminate(self):
+        cyclic = parse_shacl("""
+        @prefix sh: <http://www.w3.org/ns/shacl#> .
+        @prefix : <http://x/> .
+        @prefix shapes: <http://x/shapes#> .
+        shapes:A a sh:NodeShape ; sh:targetClass :A ;
+          sh:property [ sh:path :next ; sh:node shapes:A ; sh:minCount 0 ] .
+        """)
+        data = parse_turtle("""
+        @prefix : <http://x/> .
+        :a1 a :A ; :next :a2 . :a2 a :A ; :next :a1 .
+        """)
+        assert validate(data, cyclic).conforms
+
+
+class TestEntityApi:
+    def test_entity_conforms(self, schema):
+        from repro.rdf import IRI
+
+        graph = parse_turtle(DATA_PREFIX + ':p a :Person ; :name "Ann" .')
+        validator = ShaclValidator(schema)
+        assert validator.entity_conforms(graph, IRI("http://x/p"), "http://x/shapes#Person")
+
+    def test_max_violations_bounds_report(self, schema):
+        body = "\n".join(f":p{i} a :Person ." for i in range(50))
+        graph = parse_turtle(DATA_PREFIX + body)
+        report = ShaclValidator(schema, max_violations=5).validate(graph)
+        assert not report.conforms
+        assert len(report.violations) <= 5
+
+    def test_violation_str_contains_focus_and_path(self, schema):
+        report = check(schema, ":p a :Person .")
+        text = str(report.violations[0])
+        assert "http://x/p" in text and "name" in text
+
+    def test_empty_graph_conforms(self, schema):
+        report = check(schema, "")
+        assert report.conforms
+        assert report.checked_entities == 0

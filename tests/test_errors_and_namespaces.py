@@ -1,0 +1,98 @@
+"""Tests for the exception hierarchy and namespace utilities."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ShapeError,
+    TermError,
+    TransformError,
+    TranslationError,
+    ValidationError,
+)
+from repro.namespaces import (
+    EX,
+    Namespace,
+    RDF,
+    SH,
+    WELL_KNOWN_PREFIXES,
+    XSD,
+    local_name,
+    split_iri,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [ParseError, TermError, GraphError, ShapeError, SchemaError,
+         ValidationError, TransformError, QueryError, TranslationError],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_parse_error_location_formatting(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        err = ParseError("bad token")
+        assert str(err) == "bad token"
+        assert err.line is None
+
+    def test_parse_error_line_only(self):
+        assert "line 5" in str(ParseError("x", line=5))
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert XSD.string == "http://www.w3.org/2001/XMLSchema#string"
+
+    def test_item_access(self):
+        assert SH["class"] == "http://www.w3.org/ns/shacl#class"
+
+    def test_term_method(self):
+        assert EX.term("a") == "http://example.org/a"
+
+    def test_contains(self):
+        assert XSD.string in XSD
+        assert "http://other/x" not in XSD
+
+    def test_local_name_extraction(self):
+        assert XSD.local_name(XSD.string) == "string"
+        with pytest.raises(ValueError):
+            XSD.local_name("http://other/x")
+
+    def test_private_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            XSD._private
+
+    def test_equality_and_hash(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert len({Namespace("http://a/"), Namespace("http://a/")}) == 1
+
+    def test_well_known_prefixes_cover_core_vocabularies(self):
+        for prefix in ("rdf", "rdfs", "xsd", "sh"):
+            assert prefix in WELL_KNOWN_PREFIXES
+
+
+class TestIriSplitting:
+    @pytest.mark.parametrize(
+        "iri,expected",
+        [
+            ("http://x/ns#Person", ("http://x/ns#", "Person")),
+            ("http://x/ns/Person", ("http://x/ns/", "Person")),
+            ("urn:isbn:12345", ("urn:isbn:", "12345")),
+            ("noseparator", ("", "noseparator")),
+        ],
+    )
+    def test_split_iri(self, iri, expected):
+        assert split_iri(iri) == expected
+
+    def test_local_name(self):
+        assert local_name(RDF.type) == "type"
