@@ -9,7 +9,7 @@ quantify what the indexes buy the SPARQL engine.
 from __future__ import annotations
 
 import pytest
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import render_table
 from repro.query.sparql import SparqlEngine
@@ -70,4 +70,9 @@ def test_ablation_index_report(benchmark):
         ],
         title="Ablation: permutation indexes vs full scans",
     ))
+    write_json_result(
+        "ablation_indexes",
+        {"indexed_s": _TIMES["indexed"], "scan_s": _TIMES["scan"],
+         "speedup": round(speedup, 2)},
+    )
     assert speedup > 2.0

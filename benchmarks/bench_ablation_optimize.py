@@ -10,7 +10,7 @@ parsimonious transformation.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.core import DEFAULT_OPTIONS, MONOTONE_OPTIONS, S3PG, optimize
 from repro.eval import render_table
@@ -34,19 +34,24 @@ def test_ablation_optimize(benchmark, dbpedia2022_bundle):
     pars = S3PG(DEFAULT_OPTIONS).transform(bundle.graph, bundle.shapes)
     exact = optimized.graph.structurally_equal(pars.graph)
 
+    rows = [
+        {"graph": "non-parsimonious", "nodes": before.n_nodes,
+         "edges": before.n_edges},
+        {"graph": "after optimize()", "nodes": after.n_nodes,
+         "edges": after.n_edges},
+        {"graph": "direct parsimonious", "nodes": pars.graph.stats().n_nodes,
+         "edges": pars.graph.stats().n_edges},
+    ]
     write_result("ablation_optimize.txt", render_table(
-        [
-            {"graph": "non-parsimonious", "nodes": before.n_nodes,
-             "edges": before.n_edges},
-            {"graph": "after optimize()", "nodes": after.n_nodes,
-             "edges": after.n_edges},
-            {"graph": "direct parsimonious", "nodes": pars.graph.stats().n_nodes,
-             "edges": pars.graph.stats().n_edges},
-            {"graph": "identical to parsimonious", "nodes": str(exact),
-             "edges": ""},
-        ],
+        rows + [{"graph": "identical to parsimonious", "nodes": str(exact),
+                 "edges": ""}],
         title="Ablation: non-parsimonious graph compaction",
     ))
+    write_json_result(
+        "ablation_optimize", rows,
+        identical_to_parsimonious=exact,
+        edges_folded=optimized.stats.edges_folded,
+    )
 
     assert exact
     assert after.n_nodes < before.n_nodes

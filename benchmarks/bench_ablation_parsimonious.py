@@ -10,7 +10,7 @@ trade-off the paper discusses: output size vs conversion time.
 from __future__ import annotations
 
 import pytest
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.core import DEFAULT_OPTIONS, MONOTONE_OPTIONS, S3PG
 from repro.eval import render_table
@@ -62,6 +62,9 @@ def test_ablation_parsimonious_report(benchmark, dbpedia2022_bundle):
         )
 
     write_result("ablation_parsimonious.txt", benchmark.pedantic(render, rounds=1))
+    write_json_result("ablation_parsimonious", [
+        {"mode": mode, **values} for mode, values in _RESULTS.items()
+    ])
 
     pars, mono = _RESULTS["parsimonious"], _RESULTS["non-parsimonious"]
     # Non-parsimonious materializes literal nodes for *every* property:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from statistics import mean
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import render_series, runtime_experiment
 
@@ -48,6 +48,11 @@ def test_fig6_query_runtime(benchmark, dbpedia2022_bundle, dbpedia2022_runs,
             for engine in cat_rows[0].runtimes_ms
         }
     write_result("fig6_query_runtime.txt", "\n".join(sections))
+    write_json_result("fig6_query_runtime", [
+        {"qid": row.qid, "category": row.category,
+         "runtimes_ms": {k: round(v, 3) for k, v in row.runtimes_ms.items()}}
+        for row in rows
+    ])
 
     # Runtimes remain comparable between the engines: within each
     # category no engine is more than ~25x slower than the fastest

@@ -10,7 +10,7 @@ asserts the same ordering: rdf2pg is the heaviest.
 from __future__ import annotations
 
 import pytest
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import (
     render_table,
@@ -60,6 +60,7 @@ def test_memory_report(benchmark, dbpedia2022_bundle):
     write_result("memory.txt", benchmark.pedantic(
         lambda: render_table(rows, title="Peak transformation memory"), rounds=1
     ))
+    write_json_result("memory", rows)
 
     # The paper's observation: rdf2pg needs the most memory (it holds the
     # whole graph plus YARS-PG and CSV serializations at once).

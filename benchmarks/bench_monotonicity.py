@@ -9,7 +9,7 @@ delta-only conversion and bitwise-equivalent output; both are asserted.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import monotonicity_experiment, render_table
 
@@ -30,6 +30,12 @@ def test_monotonicity(benchmark, dbpedia2022_bundle):
     write_result("monotonicity.txt", render_table(
         rows, title="Section 5.4: Monotonicity analysis"
     ))
+    write_json_result(
+        "monotonicity", report.as_rows(),
+        savings_percent=round(report.savings_percent, 2),
+        delta_matches_full=report.delta_matches_full,
+        n_added=report.n_added, n_removed=report.n_removed,
+    )
 
     # Delta-only conversion is dramatically cheaper than re-converting
     # the new snapshot (paper: ~70% cheaper).

@@ -13,7 +13,7 @@ import gc
 import time
 
 import pytest
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.core import S3PG
 from repro.eval import load_dataset, render_table
@@ -49,6 +49,7 @@ def test_scalability_report(benchmark):
         lambda: render_table(rows, title="S3PG transformation scalability"),
         rounds=1,
     ))
+    write_json_result("scalability", rows)
 
     # Near-linear: going from the smallest to the largest point, time must
     # not grow super-linearly by more than a generous constant factor.

@@ -7,7 +7,7 @@ benchmarks the statistics computation over the indexed triple store.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import render_table
 
@@ -27,6 +27,7 @@ def test_table2_dataset_statistics(benchmark, all_bundles):
     write_result("table2_datasets.txt", render_table(
         rows, title="Table 2: Size and characteristics of the datasets"
     ))
+    write_json_result("table2_datasets", rows)
 
     # The paper's size ordering: DBpedia2022 is the largest, and
     # DBpedia2020 is the smallest of the two DBpedia snapshots.

@@ -6,7 +6,7 @@ regenerates the per-category property-shape breakdown.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import render_table
 from repro.shacl import shape_stats
@@ -34,6 +34,7 @@ def test_table3_shape_statistics(benchmark, all_bundles):
     write_result("table3_shapes.txt", render_table(
         rows, title="Table 3: SHACL shape statistics"
     ))
+    write_json_result("table3_shapes", rows)
 
     # The 2022 snapshot has heterogeneous and MT-homo-literal shapes;
     # the 2020 snapshot has neither (its Table 3 row reports zeros).

@@ -11,7 +11,7 @@ from __future__ import annotations
 import gc
 
 import pytest
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import (
     render_table,
@@ -75,6 +75,10 @@ def test_table4_render_and_ordering(benchmark, all_bundles):
         )
 
     write_result("table4_transformation.txt", benchmark.pedantic(render, rounds=1))
+    write_json_result("table4_transformation", [
+        {"dataset": dataset, "method": method, "combined_s": round(seconds, 6)}
+        for (dataset, method), seconds in sorted(_RESULTS.items())
+    ])
 
     # S3PG wins on every dataset (the paper's headline Table 4 result).
     for dataset in datasets:

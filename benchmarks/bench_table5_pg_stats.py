@@ -8,7 +8,7 @@ more on DBpedia2022.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import render_table, run_all_transformations
 
@@ -42,6 +42,7 @@ def test_table5_pg_statistics(benchmark, dbpedia2022_bundle, bio2rdf_bundle,
     write_result("table5_pg_stats.txt", render_table(
         rows, title="Table 5: Transformed graphs (PG models) statistics"
     ))
+    write_json_result("table5_pg_stats", rows)
 
     for dataset, per_method in stats.items():
         s3pg, neosem, rdf2pg = (

@@ -9,7 +9,7 @@ heterogeneous properties and visibly on multi-type literals.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import accuracy_experiment, render_table
 
@@ -29,6 +29,7 @@ def test_table6_accuracy_dbpedia(benchmark, dbpedia2022_bundle,
         [r.as_row() for r in rows],
         title="Table 6: Accuracy analysis for DBpedia2022",
     ))
+    write_json_result("table6_accuracy_dbpedia", [r.as_row() for r in rows])
 
     hetero = [r for r in rows if r.category == "MT-Hetero (L+NL)"]
     homo_l = [r for r in rows if r.category == "MT-Homo (L)"]

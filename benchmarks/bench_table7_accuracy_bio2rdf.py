@@ -7,7 +7,7 @@ trials schema has far fewer heterogeneous properties (Table 3).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_json_result, write_result
 
 from repro.eval import accuracy_experiment, render_table
 
@@ -25,6 +25,7 @@ def test_table7_accuracy_bio2rdf(benchmark, bio2rdf_bundle, bio2rdf_runs,
         [r.as_row() for r in rows],
         title="Table 7: Accuracy analysis for Bio2RDF",
     ))
+    write_json_result("table7_accuracy_bio2rdf", [r.as_row() for r in rows])
 
     # S3PG: 100% everywhere.
     for row in rows:

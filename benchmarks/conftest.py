@@ -9,6 +9,7 @@ one core while preserving every effect the paper reports.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -29,6 +30,30 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / name).write_text(text, encoding="utf-8")
     print("\n" + text)
+
+
+def write_json_result(name: str, data, **params) -> None:
+    """Persist a machine-readable result under ``benchmarks/results``.
+
+    Each bench emits its numbers twice: a rendered table for humans
+    (:func:`write_result`) and a JSON document through this helper, so
+    runs can be diffed by tooling without parsing text tables.  ``data``
+    is the bench's row list / measurement mapping; ``params`` records
+    run parameters worth keeping next to the numbers (scales, worker
+    counts, ...).  ``BENCH_SCALE`` is always recorded.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = name[:-5] if name.endswith(".json") else name
+    document = {
+        "benchmark": stem,
+        "bench_scale": BENCH_SCALE,
+        "params": params,
+        "data": data,
+    }
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -96,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--g2gml", action="store_true",
         help="additionally emit a G2GML mapping document",
     )
+    transform.add_argument(
+        "--workers", type=int, metavar="N",
+        help="run the data transformation through the sharded parallel "
+             "engine with N worker processes (omit for the serial path)",
+    )
 
     extract = sub.add_parser("extract-shapes", help="extract SHACL shapes from data")
     extract.add_argument("data")
@@ -172,7 +177,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         parsimonious=not args.non_parsimonious, on_unknown=args.on_unknown
     )
     start = time.perf_counter()
-    result = S3PG(options).transform(graph, shapes)
+    result = S3PG(options).transform(graph, shapes, parallel=args.workers)
     elapsed = time.perf_counter() - start
 
     out = Path(args.out)
@@ -194,6 +199,16 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         f"in {elapsed:.2f}s"
     )
     print(f"wrote nodes.csv, edges.csv, schema.pgs, mapping.json to {out}/")
+    if result.instrumentation is not None:
+        engine = result.instrumentation
+        phases = ", ".join(
+            f"{name} {record['wall_s']:.2f}s"
+            for name, record in engine["phases"].items()
+        )
+        print(
+            f"parallel engine: {engine['counters'].get('workers', 1)} worker(s), "
+            f"{engine['counters'].get('shards', 0)} shard(s); {phases}"
+        )
     return 0
 
 

@@ -247,7 +247,7 @@ class IncrementalTransformer:
             dst_id = node_id_for(obj)
         edge_id = edge_id_for(src_id, rel_type, dst_id)
         if edge_id in self.graph.edges:
-            del self.graph.edges[edge_id]
+            self.graph.remove_edge(edge_id)
             self._degree[src_id] = self._degree.get(src_id, 1) - 1
             self._degree[dst_id] = self._degree.get(dst_id, 1) - 1
             stats.edges_removed += 1

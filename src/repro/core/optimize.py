@@ -116,9 +116,8 @@ def optimize(
         stats.edges_folded += 1
 
     referenced: set[str] = set()
-    delete_set = set(edges_to_delete)
     for edge_id in edges_to_delete:
-        del graph.edges[edge_id]
+        graph.remove_edge(edge_id)
     for edge in graph.edges.values():
         referenced.add(edge.dst)
         referenced.add(edge.src)

@@ -43,6 +43,8 @@ class TransformResult:
     schema_result: SchemaTransformResult
     options: TransformOptions
     timings: dict[str, float] = field(default_factory=dict)
+    #: Engine phase timers / shard records for parallel runs, else None.
+    instrumentation: dict | None = None
 
     @property
     def graph(self):
@@ -94,15 +96,36 @@ class S3PG:
         """Run only ``F_st`` (Problem 1)."""
         return SchemaTransformer(self.options, self.prefixes).transform(shape_schema)
 
-    def transform(self, graph: Graph, shape_schema: ShapeSchema) -> TransformResult:
-        """Run the full pipeline: ``F_st`` then ``F_dt`` (Problems 1 & 2)."""
+    def transform(
+        self,
+        graph: Graph,
+        shape_schema: ShapeSchema,
+        parallel: int | None = None,
+    ) -> TransformResult:
+        """Run the full pipeline: ``F_st`` then ``F_dt`` (Problems 1 & 2).
+
+        Args:
+            graph: the RDF instance data.
+            shape_schema: the SHACL shape schema.
+            parallel: when set, run the data transformation through the
+                sharded process-parallel engine with this many workers
+                (``1`` exercises the partition/merge path in-process).
+                Monotonicity guarantees the output is isomorphic to the
+                serial one.
+        """
         timings: dict[str, float] = {}
         start = time.perf_counter()
         schema_result = self.transform_schema(shape_schema)
         timings["schema_s"] = time.perf_counter() - start
 
+        instrumentation: dict | None = None
         start = time.perf_counter()
-        transformed = DataTransformer(schema_result, self.options).transform(graph)
+        if parallel is not None:
+            transformed, instrumentation = self._transform_parallel(
+                graph, schema_result, parallel, timings
+            )
+        else:
+            transformed = DataTransformer(schema_result, self.options).transform(graph)
         timings["data_s"] = time.perf_counter() - start
         timings["transform_s"] = timings["schema_s"] + timings["data_s"]
         return TransformResult(
@@ -110,7 +133,25 @@ class S3PG:
             schema_result=schema_result,
             options=self.options,
             timings=timings,
+            instrumentation=instrumentation,
         )
+
+    def _transform_parallel(
+        self,
+        graph: Graph,
+        schema_result: SchemaTransformResult,
+        workers: int,
+        timings: dict[str, float],
+    ) -> tuple[TransformedGraph, dict]:
+        from ..engine import EngineConfig, ParallelEngine
+
+        engine = ParallelEngine(
+            schema_result, self.options, EngineConfig(max_workers=workers)
+        )
+        transformed = engine.transform(graph)
+        for name, record in engine.instrumentation.phases.items():
+            timings[f"engine_{name}_s"] = record.wall_s
+        return transformed, engine.instrumentation.as_dict()
 
 
 def transform(
@@ -118,6 +159,64 @@ def transform(
     shape_schema: ShapeSchema,
     options: TransformOptions = DEFAULT_OPTIONS,
     prefixes: PrefixMap | None = None,
+    parallel: int | None = None,
 ) -> TransformResult:
     """Transform an RDF graph + SHACL schema into a PG + PG-Schema."""
-    return S3PG(options, prefixes).transform(graph, shape_schema)
+    return S3PG(options, prefixes).transform(graph, shape_schema, parallel=parallel)
+
+
+def transform_file_parallel(
+    path,
+    shape_schema: ShapeSchema,
+    options: TransformOptions = DEFAULT_OPTIONS,
+    prefixes: PrefixMap | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    shard_timeout_s: float | None = None,
+    debug: bool = False,
+) -> TransformResult:
+    """Transform an N-Triples file with the sharded parallel engine.
+
+    The file-based counterpart of ``transform(..., parallel=N)``: the
+    input is split into per-shard N-Triples files (bounded memory, one
+    streaming pass) and each shard is converted by a worker process.
+
+    Args:
+        path: the N-Triples document.
+        shape_schema: the SHACL shape schema.
+        options / prefixes: as for :func:`transform`.
+        workers: worker processes (default: one per CPU).
+        shards: subject-hash shards (default: ``workers``).
+        shard_timeout_s: per-shard budget before retry / serial fallback.
+        debug: assert the pure-union merge invariant.
+    """
+    from ..engine import EngineConfig, ParallelEngine
+
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    schema_result = SchemaTransformer(options, prefixes).transform(shape_schema)
+    timings["schema_s"] = time.perf_counter() - start
+
+    engine = ParallelEngine(
+        schema_result,
+        options,
+        EngineConfig(
+            max_workers=workers,
+            shards=shards,
+            shard_timeout_s=shard_timeout_s,
+            debug=debug,
+        ),
+    )
+    start = time.perf_counter()
+    transformed = engine.transform_file(path)
+    timings["data_s"] = time.perf_counter() - start
+    timings["transform_s"] = timings["schema_s"] + timings["data_s"]
+    for name, record in engine.instrumentation.phases.items():
+        timings[f"engine_{name}_s"] = record.wall_s
+    return TransformResult(
+        transformed=transformed,
+        schema_result=schema_result,
+        options=options,
+        timings=timings,
+        instrumentation=engine.instrumentation.as_dict(),
+    )

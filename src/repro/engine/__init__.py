@@ -1,0 +1,46 @@
+"""Parallel partitioned transformation engine.
+
+Shards an RDF input by subject hash, transforms the shards in a process
+pool, and deterministically unions the per-shard property graphs — an
+execution strategy licensed by the monotonicity of ``F_dt``
+(Proposition 4.3): the transformation of a union of inputs is the union
+of their transformations.
+
+Typical use, via the pipeline::
+
+    from repro import S3PG
+    result = S3PG().transform(graph, shapes, parallel=4)
+
+or directly for file-based loads::
+
+    from repro.core import transform_schema
+    from repro.engine import EngineConfig, ParallelEngine
+
+    engine = ParallelEngine(transform_schema(shapes),
+                            config=EngineConfig(max_workers=8))
+    transformed = engine.transform_file("data.nt")
+    print(engine.instrumentation.render_text())
+"""
+
+from .executor import EngineConfig, ParallelEngine
+from .instrumentation import EngineInstrumentation, PhaseRecord, ShardRecord
+from .merge import merge_outcomes, replay_extensions
+from .partition import Partition, partition_file, partition_graph, shard_of
+from .worker import ShardOutcome, ShardTask, ShardTransformer
+
+__all__ = [
+    "EngineConfig",
+    "EngineInstrumentation",
+    "Partition",
+    "ParallelEngine",
+    "PhaseRecord",
+    "ShardOutcome",
+    "ShardRecord",
+    "ShardTask",
+    "ShardTransformer",
+    "merge_outcomes",
+    "partition_file",
+    "partition_graph",
+    "replay_extensions",
+    "shard_of",
+]

@@ -1,0 +1,364 @@
+"""The parallel transformation engine: partition, execute, merge.
+
+Orchestrates one sharded run of Algorithm 1:
+
+1. **partition** — split the input into subject-hash shards and collect
+   the global entity-type map (:mod:`repro.engine.partition`);
+2. **schema** — pre-register fallback node types for every ``rdf:type``
+   IRI not covered by the shapes, so all workers mint names from one
+   registry state;
+3. **execute** — run each shard through a :class:`ShardTransformer` in a
+   ``ProcessPoolExecutor``; a shard that times out or crashes is retried
+   once and then degraded to an in-process serial run, so a sick worker
+   can slow the load down but never fail it;
+4. **merge** — union the shard property graphs (a pure union by
+   monotonicity, asserted in debug mode) and replay the workers' schema
+   extensions; an irreconcilable extension degrades the whole run to the
+   classic serial transformation.
+
+Worker processes receive the heavyweight shared state (schema result,
+entity-type map, in-memory shards) by fork inheritance where the OS
+supports it, falling back to a one-time pickle per worker elsewhere.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import multiprocessing
+import os
+import tempfile
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.config import DEFAULT_OPTIONS, TransformOptions
+from ..core.data_transform import DataTransformer, TransformedGraph
+from ..core.schema_transform import SchemaTransformResult
+from ..core.streaming import StreamingDataTransformer
+from ..errors import EngineError, ReproError, TransformError
+from ..rdf.graph import Graph
+from ..rdf.terms import Triple
+from . import worker as worker_module
+from .instrumentation import EngineInstrumentation, ShardRecord
+from .merge import merge_outcomes
+from .partition import Partition, partition_file, partition_graph
+from .worker import (
+    ShardOutcome,
+    ShardTask,
+    init_worker,
+    run_shard_inprocess,
+    run_shard_task,
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of one parallel engine run.
+
+    Attributes:
+        max_workers: worker processes (default: ``os.cpu_count()``).
+            ``1`` runs the shards sequentially in-process — same
+            partition/merge semantics, no pool.
+        shards: number of subject-hash shards (default: ``max_workers``).
+            More shards than workers smooths load imbalance at the cost
+            of more merge work.
+        shard_timeout_s: per-shard wall-clock budget; a shard exceeding
+            it is retried once, then run serially in the parent.  None
+            waits indefinitely.
+        debug: assert the pure-union merge invariant (raises
+            ``GraphError`` on any cross-shard disagreement).
+        start_method: force a multiprocessing start method; None picks
+            ``fork`` when available (cheapest state sharing).
+    """
+
+    max_workers: int | None = None
+    shards: int | None = None
+    shard_timeout_s: float | None = None
+    debug: bool = False
+    start_method: str | None = None
+
+    def effective_workers(self) -> int:
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, workers)
+
+
+class ParallelEngine:
+    """Sharded, process-parallel execution of the S3PG data transformation.
+
+    Args:
+        schema_result: output of the (serial) schema transformation; its
+            registry absorbs the extensions minted during the run.
+        options: transformation options, matching the schema transform.
+        config: engine knobs; defaults to one worker per CPU.
+
+    After a run, :attr:`instrumentation` holds the phase timers, shard
+    records, and counters of that run.
+    """
+
+    def __init__(
+        self,
+        schema_result: SchemaTransformResult,
+        options: TransformOptions = DEFAULT_OPTIONS,
+        config: EngineConfig | None = None,
+    ):
+        self.schema_result = schema_result
+        self.options = options
+        self.config = config or EngineConfig()
+        self.instrumentation = EngineInstrumentation()
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def transform(self, source: Graph | Iterable[Triple]) -> TransformedGraph:
+        """Transform an in-memory graph (or triple iterable) in parallel."""
+        inst = self._begin()
+        with inst.phase("partition"):
+            partition = partition_graph(source, self._n_shards())
+        return self._execute(partition, inst)
+
+    def transform_file(
+        self, path: str | Path, shard_dir: str | Path | None = None
+    ) -> TransformedGraph:
+        """Transform an N-Triples file in parallel.
+
+        Args:
+            path: the input document.
+            shard_dir: where the per-shard files are written; a temporary
+                directory (removed afterwards) when omitted.
+        """
+        path = Path(path)
+        inst = self._begin()
+        tmp: tempfile.TemporaryDirectory | None = None
+        if shard_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            shard_dir = tmp.name
+        try:
+            with inst.phase("partition"):
+                partition = partition_file(path, self._n_shards(), shard_dir)
+            return self._execute(partition, inst, serial_file=path)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    # ------------------------------------------------------------------ #
+    # Run phases
+    # ------------------------------------------------------------------ #
+
+    def _begin(self) -> EngineInstrumentation:
+        self.instrumentation = EngineInstrumentation()
+        return self.instrumentation
+
+    def _n_shards(self) -> int:
+        return max(1, self.config.shards or self.config.effective_workers())
+
+    def _execute(
+        self,
+        partition: Partition,
+        inst: EngineInstrumentation,
+        serial_file: Path | None = None,
+    ) -> TransformedGraph:
+        inst.count("triples", partition.triples_total)
+        inst.count("shards", partition.n_shards)
+
+        with inst.phase("schema"):
+            self._preregister_unknown_classes(partition, inst)
+
+        with inst.phase("execute"):
+            outcomes = self._run_tasks(partition, inst)
+
+        try:
+            with inst.phase("merge"):
+                transformed, merge_stats = merge_outcomes(
+                    outcomes,
+                    self.schema_result,
+                    self.options,
+                    strict=self.config.debug,
+                )
+            inst.count("merge_conflicts", merge_stats.conflicts)
+            inst.count("nodes_reconciled", merge_stats.nodes_merged)
+        except EngineError:
+            # Shard outputs could not be reconciled (cross-shard naming
+            # collision): correctness over speed — redo serially.
+            inst.count("full_serial_fallbacks")
+            with inst.phase("serial_fallback"):
+                transformed = self._serial_transform(partition, serial_file)
+        return transformed
+
+    def _preregister_unknown_classes(
+        self, partition: Partition, inst: EngineInstrumentation
+    ) -> None:
+        mapping = self.schema_result.mapping
+        unknown = sorted(
+            iri for iri in partition.type_iris
+            if mapping.label_for_class(iri) is None
+        )
+        if not unknown:
+            return
+        if self.options.on_unknown == "error":
+            raise TransformError(f"no shape targets class {unknown[0]}")
+        if self.options.on_unknown == "skip":
+            return
+        registry = self.schema_result.registry
+        for iri in unknown:
+            registry.ensure_external_class(iri)
+        inst.count("preregistered_classes", len(unknown))
+
+    def _serial_transform(
+        self, partition: Partition, serial_file: Path | None
+    ) -> TransformedGraph:
+        if serial_file is not None:
+            return StreamingDataTransformer(
+                self.schema_result, self.options
+            ).transform_file(serial_file)
+        triples = itertools.chain.from_iterable(partition.shard_triples)
+        return DataTransformer(self.schema_result, self.options).transform(triples)
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+
+    def _run_tasks(
+        self, partition: Partition, inst: EngineInstrumentation
+    ) -> list[ShardOutcome]:
+        workers = min(self.config.effective_workers(), partition.n_shards)
+        inst.count("workers", workers)
+        shared = {
+            "schema_result": self.schema_result,
+            "options": self.options,
+            "entity_types": partition.entity_types,
+            "type_keys": partition.type_keys,
+            "shard_triples": partition.shard_triples,
+        }
+
+        use_fork = False
+        if workers > 1:
+            method = self.config.start_method
+            if method is None and "fork" in multiprocessing.get_all_start_methods():
+                method = "fork"
+            use_fork = method == "fork"
+        tasks = self._build_tasks(partition, payload_in_task=not use_fork)
+
+        if workers <= 1:
+            return [
+                self._finish_shard(
+                    run_shard_inprocess(task, shared), inst, retries=0,
+                    ran_serial=True,
+                )
+                for task in tasks
+            ]
+
+        outcomes: list[ShardOutcome] = []
+        try:
+            if use_fork:
+                context = multiprocessing.get_context("fork")
+                worker_module._SHARED.clear()
+                worker_module._SHARED.update(shared)
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+            else:
+                context = (
+                    multiprocessing.get_context(method)
+                    if self.config.start_method else None
+                )
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=init_worker,
+                    initargs=(shared,),
+                )
+        except (OSError, ValueError):
+            # No pool available in this environment (e.g. missing
+            # semaphore support): run everything in-process.
+            inst.count("pool_unavailable")
+            return [
+                self._finish_shard(
+                    run_shard_inprocess(task, shared), inst, retries=0,
+                    ran_serial=True,
+                )
+                for task in tasks
+            ]
+
+        try:
+            futures = [executor.submit(run_shard_task, task) for task in tasks]
+            for task, future in zip(tasks, futures):
+                outcomes.append(
+                    self._collect_shard(executor, task, future, shared, inst)
+                )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+            worker_module._SHARED.clear()
+        return outcomes
+
+    def _build_tasks(
+        self, partition: Partition, payload_in_task: bool
+    ) -> list[ShardTask]:
+        tasks = []
+        for index in range(partition.n_shards):
+            if partition.shard_paths is not None:
+                tasks.append(
+                    ShardTask(index, path=str(partition.shard_paths[index]))
+                )
+            elif payload_in_task:
+                tasks.append(
+                    ShardTask(index, triples=tuple(partition.shard_triples[index]))
+                )
+            else:
+                tasks.append(ShardTask(index))
+        return tasks
+
+    def _collect_shard(
+        self,
+        executor: concurrent.futures.ProcessPoolExecutor,
+        task: ShardTask,
+        future: concurrent.futures.Future,
+        shared: dict,
+        inst: EngineInstrumentation,
+    ) -> ShardOutcome:
+        timeout = self.config.shard_timeout_s
+        try:
+            return self._finish_shard(future.result(timeout=timeout), inst)
+        except ReproError:
+            # A deterministic transformation error (e.g. on_unknown=
+            # "error"): retrying cannot help, surface it to the caller.
+            raise
+        except concurrent.futures.TimeoutError:
+            inst.count("shard_timeouts")
+        except Exception:
+            inst.count("shard_failures")
+
+        # Retry once through the pool, then degrade to in-process serial.
+        try:
+            retry_future = executor.submit(run_shard_task, task)
+            return self._finish_shard(
+                retry_future.result(timeout=timeout), inst, retries=1
+            )
+        except ReproError:
+            raise
+        except Exception:
+            inst.count("serial_fallbacks")
+            return self._finish_shard(
+                run_shard_inprocess(task, shared), inst, retries=1,
+                ran_serial=True,
+            )
+
+    def _finish_shard(
+        self,
+        outcome: ShardOutcome,
+        inst: EngineInstrumentation,
+        retries: int = 0,
+        ran_serial: bool = False,
+    ) -> ShardOutcome:
+        inst.record_shard(
+            ShardRecord(
+                shard_id=outcome.shard_id,
+                triples=outcome.stats.triples_processed,
+                wall_s=outcome.wall_s,
+                cpu_s=outcome.cpu_s,
+                retries=retries,
+                ran_serial=ran_serial,
+            )
+        )
+        return outcome

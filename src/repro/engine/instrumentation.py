@@ -1,0 +1,164 @@
+"""Lightweight instrumentation for the parallel transformation engine.
+
+Collects per-phase wall/CPU timers, named counters, and per-shard work
+records (triple count, seconds, worker CPU), and renders them both as a
+human-readable text report and as machine-readable JSON — the latter is
+what ``benchmarks/bench_parallel_scalability.py`` diffs across PRs.
+
+The shard-skew histogram answers the operational question "did the
+subject-hash partitioner balance the load?": with a healthy hash the
+max/mean shard ratio stays near 1; a skewed input (one giant subject
+neighbourhood) shows up as a long tail bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated wall-clock and process-CPU time of one engine phase."""
+
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+
+@dataclass
+class ShardRecord:
+    """What one shard cost: its size and where the time went."""
+
+    shard_id: int
+    triples: int
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    retries: int = 0
+    ran_serial: bool = False
+
+
+class EngineInstrumentation:
+    """Counters, timers, and shard-skew statistics for one engine run."""
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseRecord] = {}
+        self.counters: dict[str, int] = {}
+        self.shards: list[ShardRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nested/repeated phases accumulate."""
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            record = self.phases.setdefault(name, PhaseRecord())
+            record.wall_s += time.perf_counter() - wall0
+            record.cpu_s += time.process_time() - cpu0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_shard(self, record: ShardRecord) -> None:
+        """Attach one shard's work record."""
+        self.shards.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+
+    def skew(self) -> dict[str, float]:
+        """Shard-size balance: min/mean/max triples and the skew ratio."""
+        sizes = [s.triples for s in self.shards]
+        if not sizes:
+            return {"min": 0, "mean": 0.0, "max": 0, "max_over_mean": 0.0}
+        mean = sum(sizes) / len(sizes)
+        return {
+            "min": min(sizes),
+            "mean": round(mean, 1),
+            "max": max(sizes),
+            "max_over_mean": round(max(sizes) / mean, 3) if mean else 0.0,
+        }
+
+    def skew_histogram(self, bins: int = 8) -> list[tuple[str, int]]:
+        """Histogram of shard sizes as ``(range-label, shard-count)`` rows."""
+        sizes = [s.triples for s in self.shards]
+        if not sizes:
+            return []
+        low, high = min(sizes), max(sizes)
+        if low == high:
+            return [(f"{low}", len(sizes))]
+        bins = max(1, min(bins, len(sizes)))
+        width = (high - low) / bins
+        counts = [0] * bins
+        for size in sizes:
+            index = min(int((size - low) / width), bins - 1)
+            counts[index] += 1
+        return [
+            (f"{int(low + i * width)}-{int(low + (i + 1) * width)}", counts[i])
+            for i in range(bins)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of everything recorded."""
+        return {
+            "phases": {
+                name: {"wall_s": round(r.wall_s, 6), "cpu_s": round(r.cpu_s, 6)}
+                for name, r in self.phases.items()
+            },
+            "counters": dict(self.counters),
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "triples": s.triples,
+                    "wall_s": round(s.wall_s, 6),
+                    "cpu_s": round(s.cpu_s, 6),
+                    "retries": s.retries,
+                    "ran_serial": s.ran_serial,
+                }
+                for s in self.shards
+            ],
+            "skew": self.skew(),
+        }
+
+    def to_json(self) -> str:
+        """The :meth:`as_dict` snapshot, serialized."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """A compact human-readable report."""
+        lines = ["parallel engine report"]
+        for name, record in self.phases.items():
+            lines.append(
+                f"  phase {name:<12} wall {record.wall_s:8.3f}s  "
+                f"cpu {record.cpu_s:8.3f}s"
+            )
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<20} {self.counters[name]}")
+        if self.shards:
+            skew = self.skew()
+            lines.append(
+                f"  shard sizes          min {skew['min']} / mean {skew['mean']} "
+                f"/ max {skew['max']} (max/mean {skew['max_over_mean']})"
+            )
+            for label, count in self.skew_histogram():
+                lines.append(f"    [{label:>15}] {'#' * count} ({count})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EngineInstrumentation phases={sorted(self.phases)} "
+            f"shards={len(self.shards)}>"
+        )

@@ -1,0 +1,139 @@
+"""Deterministic union of shard outputs into one transformed graph.
+
+The theoretical license for this module is Proposition 4.3: ``F_dt`` is
+monotone, ``F_dt(G ∪ Δ) ≅ F_dt(G) ∪ F_dt(Δ)``, so converting the shards
+of a subject partition independently and unioning the results yields the
+same property graph as converting the whole input serially.  "Union"
+here is reconciliation by deterministic id — entity nodes are keyed on
+their IRI, literal nodes on (datatype, language, lexical), edges on
+``src|rel|dst`` — performed by :meth:`PropertyGraph.merge_from`.
+
+Beyond the graph union, the merge also reconciles the **schema
+extensions** the workers minted while converting off-schema triples
+(fallback edge types, literal node types, external classes): each
+extension is replayed on the parent's registry in sorted order, and the
+replayed name is checked against the worker-minted one.  A mismatch can
+only arise from cross-shard naming collisions resolved in different
+orders; it raises :class:`EngineError`, which the executor answers by
+degrading the whole run to the serial path — correctness over speed.
+"""
+
+from __future__ import annotations
+
+from ..core.config import TransformOptions
+from ..core.data_transform import DataTransformStats, TransformedGraph
+from ..core.schema_transform import SchemaTransformResult
+from ..errors import EngineError
+from ..pg.model import MergeStats, PropertyGraph
+
+#: Prefix of literal-node identifiers (see ``literal_node_id``).
+_LITERAL_PREFIX = "lit:"
+
+
+def merge_outcomes(
+    outcomes: list,
+    schema_result: SchemaTransformResult,
+    options: TransformOptions,
+    strict: bool = False,
+) -> tuple[TransformedGraph, MergeStats]:
+    """Union shard outcomes into one :class:`TransformedGraph`.
+
+    Args:
+        outcomes: the per-shard :class:`~repro.engine.worker.ShardOutcome`
+            objects, in any order (they are sorted by shard id first).
+        schema_result: the parent's schema transformation result; its
+            registry absorbs the workers' extensions.
+        options: the transformation options of the run.
+        strict: assert the pure-union invariant (engine debug mode) —
+            any conflicting shared element raises ``GraphError``.
+
+    Returns:
+        The merged transformed graph and the aggregate merge statistics.
+
+    Raises:
+        EngineError: when worker-minted names cannot be reconciled.
+    """
+    replay_extensions(outcomes, schema_result)
+
+    merged = PropertyGraph()
+    totals = MergeStats()
+    stats = DataTransformStats()
+    for outcome in sorted(outcomes, key=lambda o: o.shard_id):
+        shard_merge = merged.merge_from(outcome.graph, strict=strict)
+        totals.nodes_added += shard_merge.nodes_added
+        totals.nodes_merged += shard_merge.nodes_merged
+        totals.edges_added += shard_merge.edges_added
+        totals.edges_merged += shard_merge.edges_merged
+        totals.conflicts += shard_merge.conflicts
+        stats.triples_processed += outcome.stats.triples_processed
+        stats.key_values += outcome.stats.key_values
+        stats.skipped += outcome.stats.skipped
+
+    # Creation counters are recomputed from the union: workers that
+    # materialized the same cross-shard entity each counted it once.
+    stats.edges = merged.edge_count()
+    stats.literal_nodes = sum(
+        1 for node_id in merged.nodes if node_id.startswith(_LITERAL_PREFIX)
+    )
+    stats.entity_nodes = merged.node_count() - stats.literal_nodes
+
+    transformed = TransformedGraph(
+        graph=merged,
+        schema_result=schema_result,
+        options=options,
+        stats=stats,
+    )
+    return transformed, totals
+
+
+def replay_extensions(outcomes: list, schema_result: SchemaTransformResult) -> int:
+    """Apply the workers' registry extensions to the parent registry.
+
+    Replays in sorted input order (deterministic regardless of shard
+    timing) and verifies that every worker-minted name matches what the
+    parent mints from the same base state.
+
+    Returns:
+        The number of extensions applied.
+
+    Raises:
+        EngineError: on any name disagreement.
+    """
+    registry = schema_result.registry
+    applied = 0
+
+    for class_iri, label in sorted(
+        {pair for o in outcomes for pair in o.new_external_classes}
+    ):
+        minted = registry.ensure_external_class(class_iri)
+        if minted != label:
+            raise EngineError(
+                f"shard minted label {label!r} for external class "
+                f"{class_iri}, but the merged registry mints {minted!r}"
+            )
+        applied += 1
+
+    for datatype, label in sorted(
+        {pair for o in outcomes for pair in o.new_literal_types}
+    ):
+        minted = registry.ensure_literal_type(datatype).label
+        if minted != label:
+            raise EngineError(
+                f"shard minted label {label!r} for literal type "
+                f"{datatype}, but the merged registry mints {minted!r}"
+            )
+        applied += 1
+
+    for predicate, rel_type in sorted(
+        {pair for o in outcomes for pair in o.new_fallbacks}
+    ):
+        minted = registry.fallback_property(predicate).rel_type
+        if minted != rel_type:
+            raise EngineError(
+                f"shard minted relationship type {rel_type!r} for "
+                f"predicate {predicate}, but the merged registry mints "
+                f"{minted!r}"
+            )
+        applied += 1
+
+    return applied

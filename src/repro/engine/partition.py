@@ -1,0 +1,172 @@
+"""Subject-hash partitioning of RDF inputs for parallel transformation.
+
+The partitioner exploits the structure of Algorithm 1: both phases group
+work by *subject* — phase 1 collects each subject's ``rdf:type``
+statements, phase 2 converts each subject's property statements — so
+routing every triple to ``shard(hash(subject))`` keeps all per-subject
+state (entity typing, key/value record building, array promotion)
+strictly shard-local.
+
+Two things deliberately stay global:
+
+* the **entity-type map** ``Psi_ETD`` (subject -> rdf:type objects) is
+  collected during the partitioning pass and shared with every shard,
+  because phase 2's edge-vs-literal-node decision (Algorithm 1, line 16)
+  needs to know whether an *object* — possibly homed in another shard —
+  is a typed entity;
+* the set of distinct type IRIs, which the engine uses to pre-register
+  fallback node types *before* the workers fork, so that all shards mint
+  names from the same registry state.
+
+Hashing uses CRC-32 of the deterministic node id, never Python's
+randomized ``hash()``, so shard assignment is stable across processes
+and runs — a prerequisite for reproducible, resumable parallel loads.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import EngineError
+from ..namespaces import RDF_TYPE
+from ..rdf.graph import Graph
+from ..rdf.ntriples import parse_line
+from ..rdf.terms import IRI, Subject, Triple
+from ..core.data_transform import node_id_for
+
+_TYPE = IRI(RDF_TYPE)
+#: Raw-line marker of a potential ``rdf:type`` statement.
+_TYPE_TOKEN = f"<{RDF_TYPE}>"
+
+
+def shard_of(subject_key: str, n_shards: int) -> int:
+    """The shard index for a subject's deterministic node id."""
+    return zlib.crc32(subject_key.encode("utf-8")) % n_shards
+
+
+@dataclass
+class Partition:
+    """A sharded view of one RDF input plus the global phase-1 state.
+
+    Exactly one of :attr:`shard_triples` (in-memory input) or
+    :attr:`shard_paths` (file input) is set.
+    """
+
+    n_shards: int
+    entity_types: dict[Subject, list[IRI]]
+    type_keys: dict[Subject, tuple[str, ...]]
+    triples_total: int
+    shard_sizes: list[int]
+    shard_triples: list[list[Triple]] | None = None
+    shard_paths: list[Path] | None = None
+    #: All distinct rdf:type object IRIs seen in the input.
+    type_iris: set[str] = field(default_factory=set)
+
+
+def _derive_global_state(
+    entity_types: dict[Subject, list[IRI]],
+) -> tuple[dict[Subject, tuple[str, ...]], set[str]]:
+    type_keys = {
+        entity: tuple(sorted(t.value for t in types))
+        for entity, types in entity_types.items()
+    }
+    type_iris = {t.value for types in entity_types.values() for t in types}
+    return type_keys, type_iris
+
+
+def partition_graph(
+    source: Graph | Iterable[Triple], n_shards: int
+) -> Partition:
+    """Split an in-memory graph (or triple iterable) into subject shards.
+
+    One pass over the input routes every triple and simultaneously builds
+    the global entity-type map, exactly as phase 1 of Algorithm 1 would.
+    """
+    if n_shards < 1:
+        raise EngineError(f"n_shards must be >= 1, got {n_shards}")
+    shards: list[list[Triple]] = [[] for _ in range(n_shards)]
+    entity_types: dict[Subject, list[IRI]] = {}
+    total = 0
+    for triple in source:
+        total += 1
+        shards[shard_of(node_id_for(triple.s), n_shards)].append(triple)
+        if triple.p == _TYPE and isinstance(triple.o, IRI):
+            entity_types.setdefault(triple.s, []).append(triple.o)
+    sizes = [len(shard) for shard in shards]
+    type_keys, type_iris = _derive_global_state(entity_types)
+    return Partition(
+        n_shards=n_shards,
+        entity_types=entity_types,
+        type_keys=type_keys,
+        triples_total=total,
+        shard_sizes=sizes,
+        shard_triples=shards,
+        type_iris=type_iris,
+    )
+
+
+def partition_file(
+    path: str | Path, n_shards: int, shard_dir: str | Path
+) -> Partition:
+    """Split an N-Triples file into per-shard N-Triples files.
+
+    The input is streamed once with bounded memory (one line at a time
+    plus the entity-type map).  Routing works on the raw subject token,
+    so most lines are moved without a full parse; only ``rdf:type``
+    candidates (needed for the entity-type map) and lines whose subject
+    contains escape sequences (needing canonicalization so that every
+    spelling of an IRI routes to the same shard) are parsed.
+
+    Blank lines and ``#`` comments are dropped here; malformed triple
+    lines are left for the shard workers to report.
+    """
+    if n_shards < 1:
+        raise EngineError(f"n_shards must be >= 1, got {n_shards}")
+    path = Path(path)
+    shard_dir = Path(shard_dir)
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    shard_paths = [shard_dir / f"shard-{i:04d}.nt" for i in range(n_shards)]
+    entity_types: dict[Subject, list[IRI]] = {}
+    sizes = [0] * n_shards
+    total = 0
+    handles = [p.open("w", encoding="utf-8") for p in shard_paths]
+    try:
+        with path.open("r", encoding="utf-8") as source:
+            for lineno, raw in enumerate(source, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                total += 1
+                subject_token = line.split(None, 1)[0]
+                if "\\" in line or _TYPE_TOKEN in line:
+                    # Slow path: parse to canonicalize the routing key
+                    # (escapes can hide any term, including rdf:type)
+                    # and/or record the rdf:type statement.
+                    triple = parse_line(line, lineno)
+                    key = node_id_for(triple.s)
+                    if triple.p == _TYPE and isinstance(triple.o, IRI):
+                        entity_types.setdefault(triple.s, []).append(triple.o)
+                    line = triple.n3()
+                elif subject_token.startswith("<"):
+                    key = subject_token[1:-1]
+                else:
+                    key = subject_token
+                index = shard_of(key, n_shards)
+                handles[index].write(line + "\n")
+                sizes[index] += 1
+    finally:
+        for handle in handles:
+            handle.close()
+    type_keys, type_iris = _derive_global_state(entity_types)
+    return Partition(
+        n_shards=n_shards,
+        entity_types=entity_types,
+        type_keys=type_keys,
+        triples_total=total,
+        shard_sizes=sizes,
+        shard_paths=shard_paths,
+        type_iris=type_iris,
+    )

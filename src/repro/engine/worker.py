@@ -1,0 +1,224 @@
+"""Per-shard execution of Algorithm 1 (the parallel engine's unit of work).
+
+A :class:`ShardTransformer` runs the ordinary two-phase data
+transformation over one subject-hash shard, with two deviations that make
+the shard outputs unionable:
+
+* phase 2 consults the **global** entity-type map (collected by the
+  partitioner), so the edge-vs-literal decision for objects homed in
+  other shards matches what a serial run would decide;
+* when an edge's target entity is homed in another shard, the worker
+  materializes the target node locally — deterministically, from the
+  entity's IRI and global types — so every shard output is a valid
+  property graph on its own.  Because node ids and labels are pure
+  functions of the RDF terms, the home shard produces the *identical*
+  node and the merge is a pure union (Proposition 4.3).
+
+Workers run in separate processes.  The heavyweight shared state (schema
+result, entity-type map, in-memory shards) travels either by fork
+inheritance of the module-level :data:`_SHARED` dict (POSIX, free) or by
+a one-time pickle through the pool initializer (spawn platforms); the
+per-task payload is only a shard id and an optional file path, so task
+pickling stays O(1).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.config import TransformOptions
+from ..core.data_transform import DataTransformer, DataTransformStats, node_id_for
+from ..core.schema_transform import SchemaTransformResult
+from ..namespaces import RDF_TYPE
+from ..pg.model import PropertyGraph
+from ..rdf.ntriples import iter_ntriples
+from ..rdf.terms import IRI, Subject, Triple
+
+_TYPE = IRI(RDF_TYPE)
+
+#: Process-wide shared context: populated in the parent before forking,
+#: or via the pool initializer on spawn platforms.
+_SHARED: dict[str, object] = {}
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One picklable unit of work: which shard, and where its triples live.
+
+    ``path`` is set for file-backed shards; ``triples`` carries the
+    payload only on spawn platforms (on fork it stays None and the worker
+    reads the shard from the inherited shared context).
+    """
+
+    shard_id: int
+    path: str | None = None
+    triples: tuple[Triple, ...] | None = None
+
+
+@dataclass
+class ShardOutcome:
+    """Everything a worker sends back for one shard."""
+
+    shard_id: int
+    graph: PropertyGraph
+    stats: DataTransformStats
+    wall_s: float
+    cpu_s: float
+    #: Registry extensions minted while converting this shard, as
+    #: (input IRI, minted name) pairs — replayed and verified on merge.
+    new_fallbacks: tuple[tuple[str, str], ...] = ()
+    new_literal_types: tuple[tuple[str, str], ...] = ()
+    new_external_classes: tuple[tuple[str, str], ...] = ()
+
+
+class ShardTransformer(DataTransformer):
+    """Algorithm 1 over one shard, with globally consistent decisions.
+
+    Args:
+        schema_result: the (pre-extended) schema transformation result.
+        options: must match the schema transformation's options.
+        entity_types: the global entity-type map from the partitioner.
+        type_keys: the global sorted-type-key map (memoized resolution).
+    """
+
+    def __init__(
+        self,
+        schema_result: SchemaTransformResult,
+        options: TransformOptions,
+        entity_types: dict[Subject, list[IRI]],
+        type_keys: dict[Subject, tuple[str, ...]],
+    ):
+        super().__init__(schema_result, options)
+        self.entity_types = entity_types
+        self.type_keys = type_keys
+
+    def transform_shard(
+        self, source: str | Path | Iterable[Triple]
+    ) -> tuple[PropertyGraph, DataTransformStats]:
+        """Run both phases over one shard (file path or triple sequence)."""
+        pg = PropertyGraph()
+        stats = DataTransformStats()
+
+        # Phase 1 — create nodes for entities typed in this shard.  The
+        # global map is authoritative for the label set; the local
+        # collection only covers inputs whose type statements eluded the
+        # partitioner's raw-line scan.
+        local_types: dict[Subject, list[IRI]] = {}
+        for triple in self._iter(source):
+            stats.triples_processed += 1
+            if triple.p == _TYPE and isinstance(triple.o, IRI):
+                local_types.setdefault(triple.s, []).append(triple.o)
+        for entity, types in local_types.items():
+            global_types = self.entity_types.get(entity, types)
+            self._create_entity_node(pg, entity, list(global_types), stats)
+
+        # Phase 2 — property statements, with global entity knowledge.
+        resolution_cache: dict = {}
+        for triple in self._iter(source):
+            if triple.p == _TYPE and isinstance(triple.o, IRI):
+                continue
+            self._convert_property_triple(
+                pg, triple, self.entity_types, self.type_keys,
+                resolution_cache, stats,
+            )
+        return pg, stats
+
+    def _iter(self, source: str | Path | Iterable[Triple]) -> Iterator[Triple]:
+        if isinstance(source, (str, Path)):
+            return iter_ntriples(Path(source))
+        return iter(source)
+
+    # ------------------------------------------------------------------ #
+    # Hooks that differ from the serial transformer
+    # ------------------------------------------------------------------ #
+
+    def _entity_target_node(self, pg, obj, entity_types, stats) -> str:
+        """Materialize edge targets homed in other shards on demand."""
+        node = self._create_entity_node(
+            pg, obj, list(self.entity_types[obj]), stats
+        )
+        return node.id
+
+    def _subject_node(self, pg, subject, stats):
+        """Subjects typed in another shard still get their full labels."""
+        types = self.entity_types.get(subject)
+        if types and not pg.has_node(node_id_for(subject)):
+            return self._create_entity_node(pg, subject, list(types), stats)
+        return super()._subject_node(pg, subject, stats)
+
+
+# --------------------------------------------------------------------- #
+# Process-pool entry points
+# --------------------------------------------------------------------- #
+
+def init_worker(shared: dict) -> None:
+    """Pool initializer for spawn platforms: installs the shared context."""
+    _SHARED.clear()
+    _SHARED.update(shared)
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Execute one shard inside a worker process."""
+    return _execute(task, _SHARED)
+
+
+def run_shard_inprocess(task: ShardTask, shared: dict) -> ShardOutcome:
+    """Serial-fallback execution of one shard in the parent process.
+
+    The schema result is deep-copied (pickle round-trip) first, so the
+    in-process run mints registry extensions from exactly the same base
+    state as an isolated worker would — keeping its outcome bit-for-bit
+    interchangeable with a pooled one.
+    """
+    shared = dict(shared)
+    shared["schema_result"] = pickle.loads(
+        pickle.dumps(shared["schema_result"])
+    )
+    return _execute(task, shared)
+
+
+def _execute(task: ShardTask, shared: dict) -> ShardOutcome:
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    schema_result: SchemaTransformResult = shared["schema_result"]
+    options: TransformOptions = shared["options"]
+    mapping = schema_result.mapping
+
+    baseline_fallbacks = set(mapping.fallback)
+    baseline_literals = set(mapping.literal_types)
+    baseline_classes = set(mapping.classes)
+
+    transformer = ShardTransformer(
+        schema_result, options, shared["entity_types"], shared["type_keys"]
+    )
+    if task.path is not None:
+        source: str | Path | Iterable[Triple] = task.path
+    elif task.triples is not None:
+        source = task.triples
+    else:
+        source = shared["shard_triples"][task.shard_id]
+    pg, stats = transformer.transform_shard(source)
+
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        graph=pg,
+        stats=stats,
+        wall_s=time.perf_counter() - wall0,
+        cpu_s=time.process_time() - cpu0,
+        new_fallbacks=tuple(sorted(
+            (pred, mapping.fallback[pred].rel_type)
+            for pred in set(mapping.fallback) - baseline_fallbacks
+        )),
+        new_literal_types=tuple(sorted(
+            (dt, mapping.literal_types[dt].label)
+            for dt in set(mapping.literal_types) - baseline_literals
+        )),
+        new_external_classes=tuple(sorted(
+            (iri, mapping.classes[iri].label)
+            for iri in set(mapping.classes) - baseline_classes
+        )),
+    )

@@ -138,6 +138,46 @@ class PGStats:
         }
 
 
+@dataclass
+class MergeStats:
+    """What one :meth:`PropertyGraph.merge_from` call did."""
+
+    nodes_added: int = 0
+    nodes_merged: int = 0
+    edges_added: int = 0
+    edges_merged: int = 0
+    conflicts: int = 0
+
+
+def _values_agree(a: PropertyValue, b: PropertyValue) -> bool:
+    """Property-value equality; arrays compare as multisets."""
+    if isinstance(a, list) and isinstance(b, list):
+        return sorted(map(repr, a)) == sorted(map(repr, b))
+    return type(a) is type(b) and a == b
+
+
+def _merge_records(
+    mine: dict[str, PropertyValue],
+    theirs: dict[str, PropertyValue],
+    strict: bool,
+    context: str,
+) -> int:
+    """Union ``theirs`` into ``mine``; returns the conflict count."""
+    conflicts = 0
+    for key, value in theirs.items():
+        existing = mine.get(key)
+        if existing is None:
+            mine[key] = list(value) if isinstance(value, list) else value
+        elif not _values_agree(existing, value):
+            if strict:
+                raise GraphError(
+                    f"merge conflict: {context} property {key!r} is "
+                    f"{existing!r} here but {value!r} in the merged graph"
+                )
+            conflicts += 1
+    return conflicts
+
+
 class PropertyGraph:
     """A mutable property graph: Definition 2.4 plus indexing-free storage.
 
@@ -153,6 +193,8 @@ class PropertyGraph:
     def __init__(self) -> None:
         self._nodes: dict[str, PGNode] = {}
         self._edges: dict[str, PGEdge] = {}
+        # Incidence index: node id -> ids of edges touching it (in or out).
+        self._incidence: dict[str, set[str]] = {}
         self._edge_counter = 0
         self._node_counter = 0
 
@@ -220,22 +262,26 @@ class PropertyGraph:
         return node_id in self._nodes
 
     def remove_node(self, node_id: str) -> None:
-        """Delete a node and all its incident edges (scans the edge set)."""
+        """Delete a node and all its incident edges (O(degree))."""
         if node_id not in self._nodes:
             raise GraphError(f"no node with id {node_id!r}")
-        incident = [e.id for e in self._edges.values() if node_id in (e.src, e.dst)]
-        for edge_id in incident:
-            del self._edges[edge_id]
+        for edge_id in list(self._incidence.get(node_id, ())):
+            self.remove_edge(edge_id)
+        self._incidence.pop(node_id, None)
         del self._nodes[node_id]
 
     def remove_isolated_node(self, node_id: str) -> None:
-        """Delete a node the caller knows has no incident edges.
+        """Delete a node that has no incident edges.
 
         O(1); used by incremental maintenance, which tracks degrees
-        itself.  The ``rho`` totality invariant is the caller's burden.
+        itself.  Raises GraphError when edges still touch the node, so
+        the ``rho`` totality invariant cannot be silently broken.
         """
         if node_id not in self._nodes:
             raise GraphError(f"no node with id {node_id!r}")
+        if self._incidence.get(node_id):
+            raise GraphError(f"node {node_id!r} still has incident edges")
+        self._incidence.pop(node_id, None)
         del self._nodes[node_id]
 
     # ------------------------------------------------------------------ #
@@ -268,6 +314,8 @@ class PropertyGraph:
             for key, value in properties.items():
                 edge.set_property(key, value)
         self._edges[edge_id] = edge
+        self._incidence.setdefault(src, set()).add(edge_id)
+        self._incidence.setdefault(dst, set()).add(edge_id)
         return edge
 
     def get_edge(self, edge_id: str) -> PGEdge:
@@ -277,13 +325,33 @@ class PropertyGraph:
         except KeyError:
             raise GraphError(f"no edge with id {edge_id!r}") from None
 
+    def remove_edge(self, edge_id: str) -> None:
+        """Delete an edge, keeping the incidence index consistent."""
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            raise GraphError(f"no edge with id {edge_id!r}")
+        for endpoint in (edge.src, edge.dst):
+            incident = self._incidence.get(endpoint)
+            if incident is not None:
+                incident.discard(edge_id)
+                if not incident:
+                    del self._incidence[endpoint]
+
+    def incident_edges(self, node_id: str) -> Iterator[PGEdge]:
+        """All edges touching ``node_id`` in either direction (O(degree))."""
+        return (self._edges[eid] for eid in self._incidence.get(node_id, ()))
+
+    def degree(self, node_id: str) -> int:
+        """Number of edges touching ``node_id`` (O(1))."""
+        return len(self._incidence.get(node_id, ()))
+
     def out_edges(self, node_id: str) -> Iterator[PGEdge]:
-        """All edges whose source is ``node_id`` (linear scan)."""
-        return (e for e in self._edges.values() if e.src == node_id)
+        """All edges whose source is ``node_id`` (O(degree))."""
+        return (e for e in self.incident_edges(node_id) if e.src == node_id)
 
     def in_edges(self, node_id: str) -> Iterator[PGEdge]:
-        """All edges whose target is ``node_id`` (linear scan)."""
-        return (e for e in self._edges.values() if e.dst == node_id)
+        """All edges whose target is ``node_id`` (O(degree))."""
+        return (e for e in self.incident_edges(node_id) if e.dst == node_id)
 
     # ------------------------------------------------------------------ #
     # Whole-graph views
@@ -360,6 +428,79 @@ class PropertyGraph:
     def structurally_equal(self, other: "PropertyGraph") -> bool:
         """True when both graphs have the same canonical form."""
         return self.canonical_form() == other.canonical_form()
+
+    def merge_from(self, other: "PropertyGraph", strict: bool = False) -> "MergeStats":
+        """Union ``other`` into this graph, reconciling elements by id.
+
+        Node ids in the S3PG output are deterministic functions of the RDF
+        terms (entity nodes are keyed on the entity IRI), so the same
+        logical node produced by two independent transformations carries
+        the same id; merging unions its label sets and records.  By the
+        monotonicity of ``F_dt`` (Proposition 4.3) the merge of two shard
+        outputs is a *pure* union: shared elements never disagree, they
+        only differ in which shard contributed which labels/properties.
+
+        Args:
+            other: the graph to union in (not modified).
+            strict: when True, raise :class:`GraphError` on any conflict —
+                a shared property key with different values, or a shared
+                edge id with different endpoints.  Used by the parallel
+                engine's debug mode to assert the pure-union invariant.
+
+        Returns:
+            Counters describing what the merge did.
+        """
+        stats = MergeStats()
+        for node in other._nodes.values():
+            mine = self._nodes.get(node.id)
+            if mine is None:
+                self.add_node(
+                    node.id,
+                    labels=set(node.labels),
+                    properties={
+                        k: list(v) if isinstance(v, list) else v
+                        for k, v in node.properties.items()
+                    },
+                )
+                stats.nodes_added += 1
+                continue
+            mine.labels.update(node.labels)
+            stats.conflicts += _merge_records(
+                mine.properties, node.properties, strict, f"node {node.id!r}"
+            )
+            stats.nodes_merged += 1
+        for edge in other._edges.values():
+            mine_edge = self._edges.get(edge.id)
+            if mine_edge is None:
+                self.add_edge(
+                    edge.src,
+                    edge.dst,
+                    labels=set(edge.labels),
+                    properties={
+                        k: list(v) if isinstance(v, list) else v
+                        for k, v in edge.properties.items()
+                    },
+                    edge_id=edge.id,
+                )
+                stats.edges_added += 1
+                continue
+            if (mine_edge.src, mine_edge.dst) != (edge.src, edge.dst):
+                if strict:
+                    raise GraphError(
+                        f"merge conflict: edge {edge.id!r} connects "
+                        f"{mine_edge.src!r}->{mine_edge.dst!r} here but "
+                        f"{edge.src!r}->{edge.dst!r} in the merged graph"
+                    )
+                stats.conflicts += 1
+                continue
+            mine_edge.labels.update(edge.labels)
+            stats.conflicts += _merge_records(
+                mine_edge.properties, edge.properties, strict, f"edge {edge.id!r}"
+            )
+            stats.edges_merged += 1
+        self._node_counter = max(self._node_counter, other._node_counter)
+        self._edge_counter = max(self._edge_counter, other._edge_counter)
+        return stats
 
     def copy(self) -> "PropertyGraph":
         """A deep copy of the graph."""

@@ -49,3 +49,67 @@ class TestStreaming:
         schema_result = transform_schema(university_shapes())
         with pytest.raises(FileNotFoundError):
             transform_file("/nonexistent/file.nt", schema_result)
+
+
+class TestStreamingEdgeCases:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.nt"
+        path.write_text("", encoding="utf-8")
+        streamed = transform_file(path, transform_schema(university_shapes()))
+        assert streamed.stats.triples_processed == 0
+        assert streamed.graph.node_count() == 0
+        assert streamed.graph.edge_count() == 0
+
+    def test_comment_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "comments.nt"
+        path.write_text(
+            "# leading comment\n"
+            "\n"
+            "<http://ex/s> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://ex/C> .\n"
+            "   \n"
+            "# trailing comment\n",
+            encoding="utf-8",
+        )
+        streamed = transform_file(path, transform_schema(university_shapes()))
+        assert streamed.stats.triples_processed == 1
+        assert streamed.graph.node_count() == 1
+
+    def test_blank_node_subjects(self, tmp_path):
+        path = tmp_path / "bnodes.nt"
+        path.write_text(
+            "_:b0 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://ex/C> .\n"
+            '_:b0 <http://ex/name> "Anon" .\n'
+            "_:b1 <http://ex/knows> _:b0 .\n",
+            encoding="utf-8",
+        )
+        streamed = transform_file(path, transform_schema(university_shapes()))
+        assert streamed.stats.triples_processed == 3
+        # _:b0 is typed (external class), _:b1 is an untyped Resource, and
+        # the off-schema name statement materializes a literal node.
+        assert streamed.graph.has_node("_:b0")
+        assert streamed.graph.get_node("_:b0").labels == {"C"}
+        assert streamed.graph.has_node("_:b1")
+        assert streamed.graph.get_node("_:b1").labels == {"Resource"}
+        assert streamed.graph.node_count() == 3
+        assert streamed.graph.edge_count() == 2
+
+    def test_file_matches_in_memory_phase_by_phase(self, nt_path):
+        """The streamed result equals the in-memory DataTransformer's:
+        same phase-1 nodes, same phase-2 edges/records, same counters."""
+        from repro.core import DataTransformer
+
+        schema_result = transform_schema(university_shapes())
+        streamed = transform_file(nt_path, schema_result)
+        in_memory = DataTransformer(
+            transform_schema(university_shapes()), DEFAULT_OPTIONS
+        ).transform(university_graph())
+        # Phase 1: identical node ids and label sets.
+        assert set(streamed.graph.nodes) == set(in_memory.graph.nodes)
+        for node_id, node in streamed.graph.nodes.items():
+            assert node.labels == in_memory.graph.nodes[node_id].labels
+        # Phase 2: identical edges and records.
+        assert set(streamed.graph.edges) == set(in_memory.graph.edges)
+        assert streamed.graph.structurally_equal(in_memory.graph)
+        assert streamed.stats == in_memory.stats

@@ -1,0 +1,143 @@
+"""Tests for the parallel engine orchestration.
+
+Includes the headline integration test of the subsystem: transforming
+with ``workers=1`` and ``workers=4`` produces property graphs isomorphic
+to each other (and to the serial transformer) on both the university
+running example and the evolving-snapshot datasets.
+"""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_OPTIONS,
+    MONOTONE_OPTIONS,
+    S3PG,
+    TransformOptions,
+    transform_schema,
+)
+from repro.core.pipeline import transform_file_parallel
+from repro.datasets import make_evolution_pair
+from repro.engine import EngineConfig, ParallelEngine
+from repro.errors import EngineError, TransformError
+from repro.rdf import write_ntriples
+
+
+def _engine(shapes, options=DEFAULT_OPTIONS, **config):
+    return ParallelEngine(
+        transform_schema(shapes, options), options, EngineConfig(**config)
+    )
+
+
+class TestParallelMatchesSerial:
+    """Acceptance: workers=1 ≅ workers=4 ≅ serial on both datasets."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_university(self, uni_graph, uni_shapes, uni_result, workers):
+        result = S3PG().transform(uni_graph, uni_shapes, parallel=workers)
+        assert result.graph.structurally_equal(uni_result.graph)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_evolution_snapshots(self, small_dbpedia, workers):
+        pair = make_evolution_pair(small_dbpedia.graph)
+        for snapshot in (pair.old, pair.new):
+            serial = S3PG().transform(snapshot, small_dbpedia.shapes)
+            parallel = S3PG().transform(
+                snapshot, small_dbpedia.shapes, parallel=workers
+            )
+            assert parallel.graph.structurally_equal(serial.graph)
+
+    def test_non_parsimonious(self, uni_graph, uni_shapes):
+        serial = S3PG(MONOTONE_OPTIONS).transform(uni_graph, uni_shapes)
+        parallel = S3PG(MONOTONE_OPTIONS).transform(
+            uni_graph, uni_shapes, parallel=4
+        )
+        assert parallel.graph.structurally_equal(serial.graph)
+
+    def test_debug_mode_asserts_pure_union(self, small_dbpedia):
+        engine = _engine(small_dbpedia.shapes, max_workers=4, debug=True)
+        transformed = engine.transform(small_dbpedia.graph)
+        serial = S3PG().transform(small_dbpedia.graph, small_dbpedia.shapes)
+        assert transformed.graph.structurally_equal(serial.graph)
+        assert engine.instrumentation.counters["merge_conflicts"] == 0
+
+
+class TestFilePath:
+    def test_transform_file_matches_serial(self, tmp_path, small_dbpedia):
+        path = tmp_path / "dbp.nt"
+        write_ntriples(small_dbpedia.graph, path)
+        result = transform_file_parallel(
+            path, small_dbpedia.shapes, workers=2
+        )
+        serial = S3PG().transform(small_dbpedia.graph, small_dbpedia.shapes)
+        assert result.graph.structurally_equal(serial.graph)
+        assert result.instrumentation is not None
+        assert "engine_partition_s" in result.timings
+
+    def test_shard_dir_kept_when_given(self, tmp_path, uni_graph, uni_shapes):
+        path = tmp_path / "uni.nt"
+        write_ntriples(uni_graph, path)
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        engine = _engine(uni_shapes, max_workers=2)
+        engine.transform_file(path, shard_dir=shard_dir)
+        assert list(shard_dir.glob("*.nt"))
+
+
+class TestEngineBehavior:
+    def test_instrumentation_populated(self, uni_graph, uni_shapes):
+        engine = _engine(uni_shapes, max_workers=2)
+        engine.transform(uni_graph)
+        inst = engine.instrumentation
+        assert {"partition", "schema", "execute", "merge"} <= set(inst.phases)
+        assert inst.counters["triples"] == len(uni_graph)
+        assert inst.counters["shards"] == 2
+        assert len(inst.shards) == 2
+
+    def test_more_shards_than_workers(self, uni_graph, uni_shapes, uni_result):
+        engine = _engine(uni_shapes, max_workers=2, shards=8)
+        transformed = engine.transform(uni_graph)
+        assert engine.instrumentation.counters["shards"] == 8
+        assert transformed.graph.structurally_equal(uni_result.graph)
+
+    def test_effective_workers_defaults_positive(self):
+        assert EngineConfig().effective_workers() >= 1
+        assert EngineConfig(max_workers=3).effective_workers() == 3
+
+    def test_on_unknown_error_propagates(self, small_dbpedia):
+        options = TransformOptions(on_unknown="error")
+        from repro.shacl.model import ShapeSchema
+
+        engine = _engine(ShapeSchema([]), options=options, max_workers=2)
+        with pytest.raises(TransformError):
+            engine.transform(small_dbpedia.graph)
+
+    def test_on_unknown_skip(self, small_dbpedia):
+        options = TransformOptions(on_unknown="skip")
+        serial = S3PG(options).transform(
+            small_dbpedia.graph, small_dbpedia.shapes
+        )
+        parallel = S3PG(options).transform(
+            small_dbpedia.graph, small_dbpedia.shapes, parallel=2
+        )
+        assert parallel.graph.structurally_equal(serial.graph)
+
+    def test_engine_error_degrades_to_serial(self, monkeypatch, uni_graph,
+                                             uni_shapes, uni_result):
+        import repro.engine.executor as executor_module
+
+        def explode(*args, **kwargs):
+            raise EngineError("injected")
+
+        monkeypatch.setattr(executor_module, "merge_outcomes", explode)
+        engine = _engine(uni_shapes, max_workers=2)
+        transformed = engine.transform(uni_graph)
+        assert transformed.graph.structurally_equal(uni_result.graph)
+        inst = engine.instrumentation
+        assert inst.counters["full_serial_fallbacks"] == 1
+        assert "serial_fallback" in inst.phases
+
+    def test_spawn_start_method(self, uni_graph, uni_shapes, uni_result):
+        # The initializer path (no fork inheritance) must agree too.
+        engine = _engine(uni_shapes, max_workers=2, start_method="spawn")
+        transformed = engine.transform(uni_graph)
+        assert transformed.graph.structurally_equal(uni_result.graph)

@@ -1,0 +1,93 @@
+"""Tests for the engine instrumentation layer."""
+
+import json
+
+from repro.engine import EngineInstrumentation, ShardRecord
+
+
+def _record(shard_id, triples):
+    return ShardRecord(shard_id=shard_id, triples=triples, wall_s=0.1, cpu_s=0.05)
+
+
+class TestPhases:
+    def test_phase_times_accumulate(self):
+        inst = EngineInstrumentation()
+        with inst.phase("work"):
+            pass
+        first = inst.phases["work"].wall_s
+        with inst.phase("work"):
+            sum(range(1000))
+        assert inst.phases["work"].wall_s >= first
+
+    def test_phase_recorded_on_exception(self):
+        inst = EngineInstrumentation()
+        try:
+            with inst.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in inst.phases
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        inst = EngineInstrumentation()
+        inst.count("x")
+        inst.count("x", 4)
+        assert inst.counters["x"] == 5
+
+
+class TestSkew:
+    def test_empty(self):
+        inst = EngineInstrumentation()
+        assert inst.skew()["max_over_mean"] == 0.0
+        assert inst.skew_histogram() == []
+
+    def test_balanced(self):
+        inst = EngineInstrumentation()
+        for i in range(4):
+            inst.record_shard(_record(i, 100))
+        skew = inst.skew()
+        assert skew["min"] == skew["max"] == 100
+        assert skew["max_over_mean"] == 1.0
+        assert inst.skew_histogram() == [("100", 4)]
+
+    def test_skewed(self):
+        inst = EngineInstrumentation()
+        for i, size in enumerate([10, 10, 10, 400]):
+            inst.record_shard(_record(i, size))
+        skew = inst.skew()
+        assert skew["max"] == 400
+        assert skew["max_over_mean"] > 3.0
+        histogram = inst.skew_histogram(bins=4)
+        assert sum(count for _, count in histogram) == 4
+        # The long tail shows up as a populated top bucket.
+        assert histogram[-1][1] == 1
+
+
+class TestRendering:
+    def _populated(self):
+        inst = EngineInstrumentation()
+        with inst.phase("partition"):
+            pass
+        inst.count("triples", 42)
+        inst.record_shard(_record(0, 21))
+        inst.record_shard(_record(1, 21))
+        return inst
+
+    def test_as_dict_shape(self):
+        snapshot = self._populated().as_dict()
+        assert set(snapshot) == {"phases", "counters", "shards", "skew"}
+        assert snapshot["counters"]["triples"] == 42
+        assert len(snapshot["shards"]) == 2
+        assert snapshot["shards"][0]["shard_id"] == 0
+
+    def test_to_json_round_trips(self):
+        snapshot = json.loads(self._populated().to_json())
+        assert snapshot["counters"]["triples"] == 42
+
+    def test_render_text(self):
+        text = self._populated().render_text()
+        assert "partition" in text
+        assert "triples" in text
+        assert "shard sizes" in text

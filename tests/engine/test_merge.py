@@ -1,0 +1,89 @@
+"""Tests for the shard merge and the registry-extension replay."""
+
+import pickle
+
+import pytest
+
+from repro.core import DEFAULT_OPTIONS, S3PG, transform_schema
+from repro.engine import ShardOutcome, ShardTask, merge_outcomes, partition_graph
+from repro.engine.worker import run_shard_inprocess
+from repro.errors import EngineError
+from repro.pg import PropertyGraph
+
+
+def _shard_outcomes(graph, shapes, n_shards):
+    """Partition + transform every shard in-process (no pool)."""
+    schema_result = transform_schema(shapes)
+    partition = partition_graph(graph, n_shards)
+    shared = {
+        "schema_result": schema_result,
+        "options": DEFAULT_OPTIONS,
+        "entity_types": partition.entity_types,
+        "type_keys": partition.type_keys,
+        "shard_triples": partition.shard_triples,
+    }
+    outcomes = [
+        run_shard_inprocess(ShardTask(i), shared)
+        for i in range(partition.n_shards)
+    ]
+    return outcomes, schema_result
+
+
+class TestMergeOutcomes:
+    def test_union_equals_serial(self, uni_graph, uni_shapes, uni_result):
+        outcomes, schema_result = _shard_outcomes(uni_graph, uni_shapes, 4)
+        transformed, stats = merge_outcomes(
+            outcomes, schema_result, DEFAULT_OPTIONS, strict=True
+        )
+        assert stats.conflicts == 0
+        assert transformed.graph.structurally_equal(uni_result.graph)
+
+    def test_counters_recomputed_from_union(self, uni_graph, uni_shapes,
+                                            uni_result):
+        outcomes, schema_result = _shard_outcomes(uni_graph, uni_shapes, 4)
+        transformed, _ = merge_outcomes(
+            outcomes, schema_result, DEFAULT_OPTIONS
+        )
+        assert transformed.stats.triples_processed == len(uni_graph)
+        assert transformed.stats.edges == transformed.graph.edge_count()
+        serial = uni_result.stats
+        assert transformed.stats.entity_nodes == serial.entity_nodes
+        assert transformed.stats.literal_nodes == serial.literal_nodes
+
+    def test_order_independent(self, uni_graph, uni_shapes):
+        outcomes, schema_result = _shard_outcomes(uni_graph, uni_shapes, 4)
+        forward, _ = merge_outcomes(
+            outcomes, pickle.loads(pickle.dumps(schema_result)), DEFAULT_OPTIONS
+        )
+        backward, _ = merge_outcomes(
+            list(reversed(outcomes)), schema_result, DEFAULT_OPTIONS
+        )
+        assert forward.graph.structurally_equal(backward.graph)
+
+    def test_extensions_absorbed_into_parent(self, small_dbpedia):
+        outcomes, schema_result = _shard_outcomes(
+            small_dbpedia.graph, small_dbpedia.shapes, 4
+        )
+        merge_outcomes(outcomes, schema_result, DEFAULT_OPTIONS)
+        serial = S3PG().transform(small_dbpedia.graph, small_dbpedia.shapes)
+        assert (set(schema_result.mapping.fallback)
+                == set(serial.mapping.fallback))
+        assert (set(schema_result.mapping.literal_types)
+                == set(serial.mapping.literal_types))
+        assert (set(schema_result.mapping.classes)
+                == set(serial.mapping.classes))
+
+    def test_mismatched_extension_raises(self, uni_graph, uni_shapes):
+        outcomes, schema_result = _shard_outcomes(uni_graph, uni_shapes, 2)
+        bogus = ShardOutcome(
+            shard_id=99,
+            graph=PropertyGraph(),
+            stats=outcomes[0].stats,
+            wall_s=0.0,
+            cpu_s=0.0,
+            new_fallbacks=(("http://ex/pred", "NOT_WHAT_PARENT_MINTS"),),
+        )
+        with pytest.raises(EngineError):
+            merge_outcomes(
+                outcomes + [bogus], schema_result, DEFAULT_OPTIONS
+            )

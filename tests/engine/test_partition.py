@@ -1,0 +1,104 @@
+"""Tests for the subject-hash partitioner."""
+
+import pytest
+
+from repro.core.data_transform import node_id_for
+from repro.engine import partition_file, partition_graph, shard_of
+from repro.rdf import parse_ntriples, write_ntriples
+from repro.rdf.ntriples import iter_ntriples
+
+
+class TestShardOf:
+    def test_deterministic(self):
+        assert shard_of("http://ex/a", 8) == shard_of("http://ex/a", 8)
+
+    def test_in_range(self):
+        for key in ("http://ex/a", "_:b0", "x" * 500):
+            for n in (1, 2, 7, 64):
+                assert 0 <= shard_of(key, n) < n
+
+    def test_single_shard(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_keys(self):
+        shards = {shard_of(f"http://ex/e{i}", 8) for i in range(200)}
+        assert len(shards) > 1
+
+
+class TestPartitionGraph:
+    def test_shards_partition_the_input(self, uni_graph):
+        partition = partition_graph(uni_graph, 4)
+        assert partition.n_shards == 4
+        assert partition.triples_total == len(uni_graph)
+        assert sum(partition.shard_sizes) == len(uni_graph)
+        merged = {t for shard in partition.shard_triples for t in shard}
+        assert merged == set(uni_graph)
+
+    def test_subject_locality(self, uni_graph):
+        partition = partition_graph(uni_graph, 4)
+        for index, shard in enumerate(partition.shard_triples):
+            for triple in shard:
+                assert shard_of(node_id_for(triple.s), 4) == index
+
+    def test_entity_types_are_global(self, uni_graph):
+        partition = partition_graph(uni_graph, 4)
+        from repro.namespaces import RDF_TYPE
+        from repro.rdf.terms import IRI
+
+        expected = {}
+        for t in uni_graph:
+            if t.p == IRI(RDF_TYPE) and isinstance(t.o, IRI):
+                expected.setdefault(t.s, []).append(t.o)
+        assert set(partition.entity_types) == set(expected)
+        for entity, types in expected.items():
+            assert set(partition.entity_types[entity]) == set(types)
+
+    def test_one_shard_degenerate(self, uni_graph):
+        partition = partition_graph(uni_graph, 1)
+        assert partition.shard_sizes == [len(uni_graph)]
+
+
+class TestPartitionFile:
+    def test_matches_graph_partition(self, tmp_path, uni_graph):
+        path = tmp_path / "uni.nt"
+        write_ntriples(uni_graph, path)
+        by_file = partition_file(path, 4, tmp_path / "shards")
+        by_graph = partition_graph(uni_graph, 4)
+        assert by_file.triples_total == by_graph.triples_total
+        assert by_file.shard_sizes == by_graph.shard_sizes
+        for index, shard_path in enumerate(by_file.shard_paths):
+            file_triples = set(iter_ntriples(shard_path))
+            assert file_triples == set(by_graph.shard_triples[index])
+        assert by_file.entity_types == by_graph.entity_types
+
+    def test_escaped_subject_routes_with_plain_spelling(self, tmp_path):
+        # a is 'a': both lines carry the same logical subject and
+        # must land in the same shard even though the raw tokens differ.
+        text = (
+            '<http://ex/a> <http://ex/p> "one" .\n'
+            '<http://ex/\\u0061> <http://ex/q> "two" .\n'
+        )
+        path = tmp_path / "escaped.nt"
+        path.write_text(text, encoding="utf-8")
+        partition = partition_file(path, 8, tmp_path / "shards")
+        non_empty = [size for size in partition.shard_sizes if size]
+        assert non_empty == [2]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "noise.nt"
+        path.write_text(
+            "# comment\n\n<http://ex/s> <http://ex/p> <http://ex/o> .\n",
+            encoding="utf-8",
+        )
+        partition = partition_file(path, 2, tmp_path / "shards")
+        assert partition.triples_total == 1
+
+    def test_type_statements_collected_from_file(self, tmp_path, uni_graph):
+        path = tmp_path / "uni.nt"
+        write_ntriples(uni_graph, path)
+        partition = partition_file(path, 3, tmp_path / "shards")
+        assert partition.entity_types
+        assert partition.type_iris
+        text = path.read_text(encoding="utf-8")
+        graph = parse_ntriples(text)
+        assert partition.triples_total == len(graph)
