@@ -13,6 +13,8 @@ Subcommands cover the full S3PG workflow on files:
 * ``compact``         — fold a non-parsimonious PG into the parsimonious
   layout (the Section 7 optimizer)
 * ``generate``        — emit one of the synthetic benchmark datasets
+* ``fuzz``            — run the property-based fuzzing harness
+  (round-trip, validation, differential, serializer, engine oracles)
 
 RDF inputs may be N-Triples (``.nt``) or Turtle (anything else).
 """
@@ -156,6 +158,43 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--out", required=True, help="output .nt file")
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--seed", type=int, default=42)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run the property-based fuzzing harness"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="base seed")
+    fuzz.add_argument(
+        "--cases", type=int, default=200, help="number of generated cases"
+    )
+    fuzz.add_argument(
+        "--oracle", action="append", dest="oracles", metavar="NAME",
+        help="run only this oracle (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--corpus", default="tests/fuzz_corpus",
+        help="directory for shrunk reproducers (default: tests/fuzz_corpus)",
+    )
+    fuzz.add_argument(
+        "--no-corpus", action="store_true",
+        help="do not write reproducer files",
+    )
+    fuzz.add_argument(
+        "--parallel-every", type=int, default=50, metavar="N",
+        help="multi-worker engine comparison on every N-th case "
+             "(0 disables the expensive check)",
+    )
+    fuzz.add_argument(
+        "--max-failures", type=int, default=10,
+        help="stop after this many failures",
+    )
+    fuzz.add_argument(
+        "--replay", action="store_true",
+        help="replay the reproducer corpus instead of generating cases",
+    )
+    fuzz.add_argument(
+        "--list-oracles", action="store_true",
+        help="list the available oracles and exit",
+    )
 
     return parser
 
@@ -373,6 +412,53 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import ORACLES, replay_corpus, run_fuzz
+
+    if args.list_oracles:
+        for oracle in ORACLES.values():
+            kinds = ", ".join(oracle.kinds)
+            print(f"{oracle.name:28s} [{kinds}]  {oracle.description}")
+        return 0
+
+    if args.replay:
+        failures = replay_corpus(args.corpus)
+        if failures:
+            print(f"{len(failures)} corpus reproducer(s) still failing:")
+            for failure in failures:
+                print(" ", failure)
+            return 1
+        count = len(list(Path(args.corpus).glob("*.json")))
+        print(f"replayed {count} reproducer(s): all pass")
+        return 0
+
+    start = time.perf_counter()
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        oracle_names=args.oracles,
+        corpus_dir=None if args.no_corpus else args.corpus,
+        parallel_every=args.parallel_every,
+        max_failures=args.max_failures,
+    )
+    elapsed = time.perf_counter() - start
+    runs = ", ".join(
+        f"{name} x{count}" for name, count in sorted(report.oracle_runs.items())
+    )
+    print(
+        f"fuzzed {report.cases} case(s) / {report.checks} oracle run(s) "
+        f"in {elapsed:.1f}s (seed {report.seed})"
+    )
+    print(f"  {runs}")
+    if report.ok:
+        print("all properties hold")
+        return 0
+    print(f"{len(report.failures)} property violation(s):")
+    for failure in report.failures:
+        print(" ", failure)
+    return 1
+
+
 _COMMANDS = {
     "transform": _cmd_transform,
     "extract-shapes": _cmd_extract_shapes,
@@ -384,6 +470,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "to-rdf": _cmd_to_rdf,
     "compact": _cmd_compact,
+    "fuzz": _cmd_fuzz,
 }
 
 

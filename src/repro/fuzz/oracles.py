@@ -1,0 +1,432 @@
+"""Executable statements of the paper's universally-quantified claims.
+
+Each oracle takes a generated :class:`~repro.fuzz.generators.FuzzCase`
+and returns ``None`` when the property holds or a human-readable failure
+message when it does not.  Oracles never raise on a *property* failure;
+an exception escaping an oracle is itself treated as a failure by the
+runner (a crash is the strongest kind of counterexample).
+
+The registry :data:`ORACLES` maps oracle names to :class:`Oracle`
+entries; each entry declares which case kinds it consumes, so the runner
+routes cases without the oracles having to re-check applicability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import DEFAULT_OPTIONS, MONOTONE_OPTIONS, TransformOptions
+from ..core.inverse import pg_to_rdf, pgschema_to_shacl, scalar_to_lexical, \
+    shape_schemas_equivalent
+from ..core.pipeline import transform
+from ..errors import ParseError, TranslationError
+from ..namespaces import RDF_TYPE, local_name
+from ..pg.csv_io import export_csv, import_csv
+from ..pg.model import PropertyGraph
+from ..pg.store import PropertyGraphStore
+from ..pg.yarspg import export_yarspg, import_yarspg
+from ..pgschema.conformance import check_conformance
+from ..query.cypher.evaluator import CypherEngine
+from ..query.sparql.evaluator import SparqlEngine
+from ..query.translate import translate_sparql_to_cypher
+from ..rdf.graph import Graph, graphs_equal_modulo_bnodes
+from ..rdf.terms import BlankNode, IRI
+from ..rdf.ntriples import parse_ntriples, serialize_ntriples
+from ..rdf.turtle import parse_turtle, serialize_turtle
+from ..shacl.validator import validate as shacl_validate
+from .generators import EX, FuzzCase
+
+_BOTH_MODES: tuple[TransformOptions, ...] = (DEFAULT_OPTIONS, MONOTONE_OPTIONS)
+
+
+def _mode(options: TransformOptions) -> str:
+    return "parsimonious" if options.parsimonious else "monotone"
+
+
+@dataclass(frozen=True)
+class OracleContext:
+    """Per-case knobs the runner hands to oracles.
+
+    Attributes:
+        heavy: run the expensive variants (multi-process workers) for
+            this case; the runner sets it on a sampled subset of cases.
+    """
+
+    heavy: bool = False
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named property checker over a subset of case kinds."""
+
+    name: str
+    kinds: tuple[str, ...]
+    fn: Callable[[FuzzCase, OracleContext], str | None]
+    description: str = ""
+
+
+# --------------------------------------------------------------------- #
+# Round-trip identity (Prop. 4.1): M(F_dt(G)) ≅ G and N(S_PG) ≅ S_G
+# --------------------------------------------------------------------- #
+
+def roundtrip_rdf(case: FuzzCase, ctx: OracleContext) -> str | None:
+    graph = Graph(case.triples)
+    for options in _BOTH_MODES:
+        result = transform(graph, case.schema, options)
+        back = pg_to_rdf(result.graph, result.mapping)
+        if not graphs_equal_modulo_bnodes(graph, back):
+            return (
+                f"M(F_dt(G)) != G in {_mode(options)} mode "
+                f"({len(graph)} in, {len(back)} back)"
+            )
+    return None
+
+
+def roundtrip_schema(case: FuzzCase, ctx: OracleContext) -> str | None:
+    for options in _BOTH_MODES:
+        result = transform(Graph(), case.schema, options)
+        recovered = pgschema_to_shacl(result.mapping)
+        if not shape_schemas_equivalent(recovered, case.schema):
+            return f"N(F_st(S)) != S in {_mode(options)} mode"
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Validation equivalence (Prop. 4.2): G ⊨ S_G ⇔ F_dt(G) ⊨ S_PG
+# --------------------------------------------------------------------- #
+
+def _in_equivalence_fragment(case: FuzzCase) -> bool:
+    """Is the case inside the fragment where validation equivalence holds?
+
+    The theorem relates an *open-world* SHACL check (only typed, targeted
+    entities are inspected; extra properties are unconstrained) to a
+    *closed-world* STRICT conformance check (every node and edge must
+    match a type).  The two agree only on graphs that (a) type every
+    entity — subjects and entity objects — and (b) use on each entity
+    only predicates governed by its types' effective property shapes.
+    The generator maintains both invariants; this guard keeps the
+    shrinker from escaping them mid-reduction and landing on a
+    by-design divergence.
+    """
+    typed: dict[object, list[str]] = {}
+    for t in case.triples:
+        if t.p.value == RDF_TYPE and isinstance(t.o, IRI):
+            typed.setdefault(t.s, []).append(t.o.value)
+    allowed: dict[object, set[str]] = {}
+    for entity, classes in typed.items():
+        paths: set[str] = set()
+        for cls in classes:
+            shape = case.schema.shape_for_class(cls)
+            if shape is None:
+                return False
+            paths.update(
+                ps.path
+                for ps in case.schema.effective_property_shapes(shape.name)
+            )
+        allowed[entity] = paths
+    for t in case.triples:
+        if t.s not in typed:
+            return False
+        if t.p.value == RDF_TYPE:
+            continue
+        if t.p.value not in allowed[t.s]:
+            return False
+        if isinstance(t.o, (IRI, BlankNode)) and t.o not in typed:
+            return False
+    return True
+
+
+def validation_equivalence(case: FuzzCase, ctx: OracleContext) -> str | None:
+    graph = Graph(case.triples)
+    if not _in_equivalence_fragment(case):
+        return None
+    rdf_report = shacl_validate(graph, case.schema)
+    if case.kind == "valid" and not rdf_report.conforms:
+        return (
+            "generator produced a non-conforming 'valid' instance: "
+            f"{rdf_report.violations[:2]}"
+        )
+    for options in _BOTH_MODES:
+        result = transform(graph, case.schema, options)
+        pg_report = check_conformance(result.graph, result.pg_schema)
+        if rdf_report.conforms != pg_report.conforms:
+            detail = (
+                rdf_report.violations[:2]
+                if not rdf_report.conforms
+                else pg_report.violations[:2]
+            )
+            return (
+                f"G |= S_G is {rdf_report.conforms} but F_dt(G) |= S_PG is "
+                f"{pg_report.conforms} in {_mode(options)} mode "
+                f"({case.note or 'no mutation'}; {detail})"
+            )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Query preservation (Def. 3.2): SPARQL vs translated Cypher
+# --------------------------------------------------------------------- #
+
+_PROLOG = f"PREFIX : <{EX}> "
+_MAX_QUERIES = 8
+
+
+def _workload(case: FuzzCase) -> list[str]:
+    queries: list[str] = []
+    schema = case.schema
+    for shape in schema:
+        cls = local_name(shape.target_class)
+        queries.append(_PROLOG + f"SELECT ?e WHERE {{ ?e a :{cls} . }}")
+        for phi in schema.effective_property_shapes(shape.name)[:2]:
+            prop = local_name(phi.path)
+            queries.append(
+                _PROLOG
+                + f"SELECT ?e ?v WHERE {{ ?e a :{cls} ; :{prop} ?v . }}"
+            )
+            queries.append(
+                _PROLOG
+                + f"SELECT (COUNT(*) AS ?n) WHERE {{ ?e a :{cls} ; "
+                f":{prop} ?v . }}"
+            )
+    return queries[:_MAX_QUERIES]
+
+
+def sparql_cypher_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
+    graph = Graph(case.triples)
+    result = transform(graph, case.schema)
+    sparql_engine = SparqlEngine(graph)
+    cypher_engine = CypherEngine(PropertyGraphStore(result.graph))
+    for sparql in _workload(case):
+        try:
+            cypher = translate_sparql_to_cypher(sparql, result.mapping)
+        except TranslationError:
+            continue
+        gt = sorted(
+            tuple(str(row[key]) for key in sorted(row))
+            for row in sparql_engine.query(sparql)
+        )
+        pg = sorted(
+            tuple(scalar_to_lexical(row[key]) for key in sorted(row))
+            for row in cypher_engine.query(cypher)
+        )
+        if gt != pg:
+            return (
+                f"differential mismatch for {sparql!r}: SPARQL {len(gt)} "
+                f"row(s) vs Cypher {len(pg)} row(s); first diff "
+                f"{next((a for a in gt if a not in pg), None)!r} vs "
+                f"{next((b for b in pg if b not in gt), None)!r}"
+            )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Serializer round-trips
+# --------------------------------------------------------------------- #
+
+def ntriples_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
+    original = set(case.triples)
+    text = serialize_ntriples(case.triples, sort=True)
+    if set(parse_ntriples(text)) != original:
+        return "N-Triples round-trip lost or altered triples"
+    # The spec makes the whitespace before the terminator optional; a
+    # "tight" document must parse to the same graph.
+    tight = "\n".join(
+        line[:-2] + "." if line.endswith(" .") else line
+        for line in text.splitlines()
+    )
+    try:
+        reparsed = set(parse_ntriples(tight))
+    except ParseError as exc:
+        return f"tight N-Triples document rejected: {exc}"
+    if reparsed != original:
+        return "tight N-Triples round-trip lost or altered triples"
+    return None
+
+
+def turtle_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
+    original = set(case.triples)
+    text = serialize_turtle(Graph(case.triples))
+    try:
+        reparsed = set(parse_turtle(text))
+    except ParseError as exc:
+        return f"serialized Turtle does not re-parse: {exc}"
+    if reparsed != original:
+        return "Turtle round-trip lost or altered triples"
+    return None
+
+
+def _case_graphs(case: FuzzCase) -> list[tuple[str, PropertyGraph]]:
+    """The property graphs a serializer oracle checks for this case."""
+    if case.pg is not None:
+        return [("direct", case.pg)]
+    graph = Graph(case.triples)
+    return [
+        (_mode(options), transform(graph, case.schema, options).graph)
+        for options in _BOTH_MODES
+    ]
+
+
+def csv_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
+    for tag, pg in _case_graphs(case):
+        nodes_csv, edges_csv = export_csv(pg)
+        back = import_csv(nodes_csv, edges_csv)
+        if not pg.structurally_equal(back):
+            return f"CSV round-trip changed the graph ({tag})"
+    return None
+
+
+def _yarspg_serializable(pg: PropertyGraph) -> bool:
+    """The YARS-PG subset is line-oriented with raw double-quoted ids."""
+    return all(
+        '"' not in node.id and "\n" not in node.id
+        for node in pg.nodes.values()
+    )
+
+
+def yarspg_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
+    for tag, pg in _case_graphs(case):
+        if not _yarspg_serializable(pg):
+            continue
+        back = import_yarspg(export_yarspg(pg))
+        if not pg.structurally_equal(back):
+            return f"YARS-PG round-trip changed the graph ({tag})"
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Parser robustness: malformed input must fail with ParseError only
+# --------------------------------------------------------------------- #
+
+def parser_robustness(case: FuzzCase, ctx: OracleContext) -> str | None:
+    try:
+        parse_ntriples(case.text)
+    except ParseError as exc:
+        if case.note.startswith("tight"):
+            return f"valid tight-terminator document rejected: {exc}"
+        return None
+    except Exception as exc:  # noqa: BLE001 — the property under test
+        return (
+            f"parser crashed with {type(exc).__name__}: {exc} "
+            f"({case.note})"
+        )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Engine equivalence: parallel == serial for workers in {1, 2, 4}
+# --------------------------------------------------------------------- #
+
+def parallel_vs_serial(case: FuzzCase, ctx: OracleContext) -> str | None:
+    graph = Graph(case.triples)
+    workers = (1, 2, 4) if ctx.heavy else (1,)
+    for options in _BOTH_MODES:
+        serial = transform(graph, case.schema, options).graph.canonical_form()
+        for n in workers:
+            par = transform(
+                graph, case.schema, options, parallel=n
+            ).graph.canonical_form()
+            if par != serial:
+                return (
+                    f"parallel engine (workers={n}) diverges from the "
+                    f"serial transformation in {_mode(options)} mode"
+                )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# openCypher undirected-match semantics (query-preservation support)
+# --------------------------------------------------------------------- #
+
+def cypher_undirected(case: FuzzCase, ctx: OracleContext) -> str | None:
+    result = transform(Graph(case.triples), case.schema)
+    pg = result.graph
+    engine = CypherEngine(PropertyGraphStore(pg))
+    edge_labels = sorted({lab for e in pg.edges.values() for lab in e.labels})
+    node_labels = sorted({lab for n in pg.nodes.values() for lab in n.labels})
+    for rel_type in edge_labels[:3]:
+        for label in node_labels[:3]:
+            expected = 0
+            for edge in pg.edges.values():
+                if rel_type not in edge.labels:
+                    continue
+                if edge.src == edge.dst:
+                    # openCypher yields a self-loop once per undirected
+                    # match, not once per traversal direction.
+                    expected += int(label in pg.nodes[edge.src].labels)
+                else:
+                    expected += int(label in pg.nodes[edge.src].labels)
+                    expected += int(label in pg.nodes[edge.dst].labels)
+            rows = engine.query(
+                f"MATCH (a:{label})-[r:{rel_type}]-(b) RETURN count(*) AS n"
+            )
+            actual = rows[0]["n"] if rows else 0
+            if actual != expected:
+                return (
+                    f"undirected MATCH (a:{label})-[:{rel_type}]-(b) "
+                    f"returned {actual} row(s), expected {expected}"
+                )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+_RDF_KINDS = ("valid", "mutated", "noise")
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "roundtrip_rdf", _RDF_KINDS, roundtrip_rdf,
+            "M(F_dt(G)) ≅ G in both modes (information preservation)",
+        ),
+        Oracle(
+            "roundtrip_schema", ("valid",), roundtrip_schema,
+            "N(F_st(S)) ≅ S in both modes",
+        ),
+        Oracle(
+            "validation_equivalence", ("valid", "mutated"),
+            validation_equivalence,
+            "G ⊨ S_G ⇔ F_dt(G) ⊨ S_PG (semantics preservation)",
+        ),
+        # Query preservation (Def. 3.2) presupposes G ⊨ S_G: on violating
+        # instances the translated access paths legitimately miss data
+        # (e.g. a retyped value lives on the fallback edge, not the key),
+        # so the differential runs on conforming cases only.
+        Oracle(
+            "sparql_cypher_differential", ("valid",),
+            sparql_cypher_differential,
+            "translated Cypher returns the SPARQL answers (query preservation)",
+        ),
+        Oracle(
+            "ntriples_roundtrip", _RDF_KINDS, ntriples_roundtrip,
+            "parse(serialize(G)) = G for N-Triples, incl. tight terminators",
+        ),
+        Oracle(
+            "turtle_roundtrip", _RDF_KINDS, turtle_roundtrip,
+            "parse(serialize(G)) = G for Turtle",
+        ),
+        Oracle(
+            "csv_roundtrip", ("valid", "noise", "pg"), csv_roundtrip,
+            "import_csv(export_csv(PG)) structurally equals PG",
+        ),
+        Oracle(
+            "yarspg_roundtrip", ("valid", "noise", "pg"), yarspg_roundtrip,
+            "import_yarspg(export_yarspg(PG)) structurally equals PG",
+        ),
+        Oracle(
+            "parser_robustness", ("text",), parser_robustness,
+            "malformed N-Triples fail with ParseError, never crash",
+        ),
+        Oracle(
+            "parallel_vs_serial", ("valid", "noise"), parallel_vs_serial,
+            "sharded engine output is isomorphic to the serial output",
+        ),
+        Oracle(
+            "cypher_undirected", ("valid", "noise"), cypher_undirected,
+            "undirected MATCH row counts follow openCypher semantics",
+        ),
+    )
+}

@@ -1,0 +1,124 @@
+"""Greedy delta-debugging shrinker for failing fuzz cases.
+
+Given a list of items (triples, PG elements, or text lines) and a
+predicate that re-runs the failing oracle, :func:`shrink_items` removes
+ever-smaller chunks while the failure persists, converging on a local
+minimum — in practice a handful of items.  The predicate budget bounds
+the work on pathological cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from ..pg.model import PropertyGraph
+from .generators import FuzzCase
+
+T = TypeVar("T")
+
+
+def shrink_items(
+    items: Sequence[T],
+    fails: Callable[[list[T]], bool],
+    budget: int = 400,
+) -> list[T]:
+    """A minimal sublist of ``items`` on which ``fails`` still holds.
+
+    Args:
+        items: the elements of the failing case, in order.
+        fails: re-runs the oracle; True means "still failing".
+        budget: maximum number of predicate invocations.
+
+    The input is assumed failing; if the predicate is flaky and the full
+    list no longer fails, it is returned unchanged.
+    """
+    current = list(items)
+    calls = 0
+
+    def check(candidate: list[T]) -> bool:
+        nonlocal calls
+        if calls >= budget:
+            return False
+        calls += 1
+        return fails(candidate)
+
+    if not check(current):
+        return current
+    chunk = max(1, len(current) // 2)
+    while True:
+        removed_any = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if check(candidate):
+                current = candidate
+                removed_any = True
+                # Re-test the same offset: the next chunk slid into it.
+            else:
+                start += chunk
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+        if calls >= budget:
+            break
+    return current
+
+
+# --------------------------------------------------------------------- #
+# Case-level shrinking: decompose -> shrink -> rebuild
+# --------------------------------------------------------------------- #
+
+def case_items(case: FuzzCase) -> list:
+    """The shrinkable elements of a case, by kind."""
+    if case.kind == "text":
+        return (case.text or "").splitlines()
+    if case.kind == "pg":
+        pg = case.pg
+        items: list = [
+            ("node", node.id, sorted(node.labels), dict(node.properties))
+            for node in pg.nodes.values()
+        ]
+        items.extend(
+            ("edge", edge.src, edge.dst, sorted(edge.labels),
+             dict(edge.properties))
+            for edge in pg.edges.values()
+        )
+        return items
+    return list(case.triples)
+
+
+def rebuild_case(case: FuzzCase, items: list) -> FuzzCase:
+    """A copy of ``case`` containing only ``items``."""
+    if case.kind == "text":
+        return FuzzCase(
+            kind=case.kind, seed=case.seed,
+            text="\n".join(items) + ("\n" if items else ""), note=case.note,
+        )
+    if case.kind == "pg":
+        pg = PropertyGraph()
+        for item in items:
+            if item[0] == "node":
+                _, node_id, labels, properties = item
+                pg.add_node(node_id, labels=labels, properties=properties)
+        for item in items:
+            if item[0] == "edge":
+                _, src, dst, labels, properties = item
+                if src in pg.nodes and dst in pg.nodes:
+                    pg.add_edge(src, dst, labels=labels, properties=properties)
+        return FuzzCase(kind=case.kind, seed=case.seed, pg=pg, note=case.note)
+    return case.with_triples(items)
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    budget: int = 400,
+) -> FuzzCase:
+    """Shrink a failing case to a (locally) minimal failing case."""
+    items = case_items(case)
+    minimal = shrink_items(
+        items, lambda subset: fails(rebuild_case(case, subset)), budget
+    )
+    return rebuild_case(case, minimal)

@@ -20,6 +20,7 @@ from .model import PropertyGraph, PropertyValue
 
 ARRAY_SEPARATOR = ";"
 LABEL_SEPARATOR = ";"
+EMPTY_ARRAY_MARKER = "\\a"
 
 
 def _escape_scalar_text(text: str) -> str:
@@ -55,6 +56,10 @@ def _split_unescaped(text: str) -> list[str]:
 
 def _encode_value(value: PropertyValue) -> str:
     if isinstance(value, list):
+        if not value:
+            # A bare separator would decode as [""], so the empty array
+            # gets its own marker.
+            return EMPTY_ARRAY_MARKER
         return ARRAY_SEPARATOR.join(_encode_scalar(v) for v in value) + ARRAY_SEPARATOR
     return _encode_scalar(value)
 
@@ -74,7 +79,7 @@ def _encode_scalar(value: object) -> str:
 
 
 def _parses_as_non_string(text: str) -> bool:
-    if text in ("true", "false", "\\e"):
+    if text in ("true", "false", "\\e", EMPTY_ARRAY_MARKER):
         return True
     if text.startswith("\\s"):
         return True
@@ -84,6 +89,8 @@ def _parses_as_non_string(text: str) -> bool:
 
 
 def _decode_value(text: str) -> PropertyValue:
+    if text == EMPTY_ARRAY_MARKER:
+        return []
     parts = _split_unescaped(text)
     if len(parts) > 1 and parts[-1] == "":
         # Trailing (unescaped) separator marks an array value.

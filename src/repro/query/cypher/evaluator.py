@@ -245,6 +245,7 @@ class CypherEngine:
         if rel.direction in ("in", "any"):
             directions.append("in")
         types = rel.types or (None,)
+        undirected = len(directions) == 2
         for direction in directions:
             for rel_type in types:
                 edges = (
@@ -253,6 +254,11 @@ class CypherEngine:
                     else self.store.in_edges(node.id, rel_type)
                 )
                 for edge in edges:
+                    if undirected and direction == "in" and edge.src == edge.dst:
+                        # A self-loop satisfies an undirected pattern once,
+                        # not once per traversal direction (openCypher
+                        # relationship uniqueness).
+                        continue
                     other_id = edge.dst if direction == "out" else edge.src
                     yield edge, self.store.graph.nodes[other_id]
 

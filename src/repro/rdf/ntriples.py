@@ -74,6 +74,11 @@ class _LineParser:
             self.line[self.pos].isalnum() or self.line[self.pos] in "_-."
         ):
             self.pos += 1
+        # A label may contain '.' but must not end with one: a trailing
+        # dot is the statement terminator (whitespace before '.' is
+        # optional), as in ``<s> <p> _:b.``.
+        while self.pos > start and self.line[self.pos - 1] == ".":
+            self.pos -= 1
         label = self.line[start:self.pos]
         if not label:
             raise self.error("empty blank node label")
@@ -131,7 +136,7 @@ class _LineParser:
         except ValueError as exc:
             raise self.error(f"invalid unicode escape {hexdigits!r}") from exc
         self.pos += width
-        return chr(code)
+        return _codepoint(code, hexdigits, self)
 
     def parse_subject(self) -> Subject:
         ch = self.peek()
@@ -152,6 +157,15 @@ class _LineParser:
         raise self.error(f"invalid object start {ch!r}")
 
 
+def _codepoint(code: int, hexdigits: str, parser: _LineParser) -> str:
+    """Map an escape's code point to a character, rejecting values outside
+    the Unicode range and surrogates (both crash ``chr()`` or produce
+    strings that cannot be encoded back to UTF-8)."""
+    if code > 0x10FFFF or 0xD800 <= code <= 0xDFFF:
+        raise parser.error(f"unicode escape out of range \\{hexdigits}")
+    return chr(code)
+
+
 def _unescape(value: str, parser: _LineParser) -> str:
     """Resolve ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes inside an IRI."""
     if "\\" not in value:
@@ -165,7 +179,13 @@ def _unescape(value: str, parser: _LineParser) -> str:
             hexdigits = value[i + 2:i + 2 + width]
             if len(hexdigits) != width:
                 raise parser.error("truncated unicode escape in IRI")
-            out.append(chr(int(hexdigits, 16)))
+            try:
+                code = int(hexdigits, 16)
+            except ValueError as exc:
+                raise parser.error(
+                    f"invalid unicode escape {hexdigits!r} in IRI"
+                ) from exc
+            out.append(_codepoint(code, hexdigits, parser))
             i += 2 + width
         else:
             out.append(ch)

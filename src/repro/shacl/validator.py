@@ -119,6 +119,18 @@ class ShaclValidator:
         key = (entity, shape_name)
         cached = memo.get(key)
         if cached is not None:
+            if not cached:
+                # The failure was discovered while this entity was checked
+                # as a nested shape-ref target, so its violations went to
+                # that caller's (discarded) sub-report; the verdict must
+                # still reach this report.
+                self._record(
+                    report,
+                    entity,
+                    shape_name,
+                    None,
+                    "entity does not conform (checked as a referenced value)",
+                )
             return cached
         # Optimistically assume conformance to break reference cycles.
         memo[key] = True

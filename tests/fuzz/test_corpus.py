@@ -1,0 +1,26 @@
+"""Replay the checked-in shrunk reproducers against the fixed code."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import ORACLES, load_reproducer, replay_corpus
+
+CORPUS = Path(__file__).resolve().parents[1] / "fuzz_corpus"
+FILES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert FILES, "tests/fuzz_corpus must contain shrunk reproducers"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_reproducer_loads_and_names_known_oracle(path):
+    case, oracle_name = load_reproducer(path)
+    assert oracle_name in ORACLES
+    assert case.kind in ORACLES[oracle_name].kinds
+
+
+def test_replay_corpus_all_pass():
+    failures = replay_corpus(CORPUS)
+    assert not failures, [str(f) for f in failures]

@@ -1,0 +1,62 @@
+"""Tests for the greedy delta-debugging shrinker."""
+
+from repro.fuzz import generate_case, shrink_case, shrink_items
+from repro.fuzz.shrinker import case_items, rebuild_case
+
+
+class TestShrinkItems:
+    def test_shrinks_to_single_culprit(self):
+        items = list(range(100))
+        shrunk = shrink_items(items, lambda xs: 42 in xs)
+        assert shrunk == [42]
+
+    def test_shrinks_to_minimal_pair(self):
+        items = list(range(50))
+        shrunk = shrink_items(items, lambda xs: 7 in xs and 31 in xs)
+        assert sorted(shrunk) == [7, 31]
+
+    def test_keeps_everything_when_all_needed(self):
+        items = [1, 2, 3]
+        shrunk = shrink_items(items, lambda xs: len(xs) == 3)
+        assert shrunk == items
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = 0
+
+        def fails(xs):
+            nonlocal calls
+            calls += 1
+            return 0 in xs
+
+        shrink_items(list(range(200)), fails, budget=25)
+        assert calls <= 25
+
+    def test_never_returns_non_failing_subset(self):
+        shrunk = shrink_items(list(range(20)), lambda xs: sum(xs) >= 100)
+        assert sum(shrunk) >= 100
+
+
+class TestCaseRoundTrip:
+    def test_rdf_case_items_rebuild(self):
+        case = generate_case(seed=3, index=0)  # valid kind
+        items = case_items(case)
+        again = rebuild_case(case, items)
+        assert again.triples == case.triples
+
+    def test_pg_case_rebuild_drops_dangling_edges(self):
+        case = generate_case(seed=3, index=3)  # pg kind
+        items = case_items(case)
+        node_ids = {item[1] for item in items if item[0] == "node"}
+        kept = [
+            item for item in items
+            if item[0] == "node" or (item[1] in node_ids and item[2] in node_ids)
+        ]
+        rebuilt = rebuild_case(case, kept)
+        for edge in rebuilt.pg.edges.values():
+            assert edge.src in rebuilt.pg.nodes
+            assert edge.dst in rebuilt.pg.nodes
+
+    def test_text_case_shrinks_by_line(self):
+        case = generate_case(seed=3, index=4)  # text kind
+        small = shrink_case(case, lambda c: bool(c.text.strip()))
+        assert len(small.text.splitlines()) <= len(case.text.splitlines())

@@ -132,3 +132,24 @@ class TestSeparatorEscaping:
         props = again.get_node("n").properties
         assert props["s_int"] == "12" and props["i"] == 12
         assert props["s_bool"] == "true" and props["b"] is True
+
+
+def test_empty_array_round_trips():
+    g = PropertyGraph()
+    g.add_node("n", properties={"empty": [], "one": [""], "two": ["", ""]})
+    again = import_csv(*export_csv(g))
+    props = again.get_node("n").properties
+    assert props["empty"] == []
+    assert props["one"] == [""]
+    assert props["two"] == ["", ""]
+    assert g.structurally_equal(again)
+
+
+def test_empty_array_distinct_from_marker_string():
+    g = PropertyGraph()
+    g.add_node("n", properties={"arr": [], "text": "\\a", "boxed": ["\\a"]})
+    again = import_csv(*export_csv(g))
+    props = again.get_node("n").properties
+    assert props["arr"] == []
+    assert props["text"] == "\\a"
+    assert props["boxed"] == ["\\a"]

@@ -152,3 +152,28 @@ class TestReturn:
 
         with pytest.raises(QueryError):
             engine.query("MATCH (n:Person) RETURN ghost")
+
+
+class TestSelfLoopUniqueness:
+    @pytest.fixture(scope="class")
+    def loop_engine(self) -> CypherEngine:
+        pg = PropertyGraph()
+        pg.add_node("a", labels={"Person"}, properties={"name": "Ann"})
+        pg.add_node("b", labels={"Person"}, properties={"name": "Bob"})
+        pg.add_edge("a", "a", labels={"knows"}, edge_id="loop")
+        pg.add_edge("a", "b", labels={"knows"}, edge_id="e1")
+        return CypherEngine(PropertyGraphStore(pg))
+
+    def test_undirected_match_yields_loop_once(self, loop_engine):
+        # The self-loop matches once; the a-b edge matches from both ends.
+        assert loop_engine.count("MATCH (x)-[:knows]-(y) RETURN x") == 3
+
+    def test_undirected_from_anchored_node(self, loop_engine):
+        rows = loop_engine.query(
+            "MATCH (x {name: 'Ann'})-[:knows]-(y) RETURN y.name AS n"
+        )
+        assert sorted(r["n"] for r in rows) == ["Ann", "Bob"]
+
+    def test_directed_loop_counts_each_direction(self, loop_engine):
+        assert loop_engine.count("MATCH (x)-[:knows]->(y) RETURN x") == 2
+        assert loop_engine.count("MATCH (x)<-[:knows]-(y) RETURN x") == 2

@@ -122,3 +122,48 @@ class TestDocuments:
             f'<http://x/s> <http://x/q> "3.14"^^<{XSD.double}> .\n'
         )
         assert parse_ntriples(serialize_ntriples(g)) == g
+
+
+class TestUnicodeEscapeBounds:
+    """Escapes outside the Unicode range must raise ParseError, not crash."""
+
+    @pytest.mark.parametrize("escape", ["\\U00110000", "\\UFFFFFFFF"])
+    def test_out_of_range_in_literal(self, escape):
+        with pytest.raises(ParseError):
+            parse_line(f'<http://x/s> <http://x/p> "a{escape}b" .')
+
+    @pytest.mark.parametrize("escape", ["\\uD800", "\\uDFFF", "\\UD9999999"])
+    def test_surrogate_in_literal(self, escape):
+        with pytest.raises(ParseError):
+            parse_line(f'<http://x/s> <http://x/p> "a{escape}b" .')
+
+    @pytest.mark.parametrize("escape", ["\\U00110000", "\\uD800", "\\uDFFF"])
+    def test_out_of_range_in_iri(self, escape):
+        with pytest.raises(ParseError):
+            parse_line(f'<http://x/s{escape}> <http://x/p> <http://x/o> .')
+
+    def test_non_hex_digits_in_iri(self):
+        with pytest.raises(ParseError):
+            parse_line('<http://x/s\\uZZZZ> <http://x/p> <http://x/o> .')
+
+    def test_max_codepoint_still_parses(self):
+        triple = parse_line('<http://x/s> <http://x/p> "\\U0010FFFF" .')
+        assert triple.o == Literal("\U0010FFFF")
+
+
+class TestBnodeTerminator:
+    """A '.' directly after a blank node label is the statement terminator."""
+
+    def test_object_bnode_tight_dot(self):
+        triple = parse_line("<http://x/s> <http://x/p> _:b.")
+        assert triple.o == BlankNode("b")
+
+    def test_dots_inside_labels_survive(self):
+        triple = parse_line("_:a.b <http://x/p> _:c.d .")
+        assert triple.s == BlankNode("a.b")
+        assert triple.o == BlankNode("c.d")
+
+    def test_label_trailing_dots_all_given_back(self):
+        # "_:b.." = label "b" followed by terminator plus trailing junk.
+        with pytest.raises(ParseError):
+            parse_line("<http://x/s> <http://x/p> _:b..")

@@ -172,3 +172,40 @@ class TestEntityApi:
         report = check(schema, "")
         assert report.conforms
         assert report.checked_entities == 0
+
+
+class TestNestedCheckReachesReport:
+    """A violation found while an entity is checked as a *referenced value*
+    must still fail the full-graph report (found by the fuzzer: the memo
+    returned the cached verdict without marking the caller's report)."""
+
+    NESTED_SHAPES = """
+    @prefix sh: <http://www.w3.org/ns/shacl#> .
+    @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+    @prefix : <http://x/> .
+    @prefix shapes: <http://x/shapes#> .
+
+    shapes:Dept a sh:NodeShape ; sh:targetClass :Dept ;
+      sh:property [ sh:path :head ; sh:node shapes:Person ;
+                    sh:nodeKind sh:IRI ; sh:minCount 0 ] .
+
+    shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+      sh:property [ sh:path :name ; sh:nodeKind sh:Literal ;
+                    sh:datatype xsd:string ; sh:minCount 1 ] .
+    """
+
+    def test_nested_failure_fails_full_validation(self):
+        # :d is checked first (Dept precedes Person in target order) and
+        # pulls :p through the shape-ref; :p lacks the mandatory :name.
+        schema = parse_shacl(self.NESTED_SHAPES)
+        graph = parse_turtle(DATA_PREFIX + ":d a :Dept ; :head :p . :p a :Person .")
+        report = validate(graph, schema)
+        assert not report.conforms
+        assert any("http://x/p" in v.focus for v in report.violations)
+
+    def test_nested_conforming_reference_still_passes(self):
+        schema = parse_shacl(self.NESTED_SHAPES)
+        graph = parse_turtle(
+            DATA_PREFIX + ':d a :Dept ; :head :p . :p a :Person ; :name "Ann" .'
+        )
+        assert validate(graph, schema).conforms
