@@ -1,0 +1,89 @@
+"""Overhead of the observability layer (the zero-cost-when-disabled claim).
+
+The :mod:`repro.obs` instrumentation in the hot paths is guarded by a
+module-level tracer check: with no tracer configured, ``obs.span`` hands
+back a shared no-op context manager and the query engines skip their
+stats collection entirely.  This bench pins that property down two ways:
+
+* a micro-benchmark of the disabled ``obs.span`` call itself, asserting
+  the per-call cost times a generous span count stays under 5% of the
+  serial transform's wall time, and
+* an A/B of the serial transform with tracing off vs. on, reported (but
+  not asserted — wall-clock A/Bs at this scale are noise-dominated).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_json_result, write_result
+
+from repro import obs
+from repro.core.pipeline import S3PG
+from repro.eval import render_table
+
+#: A traced serial transform emits well under this many spans.
+SPAN_BUDGET = 100
+
+#: The satellite requirement: disabled tracing must cost < 5%.
+MAX_OVERHEAD = 0.05
+
+
+def _transform_seconds(bundle) -> float:
+    start = time.perf_counter()
+    S3PG().transform(bundle.graph, bundle.shapes)
+    return time.perf_counter() - start
+
+
+def test_disabled_span_is_noop(dbpedia2022_bundle):
+    """Per-call cost of a disabled span, scaled to a whole run's spans."""
+    assert not obs.enabled()
+
+    calls = 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.noop"):
+            pass
+    per_call = (time.perf_counter() - start) / calls
+
+    transform_s = min(
+        _transform_seconds(dbpedia2022_bundle) for _ in range(3)
+    )
+    overhead = per_call * SPAN_BUDGET / transform_s
+    rows = [{
+        "noop_span_ns": round(per_call * 1e9, 1),
+        "span_budget": SPAN_BUDGET,
+        "transform_s": round(transform_s, 4),
+        "overhead_pct": round(overhead * 100, 4),
+    }]
+    write_result("obs_overhead.txt", render_table(
+        rows, title="Disabled-tracing overhead (serial transform)"
+    ))
+    write_json_result("obs_overhead", rows)
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled obs.span costs {overhead:.2%} of a serial transform"
+    )
+
+
+def test_traced_vs_untraced_transform(dbpedia2022_bundle):
+    """Report the wall-time A/B; tracing on must still finish sanely."""
+    untraced = min(_transform_seconds(dbpedia2022_bundle) for _ in range(3))
+
+    obs.configure()
+    try:
+        traced = min(_transform_seconds(dbpedia2022_bundle) for _ in range(3))
+        spans = len(obs.get_tracer())
+    finally:
+        obs.disable()
+        obs.get_metrics().reset()
+
+    write_json_result(
+        "obs_overhead_ab",
+        [{
+            "untraced_s": round(untraced, 4),
+            "traced_s": round(traced, 4),
+            "spans": spans,
+        }],
+    )
+    assert spans > 0
+    assert spans <= SPAN_BUDGET

@@ -17,6 +17,7 @@ import pytest
 
 from repro.datasets import bio2rdf_workload, dbpedia_workload
 from repro.eval import load_dataset, run_all_transformations
+from repro.obs import get_metrics
 
 #: Global scale multiplier for the benchmark datasets.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
@@ -40,7 +41,9 @@ def write_json_result(name: str, data, **params) -> None:
     runs can be diffed by tooling without parsing text tables.  ``data``
     is the bench's row list / measurement mapping; ``params`` records
     run parameters worth keeping next to the numbers (scales, worker
-    counts, ...).  ``BENCH_SCALE`` is always recorded.
+    counts, ...).  ``BENCH_SCALE`` is always recorded, as is a snapshot
+    of the process-wide :mod:`repro.obs` metrics registry at write time
+    (transform/validator/query counters accumulated by the run).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     stem = name[:-5] if name.endswith(".json") else name
@@ -49,6 +52,7 @@ def write_json_result(name: str, data, **params) -> None:
         "bench_scale": BENCH_SCALE,
         "params": params,
         "data": data,
+        "metrics": get_metrics().snapshot(),
     }
     (RESULTS_DIR / f"{stem}.json").write_text(
         json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",

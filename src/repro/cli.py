@@ -15,6 +15,13 @@ Subcommands cover the full S3PG workflow on files:
 * ``generate``        — emit one of the synthetic benchmark datasets
 * ``fuzz``            — run the property-based fuzzing harness
   (round-trip, validation, differential, serializer, engine oracles)
+* ``profile``         — run a workload under tracing and print a top-N
+  span self-time table
+
+``transform``, ``validate``, ``query``, ``fuzz``, and ``profile``
+accept ``--trace FILE`` (Chrome trace events for ``.json``, JSON-lines
+for ``.jsonl``) and ``--metrics FILE`` (Prometheus text exposition, or
+a JSON snapshot for ``.json``) to export the run's observability data.
 
 RDF inputs may be N-Triples (``.nt``) or Turtle (anything else).
 """
@@ -27,7 +34,7 @@ import sys
 import time
 from pathlib import Path
 
-from . import __version__
+from . import __version__, obs
 from .core.config import TransformOptions
 from .core.g2gml import render_g2gml
 from .core.inverse import scalar_to_lexical
@@ -70,6 +77,20 @@ def load_rdf(path: str | Path) -> Graph:
     return parse_turtle(text)
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability export flags to a subcommand."""
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="export a trace of this run (.json: Chrome trace events "
+             "for Perfetto/chrome://tracing; .jsonl: JSON-lines)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="export this run's metrics (.json: snapshot; anything "
+             "else, e.g. .prom: Prometheus text exposition)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,6 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the data transformation through the sharded parallel "
              "engine with N worker processes (omit for the serial path)",
     )
+    _add_obs_arguments(transform)
 
     extract = sub.add_parser("extract-shapes", help="extract SHACL shapes from data")
     extract.add_argument("data")
@@ -115,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("data")
     validate.add_argument("shapes")
     validate.add_argument("--max-violations", type=int, default=20)
+    _add_obs_arguments(validate)
 
     conformance = sub.add_parser(
         "conformance", help="check a transformed PG (CSV dir) against its PG-Schema"
@@ -138,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="transform first, translate to Cypher, and run on the PG",
     )
     query.add_argument("--limit", type=int, default=20, help="rows to print")
+    _add_obs_arguments(query)
 
     to_rdf = sub.add_parser(
         "to-rdf", help="reconstruct RDF from a transformed PG (inverse M)"
@@ -195,6 +219,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-oracles", action="store_true",
         help="list the available oracles and exit",
     )
+    _add_obs_arguments(fuzz)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under tracing and print a span self-time table",
+    )
+    profile.add_argument("data", help="RDF instance data (.nt or Turtle)")
+    profile.add_argument(
+        "--shapes", help="SHACL document (Turtle); extracted from data if omitted"
+    )
+    profile.add_argument(
+        "--workers", type=int, metavar="N",
+        help="profile the parallel engine with N workers instead of the "
+             "serial transformation",
+    )
+    profile.add_argument(
+        "--query", metavar="SPARQL",
+        help="additionally profile a SPARQL query (text or @file) on the "
+             "RDF graph and its Cypher translation on the PG",
+    )
+    profile.add_argument(
+        "--validate", action="store_true",
+        help="additionally profile SHACL validation of the data",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the workload N times (default 1)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the self-time table (default 15)",
+    )
+    _add_obs_arguments(profile)
 
     return parser
 
@@ -459,6 +516,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    graph = load_rdf(args.data)
+    if args.shapes:
+        shapes = parse_shacl(Path(args.shapes).read_text(encoding="utf-8"))
+    else:
+        shapes = extract_shapes(graph)
+
+    sparql = args.query
+    if sparql and sparql.startswith("@"):
+        sparql = Path(sparql[1:]).read_text(encoding="utf-8")
+
+    result = None
+    for _ in range(max(1, args.repeat)):
+        result = S3PG().transform(graph, shapes, parallel=args.workers)
+        if args.validate:
+            shacl_validate(graph, shapes)
+        if sparql:
+            SparqlEngine(graph).query(sparql)
+            cypher = translate_sparql_to_cypher(sparql, result.mapping)
+            CypherEngine(PropertyGraphStore(result.graph)).query(cypher)
+
+    tracer = obs.get_tracer()
+    spans = tracer.finished() if tracer is not None else []
+    stats = result.graph.stats()
+    print(
+        f"profiled {len(graph)} triples -> {stats.n_nodes} nodes / "
+        f"{stats.n_edges} edges ({len(spans)} spans)"
+    )
+    print()
+    print(obs.render_profile(spans, top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "transform": _cmd_transform,
     "extract-shapes": _cmd_extract_shapes,
@@ -471,6 +561,7 @@ _COMMANDS = {
     "to-rdf": _cmd_to_rdf,
     "compact": _cmd_compact,
     "fuzz": _cmd_fuzz,
+    "profile": _cmd_profile,
 }
 
 
@@ -478,7 +569,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    tracing = bool(trace_path) or args.command == "profile"
+    if tracing:
+        obs.configure()
     try:
+        if tracing or metrics_path:
+            with obs.span(f"cli.{args.command}"):
+                return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -494,6 +593,29 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if trace_path:
+            tracer = obs.get_tracer()
+            if tracer is not None:
+                obs.write_trace(tracer.finished(), trace_path)
+                _print_quietly(f"wrote trace ({len(tracer)} spans) to {trace_path}")
+        if metrics_path:
+            obs.write_metrics(obs.get_metrics(), metrics_path)
+            _print_quietly(f"wrote metrics to {metrics_path}")
+        if tracing:
+            obs.disable()
+        if tracing or metrics_path:
+            obs.get_metrics().reset()
+
+
+def _print_quietly(message: str) -> None:
+    """Print, swallowing a broken pipe — these status lines run in the
+    ``finally`` of :func:`main`, where a raise would mask the command's
+    exit code when the reader went away (``repro ... | head``)."""
+    try:
+        print(message)
+    except BrokenPipeError:
+        pass
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..pg.store import PropertyGraphStore
 from ..pgschema.model import PGSchema
 from ..rdf.graph import Graph
@@ -114,20 +115,34 @@ class S3PG:
                 serial one.
         """
         timings: dict[str, float] = {}
-        start = time.perf_counter()
-        schema_result = self.transform_schema(shape_schema)
-        timings["schema_s"] = time.perf_counter() - start
+        with obs.span(
+            "s3pg.transform",
+            parsimonious=self.options.parsimonious,
+            parallel=parallel or 0,
+        ) as root:
+            with obs.timed_span("s3pg.schema_transform") as schema_span:
+                schema_result = self.transform_schema(shape_schema)
+            timings["schema_s"] = schema_span.duration_s
 
-        instrumentation: dict | None = None
-        start = time.perf_counter()
-        if parallel is not None:
-            transformed, instrumentation = self._transform_parallel(
-                graph, schema_result, parallel, timings
-            )
-        else:
-            transformed = DataTransformer(schema_result, self.options).transform(graph)
-        timings["data_s"] = time.perf_counter() - start
-        timings["transform_s"] = timings["schema_s"] + timings["data_s"]
+            instrumentation: dict | None = None
+            with obs.timed_span("s3pg.data_transform") as data_span:
+                if parallel is not None:
+                    transformed, instrumentation = self._transform_parallel(
+                        graph, schema_result, parallel, timings
+                    )
+                else:
+                    transformed = DataTransformer(
+                        schema_result, self.options
+                    ).transform(graph)
+            timings["data_s"] = data_span.duration_s
+            timings["transform_s"] = timings["schema_s"] + timings["data_s"]
+
+            n_nodes = transformed.graph.node_count()
+            n_edges = transformed.graph.edge_count()
+            root.set("triples", len(graph))
+            root.set("nodes", n_nodes)
+            root.set("edges", n_edges)
+        _publish_transform_metrics(len(graph), n_nodes, n_edges, timings)
         return TransformResult(
             transformed=transformed,
             schema_result=schema_result,
@@ -152,6 +167,30 @@ class S3PG:
         for name, record in engine.instrumentation.phases.items():
             timings[f"engine_{name}_s"] = record.wall_s
         return transformed, engine.instrumentation.as_dict()
+
+
+def _publish_transform_metrics(
+    triples: int, n_nodes: int, n_edges: int, timings: dict[str, float]
+) -> None:
+    """Flush one transform run's totals into the global metrics registry."""
+    metrics = obs.get_metrics()
+    metrics.counter(
+        "repro_transform_runs_total", help="completed S3PG transformations"
+    ).inc()
+    metrics.counter(
+        "repro_transform_triples_total", help="RDF triples transformed"
+    ).inc(triples)
+    metrics.counter(
+        "repro_transform_nodes_total", help="property-graph nodes produced"
+    ).inc(n_nodes)
+    metrics.counter(
+        "repro_transform_edges_total", help="property-graph edges produced"
+    ).inc(n_edges)
+    seconds = metrics.histogram(
+        "repro_transform_seconds", help="per-phase transform wall time"
+    )
+    seconds.observe(timings["schema_s"], phase="schema")
+    seconds.observe(timings["data_s"], phase="data")
 
 
 def transform(
@@ -193,26 +232,35 @@ def transform_file_parallel(
     from ..engine import EngineConfig, ParallelEngine
 
     timings: dict[str, float] = {}
-    start = time.perf_counter()
-    schema_result = SchemaTransformer(options, prefixes).transform(shape_schema)
-    timings["schema_s"] = time.perf_counter() - start
+    with obs.span("s3pg.transform_file", workers=workers or 0):
+        with obs.timed_span("s3pg.schema_transform") as schema_span:
+            schema_result = SchemaTransformer(options, prefixes).transform(
+                shape_schema
+            )
+        timings["schema_s"] = schema_span.duration_s
 
-    engine = ParallelEngine(
-        schema_result,
-        options,
-        EngineConfig(
-            max_workers=workers,
-            shards=shards,
-            shard_timeout_s=shard_timeout_s,
-            debug=debug,
-        ),
-    )
-    start = time.perf_counter()
-    transformed = engine.transform_file(path)
-    timings["data_s"] = time.perf_counter() - start
+        engine = ParallelEngine(
+            schema_result,
+            options,
+            EngineConfig(
+                max_workers=workers,
+                shards=shards,
+                shard_timeout_s=shard_timeout_s,
+                debug=debug,
+            ),
+        )
+        with obs.timed_span("s3pg.data_transform") as data_span:
+            transformed = engine.transform_file(path)
+        timings["data_s"] = data_span.duration_s
     timings["transform_s"] = timings["schema_s"] + timings["data_s"]
     for name, record in engine.instrumentation.phases.items():
         timings[f"engine_{name}_s"] = record.wall_s
+    _publish_transform_metrics(
+        engine.instrumentation.counters.get("triples", 0),
+        transformed.graph.node_count(),
+        transformed.graph.edge_count(),
+        timings,
+    )
     return TransformResult(
         transformed=transformed,
         schema_result=schema_result,

@@ -162,28 +162,31 @@ class ParallelEngine:
         inst.count("triples", partition.triples_total)
         inst.count("shards", partition.n_shards)
 
-        with inst.phase("schema"):
-            self._preregister_unknown_classes(partition, inst)
-
-        with inst.phase("execute"):
-            outcomes = self._run_tasks(partition, inst)
-
         try:
-            with inst.phase("merge"):
-                transformed, merge_stats = merge_outcomes(
-                    outcomes,
-                    self.schema_result,
-                    self.options,
-                    strict=self.config.debug,
-                )
-            inst.count("merge_conflicts", merge_stats.conflicts)
-            inst.count("nodes_reconciled", merge_stats.nodes_merged)
-        except EngineError:
-            # Shard outputs could not be reconciled (cross-shard naming
-            # collision): correctness over speed — redo serially.
-            inst.count("full_serial_fallbacks")
-            with inst.phase("serial_fallback"):
-                transformed = self._serial_transform(partition, serial_file)
+            with inst.phase("schema"):
+                self._preregister_unknown_classes(partition, inst)
+
+            with inst.phase("execute") as execute_span:
+                outcomes = self._run_tasks(partition, inst, execute_span)
+
+            try:
+                with inst.phase("merge"):
+                    transformed, merge_stats = merge_outcomes(
+                        outcomes,
+                        self.schema_result,
+                        self.options,
+                        strict=self.config.debug,
+                    )
+                inst.count("merge_conflicts", merge_stats.conflicts)
+                inst.count("nodes_reconciled", merge_stats.nodes_merged)
+            except EngineError:
+                # Shard outputs could not be reconciled (cross-shard naming
+                # collision): correctness over speed — redo serially.
+                inst.count("full_serial_fallbacks")
+                with inst.phase("serial_fallback"):
+                    transformed = self._serial_transform(partition, serial_file)
+        finally:
+            inst.finish()
         return transformed
 
     def _preregister_unknown_classes(
@@ -220,7 +223,10 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
 
     def _run_tasks(
-        self, partition: Partition, inst: EngineInstrumentation
+        self,
+        partition: Partition,
+        inst: EngineInstrumentation,
+        execute_span,
     ) -> list[ShardOutcome]:
         workers = min(self.config.effective_workers(), partition.n_shards)
         inst.count("workers", workers)
@@ -230,6 +236,9 @@ class ParallelEngine:
             "entity_types": partition.entity_types,
             "type_keys": partition.type_keys,
             "shard_triples": partition.shard_triples,
+            # Workers parent their shard spans on the execute span, so
+            # the re-assembled trace nests per-shard work correctly.
+            "trace": inst.execute_context(execute_span),
         }
 
         use_fork = False
@@ -361,4 +370,5 @@ class ParallelEngine:
                 ran_serial=ran_serial,
             )
         )
+        inst.adopt_spans(outcome.spans)
         return outcome

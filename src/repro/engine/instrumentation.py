@@ -1,9 +1,18 @@
-"""Lightweight instrumentation for the parallel transformation engine.
+"""Engine run reporting as a view over the shared observability layer.
 
-Collects per-phase wall/CPU timers, named counters, and per-shard work
-records (triple count, seconds, worker CPU), and renders them both as a
-human-readable text report and as machine-readable JSON — the latter is
-what ``benchmarks/bench_parallel_scalability.py`` diffs across PRs.
+Historically this module *collected* per-phase timers and counters
+itself; collection now lives in :mod:`repro.obs` — every phase is an
+obs span (parented under one ``engine.run`` root span), counters are
+per-span counters on that root, and worker-side shard spans are adopted
+into the same trace.  :class:`EngineInstrumentation` keeps its original
+report surface (``phases`` / ``counters`` / ``shards``, ``as_dict``,
+``to_json``, ``render_text``) as a *view* derived from the span tree, so
+``benchmarks/bench_parallel_scalability.py`` and the CLI summary line
+keep diffing the same JSON shape across PRs.
+
+When a global tracer is configured (``--trace``), the engine's spans
+land in it and show up in the exported trace; without one, the view
+records into a private tracer so the report always exists.
 
 The shard-skew histogram answers the operational question "did the
 subject-hash partitioner balance the load?": with a healthy hash the
@@ -14,9 +23,13 @@ neighbourhood) shows up as a long tail bucket.
 from __future__ import annotations
 
 import json
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+
+from .. import obs
+
+#: Maximum width of a skew-histogram bar in the text report.
+_MAX_BAR = 40
 
 
 @dataclass
@@ -40,40 +53,96 @@ class ShardRecord:
 
 
 class EngineInstrumentation:
-    """Counters, timers, and shard-skew statistics for one engine run."""
+    """Counters, timers, and shard-skew statistics for one engine run.
 
-    def __init__(self) -> None:
-        self.phases: dict[str, PhaseRecord] = {}
-        self.counters: dict[str, int] = {}
+    Args:
+        tracer: the tracer to record into; defaults to the configured
+            global tracer, falling back to a private in-memory one so
+            the report is available even with tracing disabled.
+    """
+
+    def __init__(self, tracer: obs.Tracer | None = None) -> None:
+        self._tracer = tracer or obs.get_tracer() or obs.Tracer()
+        self._root = self._tracer.start_span("engine.run")
         self.shards: list[ShardRecord] = []
+        self._finished = False
 
     # ------------------------------------------------------------------ #
-    # Recording
+    # Recording (thin wrappers over obs spans)
     # ------------------------------------------------------------------ #
 
     @contextmanager
     def phase(self, name: str):
-        """Time a phase; nested/repeated phases accumulate."""
-        wall0 = time.perf_counter()
-        cpu0 = time.process_time()
-        try:
-            yield
-        finally:
-            record = self.phases.setdefault(name, PhaseRecord())
-            record.wall_s += time.perf_counter() - wall0
-            record.cpu_s += time.process_time() - cpu0
+        """Time a phase as an obs span; nested/repeated phases accumulate."""
+        with self._tracer.span(
+            f"engine.{name}", parent=self._root, cpu=True
+        ) as span:
+            yield span
 
     def count(self, name: str, amount: int = 1) -> None:
-        """Increment a named counter."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        """Increment a named counter (a per-span counter on the run root)."""
+        self._root.incr(name, amount)
 
     def record_shard(self, record: ShardRecord) -> None:
         """Attach one shard's work record."""
         self.shards.append(record)
 
+    def adopt_spans(self, span_dicts: tuple[dict, ...]) -> None:
+        """Attach spans recorded by a worker process to this run's trace."""
+        if span_dicts:
+            self._tracer.adopt(span_dicts)
+
+    def execute_context(self, span: obs.Span) -> obs.SpanContext:
+        """The propagation context workers parent their shard spans on."""
+        return obs.SpanContext(trace_id=self._tracer.trace_id, span_id=span.span_id)
+
+    def finish(self) -> None:
+        """Close the run root span and publish run totals as metrics."""
+        if self._finished:
+            return
+        self._finished = True
+        self._tracer.end_span(self._root)
+        metrics = obs.get_metrics()
+        for name, value in self.counters.items():
+            metrics.counter(
+                f"repro_engine_{name}_total",
+                help=f"engine run counter {name!r}",
+            ).inc(value)
+        shard_seconds = metrics.histogram(
+            "repro_engine_shard_seconds", help="per-shard wall time"
+        )
+        for shard in self.shards:
+            shard_seconds.observe(shard.wall_s)
+
     # ------------------------------------------------------------------ #
-    # Derived statistics
+    # Derived views (the original report surface)
     # ------------------------------------------------------------------ #
+
+    @property
+    def phases(self) -> dict[str, PhaseRecord]:
+        """Phase name -> accumulated wall/CPU time, from the span tree."""
+        records: dict[str, PhaseRecord] = {}
+        for span in self._tracer.finished():
+            if span.parent_id != self._root.span_id:
+                continue
+            if not span.name.startswith("engine."):
+                continue
+            name = span.name[len("engine."):]
+            record = records.setdefault(name, PhaseRecord())
+            record.wall_s += span.duration_s
+            cpu = span.attributes.get("cpu_s")
+            if isinstance(cpu, (int, float)):
+                record.cpu_s += cpu
+        return records
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The run root's numeric per-span counters."""
+        return {
+            name: value
+            for name, value in self._root.attributes.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
 
     def skew(self) -> dict[str, float]:
         """Shard-size balance: min/mean/max triples and the skew ratio."""
@@ -145,16 +214,26 @@ class EngineInstrumentation:
                 f"  phase {name:<12} wall {record.wall_s:8.3f}s  "
                 f"cpu {record.cpu_s:8.3f}s"
             )
-        for name in sorted(self.counters):
-            lines.append(f"  {name:<20} {self.counters[name]}")
+        counters = self.counters
+        for name in sorted(counters):
+            lines.append(f"  {name:<20} {counters[name]}")
         if self.shards:
             skew = self.skew()
             lines.append(
                 f"  shard sizes          min {skew['min']} / mean {skew['mean']} "
                 f"/ max {skew['max']} (max/mean {skew['max_over_mean']})"
             )
-            for label, count in self.skew_histogram():
-                lines.append(f"    [{label:>15}] {'#' * count} ({count})")
+            histogram = self.skew_histogram()
+            # Bars scale proportionally and cap at _MAX_BAR characters, so
+            # a run with hundreds of shards per bucket stays one terminal
+            # line per bucket.
+            peak = max((count for _, count in histogram), default=0)
+            for label, count in histogram:
+                if count == 0:
+                    bar = ""
+                else:
+                    bar = "#" * max(1, round(count / peak * _MAX_BAR))
+                lines.append(f"    [{label:>15}] {bar} ({count})")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -30,6 +30,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
 from ..core.config import TransformOptions
 from ..core.data_transform import DataTransformer, DataTransformStats, node_id_for
 from ..core.schema_transform import SchemaTransformResult
@@ -73,6 +74,10 @@ class ShardOutcome:
     new_fallbacks: tuple[tuple[str, str], ...] = ()
     new_literal_types: tuple[tuple[str, str], ...] = ()
     new_external_classes: tuple[tuple[str, str], ...] = ()
+    #: Obs spans recorded while converting this shard (serialized dicts);
+    #: adopted into the coordinator's trace, re-parented on the execute
+    #: span whose context travelled in the shared state.
+    spans: tuple[dict, ...] = ()
 
 
 class ShardTransformer(DataTransformer):
@@ -107,24 +112,28 @@ class ShardTransformer(DataTransformer):
         # global map is authoritative for the label set; the local
         # collection only covers inputs whose type statements eluded the
         # partitioner's raw-line scan.
-        local_types: dict[Subject, list[IRI]] = {}
-        for triple in self._iter(source):
-            stats.triples_processed += 1
-            if triple.p == _TYPE and isinstance(triple.o, IRI):
-                local_types.setdefault(triple.s, []).append(triple.o)
-        for entity, types in local_types.items():
-            global_types = self.entity_types.get(entity, types)
-            self._create_entity_node(pg, entity, list(global_types), stats)
+        with obs.span("shard.phase1_nodes") as phase1:
+            local_types: dict[Subject, list[IRI]] = {}
+            for triple in self._iter(source):
+                stats.triples_processed += 1
+                if triple.p == _TYPE and isinstance(triple.o, IRI):
+                    local_types.setdefault(triple.s, []).append(triple.o)
+            for entity, types in local_types.items():
+                global_types = self.entity_types.get(entity, types)
+                self._create_entity_node(pg, entity, list(global_types), stats)
+            phase1.set("entities", len(local_types))
 
         # Phase 2 — property statements, with global entity knowledge.
-        resolution_cache: dict = {}
-        for triple in self._iter(source):
-            if triple.p == _TYPE and isinstance(triple.o, IRI):
-                continue
-            self._convert_property_triple(
-                pg, triple, self.entity_types, self.type_keys,
-                resolution_cache, stats,
-            )
+        with obs.span("shard.phase2_properties") as phase2:
+            resolution_cache: dict = {}
+            for triple in self._iter(source):
+                if triple.p == _TYPE and isinstance(triple.o, IRI):
+                    continue
+                self._convert_property_triple(
+                    pg, triple, self.entity_types, self.type_keys,
+                    resolution_cache, stats,
+                )
+            phase2.set("triples", stats.triples_processed)
         return pg, stats
 
     def _iter(self, source: str | Path | Iterable[Triple]) -> Iterator[Triple]:
@@ -201,7 +210,28 @@ def _execute(task: ShardTask, shared: dict) -> ShardOutcome:
         source = task.triples
     else:
         source = shared["shard_triples"][task.shard_id]
-    pg, stats = transformer.transform_shard(source)
+
+    # Record this shard's spans in a local tracer, parented on the
+    # coordinator's execute span so they re-parent correctly after the
+    # round-trip.  The tracer is installed as this process's global one
+    # for the duration (restored afterwards — relevant for the
+    # in-process serial fallback, which runs in the coordinator).
+    context: obs.SpanContext | None = shared.get("trace")
+    tracer = obs.Tracer(trace_id=context.trace_id) if context is not None else None
+    previous = obs.set_tracer(tracer) if tracer is not None else None
+    try:
+        if tracer is not None:
+            with tracer.span(
+                "engine.shard", parent_context=context, cpu=True,
+                shard_id=task.shard_id,
+            ) as shard_span:
+                pg, stats = transformer.transform_shard(source)
+                shard_span.set("triples", stats.triples_processed)
+        else:
+            pg, stats = transformer.transform_shard(source)
+    finally:
+        if tracer is not None:
+            obs.set_tracer(previous)
 
     return ShardOutcome(
         shard_id=task.shard_id,
@@ -221,4 +251,5 @@ def _execute(task: ShardTask, shared: dict) -> ShardOutcome:
             (iri, mapping.classes[iri].label)
             for iri in set(mapping.classes) - baseline_classes
         )),
+        spans=tuple(tracer.serialized()) if tracer is not None else (),
     )

@@ -1,4 +1,12 @@
-"""Phase timing and memory measurement helpers for the experiments."""
+"""Phase timing and memory measurement helpers for the experiments.
+
+Phase timing is a thin wrapper over the :mod:`repro.obs` span clock:
+:func:`timed` opens an (always-measuring) obs span, so benchmark phase
+rows and runtime traces report from one clock — and a benchmark run
+under ``--trace`` shows its phases in the exported trace for free.
+:class:`PhaseTimings` is only the report container the experiment
+tables render from.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from .. import obs
 
 
 @dataclass
@@ -31,12 +41,18 @@ class PhaseTimings:
 
 @contextmanager
 def timed(timings: PhaseTimings, name: str):
-    """Context manager recording the elapsed wall time of a phase."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        timings.record(name, time.perf_counter() - start)
+    """Context manager recording the elapsed wall time of a phase.
+
+    The measurement is an obs span (recorded in the trace when a tracer
+    is configured, unrecorded but still timed otherwise).
+    """
+    with obs.timed_span(f"eval.{name}") as span:
+        try:
+            yield
+        finally:
+            if span.end_ns is None:
+                span.end_ns = time.perf_counter_ns()
+            timings.record(name, span.duration_s)
 
 
 @dataclass(frozen=True)

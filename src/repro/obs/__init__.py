@@ -1,0 +1,80 @@
+"""Unified observability: hierarchical tracing + a metrics registry.
+
+One layer serves every subsystem — the serial pipeline, the parallel
+engine (with cross-process span re-parenting), the SHACL validator, and
+both query engines — replacing the per-module timing silos that existed
+before.  The two halves:
+
+* :mod:`repro.obs.tracer` — contextvar-propagated spans with per-span
+  attributes/counters, zero-cost when no tracer is configured;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-boundary
+  histograms with Prometheus text exposition.
+
+Exporters (:mod:`repro.obs.export`) write JSON-lines, Chrome
+trace-event, and Prometheus artifacts; :mod:`repro.obs.profile` turns a
+span list into a top-N self-time table.  The ``--trace`` / ``--metrics``
+CLI flags and the ``repro profile`` subcommand are the user-facing
+entry points.
+"""
+
+from .export import (
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from .profile import SelfTimeRow, aggregate_self_times, render_profile
+from .tracer import (
+    Span,
+    SpanContext,
+    Tracer,
+    configure,
+    current_context,
+    current_span,
+    disable,
+    enabled,
+    get_tracer,
+    set_tracer,
+    span,
+    timed_span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDARIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SelfTimeRow",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "aggregate_self_times",
+    "configure",
+    "current_context",
+    "current_span",
+    "disable",
+    "enabled",
+    "get_metrics",
+    "get_tracer",
+    "render_profile",
+    "set_tracer",
+    "span",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "timed_span",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,112 @@
+"""Exporters for the observability layer.
+
+Three span formats and two metric formats:
+
+* **JSON-lines** (``.jsonl``) — one span object per line, the grep-able
+  archival format;
+* **Chrome trace events** (``.json``) — the ``traceEvents`` array of
+  complete (``"ph": "X"``) events, loadable in Perfetto or
+  ``chrome://tracing``; timestamps are rebased to the earliest span so
+  traces start at t=0 regardless of the monotonic-clock origin;
+* **Prometheus text exposition** (``.prom`` / anything else) and a JSON
+  snapshot (``.json``) for metrics.
+
+``write_trace`` / ``write_metrics`` dispatch on the file suffix, which
+is what the ``--trace FILE`` / ``--metrics FILE`` CLI flags call.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+from .tracer import Span
+
+__all__ = [
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "write_trace",
+]
+
+
+def spans_to_jsonl(spans: list[Span]) -> str:
+    """One compact JSON object per span, one span per line."""
+    lines = []
+    for span in spans:
+        record = span.as_dict()
+        record["duration_ns"] = span.duration_ns
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(spans: list[Span], path: str | Path) -> None:
+    """Write the JSON-lines trace to ``path``."""
+    Path(path).write_text(spans_to_jsonl(spans), encoding="utf-8")
+
+
+def spans_to_chrome_trace(spans: list[Span]) -> dict:
+    """The Chrome trace-event document for a span list.
+
+    Every span becomes one complete event; span attributes land in
+    ``args`` so Perfetto shows them in the details pane.  Open spans
+    (no end time) are skipped — a written trace only contains finished
+    work.
+    """
+    closed = [span for span in spans if span.end_ns is not None]
+    base_ns = min((span.start_ns for span in closed), default=0)
+    events = []
+    for span in closed:
+        args = {str(k): v for k, v in span.attributes.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (span.start_ns - base_ns) / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": args,
+        })
+    events.sort(key=lambda event: event["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: list[Span], path: str | Path) -> None:
+    """Write the Chrome trace-event JSON to ``path``."""
+    Path(path).write_text(
+        json.dumps(spans_to_chrome_trace(spans), indent=1, default=str) + "\n",
+        encoding="utf-8",
+    )
+
+
+def write_trace(spans: list[Span], path: str | Path) -> None:
+    """Write spans to ``path``; ``.jsonl`` selects JSON-lines, anything
+    else the Chrome trace-event format."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        write_jsonl(spans, path)
+    else:
+        write_chrome_trace(spans, path)
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write the registry to ``path``; ``.json`` selects the snapshot
+    dump, anything else (conventionally ``.prom``) the Prometheus text
+    exposition format."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        path.write_text(registry.to_prometheus(), encoding="utf-8")

@@ -1,0 +1,73 @@
+"""Self-time aggregation over a span list (the ``repro profile`` view).
+
+*Self time* of a span is its duration minus the summed durations of its
+direct children — the time spent in the span's own code rather than in
+instrumented callees.  Aggregating self time by span name answers "where
+did this run actually go?" without double-counting nested phases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .tracer import Span
+
+__all__ = ["SelfTimeRow", "aggregate_self_times", "render_profile"]
+
+
+@dataclass
+class SelfTimeRow:
+    """Aggregated timing of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        return (self.total_s / self.count) * 1000.0 if self.count else 0.0
+
+
+def aggregate_self_times(spans: list[Span]) -> list[SelfTimeRow]:
+    """Per-name span statistics, sorted by descending self time."""
+    children_ns: dict[str, int] = defaultdict(int)
+    for span in spans:
+        if span.parent_id is not None and span.end_ns is not None:
+            children_ns[span.parent_id] += span.duration_ns
+
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        if span.end_ns is None:
+            continue
+        self_ns = max(0, span.duration_ns - children_ns.get(span.span_id, 0))
+        row = totals.setdefault(span.name, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += span.duration_ns / 1e9
+        row[2] += self_ns / 1e9
+    rows = [
+        SelfTimeRow(name=name, count=int(count), total_s=total, self_s=self_s)
+        for name, (count, total, self_s) in totals.items()
+    ]
+    rows.sort(key=lambda row: row.self_s, reverse=True)
+    return rows
+
+
+def render_profile(spans: list[Span], top: int = 15) -> str:
+    """A fixed-width top-N self-time table for terminal output."""
+    rows = aggregate_self_times(spans)[:top]
+    if not rows:
+        return "no spans recorded"
+    name_width = max(len("span"), max(len(row.name) for row in rows))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>6}  {'total s':>9}  "
+        f"{'self s':>9}  {'self %':>6}"
+    ]
+    grand_self = sum(row.self_s for row in rows) or 1.0
+    for row in rows:
+        lines.append(
+            f"{row.name:<{name_width}}  {row.count:>6}  {row.total_s:>9.4f}  "
+            f"{row.self_s:>9.4f}  {100.0 * row.self_s / grand_self:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from ... import obs
 from ...errors import QueryError
 from ...pg.model import PGEdge, PGNode
 from ...pg.store import PropertyGraphStore
@@ -89,6 +90,8 @@ class CypherEngine:
 
     def __init__(self, store: PropertyGraphStore):
         self.store = store
+        #: Edges considered by pattern expansion in the current query.
+        self._expansions = 0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -106,16 +109,31 @@ class CypherEngine:
 
     def evaluate(self, query: CypherQuery) -> list[dict[str, object]]:
         """Evaluate a parsed query (UNION ALL concatenates parts)."""
-        rows: list[dict[str, object]] = []
-        columns: list[str] | None = None
-        for part in query.parts:
-            part_columns = [item.column_name() for item in part.return_clause.items]
-            if columns is None:
-                columns = part_columns
-            elif len(columns) != len(part_columns):
-                raise QueryError("UNION ALL parts must have the same arity")
-            for row in self._evaluate_single(part):
-                rows.append(dict(zip(columns, row)))
+        self._expansions = 0
+        with obs.span("cypher.evaluate", parts=len(query.parts)) as span:
+            rows: list[dict[str, object]] = []
+            columns: list[str] | None = None
+            for part in query.parts:
+                part_columns = [item.column_name() for item in part.return_clause.items]
+                if columns is None:
+                    columns = part_columns
+                elif len(columns) != len(part_columns):
+                    raise QueryError("UNION ALL parts must have the same arity")
+                for row in self._evaluate_single(part):
+                    rows.append(dict(zip(columns, row)))
+            span.set("rows", len(rows))
+            span.set("expansions", self._expansions)
+        metrics = obs.get_metrics()
+        metrics.counter(
+            "repro_query_runs_total", help="query engine invocations"
+        ).inc(1, lang="cypher")
+        metrics.counter(
+            "repro_cypher_expansions_total",
+            help="edges considered by pattern expansion",
+        ).inc(self._expansions)
+        metrics.counter(
+            "repro_cypher_rows_total", help="result rows produced"
+        ).inc(len(rows))
         return rows
 
     # ------------------------------------------------------------------ #
@@ -126,17 +144,27 @@ class CypherEngine:
         bindings: list[Binding] = [{}]
         for clause in query.clauses:
             if isinstance(clause, MatchClause):
-                bindings = self._apply_match(bindings, clause)
+                kind = "cypher.optional_match" if clause.optional else "cypher.match"
+                with obs.span(kind, rows_in=len(bindings)) as span:
+                    bindings = self._apply_match(bindings, clause)
+                    span.set("rows_out", len(bindings))
             elif isinstance(clause, UnwindClause):
-                bindings = self._apply_unwind(bindings, clause)
+                with obs.span("cypher.unwind", rows_in=len(bindings)) as span:
+                    bindings = self._apply_unwind(bindings, clause)
+                    span.set("rows_out", len(bindings))
             elif isinstance(clause, WithClause):
                 if clause.where is not None:
-                    bindings = [
-                        b for b in bindings
-                        if self._truthy(self._eval(clause.where, b))
-                    ]
+                    with obs.span("cypher.filter", rows_in=len(bindings)) as span:
+                        bindings = [
+                            b for b in bindings
+                            if self._truthy(self._eval(clause.where, b))
+                        ]
+                        span.set("rows_out", len(bindings))
             elif isinstance(clause, ReturnClause):
-                return self._apply_return(bindings, clause)
+                with obs.span("cypher.return", rows_in=len(bindings)) as span:
+                    rows = self._apply_return(bindings, clause)
+                    span.set("rows_out", len(rows))
+                return rows
             else:  # pragma: no cover - parser only emits these
                 raise QueryError(f"unsupported clause {clause!r}")
         raise QueryError("query did not end with RETURN")
@@ -254,6 +282,7 @@ class CypherEngine:
                     else self.store.in_edges(node.id, rel_type)
                 )
                 for edge in edges:
+                    self._expansions += 1
                     if undirected and direction == "in" and edge.src == edge.dst:
                         # A self-loop satisfies an undirected pattern once,
                         # not once per traversal direction (openCypher

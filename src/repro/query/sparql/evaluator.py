@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 from collections.abc import Iterator
 
+from ... import obs
 from ...errors import QueryError
 from ...rdf.graph import Graph
 from ...rdf.terms import IRI, BlankNode, Literal, Term
@@ -32,6 +33,21 @@ from .ast import (
 Binding = dict[str, Term]
 
 
+class _EvalStats:
+    """Per-query operator tallies (flushed to obs after evaluation)."""
+
+    __slots__ = ("matches", "selections", "selectivity")
+
+    def __init__(self) -> None:
+        #: Bindings yielded by triple-pattern matches.
+        self.matches = 0
+        #: Greedy join-order decisions taken.
+        self.selections = 0
+        #: How often the chosen pattern had 0/1/2/3 bound positions —
+        #: the selectivity profile of the join order.
+        self.selectivity = [0, 0, 0, 0]
+
+
 def _resolve(term, binding: Binding):
     """Bound value of a pattern term under ``binding`` (None if unbound)."""
     if isinstance(term, Var):
@@ -49,7 +65,10 @@ def _pattern_selectivity(pattern: TriplePattern, binding: Binding) -> int:
 
 
 def _match_pattern(
-    graph: Graph, pattern: TriplePattern, binding: Binding
+    graph: Graph,
+    pattern: TriplePattern,
+    binding: Binding,
+    stats: _EvalStats | None = None,
 ) -> Iterator[Binding]:
     s = _resolve(pattern.s, binding)
     p = _resolve(pattern.p, binding)
@@ -74,11 +93,16 @@ def _match_pattern(
                     ok = False
                     break
         if ok:
+            if stats is not None:
+                stats.matches += 1
             yield extended
 
 
 def _evaluate_optional_group(
-    graph: Graph, group: list[TriplePattern], binding: Binding
+    graph: Graph,
+    group: list[TriplePattern],
+    binding: Binding,
+    stats: _EvalStats | None = None,
 ) -> Iterator[Binding]:
     """All extensions of ``binding`` that satisfy the optional group."""
 
@@ -91,14 +115,21 @@ def _evaluate_optional_group(
             key=lambda i: _pattern_selectivity(remaining[i], current),
         )
         pattern = remaining[best_index]
+        if stats is not None:
+            stats.selections += 1
+            stats.selectivity[_pattern_selectivity(pattern, current)] += 1
         rest = remaining[:best_index] + remaining[best_index + 1:]
-        for extended in _match_pattern(graph, pattern, current):
+        for extended in _match_pattern(graph, pattern, current, stats):
             yield from extend(extended, rest)
 
     yield from extend(binding, list(group))
 
 
-def _evaluate_bgp(graph: Graph, patterns: list[TriplePattern]) -> Iterator[Binding]:
+def _evaluate_bgp(
+    graph: Graph,
+    patterns: list[TriplePattern],
+    stats: _EvalStats | None = None,
+) -> Iterator[Binding]:
     if not patterns:
         yield {}
         return
@@ -112,8 +143,11 @@ def _evaluate_bgp(graph: Graph, patterns: list[TriplePattern]) -> Iterator[Bindi
             key=lambda i: _pattern_selectivity(remaining[i], binding),
         )
         pattern = remaining[best_index]
+        if stats is not None:
+            stats.selections += 1
+            stats.selectivity[_pattern_selectivity(pattern, binding)] += 1
         rest = remaining[:best_index] + remaining[best_index + 1:]
-        for extended in _match_pattern(graph, pattern, binding):
+        for extended in _match_pattern(graph, pattern, binding, stats):
             yield from extend(extended, rest)
 
     yield from extend({}, list(patterns))
@@ -203,8 +237,33 @@ def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
     For ``SELECT (COUNT(*) AS ?n)`` a single row with an integer literal
     is returned under the chosen variable name.
     """
+    # Operator tallies are only collected under an active tracer, so the
+    # per-match bookkeeping stays off the disabled-path hot loop.
+    stats = _EvalStats() if obs.enabled() else None
+    with obs.span("sparql.evaluate", patterns=len(query.patterns)) as span:
+        rows = _evaluate(graph, query, stats)
+        span.set("rows", len(rows))
+        if stats is not None:
+            span.set("bgp_matches", stats.matches)
+            span.set("join_selections", stats.selections)
+            span.set("selectivity_profile", list(stats.selectivity))
+    metrics = obs.get_metrics()
+    metrics.counter(
+        "repro_query_runs_total", help="query engine invocations"
+    ).inc(1, lang="sparql")
+    if stats is not None:
+        metrics.counter(
+            "repro_sparql_pattern_matches_total",
+            help="bindings yielded by triple-pattern matches",
+        ).inc(stats.matches)
+    return rows
+
+
+def _evaluate(
+    graph: Graph, query: SelectQuery, stats: _EvalStats | None
+) -> list[dict[str, Term]]:
     solutions: list[Binding] = []
-    for binding in _evaluate_bgp(graph, query.patterns):
+    for binding in _evaluate_bgp(graph, query.patterns, stats):
         extended = [binding]
         if query.unions:
             # UNION: bag-union of the alternatives' extensions.
@@ -212,7 +271,7 @@ def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
             for alternative in query.unions:
                 for current in extended:
                     unioned.extend(
-                        _evaluate_optional_group(graph, alternative, current)
+                        _evaluate_optional_group(graph, alternative, current, stats)
                     )
             extended = unioned
         # OPTIONAL groups: left outer join — keep the original binding
@@ -221,7 +280,7 @@ def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
             next_round: list[Binding] = []
             for current in extended:
                 matches = list(
-                    _evaluate_optional_group(graph, group, current)
+                    _evaluate_optional_group(graph, group, current, stats)
                 )
                 next_round.extend(matches if matches else [current])
             extended = next_round

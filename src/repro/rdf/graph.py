@@ -9,6 +9,7 @@ which shape extraction, SHACL validation, the S3PG data transformation
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -396,12 +397,25 @@ class Graph:
         signature, which is what the information-preservation check
         (Proposition 4.1) needs. Blank nodes are canonicalized by the
         multiset of their ground neighbourhood, iterated to a fixpoint
-        (a simple colour-refinement).
+        (a simple colour-refinement).  Each round's colour is *hashed*
+        to a fixed size — colours embed their neighbours' colours, so
+        raw strings would grow exponentially on interlinked blank nodes
+        — and refinement stops once the induced partition of blank
+        nodes stabilizes (raw colour values keep churning forever on
+        blank-node cycles).  Hashes are content-derived, so isomorphic
+        graphs refine through identical colour sequences.
         """
         colour: dict[BlankNode, str] = {}
         bnodes = [n for n in set(self._spo) | set(self._osp) if isinstance(n, BlankNode)]
         for b in bnodes:
             colour[b] = "b"
+
+        def partition(colours: dict[BlankNode, str]) -> frozenset[frozenset[BlankNode]]:
+            classes: dict[str, set[BlankNode]] = {}
+            for node, value in colours.items():
+                classes.setdefault(value, set()).add(node)
+            return frozenset(frozenset(members) for members in classes.values())
+
         for _ in range(max(1, len(bnodes))):
             new_colour: dict[BlankNode, str] = {}
             for b in bnodes:
@@ -412,10 +426,14 @@ class Graph:
                 for t in self.triples(o=b):
                     s_key = colour.get(t.s, t.s.n3()) if isinstance(t.s, BlankNode) else t.s.n3()
                     parts.append(f"<{t.p.value}:{s_key}")
-                new_colour[b] = "|".join(sorted(parts))
-            if new_colour == colour:
-                break
+                raw = "|".join(sorted(parts))
+                new_colour[b] = hashlib.blake2b(
+                    raw.encode("utf-8"), digest_size=8
+                ).hexdigest()
+            stable = partition(new_colour) == partition(colour)
             colour = new_colour
+            if stable:
+                break
         lines = []
         for t in self:
             s_key = colour.get(t.s, None) if isinstance(t.s, BlankNode) else None

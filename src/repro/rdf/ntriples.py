@@ -241,7 +241,15 @@ def iter_ntriples(source: str | Path | io.TextIOBase) -> Iterator[Triple]:
 
 def parse_ntriples(source: str | Path | io.TextIOBase) -> Graph:
     """Parse a complete N-Triples document into a :class:`Graph`."""
-    return Graph(iter_ntriples(source))
+    from .. import obs
+
+    with obs.span("rdf.parse_ntriples") as span:
+        graph = Graph(iter_ntriples(source))
+        span.set("triples", len(graph))
+    obs.get_metrics().counter(
+        "repro_parse_triples_total", help="RDF triples parsed"
+    ).inc(len(graph), format="ntriples")
+    return graph
 
 
 def serialize_ntriples(triples: Iterable[Triple], sort: bool = False) -> str:

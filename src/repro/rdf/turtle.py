@@ -343,7 +343,15 @@ def _unescape_string(raw: str, line: int) -> str:
 
 def parse_turtle(text: str, prefixes: PrefixMap | None = None) -> Graph:
     """Parse a Turtle document into a :class:`Graph`."""
-    return TurtleParser(prefixes).parse(text)
+    from .. import obs
+
+    with obs.span("rdf.parse_turtle") as span:
+        graph = TurtleParser(prefixes).parse(text)
+        span.set("triples", len(graph))
+    obs.get_metrics().counter(
+        "repro_parse_triples_total", help="RDF triples parsed"
+    ).inc(len(graph), format="turtle")
+    return graph
 
 
 def rdf_list_items(graph: Graph, head: Object) -> list[Object]:

@@ -62,7 +62,15 @@ def parse_shacl_graph(graph: Graph) -> ShapeSchema:
 
 def parse_shacl(text: str) -> ShapeSchema:
     """Parse a Turtle SHACL document into a :class:`ShapeSchema`."""
-    return parse_shacl_graph(parse_turtle(text))
+    from .. import obs
+
+    with obs.span("shacl.parse") as span:
+        schema = parse_shacl_graph(parse_turtle(text))
+        span.set("shapes", len(schema))
+    obs.get_metrics().counter(
+        "repro_parse_shapes_total", help="SHACL node shapes parsed"
+    ).inc(len(schema))
+    return schema
 
 
 def _parse_node_shape(graph: Graph, subject: IRI, shape_iris: set[IRI]) -> NodeShape:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..namespaces import RDF_TYPE
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal, Object, Subject
@@ -79,9 +80,28 @@ class ShaclValidator:
     def __init__(self, schema: ShapeSchema, max_violations: int = 10_000):
         self.schema = schema
         self.max_violations = max_violations
+        # Per-validate() observability tallies (cheap plain-int/dict
+        # accumulation on the hot path; flushed to obs once per run).
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._shape_checks: dict[str, int] = {}
 
     def validate(self, graph: Graph) -> ValidationReport:
         """Validate every targeted entity in ``graph``."""
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._shape_checks = {}
+        with obs.span("shacl.validate", shapes=len(self.schema)) as span:
+            report = self._validate(graph)
+            span.set("entities", report.checked_entities)
+            span.set("violations", len(report.violations))
+            span.set("conforms", report.conforms)
+            span.set("memo_hits", self._memo_hits)
+            span.set("memo_misses", self._memo_misses)
+        self._publish_metrics(report)
+        return report
+
+    def _validate(self, graph: Graph) -> ValidationReport:
         report = ValidationReport(conforms=True)
         class_to_shape = self.schema.target_classes()
         # Memo of (entity, shape-name) conformance to keep recursive
@@ -95,6 +115,28 @@ class ShaclValidator:
                     report.conforms = False
                     return report
         return report
+
+    def _publish_metrics(self, report: ValidationReport) -> None:
+        metrics = obs.get_metrics()
+        metrics.counter(
+            "repro_validator_entities_total", help="entities checked"
+        ).inc(report.checked_entities)
+        metrics.counter(
+            "repro_validator_violations_total", help="violations reported"
+        ).inc(len(report.violations))
+        metrics.counter(
+            "repro_validator_memo_hits_total",
+            help="memoized (entity, shape) verdict reuses",
+        ).inc(self._memo_hits)
+        metrics.counter(
+            "repro_validator_memo_misses_total",
+            help="fresh (entity, shape) checks",
+        ).inc(self._memo_misses)
+        checks = metrics.counter(
+            "repro_validator_checks_total", help="per-shape entity checks"
+        )
+        for shape_name, count in self._shape_checks.items():
+            checks.inc(count, shape=shape_name)
 
     def conforms(self, graph: Graph) -> bool:
         """Shortcut: True when ``graph ⊨ S_G``."""
@@ -119,6 +161,7 @@ class ShaclValidator:
         key = (entity, shape_name)
         cached = memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
             if not cached:
                 # The failure was discovered while this entity was checked
                 # as a nested shape-ref target, so its violations went to
@@ -132,6 +175,8 @@ class ShaclValidator:
                     "entity does not conform (checked as a referenced value)",
                 )
             return cached
+        self._memo_misses += 1
+        self._shape_checks[shape_name] = self._shape_checks.get(shape_name, 0) + 1
         # Optimistically assume conformance to break reference cycles.
         memo[key] = True
         ok = True

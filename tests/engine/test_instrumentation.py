@@ -91,3 +91,25 @@ class TestRendering:
         assert "partition" in text
         assert "triples" in text
         assert "shard sizes" in text
+
+    def test_histogram_bars_cap_and_scale(self):
+        # Hundreds of shards in one bucket must not draw hundreds of '#'.
+        inst = EngineInstrumentation()
+        for i in range(500):
+            inst.record_shard(_record(i, 100))
+        inst.record_shard(_record(500, 1000))
+        bar_lines = [
+            line for line in inst.render_text().splitlines()
+            if line.lstrip().startswith("[")
+        ]
+        bars = [line.split("]", 1)[1].split("(")[0].strip() for line in bar_lines]
+        widths = [len(bar) for bar in bars]
+        assert max(widths) == 40  # the peak bucket fills the full bar
+        # Populated buckets always show at least one character...
+        populated = [
+            width for line, width in zip(bar_lines, widths)
+            if not line.rstrip().endswith("(0)")
+        ]
+        assert min(populated) >= 1
+        # ...and scale with their counts (500-shard bucket >> 1-shard bucket).
+        assert sorted(widths)[-1] > sorted(populated)[0]

@@ -67,6 +67,29 @@ class TestTiming:
             time.sleep(0.01)
         assert timings.phases["sleep"] >= 0.01
 
+    def test_timed_records_even_on_exception(self):
+        timings = PhaseTimings()
+        try:
+            with timed(timings, "boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in timings.phases
+
+    def test_timed_spans_land_in_an_active_trace(self):
+        from repro import obs
+
+        tracer = obs.configure()
+        try:
+            timings = PhaseTimings()
+            with timed(timings, "load"):
+                pass
+            spans = [s.name for s in tracer.finished()]
+            assert spans == ["eval.load"]
+            assert timings.phases["load"] >= 0.0
+        finally:
+            obs.disable()
+
     def test_time_callable(self):
         elapsed, result = time_callable(lambda: 7, repeat=3)
         assert result == 7 and elapsed >= 0

@@ -1,0 +1,20 @@
+"""Shared state hygiene for the observability tests.
+
+The tracer and metrics registry are process-global; every test in this
+package runs against a clean slate and leaves one behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.get_metrics().reset()
+    yield
+    obs.disable()
+    obs.get_metrics().reset()

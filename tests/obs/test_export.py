@@ -1,0 +1,154 @@
+"""Exporter tests: golden-file JSONL / Chrome-trace / Prometheus snapshots.
+
+The golden files under ``tests/obs/golden/`` pin the exact bytes the
+exporters produce for a deterministic span list and metrics registry, so
+format drift (field renames, ordering changes, float formatting) shows
+up as a readable diff.  Regenerate them by running this module as a
+script: ``PYTHONPATH=src python tests/obs/test_export.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_metrics,
+    write_trace,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _sample_spans() -> list[Span]:
+    """A deterministic span tree: root, child, errored child, open span."""
+    return [
+        Span(
+            name="engine.run", span_id="s1-1", trace_id="t1", parent_id=None,
+            start_ns=1_000_000, end_ns=5_000_000,
+            attributes={"triples": 10, "workers": 2}, pid=100, tid=7,
+        ),
+        Span(
+            name="engine.partition", span_id="s1-2", trace_id="t1",
+            parent_id="s1-1", start_ns=1_250_000, end_ns=2_250_000,
+            pid=100, tid=7,
+        ),
+        Span(
+            name="rdf.parse_ntriples", span_id="s1-3", trace_id="t1",
+            parent_id="s1-1", start_ns=2_500_000, end_ns=4_500_000,
+            attributes={"exception": "ValueError"}, status="error",
+            pid=100, tid=7,
+        ),
+        # Still open: must appear in JSONL (duration 0) but not in the
+        # Chrome trace (only finished work is drawn).
+        Span(
+            name="engine.open", span_id="s1-4", trace_id="t1",
+            parent_id="s1-1", start_ns=4_600_000, end_ns=None,
+            pid=100, tid=7,
+        ),
+    ]
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_transform_triples_total", help="triples transformed"
+    ).inc(9465)
+    runs = registry.counter("repro_query_runs_total", help="queries evaluated")
+    runs.inc(2, lang="sparql")
+    histogram = registry.histogram(
+        "repro_shard_seconds", boundaries=(0.1, 1.0), help="per-shard wall time"
+    )
+    for value in (0.05, 0.5, 4.0):
+        histogram.observe(value)
+    return registry
+
+
+def test_jsonl_matches_golden():
+    expected = (GOLDEN_DIR / "trace.jsonl").read_text(encoding="utf-8")
+    assert spans_to_jsonl(_sample_spans()) == expected
+
+
+def test_jsonl_lines_are_valid_json():
+    lines = spans_to_jsonl(_sample_spans()).splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == 4
+    assert records[0]["name"] == "engine.run"
+    assert records[0]["duration_ns"] == 4_000_000
+    assert records[3]["duration_ns"] == 0  # open span
+
+
+def test_chrome_trace_matches_golden():
+    expected = json.loads((GOLDEN_DIR / "trace.json").read_text(encoding="utf-8"))
+    assert spans_to_chrome_trace(_sample_spans()) == expected
+
+
+def test_chrome_trace_structure():
+    document = spans_to_chrome_trace(_sample_spans())
+    events = document["traceEvents"]
+    assert document["displayTimeUnit"] == "ms"
+    assert len(events) == 3  # the open span is skipped
+    assert [event["ts"] for event in events] == sorted(
+        event["ts"] for event in events
+    )
+    root = events[0]
+    assert root == {
+        "name": "engine.run",
+        "cat": "engine",
+        "ph": "X",
+        "ts": 0.0,       # rebased to the earliest span
+        "dur": 4000.0,   # microseconds
+        "pid": 100,
+        "tid": 7,
+        "args": {"triples": 10, "workers": 2, "span_id": "s1-1"},
+    }
+    errored = next(e for e in events if e["name"] == "rdf.parse_ntriples")
+    assert errored["args"]["status"] == "error"
+    assert errored["args"]["parent_id"] == "s1-1"
+
+
+def test_prometheus_matches_golden():
+    expected = (GOLDEN_DIR / "metrics.prom").read_text(encoding="utf-8")
+    assert _sample_registry().to_prometheus() == expected
+
+
+def test_write_trace_dispatches_on_suffix(tmp_path):
+    spans = _sample_spans()
+    write_trace(spans, tmp_path / "trace.jsonl")
+    write_trace(spans, tmp_path / "trace.json")
+    jsonl = (tmp_path / "trace.jsonl").read_text(encoding="utf-8")
+    assert all(json.loads(line) for line in jsonl.splitlines())
+    chrome = json.loads((tmp_path / "trace.json").read_text(encoding="utf-8"))
+    assert "traceEvents" in chrome
+
+
+def test_write_metrics_dispatches_on_suffix(tmp_path):
+    registry = _sample_registry()
+    write_metrics(registry, tmp_path / "metrics.prom")
+    write_metrics(registry, tmp_path / "metrics.json")
+    assert "# TYPE" in (tmp_path / "metrics.prom").read_text(encoding="utf-8")
+    snapshot = json.loads((tmp_path / "metrics.json").read_text(encoding="utf-8"))
+    assert snapshot == registry.snapshot()
+
+
+def _regenerate() -> None:  # pragma: no cover
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    (GOLDEN_DIR / "trace.jsonl").write_text(
+        spans_to_jsonl(_sample_spans()), encoding="utf-8"
+    )
+    (GOLDEN_DIR / "trace.json").write_text(
+        json.dumps(spans_to_chrome_trace(_sample_spans()), indent=1) + "\n",
+        encoding="utf-8",
+    )
+    (GOLDEN_DIR / "metrics.prom").write_text(
+        _sample_registry().to_prometheus(), encoding="utf-8"
+    )
+    print(f"regenerated golden files in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

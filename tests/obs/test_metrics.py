@@ -1,0 +1,147 @@
+"""Metrics registry unit tests and the Prometheus golden rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.labels().value == 5
+
+    def test_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.labels().value == 7
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", boundaries=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        child = histogram.labels()
+        assert child.cumulative() == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+        assert child.count == 4
+        assert child.sum == pytest.approx(5.6)
+
+    def test_boundary_lands_in_its_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", boundaries=(1.0,))
+        histogram.observe(1.0)  # le="1.0" is inclusive
+        assert histogram.labels().cumulative()[0] == (1.0, 1)
+
+
+class TestLabels:
+    def test_children_are_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("checks_total")
+        counter.inc(2, shape="Person")
+        counter.inc(3, shape="City")
+        counter.inc(1, shape="Person")
+        assert counter.labels(shape="Person").value == 3
+        assert counter.labels(shape="City").value == 3
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, a="x", b="y")
+        assert counter.labels(b="y", a="x").value == 1
+
+
+class TestSnapshot:
+    def test_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", help="runs").inc(2)
+        registry.histogram("h_seconds", boundaries=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["runs_total"] == {
+            "kind": "counter",
+            "help": "runs",
+            "series": [{"labels": {}, "value": 2}],
+        }
+        series = snapshot["h_seconds"]["series"][0]
+        assert series["count"] == 1
+        assert series["buckets"] == {"1.0": 1, "+Inf": 1}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+#: The golden Prometheus text exposition for the registry built below:
+#: families sorted by name, HELP/TYPE headers, labelled children sorted,
+#: histogram rendered as cumulative _bucket/_sum/_count rows.
+GOLDEN_PROMETHEUS = """\
+# HELP repro_query_runs_total queries evaluated
+# TYPE repro_query_runs_total counter
+repro_query_runs_total{lang="cypher"} 1
+repro_query_runs_total{lang="sparql"} 2
+# HELP repro_shard_seconds per-shard wall time
+# TYPE repro_shard_seconds histogram
+repro_shard_seconds_bucket{le="0.1"} 1
+repro_shard_seconds_bucket{le="1"} 2
+repro_shard_seconds_bucket{le="+Inf"} 3
+repro_shard_seconds_sum 4.55
+repro_shard_seconds_count 3
+# HELP repro_transform_triples_total triples transformed
+# TYPE repro_transform_triples_total counter
+repro_transform_triples_total 9465
+# TYPE repro_workers gauge
+repro_workers 2
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_transform_triples_total", help="triples transformed"
+    ).inc(9465)
+    queries = registry.counter("repro_query_runs_total", help="queries evaluated")
+    queries.inc(2, lang="sparql")
+    queries.inc(1, lang="cypher")
+    registry.gauge("repro_workers").set(2)
+    shard = registry.histogram(
+        "repro_shard_seconds", boundaries=(0.1, 1.0), help="per-shard wall time"
+    )
+    for value in (0.05, 0.5, 4.0):
+        shard.observe(value)
+    return registry
+
+
+def test_prometheus_golden():
+    assert _golden_registry().to_prometheus() == GOLDEN_PROMETHEUS
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(1, path='a"b\\c\nd')
+    assert 'c{path="a\\"b\\\\c\\nd"} 1' in registry.to_prometheus()
