@@ -161,6 +161,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="transform first, translate to Cypher, and run on the PG",
     )
     query.add_argument("--limit", type=int, default=20, help="rows to print")
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the physical query plan (estimated and actual row "
+             "counts) instead of the result rows",
+    )
+    query.add_argument(
+        "--explain-format", choices=("text", "json"), default="text",
+        help="EXPLAIN rendering (default: text)",
+    )
+    query.add_argument(
+        "--no-planner", action="store_true",
+        help="disable the cost-based planner (naive evaluation)",
+    )
     _add_obs_arguments(query)
 
     to_rdf = sub.add_parser(
@@ -370,8 +383,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     sparql = args.sparql
     if sparql.startswith("@"):
         sparql = Path(sparql[1:]).read_text(encoding="utf-8")
+    planner = not args.no_planner
     if not args.via_pg:
-        rows = SparqlEngine(graph).query(sparql)
+        engine = SparqlEngine(graph, planner=planner)
+        if args.explain:
+            return _print_explain(engine, sparql, args.explain_format)
+        rows = engine.query(sparql)
         printable = [
             {key: str(value) for key, value in row.items()} for row in rows
         ]
@@ -382,7 +399,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("translated Cypher:")
         for line in cypher.splitlines():
             print("   ", line)
-        engine = CypherEngine(PropertyGraphStore(result.graph))
+        engine = CypherEngine(PropertyGraphStore(result.graph), planner=planner)
+        if args.explain:
+            return _print_explain(engine, cypher, args.explain_format)
         rows = engine.query(cypher)
         printable = [
             {key: scalar_to_lexical(value) if value is not None else ""
@@ -392,6 +411,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"{len(rows)} row(s)")
     if printable:
         print(render_table(printable[: args.limit]))
+    return 0
+
+
+def _print_explain(engine, text: str, fmt: str) -> int:
+    """Run ``text`` through ``engine.explain`` and print the plan."""
+    rendered = engine.explain(text, fmt=fmt)
+    if fmt == "json":
+        print(json.dumps(rendered, indent=2, sort_keys=True))
+    else:
+        print(rendered)
     return 0
 
 

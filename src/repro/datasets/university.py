@@ -2,12 +2,19 @@
 
 Provides the RDF graph of Figure 2a and the SHACL shape schema of
 Figure 2b as in-code fixtures, used by the quickstart example and by the
-unit tests that check the Figure 2c/2d transformation output.
+unit tests that check the Figure 2c/2d transformation output.  A seeded
+scale-parameterised generator (:func:`generate_university`) grows the
+same schema to benchmark size, and :func:`university_workload` provides
+the star/chain join queries of the planner ablation.
 """
 
 from __future__ import annotations
 
+import random
+
+from ..namespaces import RDF_TYPE, XSD
 from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal, Triple
 from ..rdf.turtle import parse_turtle
 from ..shacl.model import ShapeSchema
 from ..shacl.parser import parse_shacl
@@ -118,3 +125,161 @@ def university_shapes() -> ShapeSchema:
 def university_graph() -> Graph:
     """Parse the Figure 2a instance data."""
     return parse_turtle(UNIVERSITY_DATA_TTL)
+
+
+# --------------------------------------------------------------------- #
+# Scalable generator + query workload (planner benchmarks)
+# --------------------------------------------------------------------- #
+
+_UNI = "http://example.org/university#"
+_TYPE = IRI(RDF_TYPE)
+
+_FIRST_NAMES = (
+    "Ada", "Bob", "Cleo", "Dana", "Edgar", "Fay", "Gus", "Hana",
+    "Ivan", "Jun", "Kira", "Liam", "Mona", "Nils", "Olga", "Pia",
+)
+_TOPICS = (
+    "Databases", "Logic", "Graphs", "Compilers", "Networks", "Algebra",
+    "Statistics", "Semantics", "Systems", "Geometry",
+)
+
+
+def _iri(local: str) -> IRI:
+    return IRI(f"{_UNI}{local}")
+
+
+def generate_university(scale: float = 1.0, seed: int = 42) -> Graph:
+    """A deterministic university KG conforming to the Figure 2b shapes.
+
+    Scales the Figure 2 schema to benchmark size: universities contain
+    departments, professors work for departments, students are advised
+    by professors, and graduate students take courses.  Every entity is
+    fully typed (including inherited classes), so the instance conforms
+    to :func:`university_shapes` and transforms without fallbacks.
+
+    Args:
+        scale: multiplies every entity count (1.0 ≈ 2.6k triples).
+        seed: RNG seed; identical (scale, seed) pairs give identical
+            graphs, triple for triple.
+    """
+    rng = random.Random(seed)
+    n_universities = max(1, round(2 * scale))
+    n_departments = max(2, round(8 * scale))
+    n_professors = max(3, round(40 * scale))
+    n_courses = max(3, round(30 * scale))
+    n_students = max(10, round(300 * scale))
+
+    graph = Graph()
+
+    def add(s: IRI, p: IRI, o) -> None:
+        graph.add(Triple(s, p, o))
+
+    name, dob, reg_no = _iri("name"), _iri("dob"), _iri("regNo")
+    advised_by, takes, works_for, part_of = (
+        _iri("advisedBy"), _iri("takesCourse"), _iri("worksFor"),
+        _iri("partOf"),
+    )
+
+    universities = [_iri(f"uni{i}") for i in range(n_universities)]
+    for i, uni in enumerate(universities):
+        add(uni, _TYPE, _iri("University"))
+        add(uni, name, Literal(f"University {i}"))
+
+    departments = [_iri(f"dept{i}") for i in range(n_departments)]
+    for i, dept in enumerate(departments):
+        add(dept, _TYPE, _iri("Department"))
+        add(dept, name, Literal(f"Dept of {_TOPICS[i % len(_TOPICS)]} {i}"))
+        add(dept, part_of, rng.choice(universities))
+
+    professors = [_iri(f"prof{i}") for i in range(n_professors)]
+    for i, prof in enumerate(professors):
+        for cls in ("Person", "Faculty", "Professor"):
+            add(prof, _TYPE, _iri(cls))
+        add(prof, name, Literal(f"Prof {_FIRST_NAMES[i % len(_FIRST_NAMES)]} {i}"))
+        if rng.random() < 0.5:
+            add(prof, dob, Literal(str(rng.randrange(1950, 1990)), XSD.gYear))
+        add(prof, works_for, rng.choice(departments))
+
+    courses = [_iri(f"course{i}") for i in range(n_courses)]
+    for i, course in enumerate(courses):
+        add(course, _TYPE, _iri("Course"))
+        if i % 3 == 0:
+            add(course, _TYPE, _iri("GraduateCourse"))
+        add(course, name, Literal(f"{_TOPICS[i % len(_TOPICS)]} {i}"))
+
+    for i in range(n_students):
+        student = _iri(f"student{i}")
+        graduate = rng.random() < 0.4
+        classes = ["Person", "Student"] + (["GraduateStudent"] if graduate else [])
+        for cls in classes:
+            add(student, _TYPE, _iri(cls))
+        add(student, name, Literal(f"{_FIRST_NAMES[i % len(_FIRST_NAMES)]} {i}"))
+        add(student, reg_no, Literal(f"S{i:06d}"))
+        if rng.random() < 0.3:
+            add(student, dob, Literal(str(rng.randrange(1995, 2008)), XSD.gYear))
+        if rng.random() < 0.7:
+            add(student, advised_by, rng.choice(professors))
+        if graduate:
+            for course in rng.sample(courses, k=rng.randrange(1, 4)):
+                add(student, takes, course)
+    return graph
+
+
+#: (qid, category, SPARQL) — the planner-ablation workload.  The join
+#: queries type every variable, the LUBM-style shape on which the naive
+#: evaluator's concreteness heuristic ties between a selective join
+#: probe and an unselective type rescan; cardinality-based ordering is
+#: what avoids the resulting cartesian blowup.  All LIMIT-free so
+#: planner-on and planner-off results are comparable as bags.
+UNIVERSITY_WORKLOAD: tuple[tuple[str, str, str], ...] = (
+    ("U1", "lookup",
+     "SELECT ?s ?n WHERE { ?s a :Student ; :name ?n . }"),
+    ("U2", "chain",
+     "SELECT ?s ?p WHERE { ?s a :Student . ?p a :Professor . "
+     "?s :advisedBy ?p . }"),
+    ("U3", "chain",
+     "SELECT ?s ?d WHERE { ?s a :Student . ?p a :Professor . "
+     "?d a :Department . ?s :advisedBy ?p . ?p :worksFor ?d . }"),
+    ("U4", "chain",
+     "SELECT ?s ?u WHERE { ?s :advisedBy ?p . ?p :worksFor ?d . "
+     "?d :partOf ?u . }"),
+    ("U5", "star",
+     "SELECT ?p ?n ?d WHERE { ?p a :Professor ; :name ?n ; "
+     ":worksFor ?d . ?d a :Department . }"),
+    ("U6", "star",
+     "SELECT ?s ?c ?p WHERE { ?s a :GraduateStudent . ?c a :Course . "
+     "?s :takesCourse ?c . ?s :advisedBy ?p . }"),
+    ("U7", "star",
+     "SELECT (COUNT(*) AS ?n) WHERE { ?s a :Student . ?p a :Professor . "
+     "?s :advisedBy ?p . ?p :worksFor ?d . }"),
+)
+
+
+def university_workload() -> list[tuple[str, str, str]]:
+    """The planner-ablation workload with the prefix expanded."""
+    prolog = f"PREFIX : <{_UNI}>\n"
+    return [(qid, category, prolog + text)
+            for qid, category, text in UNIVERSITY_WORKLOAD]
+
+
+#: (qid, category, Cypher) — native Cypher companion workload over the
+#: S3PG-transformed university PG (labels carry the ``uni_`` prefix of
+#: the transformation).  The paths are deliberately written in orders
+#: the naive left-to-right evaluator handles badly — unlabeled seed
+#: nodes and disconnected path pairs — which the planner's seed
+#: selection, pivoted expansion, and hash joins avoid.
+UNIVERSITY_CYPHER_WORKLOAD: tuple[tuple[str, str, str], ...] = (
+    ("C1", "chain",
+     "MATCH (p)-[:uni_worksFor]->(d:uni_Department) "
+     "RETURN p.iri AS p, d.iri AS d"),
+    ("C2", "chain",
+     "MATCH (s)-[:uni_advisedBy]->(p), (p)-[:uni_worksFor]->(d:uni_Department) "
+     "RETURN s.iri AS s, d.iri AS d"),
+    ("C3", "star",
+     "MATCH (s)-[:uni_takesCourse]->(c:uni_GraduateCourse), "
+     "(s)-[:uni_advisedBy]->(p) RETURN s.iri AS s, p.iri AS p"),
+    ("C4", "cartesian",
+     "MATCH (s:uni_Student)-[:uni_advisedBy]->(p), "
+     "(d:uni_Department)-[:uni_partOf]->(u:uni_University) "
+     "RETURN p.iri AS p, u.iri AS u"),
+)

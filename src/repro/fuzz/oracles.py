@@ -370,6 +370,81 @@ def cypher_undirected(case: FuzzCase, ctx: OracleContext) -> str | None:
 
 
 # --------------------------------------------------------------------- #
+# Planner differential: cost-based plans == naive evaluation (both engines)
+# --------------------------------------------------------------------- #
+
+_SPARQL_STRATEGIES: tuple[tuple[str, dict], ...] = (
+    ("planner-off", {"planner": False}),
+    ("planner-on", {}),
+    ("hash-forced", {"force_join": "hash"}),
+    ("nested-forced", {"force_join": "nested"}),
+)
+
+
+def _bag(rows: list[dict], to_text: Callable[[object], str]) -> list[tuple]:
+    return sorted(
+        tuple(
+            (key, None if row[key] is None else to_text(row[key]))
+            for key in sorted(row)
+        )
+        for row in rows
+    )
+
+
+def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
+    """The cost-based planner is result-identical to naive evaluation.
+
+    Runs the case's query workload through both engines under four
+    strategies — planner off, planner on (cost model), hash join forced,
+    nested loop forced — and requires bag-equal results.  The workload
+    is LIMIT-free by construction: LIMIT without ORDER BY may truncate
+    any subset of the answers, so differing-but-correct plans could
+    legitimately disagree.
+    """
+    graph = Graph(case.triples)
+    workload = _workload(case)
+    sparql_engines = [
+        (tag, SparqlEngine(graph, **kwargs))
+        for tag, kwargs in _SPARQL_STRATEGIES
+    ]
+    for sparql in workload:
+        baseline: tuple[str, list[tuple]] | None = None
+        for tag, engine in sparql_engines:
+            rows = _bag(engine.query(sparql), str)
+            if baseline is None:
+                baseline = (tag, rows)
+            elif rows != baseline[1]:
+                return (
+                    f"SPARQL {tag} diverges from {baseline[0]} for "
+                    f"{sparql!r}: {len(rows)} vs {len(baseline[1])} row(s)"
+                )
+    for options in _BOTH_MODES:
+        result = transform(graph, case.schema, options)
+        store = PropertyGraphStore(result.graph)
+        cypher_engines = [
+            (tag, CypherEngine(store, **kwargs))
+            for tag, kwargs in _SPARQL_STRATEGIES
+        ]
+        for sparql in workload:
+            try:
+                cypher = translate_sparql_to_cypher(sparql, result.mapping)
+            except TranslationError:
+                continue
+            baseline = None
+            for tag, engine in cypher_engines:
+                rows = _bag(engine.query(cypher), scalar_to_lexical)
+                if baseline is None:
+                    baseline = (tag, rows)
+                elif rows != baseline[1]:
+                    return (
+                        f"Cypher {tag} diverges from {baseline[0]} in "
+                        f"{_mode(options)} mode for {cypher!r}: "
+                        f"{len(rows)} vs {len(baseline[1])} row(s)"
+                    )
+    return None
+
+
+# --------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------- #
 
@@ -399,6 +474,16 @@ ORACLES: dict[str, Oracle] = {
             "sparql_cypher_differential", ("valid",),
             sparql_cypher_differential,
             "translated Cypher returns the SPARQL answers (query preservation)",
+        ),
+        # Like the SPARQL/Cypher differential, the planner differential
+        # runs on conforming instances: the queries themselves only need
+        # translatability, but keeping the kinds aligned makes the two
+        # oracles directly comparable per case.
+        Oracle(
+            "planner_differential", ("valid", "noise"),
+            planner_differential,
+            "cost-based plans return the naive evaluators' answers "
+            "(both engines, all join strategies)",
         ),
         Oracle(
             "ntriples_roundtrip", _RDF_KINDS, ntriples_roundtrip,

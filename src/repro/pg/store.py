@@ -36,6 +36,10 @@ class PropertyGraphStore:
         self._out: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
         self._in: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
         self._property_index: dict[tuple[str, Scalar], set[str]] = defaultdict(set)
+        #: Edges per relationship type (planner statistics).
+        self._rel_count: dict[str, int] = {}
+        #: Mutation counter (plan/statistics cache invalidation).
+        self._version = 0
         if graph is not None:
             self.rebuild_indexes()
 
@@ -49,6 +53,8 @@ class PropertyGraphStore:
         self._out.clear()
         self._in.clear()
         self._property_index.clear()
+        self._rel_count.clear()
+        self._version += 1
         for node in self.graph.nodes.values():
             self._index_node(node)
         for edge in self.graph.edges.values():
@@ -66,6 +72,42 @@ class PropertyGraphStore:
         for label in edge.labels:
             self._out[edge.src][label].append(edge.id)
             self._in[edge.dst][label].append(edge.id)
+            self._rel_count[label] = self._rel_count.get(label, 0) + 1
+
+    def _unindex_node(self, node: PGNode) -> None:
+        for label in node.labels:
+            bucket = self._label_index.get(label)
+            if bucket is not None:
+                bucket.discard(node.id)
+                if not bucket:
+                    del self._label_index[label]
+        for key in self._indexed_keys:
+            value = node.properties.get(key)
+            if isinstance(value, (str, int, float, bool)):
+                bucket = self._property_index.get((key, value))
+                if bucket is not None:
+                    bucket.discard(node.id)
+                    if not bucket:
+                        del self._property_index[(key, value)]
+
+    def _unindex_edge(self, edge: PGEdge) -> None:
+        for label in edge.labels:
+            for adjacency, endpoint in ((self._out, edge.src), (self._in, edge.dst)):
+                by_type = adjacency.get(endpoint)
+                if by_type is None:
+                    continue
+                edge_ids = by_type.get(label)
+                if edge_ids is not None and edge.id in edge_ids:
+                    edge_ids.remove(edge.id)
+                    if not edge_ids:
+                        del by_type[label]
+                if not by_type:
+                    del adjacency[endpoint]
+            remaining = self._rel_count.get(label, 0) - 1
+            if remaining > 0:
+                self._rel_count[label] = remaining
+            else:
+                self._rel_count.pop(label, None)
 
     # ------------------------------------------------------------------ #
     # Mutation (kept index-consistent)
@@ -80,6 +122,7 @@ class PropertyGraphStore:
         """Insert a node and index it."""
         node = self.graph.add_node(node_id, labels, properties)
         self._index_node(node)
+        self._version += 1
         return node
 
     def add_edge(
@@ -93,6 +136,7 @@ class PropertyGraphStore:
         """Insert an edge and index it."""
         edge = self.graph.add_edge(src, dst, labels, properties, edge_id)
         self._index_edge(edge)
+        self._version += 1
         return edge
 
     def add_label(self, node_id: str, label: str) -> None:
@@ -100,6 +144,7 @@ class PropertyGraphStore:
         node = self.graph.get_node(node_id)
         node.labels.add(label)
         self._label_index[label].add(node_id)
+        self._version += 1
 
     def set_node_property(self, node_id: str, key: str, value: PropertyValue) -> None:
         """Update a node property, keeping property indexes consistent."""
@@ -110,6 +155,37 @@ class PropertyGraphStore:
         node.set_property(key, value)
         if key in self._indexed_keys and isinstance(value, (str, int, float, bool)):
             self._property_index[(key, value)].add(node_id)
+        self._version += 1
+
+    def remove_edge(self, edge_id: str) -> None:
+        """Delete an edge, updating adjacency and statistics incrementally."""
+        edge = self.graph.get_edge(edge_id)
+        self._unindex_edge(edge)
+        self.graph.remove_edge(edge_id)
+        self._version += 1
+
+    def remove_node(self, node_id: str) -> None:
+        """Delete a node and its incident edges, indexes kept incremental.
+
+        O(degree), like :meth:`PropertyGraph.remove_node`.
+        """
+        node = self.graph.get_node(node_id)
+        for edge in list(self.graph.incident_edges(node_id)):
+            self._unindex_edge(edge)
+        self._unindex_node(node)
+        self.graph.remove_node(node_id)
+        self._version += 1
+
+    def merge_from(self, other: PropertyGraph, strict: bool = False):
+        """Merge another property graph in and re-sync every index.
+
+        Merging rewrites nodes in place (label/property union, list
+        promotion), which can invalidate any index entry, so this is a
+        rebuild rather than an incremental update.
+        """
+        stats = self.graph.merge_from(other, strict=strict)
+        self.rebuild_indexes()
+        return stats
 
     def bulk_load(self, graph: PropertyGraph) -> None:
         """Replace the stored graph and rebuild all indexes.
@@ -124,6 +200,36 @@ class PropertyGraphStore:
     # ------------------------------------------------------------------ #
     # Indexed reads
     # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes on every index-affecting mutation."""
+        return self._version
+
+    @property
+    def indexed_keys(self) -> tuple[str, ...]:
+        """Property keys covered by the (key, value) index."""
+        return self._indexed_keys
+
+    def node_count(self) -> int:
+        """Number of nodes in the stored graph."""
+        return self.graph.node_count()
+
+    def edge_count(self) -> int:
+        """Number of edges in the stored graph."""
+        return self.graph.edge_count()
+
+    def rel_type_count(self, rel_type: str) -> int:
+        """Number of edges carrying ``rel_type`` (O(1))."""
+        return self._rel_count.get(rel_type, 0)
+
+    def property_hits(self, key: str, value: Scalar) -> int | None:
+        """Indexed hit count for ``key = value``; None when not indexed."""
+        if key not in self._indexed_keys:
+            return None
+        if not isinstance(value, (str, int, float, bool)):
+            return 0
+        return len(self._property_index.get((key, value), ()))
 
     def nodes_with_label(self, label: str) -> Iterator[PGNode]:
         """All nodes carrying ``label`` (index lookup)."""

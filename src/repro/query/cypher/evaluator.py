@@ -88,10 +88,21 @@ class CypherEngine:
         >>> rows = engine.query("MATCH (n:Person) RETURN n.iri")
     """
 
-    def __init__(self, store: PropertyGraphStore):
+    def __init__(
+        self,
+        store: PropertyGraphStore,
+        planner: bool = True,
+        force_join: str | None = None,
+    ):
         self.store = store
         #: Edges considered by pattern expansion in the current query.
         self._expansions = 0
+        if planner:
+            from ..plan import CypherPlanner
+
+            self.planner = CypherPlanner(store, force_join=force_join)
+        else:
+            self.planner = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -107,9 +118,93 @@ class CypherEngine:
         """Number of result rows of a query."""
         return len(self.query(text))
 
+    def explain(self, text: str, fmt: str = "text"):
+        """Run a query and explain its physical plan.
+
+        Returns the rendered tree as a string (``fmt="text"``) or a
+        JSON-friendly dict (``fmt="json"``).  Non-optional MATCH
+        clauses show the planner's operator pipeline with estimated
+        and actual cardinalities; OPTIONAL MATCH and the clause tail
+        are evaluated by the engine's fixed code and appear as logical
+        nodes.
+        """
+        from ..plan import render_text
+        from .parser import parse_cypher
+
+        if self.planner is None:
+            raise QueryError("EXPLAIN requires the planner to be enabled")
+        if fmt not in ("text", "json"):
+            raise QueryError(f"unknown explain format {fmt!r}")
+        query = parse_cypher(text)
+        rows = self.evaluate(query)
+        root = self._assemble_explain(query, len(rows))
+        if fmt == "json":
+            return root.to_dict()
+        return render_text(root)
+
+    def _assemble_explain(self, query: CypherQuery, result_rows: int):
+        from ..plan.explain import ExplainNode
+
+        snapshots = list(self.planner.last_explains)
+        cursor = 0
+        part_nodes = []
+        for part in query.parts:
+            chain: ExplainNode | None = None
+            for clause in part.clauses:
+                prev = (chain,) if chain is not None else ()
+                if isinstance(clause, MatchClause):
+                    if clause.optional:
+                        chain = ExplainNode(
+                            "OptionalMatch",
+                            f"{len(clause.paths)} paths (naive)",
+                            children=prev,
+                        )
+                    else:
+                        plan_node = snapshots[cursor]
+                        cursor += 1
+                        detail = "with WHERE" if clause.where is not None else ""
+                        chain = ExplainNode(
+                            "Match", detail, children=prev + (plan_node,)
+                        )
+                elif isinstance(clause, UnwindClause):
+                    chain = ExplainNode("Unwind", f"AS {clause.var}", children=prev)
+                elif isinstance(clause, WithClause):
+                    chain = ExplainNode("Filter", "WITH * WHERE", children=prev)
+                elif isinstance(clause, ReturnClause):
+                    columns = ", ".join(
+                        item.column_name() for item in clause.items
+                    )
+                    op = (
+                        "Aggregate"
+                        if any(isinstance(i.expr, CountStar) for i in clause.items)
+                        else "Return"
+                    )
+                    chain = ExplainNode(op, columns, children=prev)
+                    if clause.order_by:
+                        chain = ExplainNode(
+                            "Sort", f"{len(clause.order_by)} keys", children=(chain,)
+                        )
+                    if clause.distinct:
+                        chain = ExplainNode("Distinct", children=(chain,))
+                    if clause.limit is not None:
+                        chain = ExplainNode(
+                            "Limit", str(clause.limit), children=(chain,)
+                        )
+            part_nodes.append(chain)
+        if len(part_nodes) == 1:
+            root = part_nodes[0]
+        else:
+            root = ExplainNode(
+                "UnionAll", f"{len(part_nodes)} parts", children=tuple(part_nodes)
+            )
+        root.actual_rows = result_rows
+        return root
+
     def evaluate(self, query: CypherQuery) -> list[dict[str, object]]:
         """Evaluate a parsed query (UNION ALL concatenates parts)."""
         self._expansions = 0
+        if self.planner is not None:
+            self.planner.reset_explains()
         with obs.span("cypher.evaluate", parts=len(query.parts)) as span:
             rows: list[dict[str, object]] = []
             columns: list[str] | None = None
@@ -171,12 +266,15 @@ class CypherEngine:
 
     def _apply_match(self, bindings: list[Binding], clause: MatchClause) -> list[Binding]:
         if not clause.optional:
-            result = bindings
-            for path in clause.paths:
-                extended: list[Binding] = []
-                for binding in result:
-                    extended.extend(self._match_path(binding, path))
-                result = extended
+            if self.planner is not None:
+                result = self.planner.execute_match(bindings, clause, self)
+            else:
+                result = bindings
+                for path in clause.paths:
+                    extended: list[Binding] = []
+                    for binding in result:
+                        extended.extend(self._match_path(binding, path))
+                    result = extended
             if clause.where is not None:
                 result = [
                     b for b in result if self._truthy(self._eval(clause.where, b))
@@ -352,6 +450,9 @@ class CypherEngine:
                     seen.add(key)
                     unique.append(row)
             rows = unique
+        # LIMIT must stay the last modifier: pipelined physical plans
+        # upstream may deliver rows in any order, so truncating before
+        # the sort above has completed would change the result.
         if clause.limit is not None:
             rows = rows[: clause.limit]
         return rows

@@ -1,0 +1,41 @@
+"""Cost-based query planning shared by the SPARQL and Cypher engines.
+
+The package provides, for both engines:
+
+* statistics catalogs (:mod:`~repro.query.plan.stats`) over the
+  incrementally maintained counters of :class:`~repro.rdf.graph.Graph`
+  and :class:`~repro.pg.store.PropertyGraphStore`;
+* physical operators behind a small iterator-model interface, with
+  hash joins on shared variables and index scans next to the existing
+  nested-loop strategy (:mod:`~repro.query.plan.sparql_plan`,
+  :mod:`~repro.query.plan.cypher_plan`);
+* an LRU plan cache keyed by normalized query shape and catalog
+  version (:mod:`~repro.query.plan.cache`);
+* ``EXPLAIN`` trees with estimated and actual cardinalities
+  (:mod:`~repro.query.plan.explain`).
+
+The planner only replaces *how* basic graph patterns and MATCH paths
+are enumerated; every downstream construct (filters, OPTIONAL, UNION,
+projection, DISTINCT, ORDER BY, LIMIT, aggregation) runs through the
+engines' existing code, keeping planner-on and planner-off runs
+result-identical.
+"""
+
+from .cache import PlanCache
+from .cypher_plan import CypherPlanner
+from .explain import ExplainNode, render_text
+from .sparql_plan import SparqlPlanner, explain_select, flush_operator_obs
+from .stats import GraphCatalog, SeedChoice, StoreCatalog
+
+__all__ = [
+    "CypherPlanner",
+    "ExplainNode",
+    "GraphCatalog",
+    "PlanCache",
+    "SeedChoice",
+    "SparqlPlanner",
+    "StoreCatalog",
+    "explain_select",
+    "flush_operator_obs",
+    "render_text",
+]

@@ -1,0 +1,55 @@
+"""An LRU cache of compiled physical plans.
+
+Keys are *normalized query shapes*: the canonical serialization of the
+parsed pattern AST (so whitespace, prefix names, and ``;`` predicate
+groups all collapse to one key) combined with the statistics catalog's
+version counter — any mutation of the underlying graph/store bumps the
+version and naturally invalidates every cached plan without scanning
+the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """A bounded least-recently-used mapping of plan keys to plans."""
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """The cached plan for ``key``, or None (updates recency)."""
+        try:
+            value = self._entries.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert a plan, evicting the least recently used beyond capacity."""
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PlanCache {len(self._entries)}/{self.maxsize} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,379 @@
+"""Cost-based planning and physical operators for SPARQL BGPs.
+
+The planner replaces the evaluator's per-binding greedy heuristic with
+plan-time join ordering: starting from the cheapest standalone pattern,
+it greedily appends the connected pattern with the smallest estimated
+per-binding cardinality, choosing between an index nested-loop probe
+(:class:`BindJoin`, the naive evaluator's strategy) and a
+:class:`HashJoin` on the shared variables by a simple per-row cost
+model.  Disconnected patterns become hash-join cartesian products
+instead of per-binding rescans.
+
+Everything downstream of the BGP (OPTIONAL, UNION, FILTER, projection,
+DISTINCT, ORDER BY, LIMIT) is evaluated by the engine's existing code,
+so planner-on and planner-off runs are result-identical by
+construction; the differential fuzz oracle asserts it by test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ... import obs
+from ...rdf.graph import Graph
+from ...rdf.terms import Term
+from ..sparql.ast import SelectQuery, TriplePattern, Var
+from .cache import PlanCache
+from .explain import ExplainNode
+from .stats import GraphCatalog
+
+__all__ = [
+    "BindJoin",
+    "HashJoin",
+    "PatternScan",
+    "SparqlOperator",
+    "SparqlPlanner",
+    "explain_select",
+    "flush_operator_obs",
+]
+
+Binding = dict[str, Term]
+
+# Relative per-row cost weights of the physical operators.  A bind-join
+# probe pays an index lookup per input row; a hash join pays a one-off
+# build over the standalone scan plus a cheap per-row probe.
+COST_INDEX_PROBE = 4.0
+COST_HASH_PROBE = 1.0
+COST_HASH_BUILD = 2.0
+COST_EMIT = 1.0
+
+
+class SparqlOperator:
+    """An iterator-model physical operator over solution bindings.
+
+    ``execute`` restarts the operator (and its children) and yields
+    bindings; ``actual_rows`` holds the output cardinality of the most
+    recent execution, for ``EXPLAIN``.
+    """
+
+    op = "Operator"
+
+    def __init__(self, est_rows: float, children: tuple["SparqlOperator", ...] = ()):
+        self.est_rows = est_rows
+        self.children = children
+        self.actual_rows: int | None = None
+
+    def execute(self, stats=None) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+    def explain(self) -> ExplainNode:
+        """Snapshot this subtree (estimates + last execution's actuals)."""
+        return ExplainNode(
+            op=self.op,
+            detail=self.detail(),
+            est_rows=self.est_rows,
+            actual_rows=self.actual_rows,
+            children=tuple(child.explain() for child in self.children),
+        )
+
+
+class PatternScan(SparqlOperator):
+    """Leaf: match one triple pattern against the graph's indexes."""
+
+    op = "Scan"
+
+    def __init__(self, graph: Graph, pattern: TriplePattern, est_rows: float):
+        super().__init__(est_rows)
+        self.graph = graph
+        self.pattern = pattern
+
+    def detail(self) -> str:
+        return str(self.pattern)
+
+    def execute(self, stats=None) -> Iterator[Binding]:
+        from ..sparql.evaluator import _match_pattern
+
+        self.actual_rows = 0
+        for binding in _match_pattern(self.graph, self.pattern, {}, stats):
+            self.actual_rows += 1
+            yield binding
+
+
+class BindJoin(SparqlOperator):
+    """Index nested-loop join: probe the pattern once per input binding."""
+
+    op = "BindJoin"
+
+    def __init__(
+        self,
+        child: SparqlOperator,
+        graph: Graph,
+        pattern: TriplePattern,
+        est_rows: float,
+    ):
+        super().__init__(est_rows, (child,))
+        self.graph = graph
+        self.pattern = pattern
+
+    def detail(self) -> str:
+        return str(self.pattern)
+
+    def execute(self, stats=None) -> Iterator[Binding]:
+        from ..sparql.evaluator import _match_pattern
+
+        self.actual_rows = 0
+        for binding in self.children[0].execute(stats):
+            for extended in _match_pattern(self.graph, self.pattern, binding, stats):
+                self.actual_rows += 1
+                yield extended
+
+
+class HashJoin(SparqlOperator):
+    """Hash join on the shared variables (cartesian when none)."""
+
+    op = "HashJoin"
+
+    def __init__(
+        self,
+        probe: SparqlOperator,
+        build: SparqlOperator,
+        key: tuple[str, ...],
+        est_rows: float,
+    ):
+        super().__init__(est_rows, (probe, build))
+        self.key = key
+
+    def detail(self) -> str:
+        if not self.key:
+            return "cartesian"
+        return "on " + ", ".join(f"?{name}" for name in self.key)
+
+    def execute(self, stats=None) -> Iterator[Binding]:
+        self.actual_rows = 0
+        key = self.key
+        table: dict[tuple, list[Binding]] = {}
+        for binding in self.children[1].execute(stats):
+            table.setdefault(tuple(binding[k] for k in key), []).append(binding)
+        for binding in self.children[0].execute(stats):
+            for match in table.get(tuple(binding[k] for k in key), ()):
+                self.actual_rows += 1
+                yield {**binding, **match}
+
+
+class SparqlPlanner:
+    """Plans and executes basic graph patterns for one graph.
+
+    Args:
+        graph: the graph queried (statistics come from its counters).
+        force_join: ``"hash"`` / ``"nested"`` forces the join operator
+            (used by the differential harness); None applies the cost
+            model.
+        cache_size: LRU plan-cache capacity.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        force_join: str | None = None,
+        cache_size: int = 128,
+    ):
+        if force_join not in (None, "hash", "nested"):
+            raise ValueError(f"unknown force_join {force_join!r}")
+        self.graph = graph
+        self.catalog = GraphCatalog(graph)
+        self.cache = PlanCache(cache_size)
+        self.force_join = force_join
+        #: Explain snapshot of the last executed BGP plan (set by the
+        #: evaluator once the plan's iterator is fully consumed).
+        self.last_explain: ExplainNode | None = None
+        self.last_plan: SparqlOperator | None = None
+
+    def plan_bgp(self, patterns: list[TriplePattern]) -> SparqlOperator:
+        """The (cached) physical plan for a basic graph pattern."""
+        key = (
+            self.catalog.version,
+            self.force_join,
+            "\x1f".join(str(p) for p in patterns),
+        )
+        plan = self.cache.get(key)
+        hit = plan is not None
+        if plan is None:
+            plan = self._build(patterns)
+            self.cache.put(key, plan)
+        if obs.enabled():
+            with obs.span("sparql.plan", cache_hit=hit, patterns=len(patterns)):
+                pass
+        obs.get_metrics().counter(
+            "repro_plan_cache_total", help="plan cache lookups"
+        ).inc(1, engine="sparql", result="hit" if hit else "miss")
+        return plan
+
+    def execute_bgp(self, patterns: list[TriplePattern], stats=None) -> Iterator[Binding]:
+        """Plan and run a BGP, yielding solution bindings."""
+        plan = self.plan_bgp(patterns)
+        self.last_plan = plan
+        if stats is not None:
+            # The plan-time join order plays the role of the naive
+            # evaluator's per-binding greedy selections: surface the
+            # same selectivity profile (bound positions per chosen
+            # pattern) so traces stay comparable across strategies.
+            profile = getattr(plan, "selectivity_profile", ())
+            stats.selections += len(profile)
+            for concrete in profile:
+                stats.selectivity[concrete] += 1
+        return plan.execute(stats)
+
+    # ------------------------------------------------------------------ #
+    # Plan construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self, patterns: list[TriplePattern]) -> SparqlOperator:
+        catalog = self.catalog
+        remaining = list(range(len(patterns)))
+        bound: set[str] = set()
+
+        def concrete_positions(pattern: TriplePattern) -> int:
+            return sum(
+                1
+                for term in (pattern.s, pattern.p, pattern.o)
+                if not isinstance(term, Var) or term.name in bound
+            )
+
+        profile: list[int] = []
+        first = min(
+            remaining,
+            key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+        )
+        est = catalog.estimate_pattern(patterns[first], set())
+        profile.append(concrete_positions(patterns[first]))
+        plan: SparqlOperator = PatternScan(self.graph, patterns[first], est)
+        bound |= patterns[first].variables()
+        remaining.remove(first)
+        out_est = est
+
+        while remaining:
+            connected = [i for i in remaining if patterns[i].variables() & bound]
+            pool = connected or remaining
+            index = min(
+                pool,
+                key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+            )
+            pattern = patterns[index]
+            profile.append(concrete_positions(pattern))
+            shared = tuple(sorted(pattern.variables() & bound))
+            per_binding = catalog.estimate_pattern(pattern, bound)
+            standalone = catalog.estimate_pattern(pattern, set())
+            next_est = out_est * per_binding
+            if self.force_join == "hash":
+                use_hash = True
+            elif self.force_join == "nested":
+                use_hash = False
+            elif not shared:
+                # A per-binding rescan of a disconnected pattern is never
+                # cheaper than building its scan once.
+                use_hash = True
+            else:
+                bind_cost = out_est * COST_INDEX_PROBE + next_est * COST_EMIT
+                hash_cost = (
+                    standalone * COST_HASH_BUILD
+                    + out_est * COST_HASH_PROBE
+                    + next_est * COST_EMIT
+                )
+                use_hash = hash_cost < bind_cost
+            if use_hash:
+                build = PatternScan(self.graph, pattern, standalone)
+                plan = HashJoin(plan, build, shared, next_est)
+            else:
+                plan = BindJoin(plan, self.graph, pattern, next_est)
+            bound |= pattern.variables()
+            out_est = next_est
+            remaining.remove(index)
+        plan.selectivity_profile = tuple(profile)
+        return plan
+
+
+# --------------------------------------------------------------------- #
+# EXPLAIN assembly and observability
+# --------------------------------------------------------------------- #
+
+def explain_select(
+    query: SelectQuery,
+    plan: SparqlOperator | ExplainNode | None,
+    result_rows: int,
+) -> ExplainNode:
+    """Wrap a BGP plan tree with the query's logical tail.
+
+    The wrapper nodes mirror the evaluator's fixed execution order:
+    BGP -> UNION -> OPTIONAL -> FILTER -> projection/aggregation ->
+    DISTINCT -> ORDER BY -> LIMIT.
+    """
+    if plan is None:
+        node = ExplainNode("EmptyPattern", est_rows=1.0)
+    elif isinstance(plan, ExplainNode):
+        node = plan
+    else:
+        node = plan.explain()
+    if query.unions:
+        node = ExplainNode(
+            "Union", f"{len(query.unions)} alternatives", children=(node,)
+        )
+    for group in query.optionals:
+        node = ExplainNode(
+            "OptionalJoin", f"{len(group)} patterns", children=(node,)
+        )
+    if query.filters:
+        node = ExplainNode(
+            "Filter", f"{len(query.filters)} predicates", children=(node,)
+        )
+    if query.ask:
+        node = ExplainNode("Ask", children=(node,))
+    elif query.count is not None:
+        node = ExplainNode("Aggregate", f"count(*) AS ?{query.count}", children=(node,))
+    else:
+        projected = [v.name for v in query.variables] or query.all_variables()
+        node = ExplainNode(
+            "Project", ", ".join(f"?{name}" for name in projected), children=(node,)
+        )
+        if query.distinct:
+            node = ExplainNode("Distinct", children=(node,))
+    if query.order_by:
+        keys = ", ".join(
+            f"?{key.var.name}{' DESC' if key.descending else ''}"
+            for key in query.order_by
+        )
+        node = ExplainNode("Sort", keys, children=(node,))
+    if query.limit is not None:
+        node = ExplainNode("Limit", str(query.limit), children=(node,))
+    node.actual_rows = result_rows
+    return node
+
+
+def flush_operator_obs(lang: str, root: ExplainNode) -> None:
+    """Emit per-operator spans and row counters after an execution.
+
+    Physical operators interleave their work (iterator model), so their
+    timings are not separable; what *is* exact are the per-operator
+    cardinalities, flushed here as zero-length spans under the current
+    evaluate span plus a labelled metrics counter.
+    """
+    metrics = obs.get_metrics()
+    counter = metrics.counter(
+        "repro_plan_operator_rows_total",
+        help="rows produced by physical plan operators",
+    )
+    for node in root.walk():
+        if node.actual_rows is None:
+            continue
+        counter.inc(node.actual_rows, lang=lang, op=node.op)
+        if obs.enabled():
+            with obs.span(
+                f"{lang}.plan.operator",
+                op=node.op,
+                detail=node.detail,
+                est_rows=node.est_rows,
+                actual_rows=node.actual_rows,
+            ):
+                pass

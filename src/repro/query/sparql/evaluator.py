@@ -231,22 +231,35 @@ def _as_bool(value: object) -> bool:
 # Query execution
 # --------------------------------------------------------------------- #
 
-def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
+def evaluate(
+    graph: Graph, query: SelectQuery, planner=None
+) -> list[dict[str, Term]]:
     """Evaluate ``query`` over ``graph``; returns solution mappings.
 
     For ``SELECT (COUNT(*) AS ?n)`` a single row with an integer literal
-    is returned under the chosen variable name.
+    is returned under the chosen variable name.  When ``planner`` (a
+    :class:`~repro.query.plan.SparqlPlanner`) is given, the basic graph
+    pattern runs through its cost-based physical plan instead of the
+    per-binding greedy strategy; all other constructs are unaffected.
     """
     # Operator tallies are only collected under an active tracer, so the
     # per-match bookkeeping stays off the disabled-path hot loop.
     stats = _EvalStats() if obs.enabled() else None
+    if planner is not None:
+        planner.last_plan = None
+        planner.last_explain = None
     with obs.span("sparql.evaluate", patterns=len(query.patterns)) as span:
-        rows = _evaluate(graph, query, stats)
+        rows = _evaluate(graph, query, stats, planner)
         span.set("rows", len(rows))
         if stats is not None:
             span.set("bgp_matches", stats.matches)
             span.set("join_selections", stats.selections)
             span.set("selectivity_profile", list(stats.selectivity))
+        if planner is not None and planner.last_plan is not None:
+            from ..plan import flush_operator_obs
+
+            planner.last_explain = planner.last_plan.explain()
+            flush_operator_obs("sparql", planner.last_explain)
     metrics = obs.get_metrics()
     metrics.counter(
         "repro_query_runs_total", help="query engine invocations"
@@ -260,10 +273,14 @@ def evaluate(graph: Graph, query: SelectQuery) -> list[dict[str, Term]]:
 
 
 def _evaluate(
-    graph: Graph, query: SelectQuery, stats: _EvalStats | None
+    graph: Graph, query: SelectQuery, stats: _EvalStats | None, planner=None
 ) -> list[dict[str, Term]]:
     solutions: list[Binding] = []
-    for binding in _evaluate_bgp(graph, query.patterns, stats):
+    if planner is not None and query.patterns:
+        bgp = planner.execute_bgp(query.patterns, stats)
+    else:
+        bgp = _evaluate_bgp(graph, query.patterns, stats)
+    for binding in bgp:
         extended = [binding]
         if query.unions:
             # UNION: bag-union of the alternatives' extensions.
@@ -320,7 +337,19 @@ def _evaluate(
                 seen.add(key)
                 unique_rows.append(row)
         rows = unique_rows
-    for key in reversed(query.order_by):
+    return _order_and_truncate(rows, query.order_by, query.limit)
+
+
+def _order_and_truncate(
+    rows: list[dict[str, Term]], order_by, limit: int | None
+) -> list[dict[str, Term]]:
+    """Apply ORDER BY fully, then LIMIT.
+
+    Kept as the single exit point for solution modifiers so pipelined
+    physical plans can never truncate before the sort is complete (the
+    SPARQL algebra applies Slice after OrderBy).
+    """
+    for key in reversed(order_by):
         def sort_key(row, name=key.var.name):
             value = row.get(name)
             if value is None:
@@ -333,27 +362,66 @@ def _evaluate(
             return (1, (type(effective).__name__, effective))
 
         rows.sort(key=sort_key, reverse=key.descending)
-    if query.limit is not None:
-        rows = rows[: query.limit]
+    if limit is not None:
+        rows = rows[:limit]
     return rows
 
 
 class SparqlEngine:
     """A tiny SPARQL endpoint over a :class:`Graph`.
 
+    Args:
+        graph: the graph to query.
+        planner: False disables the cost-based planner (the naive
+            per-binding greedy strategy is used instead).
+        force_join: ``"hash"`` / ``"nested"`` forces the planner's join
+            operator choice (differential testing).
+
     Example:
         >>> engine = SparqlEngine(graph)
         >>> rows = engine.query('SELECT ?s WHERE { ?s a <http://x/C> . }')
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(
+        self,
+        graph: Graph,
+        planner: bool = True,
+        force_join: str | None = None,
+    ):
         self.graph = graph
+        if planner:
+            from ..plan import SparqlPlanner
+
+            self.planner = SparqlPlanner(graph, force_join=force_join)
+        else:
+            self.planner = None
 
     def query(self, text: str) -> list[dict[str, Term]]:
         """Parse and evaluate a SELECT query."""
         from .parser import parse_sparql
 
-        return evaluate(self.graph, parse_sparql(text))
+        return evaluate(self.graph, parse_sparql(text), planner=self.planner)
+
+    def explain(self, text: str, fmt: str = "text"):
+        """Run a query and explain its physical plan.
+
+        Returns the rendered tree as a string (``fmt="text"``) or a
+        JSON-friendly dict (``fmt="json"``); estimated cardinalities
+        come from the statistics catalog, actual ones from the run.
+        """
+        from ..plan import explain_select, render_text
+        from .parser import parse_sparql
+
+        if self.planner is None:
+            raise QueryError("EXPLAIN requires the planner to be enabled")
+        if fmt not in ("text", "json"):
+            raise QueryError(f"unknown explain format {fmt!r}")
+        query = parse_sparql(text)
+        rows = evaluate(self.graph, query, planner=self.planner)
+        root = explain_select(query, self.planner.last_explain, len(rows))
+        if fmt == "json":
+            return root.to_dict()
+        return render_text(root)
 
     def count(self, text: str) -> int:
         """Number of solutions of a SELECT query."""

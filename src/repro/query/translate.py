@@ -234,6 +234,16 @@ class _Translation:
         self.standalone_nodes.add(subject_var)
         if isinstance(pattern.o, Var):
             value_var = pattern.o.name
+            if any(line.endswith(f" AS {value_var}") for line in self.unwinds):
+                # The value variable is already bound by a previous UNWIND;
+                # a second ``UNWIND ... AS value_var`` would silently rebind
+                # it and drop the join.  Unwind into a fresh helper and
+                # equate (the equality mentions an UNWIND variable, so the
+                # renderer places it after both UNWINDs).
+                helper = self._fresh_var("kv")
+                self.unwinds.append(f"UNWIND {subject_var}.{key} AS {helper}")
+                self.where.append(f"{helper} = {value_var}")
+                return
             self.unwinds.append(f"UNWIND {subject_var}.{key} AS {value_var}")
             self.projections.setdefault(value_var, ("value", value_var))
             return

@@ -70,6 +70,14 @@ class Graph:
         self._pos: dict[IRI, dict[Object, set[Subject]]] = {}
         self._osp: dict[Object, dict[Subject, set[IRI]]] = {}
         self._size = 0
+        # Incrementally maintained statistics for the query planner:
+        # triples per predicate and distinct subjects per predicate.  Both
+        # are O(1) dict updates on add/remove; distinct *objects* per
+        # predicate need no counter (len of the POS bucket).
+        self._p_count: dict[IRI, int] = {}
+        self._p_subjects: dict[IRI, int] = {}
+        #: Monotonic mutation counter (plan/statistics cache invalidation).
+        self._version = 0
         if triples is not None:
             for t in triples:
                 self.add(t)
@@ -85,10 +93,15 @@ class Graph:
         objs = by_p.setdefault(p, set())
         if o in objs:
             return False
+        new_pair = not objs
         objs.add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self._version += 1
+        self._p_count[p] = self._p_count.get(p, 0) + 1
+        if new_pair:
+            self._p_subjects[p] = self._p_subjects.get(p, 0) + 1
         return True
 
     def add_triple(self, s: Subject, p: IRI, o: Object) -> bool:
@@ -106,6 +119,11 @@ class Graph:
             del self._spo[s][p]
             if not self._spo[s]:
                 del self._spo[s]
+            remaining_subjects = self._p_subjects[p] - 1
+            if remaining_subjects:
+                self._p_subjects[p] = remaining_subjects
+            else:
+                del self._p_subjects[p]
         subs = self._pos[p][o]
         subs.discard(s)
         if not subs:
@@ -119,6 +137,12 @@ class Graph:
             if not self._osp[o]:
                 del self._osp[o]
         self._size -= 1
+        self._version += 1
+        remaining = self._p_count[p] - 1
+        if remaining:
+            self._p_count[p] = remaining
+        else:
+            del self._p_count[p]
         return True
 
     def update(self, triples: Iterable[Triple]) -> int:
@@ -134,7 +158,10 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._p_count.clear()
+        self._p_subjects.clear()
         self._size = 0
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -232,6 +259,12 @@ class Graph:
             return len(self._pos.get(p, {}).get(o, ()))
         if s is None and p is None and o is None:
             return self._size
+        if s is not None and p is None and o is None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if s is None and p is None and o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        if s is not None and p is None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
         return sum(1 for _ in self.triples(s, p, o))
 
     def objects(self, s: Subject, p: IRI) -> Iterator[Object]:
@@ -263,6 +296,39 @@ class Graph:
     def object_set(self) -> set[Object]:
         """The set of all objects."""
         return set(self._osp)
+
+    # ------------------------------------------------------------------ #
+    # Planner statistics (all O(1), incrementally maintained)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes on every add/remove/clear."""
+        return self._version
+
+    def predicate_count(self, p: IRI) -> int:
+        """Number of triples with predicate ``p``."""
+        return self._p_count.get(p, 0)
+
+    def predicate_distinct_subjects(self, p: IRI) -> int:
+        """Number of distinct subjects occurring with predicate ``p``."""
+        return self._p_subjects.get(p, 0)
+
+    def predicate_distinct_objects(self, p: IRI) -> int:
+        """Number of distinct objects occurring with predicate ``p``."""
+        return len(self._pos.get(p, ()))
+
+    def n_subjects(self) -> int:
+        """Number of distinct subjects."""
+        return len(self._spo)
+
+    def n_predicates(self) -> int:
+        """Number of distinct predicates."""
+        return len(self._pos)
+
+    def n_objects(self) -> int:
+        """Number of distinct objects."""
+        return len(self._osp)
 
     # ------------------------------------------------------------------ #
     # Typing helpers (the `a` predicate of Definition 2.1)

@@ -1,0 +1,133 @@
+"""Golden-file EXPLAIN snapshots for the cost-based planner.
+
+The files under ``tests/query/golden/`` pin the exact plan rendering —
+operator order, join strategy, estimated vs actual cardinalities — for a
+fixed query set over the deterministic Figure 2 university fixture, so
+any planner change that alters a plan shape shows up as a readable diff.
+Regenerate them by running this module as a script:
+``PYTHONPATH=src python tests/query/test_explain_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import S3PG
+from repro.datasets.university import university_graph, university_shapes
+from repro.pg import PropertyGraphStore
+from repro.query import CypherEngine, SparqlEngine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+PREFIX = "PREFIX uni: <http://example.org/university#>\n"
+
+SPARQL_CASES = {
+    # Chain join: student -> advisor -> department (two hash joins).
+    "sparql_chain": PREFIX
+    + "SELECT ?s ?d WHERE { ?s a uni:Student ; uni:advisedBy ?p . "
+    "?p uni:worksFor ?d . }",
+    # Star around the professor, with the full modifier tail.
+    "sparql_star": PREFIX
+    + "SELECT DISTINCT ?n WHERE { ?p a uni:Professor ; uni:name ?n ; "
+    "uni:worksFor ?d . } ORDER BY ?n LIMIT 5",
+    # Aggregation over a two-pattern join.
+    "sparql_count": PREFIX
+    + "SELECT (COUNT(*) AS ?n) WHERE { ?s uni:advisedBy ?p . "
+    "?p uni:worksFor ?d . }",
+}
+
+CYPHER_CASES = {
+    # The same chain, natively in Cypher (seed + expands + pivot-free).
+    "cypher_chain": (
+        "MATCH (s:uni_Student)-[:uni_advisedBy]->(p), "
+        "(p)-[:uni_worksFor]->(d) "
+        "RETURN s.iri AS s, d.iri AS d"
+    ),
+    # Mid-path seeding: the department end is the most selective anchor,
+    # so the plan pivots and expands the chain backwards.
+    "cypher_pivot": (
+        "MATCH (p)-[:uni_worksFor]->(d:uni_Department) "
+        "RETURN p.iri AS p ORDER BY p"
+    ),
+}
+
+
+def _engines():
+    graph = university_graph()
+    result = S3PG().transform(graph, university_shapes())
+    sparql = SparqlEngine(graph)
+    cypher = CypherEngine(PropertyGraphStore(result.graph))
+    return sparql, cypher
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return _engines()
+
+
+def _render(engine, query):
+    text = engine.explain(query)
+    as_json = json.dumps(engine.explain(query, fmt="json"), indent=2,
+                         sort_keys=True) + "\n"
+    return text if text.endswith("\n") else text + "\n", as_json
+
+
+@pytest.mark.parametrize("name", sorted(SPARQL_CASES))
+def test_sparql_explain_matches_golden(engines, name):
+    text, as_json = _render(engines[0], SPARQL_CASES[name])
+    assert text == (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    assert as_json == (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", sorted(CYPHER_CASES))
+def test_cypher_explain_matches_golden(engines, name):
+    text, as_json = _render(engines[1], CYPHER_CASES[name])
+    assert text == (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    assert as_json == (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8")
+
+
+def test_explain_carries_estimates_and_actuals(engines):
+    """Every physical operator reports both an estimate and the actual
+    row count of the execution the EXPLAIN describes."""
+    document = engines[0].explain(SPARQL_CASES["sparql_chain"], fmt="json")
+
+    def walk(node):
+        yield node
+        for child in node.get("children", ()):
+            yield from walk(child)
+
+    physical = [n for n in walk(document) if n["op"] in
+                ("Scan", "HashJoin", "BindJoin")]
+    assert physical, document
+    for node in physical:
+        assert "est_rows" in node and node["actual_rows"] is not None, node
+
+
+def test_explain_requires_planner():
+    from repro.errors import QueryError
+
+    graph = university_graph()
+    engine = SparqlEngine(graph, planner=False)
+    with pytest.raises(QueryError):
+        engine.explain("SELECT ?s WHERE { ?s ?p ?o . }")
+
+
+def _regenerate() -> None:  # pragma: no cover
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    sparql, cypher = _engines()
+    for name, query in SPARQL_CASES.items():
+        text, as_json = _render(sparql, query)
+        (GOLDEN_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        (GOLDEN_DIR / f"{name}.json").write_text(as_json, encoding="utf-8")
+    for name, query in CYPHER_CASES.items():
+        text, as_json = _render(cypher, query)
+        (GOLDEN_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        (GOLDEN_DIR / f"{name}.json").write_text(as_json, encoding="utf-8")
+    print(f"regenerated golden files in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -91,6 +91,54 @@ class TestSparqlOrderBy:
             parse_sparql(PROLOG + "SELECT ?n WHERE { ?e :name ?n . } ORDER BY")
 
 
+class TestOrderByLimitPipelined:
+    """LIMIT must truncate the *sorted* rows, never a pipelined prefix.
+
+    With the planner's iterator-model operators, results stream out of
+    the plan in join order; a limit smaller than the result set would
+    return the wrong rows if it were applied before the sort completes.
+    Both ends of the ordering are checked so at most one of them can
+    coincide with the plan's emission order by accident.
+    """
+
+    STRATEGIES = (
+        {"planner": False},
+        {},
+        {"force_join": "hash"},
+        {"force_join": "nested"},
+    )
+
+    @pytest.mark.parametrize("kwargs", STRATEGIES)
+    def test_sparql_sorts_before_truncating(self, kwargs):
+        engine = SparqlEngine(GRAPH, **kwargs)
+        base = PROLOG + "SELECT ?n WHERE { ?e a :P ; :name ?n . } ORDER BY "
+        first = engine.query(base + "?n LIMIT 1")
+        last = engine.query(base + "DESC(?n) LIMIT 1")
+        assert [str(r["n"]) for r in first] == ["A"]
+        assert [str(r["n"]) for r in last] == ["C"]
+
+    @pytest.mark.parametrize("kwargs", STRATEGIES)
+    def test_sparql_limit_smaller_than_sorted_prefix(self, kwargs):
+        engine = SparqlEngine(GRAPH, **kwargs)
+        rows = engine.query(
+            PROLOG + "SELECT ?n WHERE { ?e a :P ; :name ?n . } "
+            "ORDER BY DESC(?n) LIMIT 2"
+        )
+        assert [str(r["n"]) for r in rows] == ["C", "B"]
+
+    @pytest.mark.parametrize("kwargs", STRATEGIES)
+    def test_cypher_sorts_before_truncating(self, kwargs):
+        pg = PropertyGraph()
+        for node_id, name in (("a", "A"), ("b", "B"), ("c", "C")):
+            pg.add_node(node_id, labels={"P"}, properties={"name": name})
+        engine = CypherEngine(PropertyGraphStore(pg), **kwargs)
+        base = "MATCH (p:P) RETURN p.name AS n ORDER BY n"
+        first = engine.query(base + " LIMIT 1")
+        last = engine.query(base + " DESC LIMIT 1")
+        assert [r["n"] for r in first] == ["A"]
+        assert [r["n"] for r in last] == ["C"]
+
+
 @pytest.fixture(scope="module")
 def cypher_engine():
     pg = PropertyGraph()

@@ -125,6 +125,17 @@ class TestEquivalence:
             setup, PROLOG + "SELECT ?e ?t WHERE { ?e :title ?t . }"
         )
 
+    def test_shared_value_variable_joins(self, setup):
+        """Two key/value patterns on the same value variable must join on
+        equal values; a second ``UNWIND ... AS t`` would silently rebind
+        ``t`` and produce the cartesian product instead."""
+        result, sparql_engine, _ = setup
+        sparql = PROLOG + "SELECT ?a ?b WHERE { ?a :title ?t . ?b :title ?t . }"
+        assert len(sparql_engine.query(sparql)) == 2  # each album with itself
+        cypher = assert_equivalent(setup, sparql)
+        assert cypher.count("UNWIND") == 2
+        assert "WITH * WHERE" in cypher
+
 
 class TestUnsupportedConstructs:
     def test_variable_predicate_rejected(self, setup):
