@@ -1,0 +1,156 @@
+"""CDC streaming throughput: deltas/sec, apply latency, and staleness.
+
+Replays a randomized add/remove delta history of the DBpedia-2022-like
+dataset through the :mod:`repro.cdc` pipeline and measures the service
+characteristics the subsystem exists for:
+
+* **throughput** — deltas applied per second end-to-end;
+* **latency** — p50/p99 of per-delta apply latency (arrival to applied);
+* **staleness** — p99 of how far the materialized PG lagged the stream;
+* **revalidation sparsity** — focus nodes rechecked incrementally vs.
+  what a full revalidation per batch would have inspected.
+
+The run also asserts the subsystem's correctness claim (the streamed
+store equals the from-scratch transform of the final graph, catalogs
+included) so a perf number is never reported for a wrong result.
+
+``REPRO_BENCH_QUICK=1`` shrinks the stream for smoke runs (CI).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from conftest import write_json_result, write_result
+
+from repro.cdc import CDCConfig, CDCPipeline, Delta, replay_deltas
+from repro.core import transform
+from repro.eval import render_table
+from repro.pg import PropertyGraphStore
+from repro.rdf.graph import Graph
+from repro.shacl.validator import DeltaValidator
+
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Deltas in the stream (quick mode keeps CI in the seconds range).
+N_DELTAS = 60 if BENCH_QUICK else 600
+#: Triples per delta (mixed adds/removes).
+DELTA_SIZE = 4
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _build_stream(graph: Graph) -> tuple[list, list[Delta], set]:
+    """Split the dataset into a base graph and a delta history."""
+    rng = random.Random(11)
+    triples = sorted(graph, key=str)
+    rng.shuffle(triples)
+    n_stream_adds = min(len(triples) // 10, N_DELTAS * DELTA_SIZE)
+    base = triples[n_stream_adds:]
+    pending = triples[:n_stream_adds]
+    current = set(base)
+    removed_pool: list = []
+    deltas: list[Delta] = []
+    for seq in range(1, N_DELTAS + 1):
+        added, removed = [], []
+        for _ in range(DELTA_SIZE):
+            roll = rng.random()
+            if roll < 0.55 and pending:
+                added.append(pending.pop())
+            elif roll < 0.70 and removed_pool:
+                added.append(removed_pool.pop())
+            elif current:
+                victim = rng.choice(sorted(current, key=str))
+                if victim not in added:
+                    removed.append(victim)
+        for t in removed:
+            if t in current:
+                current.discard(t)
+                removed_pool.append(t)
+        current.update(added)
+        if added or removed:
+            deltas.append(Delta(seq, tuple(added), tuple(removed)))
+    return base, deltas, current
+
+
+def test_cdc_stream(benchmark, dbpedia2022_bundle):
+    """Stream a delta history and report service-level measurements."""
+    base, deltas, final = _build_stream(dbpedia2022_bundle.graph)
+    shapes = dbpedia2022_bundle.shapes
+
+    graph = Graph(base)
+    result = transform(graph, shapes)
+    store = PropertyGraphStore(result.graph)
+    validator = DeltaValidator(shapes, graph)
+    pipeline = CDCPipeline(
+        result.transformed,
+        graph,
+        store=store,
+        validator=validator,
+        # One delta per batch: the replay pre-enqueues the whole stream,
+        # so larger batches would merge every delta into one revalidation
+        # pass and hide the per-delta service characteristics.
+        config=CDCConfig(max_batch_size=1, max_linger_s=0.0),
+    )
+
+    def run_stream():
+        start = time.perf_counter()
+        stats = replay_deltas(pipeline, deltas)
+        return stats, time.perf_counter() - start
+
+    stats, elapsed = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+
+    # Correctness first: the streamed result is the from-scratch result.
+    scratch = transform(Graph(final), shapes).graph
+    assert store.graph.structurally_equal(scratch)
+    assert store.catalog_discrepancies() == []
+    fresh = DeltaValidator(shapes, graph)
+    assert validator.snapshot() == fresh.snapshot()
+
+    # Delta-scoped revalidation inspects far fewer focus nodes than a
+    # full recheck per batch would have.
+    full_equivalent = validator.focus_count * stats.batches
+    sparsity = (
+        stats.focus_rechecked / full_equivalent if full_equivalent else 0.0
+    )
+    assert stats.focus_rechecked < full_equivalent
+
+    throughput = stats.deltas_applied / elapsed if elapsed else 0.0
+    measurements = {
+        "deltas_applied": stats.deltas_applied,
+        "batches": stats.batches,
+        "triples_added": stats.triples_added,
+        "triples_removed": stats.triples_removed,
+        "deltas_per_s": round(throughput, 1),
+        "latency_p50_ms": round(_percentile(stats.latencies, 0.5) * 1000, 3),
+        "latency_p99_ms": round(_percentile(stats.latencies, 0.99) * 1000, 3),
+        "staleness_p99_ms": round(
+            _percentile(stats.staleness, 0.99) * 1000, 3
+        ),
+        "focus_rechecked": stats.focus_rechecked,
+        "focus_full_equivalent": full_equivalent,
+        "recheck_fraction": round(sparsity, 4),
+    }
+    write_result(
+        "cdc_stream.txt",
+        render_table(
+            [{"metric": key, "value": str(value)}
+             for key, value in measurements.items()],
+            title="CDC streaming (delta apply + delta-scoped revalidation)",
+        ),
+    )
+    write_json_result(
+        "cdc_stream", measurements,
+        quick=BENCH_QUICK, n_deltas=len(deltas), delta_size=DELTA_SIZE,
+    )
+
+    assert stats.deltas_applied == len(deltas)
+    assert stats.deltas_quarantined == 0
+    assert stats.latencies

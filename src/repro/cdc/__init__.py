@@ -1,0 +1,50 @@
+"""``repro.cdc`` — the always-on incremental transformation service.
+
+Turns the one-shot library into a long-running ingest daemon: an async
+pipeline consumes an ordered **changefeed** of RDF deltas, maintains the
+materialized property graph through the store-aware
+:class:`~repro.core.IncrementalTransformer` (S3PG's monotonicity,
+Prop. 4.3, is what makes per-delta maintenance sound), keeps a standing
+SHACL conformance report fresh with delta-scoped revalidation
+(:class:`~repro.shacl.DeltaValidator`), and survives restarts via
+watermarked checkpoints.  ``repro serve`` is the CLI front-end.
+"""
+
+from .changefeed import (
+    BadDelta,
+    Delta,
+    JsonlChangefeed,
+    MemoryChangefeed,
+    append_delta,
+    delta_from_json,
+    delta_to_json,
+    read_delta_log,
+    write_delta_log,
+)
+from .checkpoint import (
+    CheckpointState,
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .pipeline import CDCConfig, CDCPipeline, PipelineStats, replay_deltas
+
+__all__ = [
+    "BadDelta",
+    "CDCConfig",
+    "CDCPipeline",
+    "CheckpointState",
+    "Delta",
+    "JsonlChangefeed",
+    "MemoryChangefeed",
+    "PipelineStats",
+    "append_delta",
+    "delta_from_json",
+    "delta_to_json",
+    "has_checkpoint",
+    "load_checkpoint",
+    "read_delta_log",
+    "replay_deltas",
+    "save_checkpoint",
+    "write_delta_log",
+]

@@ -17,9 +17,12 @@ Subcommands cover the full S3PG workflow on files:
   (round-trip, validation, differential, serializer, engine oracles)
 * ``profile``         — run a workload under tracing and print a top-N
   span self-time table
+* ``serve``           — the always-on CDC service: consume a JSONL delta
+  log, maintain the PG incrementally with delta-scoped SHACL
+  revalidation, checkpoint, and (without ``--once``) tail the log
 
-``transform``, ``validate``, ``query``, ``fuzz``, and ``profile``
-accept ``--trace FILE`` (Chrome trace events for ``.json``, JSON-lines
+``transform``, ``validate``, ``query``, ``fuzz``, ``profile``, and
+``serve`` accept ``--trace FILE`` (Chrome trace events for ``.json``, JSON-lines
 for ``.jsonl``) and ``--metrics FILE`` (Prometheus text exposition, or
 a JSON snapshot for ``.json``) to export the run's observability data.
 
@@ -266,6 +269,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(profile)
 
+    serve = sub.add_parser(
+        "serve", help="run the always-on CDC ingest service on a delta log"
+    )
+    serve.add_argument(
+        "--source", required=True, metavar="LOG",
+        help="JSONL delta log to consume (see repro.cdc.changefeed)",
+    )
+    serve.add_argument(
+        "--data", metavar="FILE",
+        help="base RDF data transformed at startup (ignored when "
+             "resuming from a checkpoint; empty graph if omitted)",
+    )
+    serve.add_argument(
+        "--shapes", metavar="FILE",
+        help="SHACL document (Turtle); extracted from the base data "
+             "(or recovered from the checkpoint mapping) if omitted",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="replay the log to EOF and exit instead of tailing it",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="max deltas applied per batch (default 64)",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=50.0, metavar="MS",
+        help="max time a batch waits for more deltas (default 50)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=256, metavar="N",
+        help="bounded ingest buffer; a full buffer backpressures the "
+             "reader (default 256)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="resume from (and write) watermarked checkpoints here",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint every N applied deltas (default: only at exit)",
+    )
+    serve.add_argument(
+        "--quarantine", metavar="FILE",
+        help="dead-letter JSONL file for poison deltas",
+    )
+    serve.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the standing SHACL conformance report",
+    )
+    serve.add_argument(
+        "--non-parsimonious", action="store_true",
+        help="use the fully monotone (non-parsimonious) model",
+    )
+    serve.add_argument(
+        "--on-unknown", choices=("fallback", "skip", "error"), default="fallback",
+        help="handling of triples not covered by the shapes",
+    )
+    _add_obs_arguments(serve)
+
     return parser
 
 
@@ -437,36 +500,11 @@ def _cmd_to_rdf(args: argparse.Namespace) -> int:
     return 0
 
 
-def _rebuild_transformed(pgdir: str, mapping_path: str):
-    """Rebuild a TransformedGraph from its CSV + mapping.json artifacts."""
-    from .core.config import MONOTONE_OPTIONS, DEFAULT_OPTIONS
-    from .core.data_transform import TransformedGraph
-    from .core.inverse import pgschema_to_shacl
-    from .core.schema_transform import SchemaTransformer
-
-    mapping = SchemaMapping.from_json(
-        Path(mapping_path).read_text(encoding="utf-8")
-    )
-    options = DEFAULT_OPTIONS if mapping.parsimonious else MONOTONE_OPTIONS
-    schema_result = SchemaTransformer(options).transform(
-        pgschema_to_shacl(mapping)
-    )
-    # Re-register the fallback predicates and external classes the
-    # original run added, so the rebuilt schema covers the whole graph.
-    for class_mapping in mapping.classes.values():
-        if not class_mapping.from_shape:
-            schema_result.registry.ensure_external_class(class_mapping.class_iri)
-    for predicate in mapping.fallback:
-        schema_result.registry.fallback_property(predicate)
-    return TransformedGraph(
-        graph=read_csv(pgdir), schema_result=schema_result, options=options
-    )
-
-
 def _cmd_compact(args: argparse.Namespace) -> int:
+    from .core.inverse import rebuild_transformed
     from .core.optimize import optimize
 
-    transformed = _rebuild_transformed(args.pgdir, args.mapping)
+    transformed = rebuild_transformed(args.pgdir, args.mapping)
     before = transformed.graph.stats()
     optimized = optimize(transformed)
     after = optimized.graph.stats()
@@ -578,6 +616,116 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cdc import CDCConfig, CDCPipeline, JsonlChangefeed
+    from .cdc.checkpoint import has_checkpoint, load_checkpoint, save_checkpoint
+    from .core.inverse import pgschema_to_shacl
+    from .shacl.validator import DeltaValidator
+
+    shapes = None
+    if args.shapes:
+        shapes = parse_shacl(Path(args.shapes).read_text(encoding="utf-8"))
+
+    watermark = -1
+    if args.checkpoint_dir and has_checkpoint(args.checkpoint_dir):
+        state = load_checkpoint(args.checkpoint_dir)
+        transformed, graph, watermark = (
+            state.transformed, state.source_graph, state.watermark
+        )
+        if shapes is None:
+            shapes = pgschema_to_shacl(transformed.mapping)
+        print(
+            f"resumed from {args.checkpoint_dir} at watermark {watermark} "
+            f"({transformed.graph.node_count()} nodes, "
+            f"{transformed.graph.edge_count()} edges)"
+        )
+    else:
+        graph = load_rdf(args.data) if args.data else Graph()
+        if shapes is None:
+            shapes = extract_shapes(graph)
+        options = TransformOptions(
+            parsimonious=not args.non_parsimonious, on_unknown=args.on_unknown
+        )
+        result = S3PG(options).transform(graph, shapes)
+        transformed = result.transformed
+        print(
+            f"transformed base graph: {len(graph)} triples -> "
+            f"{transformed.graph.node_count()} nodes / "
+            f"{transformed.graph.edge_count()} edges"
+        )
+
+    store = PropertyGraphStore(transformed.graph)
+    validator = None if args.no_validate else DeltaValidator(shapes, graph)
+    pipeline = CDCPipeline(
+        transformed,
+        graph,
+        store=store,
+        validator=validator,
+        config=CDCConfig(
+            max_batch_size=args.batch_size,
+            max_linger_s=args.linger_ms / 1000.0,
+            queue_maxsize=args.queue_size,
+            checkpoint_every=args.checkpoint_every,
+            validate=not args.no_validate,
+        ),
+        quarantine_path=args.quarantine,
+        checkpoint_dir=args.checkpoint_dir,
+        watermark=watermark,
+    )
+    feed = JsonlChangefeed(
+        args.source, start_after=watermark, follow=not args.once
+    )
+    mode = "replaying" if args.once else "tailing"
+    print(f"{mode} {args.source} from watermark {watermark}")
+    try:
+        stats = asyncio.run(pipeline.run(feed))
+    except KeyboardInterrupt:
+        print("interrupted")
+        if pipeline.checkpoint_dir is not None:
+            save_checkpoint(pipeline.checkpoint_dir, pipeline)
+            pipeline.stats.checkpoints += 1
+        stats = pipeline.stats
+
+    pg_stats = transformed.graph.stats()
+    print(
+        f"applied {stats.deltas_applied} delta(s) in {stats.batches} "
+        f"batch(es) (+{stats.triples_added}/-{stats.triples_removed} "
+        f"triples, {stats.deltas_skipped} skipped, "
+        f"{stats.deltas_quarantined} quarantined, {stats.retries} retries)"
+    )
+    print(
+        f"graph: {pg_stats.n_nodes} nodes / {pg_stats.n_edges} edges / "
+        f"{pg_stats.n_rel_types} relationship types at watermark "
+        f"{pipeline.watermark}"
+    )
+    if stats.latencies:
+        print(
+            f"latency p50 {_percentile(stats.latencies, 0.5) * 1000:.2f}ms / "
+            f"p99 {_percentile(stats.latencies, 0.99) * 1000:.2f}ms"
+        )
+    if validator is not None:
+        verdict = "conforms" if validator.conforms else (
+            f"{len(validator.report().violations)} violation(s)"
+        )
+        print(
+            f"standing report: {verdict} over {validator.focus_count} focus "
+            f"node(s) ({stats.focus_rechecked} rechecked incrementally)"
+        )
+    if stats.checkpoints:
+        print(f"wrote {stats.checkpoints} checkpoint(s) to {args.checkpoint_dir}")
+    return 0
+
+
 _COMMANDS = {
     "transform": _cmd_transform,
     "extract-shapes": _cmd_extract_shapes,
@@ -591,6 +739,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "fuzz": _cmd_fuzz,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
 }
 
 

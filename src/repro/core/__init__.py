@@ -17,6 +17,7 @@ from .inverse import (
     pg_to_rdf,
     pgschema_to_shacl,
     property_shapes_equivalent,
+    rebuild_transformed,
     scalar_to_lexical,
     shape_schemas_equivalent,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "pg_to_rdf",
     "pgschema_to_shacl",
     "property_shapes_equivalent",
+    "rebuild_transformed",
     "render_g2gml",
     "sanitize",
     "scalar_to_lexical",

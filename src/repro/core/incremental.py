@@ -10,7 +10,20 @@ structurally.
 
 Deletions are supported as the natural inverse: key/values and edges
 introduced by removed triples are retracted, and literal/resource nodes
-are garbage-collected once orphaned.
+are garbage-collected once orphaned.  Deltas are expected to be
+*effective* with respect to the source graph — an "added" triple must be
+genuinely new and a "removed" triple genuinely present — since re-adding
+an existing key/value triple would duplicate the value (the CDC pipeline
+filters deltas down to their effective part before applying them).
+
+When the maintained graph is served through a
+:class:`~repro.pg.store.PropertyGraphStore`, pass the store to the
+transformer: every mutation is then routed through the store's
+index-consistent mutators, so the label/adjacency/property indexes, the
+planner statistics (``rel_count``), and the store's mutation ``version``
+advance with each delta.  Without this, plan-cache entries keyed on the
+old catalog version would keep serving plans costed against stale
+statistics.
 """
 
 from __future__ import annotations
@@ -20,7 +33,8 @@ from dataclasses import dataclass
 
 from ..errors import TransformError
 from ..namespaces import RDF_TYPE
-from ..pg.model import PropertyGraph
+from ..pg.model import PGNode, PropertyGraph
+from ..pg.store import PropertyGraphStore
 from ..rdf.terms import IRI, BlankNode, Literal, Triple
 from .config import TransformOptions
 from .data_transform import (
@@ -51,11 +65,23 @@ class IncrementalTransformer:
 
     Args:
         transformed: a previous transformation result to maintain in place.
+        store: optional :class:`PropertyGraphStore` wrapping the same
+            graph; when given, all mutations go through the store so its
+            indexes, planner statistics, and ``version`` stay consistent.
     """
 
-    def __init__(self, transformed: TransformedGraph):
+    def __init__(
+        self,
+        transformed: TransformedGraph,
+        store: PropertyGraphStore | None = None,
+    ):
         self.transformed = transformed
         self.graph = transformed.graph
+        if store is not None and store.graph is not transformed.graph:
+            raise TransformError(
+                "store must wrap the transformed graph it maintains"
+            )
+        self.store = store
         self.mapping = transformed.mapping
         self.registry = transformed.schema_result.registry
         self.options: TransformOptions = transformed.options
@@ -65,6 +91,61 @@ class IncrementalTransformer:
         for edge in self.graph.edges.values():
             self._degree[edge.src] = self._degree.get(edge.src, 0) + 1
             self._degree[edge.dst] = self._degree.get(edge.dst, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Store-aware mutation primitives
+    # ------------------------------------------------------------------ #
+
+    def _create_node(self, node_id, labels, properties) -> PGNode:
+        if self.store is not None:
+            return self.store.add_node(node_id, labels, properties)
+        return self.graph.add_node(node_id, labels=labels, properties=properties)
+
+    def _add_label(self, node: PGNode, label: str) -> None:
+        if label in node.labels:
+            return
+        if self.store is not None:
+            self.store.add_label(node.id, label)
+        else:
+            node.labels.add(label)
+
+    def _discard_label(self, node: PGNode, label: str) -> None:
+        if label not in node.labels:
+            return
+        if self.store is not None:
+            self.store.remove_label(node.id, label)
+        else:
+            node.labels.discard(label)
+
+    def _set_property(self, node: PGNode, key: str, value) -> None:
+        if self.store is not None:
+            self.store.set_node_property(node.id, key, value)
+        else:
+            node.set_property(key, value)
+
+    def _delete_property(self, node: PGNode, key: str) -> None:
+        if self.store is not None:
+            self.store.delete_node_property(node.id, key)
+        else:
+            node.properties.pop(key, None)
+
+    def _create_edge(self, src: str, rel_type: str, dst: str, edge_id: str) -> None:
+        if self.store is not None:
+            self.store.add_edge(src, dst, labels={rel_type}, edge_id=edge_id)
+        else:
+            self.graph.add_edge(src, dst, labels={rel_type}, edge_id=edge_id)
+
+    def _delete_edge(self, edge_id: str) -> None:
+        if self.store is not None:
+            self.store.remove_edge(edge_id)
+        else:
+            self.graph.remove_edge(edge_id)
+
+    def _delete_isolated_node(self, node_id: str) -> None:
+        if self.store is not None:
+            self.store.remove_node(node_id)
+        else:
+            self.graph.remove_isolated_node(node_id)
 
     # ------------------------------------------------------------------ #
     # Additions
@@ -94,17 +175,41 @@ class IncrementalTransformer:
             self._add_property(triple, stats)
         return stats
 
+    def probe_additions(self, triples: Iterable[Triple]) -> None:
+        """Resolve a batch of additions without mutating anything.
+
+        Raises:
+            TransformError: when the batch contains a construct the
+                mapping cannot resolve under ``on_unknown="error"`` — the
+                same error :meth:`apply_additions` would raise mid-batch.
+                Probing first keeps poison deltas from leaving the graph
+                half-updated.
+        """
+        for triple in triples:
+            if triple.p == _TYPE and isinstance(triple.o, IRI):
+                self._label_for_class(triple.o.value)
+                continue
+            types: list[str] = []
+            src_id = node_id_for(triple.s)
+            if self.graph.has_node(src_id):
+                types = self._entity_classes(self.graph.get_node(src_id).labels)
+            prop = self.mapping.property_for(types, triple.p.value)
+            if prop is None and self.options.on_unknown == "error":
+                raise TransformError(
+                    f"no property shape covers predicate {triple.p.value}"
+                )
+
     def _add_type(self, triple: Triple, stats: DeltaStats) -> None:
         node_id = node_id_for(triple.s)
         if self.graph.has_node(node_id):
             node = self.graph.get_node(node_id)
-            node.labels.discard(RESOURCE_LABEL)
+            self._discard_label(node, RESOURCE_LABEL)
         else:
-            node = self.graph.add_node(node_id, properties={IRI_KEY: node_id})
+            node = self._create_node(node_id, (), {IRI_KEY: node_id})
             stats.nodes_added += 1
         label = self._label_for_class(triple.o.value)
         if label is not None:
-            node.labels.add(label)
+            self._add_label(node, label)
 
     def _label_for_class(self, class_iri: str) -> str | None:
         label = self.mapping.label_for_class(class_iri)
@@ -129,8 +234,8 @@ class IncrementalTransformer:
         if self.graph.has_node(src_id):
             node = self.graph.get_node(src_id)
         else:
-            node = self.graph.add_node(
-                src_id, labels={RESOURCE_LABEL}, properties={IRI_KEY: src_id}
+            node = self._create_node(
+                src_id, {RESOURCE_LABEL}, {IRI_KEY: src_id}
             )
             stats.nodes_added += 1
         types = self._entity_classes(node.labels)
@@ -150,9 +255,7 @@ class IncrementalTransformer:
             # An IRI object that is a typed entity node, or becomes a
             # generic resource node.
             if not self.graph.has_node(dst_id):
-                self.graph.add_node(
-                    dst_id, labels={RESOURCE_LABEL}, properties={IRI_KEY: dst_id}
-                )
+                self._create_node(dst_id, {RESOURCE_LABEL}, {IRI_KEY: dst_id})
                 stats.nodes_added += 1
             rel_type = prop.rel_type or self.registry.fallback_property(
                 triple.p.value
@@ -161,7 +264,15 @@ class IncrementalTransformer:
             return
         if prop.is_key_value() and obj.datatype == prop.datatype:
             value = encode_literal_value(obj, self.options.typed_literal_values)
-            node.append_property(prop.pg_key, value)
+            key = prop.pg_key
+            if key not in node.properties:
+                self._set_property(node, key, value)
+            else:
+                current = node.properties[key]
+                if isinstance(current, list):
+                    self._set_property(node, key, current + [value])
+                else:
+                    self._set_property(node, key, [current, value])
             return
         rel_type = prop.rel_type or self.registry.fallback_property(
             triple.p.value
@@ -181,14 +292,14 @@ class IncrementalTransformer:
             }
             if literal.language is not None:
                 properties["lang"] = literal.language
-            self.graph.add_node(dst_id, labels={info.label}, properties=properties)
+            self._create_node(dst_id, {info.label}, properties)
             stats.nodes_added += 1
         return dst_id
 
     def _ensure_edge(self, src: str, rel_type: str, dst: str, stats: DeltaStats) -> None:
         edge_id = edge_id_for(src, rel_type, dst)
         if edge_id not in self.graph.edges:
-            self.graph.add_edge(src, dst, labels={rel_type}, edge_id=edge_id)
+            self._create_edge(src, rel_type, dst, edge_id)
             self._degree[src] = self._degree.get(src, 0) + 1
             self._degree[dst] = self._degree.get(dst, 0) + 1
             stats.edges_added += 1
@@ -213,8 +324,12 @@ class IncrementalTransformer:
         if triple.p == _TYPE and isinstance(triple.o, IRI):
             label = self.mapping.label_for_class(triple.o.value)
             if label is not None:
-                node.labels.discard(label)
+                self._discard_label(node, label)
             self._gc_node(src_id, stats)
+            # A de-typed entity that still carries data must fall back to
+            # the generic resource label, exactly as a from-scratch
+            # transformation of the remaining triples would label it.
+            self._restore_resource_label(src_id)
             return
         types = self._entity_classes(node.labels)
         prop = self.mapping.property_for(types, triple.p.value)
@@ -230,11 +345,19 @@ class IncrementalTransformer:
             current = node.properties[prop.pg_key]
             if isinstance(current, list):
                 if value in current:
-                    current.remove(value)
-                if not current:
-                    del node.properties[prop.pg_key]
+                    rest = list(current)
+                    rest.remove(value)
+                    if not rest:
+                        self._delete_property(node, prop.pg_key)
+                    elif len(rest) == 1:
+                        # A from-scratch transform stores a single value
+                        # as a scalar; demote so remove matches it.
+                        self._set_property(node, prop.pg_key, rest[0])
+                    else:
+                        self._set_property(node, prop.pg_key, rest)
             elif current == value:
-                del node.properties[prop.pg_key]
+                self._delete_property(node, prop.pg_key)
+            self._gc_node(src_id, stats)
             return
         rel_type = (
             prop.rel_type
@@ -247,11 +370,24 @@ class IncrementalTransformer:
             dst_id = node_id_for(obj)
         edge_id = edge_id_for(src_id, rel_type, dst_id)
         if edge_id in self.graph.edges:
-            self.graph.remove_edge(edge_id)
+            self._delete_edge(edge_id)
             self._degree[src_id] = self._degree.get(src_id, 1) - 1
             self._degree[dst_id] = self._degree.get(dst_id, 1) - 1
             stats.edges_removed += 1
         self._gc_node(dst_id, stats)
+        # The subject may have been an untyped resource node kept alive
+        # only by this edge; collect it too (a from-scratch transform of
+        # the remaining triples would not materialize it).
+        self._gc_node(src_id, stats)
+
+    def _restore_resource_label(self, node_id: str) -> None:
+        if not self.graph.has_node(node_id):
+            return
+        node = self.graph.get_node(node_id)
+        if node_id.startswith("lit:"):
+            return
+        if not (node.labels - {RESOURCE_LABEL}):
+            self._add_label(node, RESOURCE_LABEL)
 
     def _gc_node(self, node_id: str, stats: DeltaStats) -> None:
         """Remove a node once it carries no information of its own."""
@@ -266,7 +402,7 @@ class IncrementalTransformer:
             return
         if self._degree.get(node_id, 0) > 0:
             return
-        self.graph.remove_isolated_node(node_id)
+        self._delete_isolated_node(node_id)
         self._degree.pop(node_id, None)
         stats.nodes_removed += 1
 
@@ -278,9 +414,10 @@ def apply_delta(
     transformed: TransformedGraph,
     added: Iterable[Triple] = (),
     removed: Iterable[Triple] = (),
+    store: PropertyGraphStore | None = None,
 ) -> DeltaStats:
     """Apply an (added, removed) delta to a transformed graph in place."""
-    incremental = IncrementalTransformer(transformed)
+    incremental = IncrementalTransformer(transformed, store=store)
     stats = incremental.apply_deletions(removed)
     add_stats = incremental.apply_additions(added)
     stats.added_triples = add_stats.added_triples

@@ -213,3 +213,38 @@ def shape_schemas_equivalent(a: ShapeSchema, b: ShapeSchema) -> bool:
             if not property_shapes_equivalent(phi_a, props_b[path]):
                 return False
     return True
+
+
+def rebuild_transformed(pgdir, mapping_path):
+    """Rebuild a :class:`TransformedGraph` from CSV + ``mapping.json`` artifacts.
+
+    The schema mapping records everything a fresh run needs: the model
+    flavour (parsimonious or monotone), the shape-derived PG-Schema (via
+    :func:`pgschema_to_shacl`), and the fallback predicates / external
+    classes the original run minted.  Used by ``repro compact``,
+    ``repro serve``, and checkpoint resume.
+    """
+    from pathlib import Path
+
+    from ..pg.csv_io import read_csv
+    from .config import DEFAULT_OPTIONS, MONOTONE_OPTIONS
+    from .data_transform import TransformedGraph
+    from .schema_transform import SchemaTransformer
+
+    mapping = SchemaMapping.from_json(
+        Path(mapping_path).read_text(encoding="utf-8")
+    )
+    options = DEFAULT_OPTIONS if mapping.parsimonious else MONOTONE_OPTIONS
+    schema_result = SchemaTransformer(options).transform(
+        pgschema_to_shacl(mapping)
+    )
+    # Re-register the fallback predicates and external classes the
+    # original run added, so the rebuilt schema covers the whole graph.
+    for class_mapping in mapping.classes.values():
+        if not class_mapping.from_shape:
+            schema_result.registry.ensure_external_class(class_mapping.class_iri)
+    for predicate in mapping.fallback:
+        schema_result.registry.fallback_property(predicate)
+    return TransformedGraph(
+        graph=read_csv(pgdir), schema_result=schema_result, options=options
+    )

@@ -58,6 +58,10 @@ class TransformError(ReproError):
     """
 
 
+class ChangefeedError(ReproError):
+    """A CDC changefeed source or checkpoint is malformed or inconsistent."""
+
+
 class EngineError(ReproError):
     """The parallel execution engine cannot complete a sharded run.
 

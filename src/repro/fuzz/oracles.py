@@ -445,6 +445,139 @@ def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
 
 
 # --------------------------------------------------------------------- #
+# CDC pipeline equivalence (Prop. 4.3 lifted to the service layer)
+# --------------------------------------------------------------------- #
+
+def _cdc_history(case: FuzzCase) -> tuple[list, list, set]:
+    """A random delta history derived from the case.
+
+    Returns ``(base_triples, deltas, final_triples)``: the stream starts
+    from a transform of ``base_triples`` and must land on the transform
+    of ``final_triples``.  The history deliberately includes re-adds of
+    removed triples, duplicate adds, and removes of absent triples — the
+    pipeline has to reduce every delta to its effective part.
+    """
+    import random
+
+    from ..cdc import Delta
+
+    pool = list(dict.fromkeys(case.triples))
+    rng = random.Random(case.seed ^ 0x5CDC)
+    rng.shuffle(pool)
+    base = pool[: len(pool) // 2]
+    pending = pool[len(pool) // 2:]
+    current = set(base)
+    removed_pool: list = []
+    deltas: list = []
+    for seq in range(1, rng.randint(4, 9)):
+        added: list = []
+        removed: list = []
+        for _ in range(rng.randint(1, 4)):
+            roll = rng.random()
+            if roll < 0.45 and pending:
+                added.append(pending.pop())
+            elif roll < 0.60 and removed_pool:
+                added.append(removed_pool.pop(rng.randrange(len(removed_pool))))
+            elif roll < 0.85 and current:
+                victim = rng.choice(sorted(current, key=str))
+                if victim not in added:
+                    removed.append(victim)
+            elif roll < 0.95 and current:
+                # Duplicate add of a triple that is already present.
+                duplicate = rng.choice(sorted(current, key=str))
+                if duplicate not in removed:
+                    added.append(duplicate)
+            elif removed_pool:
+                # Remove of a triple that is already absent.
+                absent = rng.choice(removed_pool)
+                if absent not in added:
+                    removed.append(absent)
+        for t in removed:
+            if t in current:
+                current.discard(t)
+                removed_pool.append(t)
+        for t in added:
+            current.add(t)
+        if added or removed:
+            deltas.append(
+                Delta(seq=seq, added=tuple(added), removed=tuple(removed))
+            )
+    return base, deltas, current
+
+
+def cdc_equivalence(case: FuzzCase, ctx: OracleContext) -> str | None:
+    """Streaming a delta history through the CDC pipeline is equivalent
+    to transforming the final graph from scratch, with the store
+    catalogs and the standing SHACL report maintained exactly."""
+    from ..cdc import CDCConfig, CDCPipeline, replay_deltas
+    from ..shacl.validator import DeltaValidator
+
+    base, deltas, final = _cdc_history(case)
+    if not deltas:
+        return None
+    for options in _BOTH_MODES:
+        graph = Graph(base)
+        result = transform(graph, case.schema, options)
+        store = PropertyGraphStore(result.graph)
+        version_before = store.version
+        validator = (
+            DeltaValidator(case.schema, graph)
+            if options is DEFAULT_OPTIONS
+            else None
+        )
+        pipeline = CDCPipeline(
+            result.transformed,
+            graph,
+            store=store,
+            validator=validator,
+            config=CDCConfig(max_linger_s=0.0),
+        )
+        stats = replay_deltas(pipeline, deltas)
+        if set(graph) != final:
+            return (
+                f"tracked source graph diverged from the delta history in "
+                f"{_mode(options)} mode"
+            )
+        scratch = transform(Graph(final), case.schema, options).graph
+        if not store.graph.structurally_equal(scratch):
+            return (
+                f"pipelined PG != from-scratch F_dt(final) in "
+                f"{_mode(options)} mode after {len(deltas)} delta(s) "
+                f"({store.graph.node_count()} vs {scratch.node_count()} "
+                f"nodes, {store.graph.edge_count()} vs "
+                f"{scratch.edge_count()} edges)"
+            )
+        discrepancies = store.catalog_discrepancies()
+        if discrepancies:
+            return (
+                f"store catalogs stale after streaming in {_mode(options)} "
+                f"mode: {'; '.join(discrepancies)}"
+            )
+        if (stats.triples_added or stats.triples_removed) and (
+            store.version == version_before
+        ):
+            return (
+                f"store version did not advance over {stats.triples_added}"
+                f"+{stats.triples_removed} effective triple(s) in "
+                f"{_mode(options)} mode"
+            )
+        if validator is not None:
+            fresh = DeltaValidator(case.schema, graph)
+            if validator.snapshot() != fresh.snapshot():
+                return (
+                    "standing DeltaValidator report diverges from a full "
+                    f"revalidation after {len(deltas)} delta(s)"
+                )
+            full = shacl_validate(graph, case.schema)
+            if validator.conforms != full.conforms:
+                return (
+                    f"standing conforms={validator.conforms} but full "
+                    f"revalidation says {full.conforms}"
+                )
+    return None
+
+
+# --------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------- #
 
@@ -512,6 +645,11 @@ ORACLES: dict[str, Oracle] = {
         Oracle(
             "cypher_undirected", ("valid", "noise"), cypher_undirected,
             "undirected MATCH row counts follow openCypher semantics",
+        ),
+        Oracle(
+            "cdc_equivalence", _RDF_KINDS, cdc_equivalence,
+            "streamed deltas land on the from-scratch transform, with "
+            "store catalogs and the standing SHACL report exact",
         ),
     )
 }

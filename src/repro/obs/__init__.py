@@ -27,6 +27,7 @@ from .export import (
 )
 from .metrics import (
     DEFAULT_BOUNDARIES,
+    LATENCY_BOUNDARIES,
     Counter,
     Gauge,
     Histogram,
@@ -54,6 +55,7 @@ __all__ = [
     "DEFAULT_BOUNDARIES",
     "Gauge",
     "Histogram",
+    "LATENCY_BOUNDARIES",
     "MetricsRegistry",
     "SelfTimeRow",
     "Span",

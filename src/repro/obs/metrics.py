@@ -27,11 +27,20 @@ __all__ = [
     "MetricsRegistry",
     "get_metrics",
     "DEFAULT_BOUNDARIES",
+    "LATENCY_BOUNDARIES",
 ]
 
 #: Default histogram bucket boundaries (seconds-flavoured).
 DEFAULT_BOUNDARIES: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+#: Sub-second-biased boundaries for per-event latencies (e.g. the CDC
+#: pipeline's end-to-end delta latency), where the interesting range is
+#: hundreds of microseconds to a few seconds.
+LATENCY_BOUNDARIES: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
 

@@ -146,6 +146,19 @@ class PropertyGraphStore:
         self._label_index[label].add(node_id)
         self._version += 1
 
+    def remove_label(self, node_id: str, label: str) -> None:
+        """Drop a label from an existing node, keeping the label index fresh."""
+        node = self.graph.get_node(node_id)
+        if label not in node.labels:
+            return
+        node.labels.discard(label)
+        bucket = self._label_index.get(label)
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self._label_index[label]
+        self._version += 1
+
     def set_node_property(self, node_id: str, key: str, value: PropertyValue) -> None:
         """Update a node property, keeping property indexes consistent."""
         node = self.graph.get_node(node_id)
@@ -155,6 +168,21 @@ class PropertyGraphStore:
         node.set_property(key, value)
         if key in self._indexed_keys and isinstance(value, (str, int, float, bool)):
             self._property_index[(key, value)].add(node_id)
+        self._version += 1
+
+    def delete_node_property(self, node_id: str, key: str) -> None:
+        """Remove a node property, keeping property indexes consistent."""
+        node = self.graph.get_node(node_id)
+        if key not in node.properties:
+            return
+        old = node.properties[key]
+        if key in self._indexed_keys and isinstance(old, (str, int, float, bool)):
+            bucket = self._property_index.get((key, old))
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del self._property_index[(key, old)]
+        del node.properties[key]
         self._version += 1
 
     def remove_edge(self, edge_id: str) -> None:
@@ -205,6 +233,58 @@ class PropertyGraphStore:
     def version(self) -> int:
         """Mutation counter; changes on every index-affecting mutation."""
         return self._version
+
+    def catalog_snapshot(self) -> dict:
+        """An order-free view of the derived indexes and statistics.
+
+        Two stores over structurally equal graphs must produce equal
+        snapshots regardless of the mutation history that built them —
+        the invariant incremental maintenance has to preserve.
+        """
+        return {
+            "rel_count": dict(self._rel_count),
+            "labels": {
+                label: frozenset(ids)
+                for label, ids in self._label_index.items()
+                if ids
+            },
+            "properties": {
+                key: frozenset(ids)
+                for key, ids in self._property_index.items()
+                if ids
+            },
+            "out": {
+                node: {
+                    label: sorted(ids)
+                    for label, ids in adjacency.items()
+                    if ids
+                }
+                for node, adjacency in self._out.items()
+                if any(adjacency.values())
+            },
+            "in": {
+                node: {
+                    label: sorted(ids)
+                    for label, ids in adjacency.items()
+                    if ids
+                }
+                for node, adjacency in self._in.items()
+                if any(adjacency.values())
+            },
+        }
+
+    def catalog_discrepancies(self) -> list[str]:
+        """Sections of the maintained catalogs that a fresh bulk rebuild
+        over the same graph would populate differently (empty = consistent)."""
+        fresh = PropertyGraphStore(
+            self.graph, property_indexes=self._indexed_keys
+        )
+        mine, theirs = self.catalog_snapshot(), fresh.catalog_snapshot()
+        return [
+            f"{section} catalog diverges from a fresh rebuild"
+            for section in mine
+            if mine[section] != theirs[section]
+        ]
 
     @property
     def indexed_keys(self) -> tuple[str, ...]:

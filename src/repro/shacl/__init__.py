@@ -24,11 +24,18 @@ from .taxonomy import (
     is_single_type,
     kind_histogram,
 )
-from .validator import ShaclValidator, ValidationReport, Violation, validate
+from .validator import (
+    DeltaValidator,
+    ShaclValidator,
+    ValidationReport,
+    Violation,
+    validate,
+)
 
 __all__ = [
     "UNBOUNDED",
     "ClassType",
+    "DeltaValidator",
     "LiteralType",
     "NodeShape",
     "NodeShapeRef",

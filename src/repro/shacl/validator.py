@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections.abc import Iterable
+
 from .. import obs
-from ..namespaces import RDF_TYPE
+from ..namespaces import RDF_TYPE, RDFS
 from ..rdf.graph import Graph
-from ..rdf.terms import IRI, Literal, Object, Subject
+from ..rdf.terms import IRI, BlankNode, Literal, Object, Subject, Triple
 from .model import (
     ClassType,
     LiteralType,
@@ -33,6 +35,7 @@ from .model import (
 )
 
 _TYPE = IRI(RDF_TYPE)
+_SUBCLASS_OF = IRI(RDFS.subClassOf)
 
 
 @dataclass(frozen=True)
@@ -276,3 +279,187 @@ class ShaclValidator:
 def validate(graph: Graph, schema: ShapeSchema) -> ValidationReport:
     """Validate ``graph`` against ``schema`` (module-level convenience)."""
     return ShaclValidator(schema).validate(graph)
+
+
+class DeltaValidator:
+    """Delta-scoped SHACL revalidation with a standing conformance report.
+
+    Instead of re-running whole-graph validation after every change, the
+    validator maintains a per-focus-node verdict table and, given the
+    (added, removed) triples of a delta, recomputes only the focus nodes
+    the delta can affect:
+
+    * the **subjects** of every delta triple (their own property values
+      or type targeting changed), and
+    * transitively, every entity that **references** an affected node
+      through a property whose shape carries a class or node-shape
+      constraint (its conformance inspects the referenced node's types
+      or nested conformance).
+
+    The reachability uses only the shape registry's *reference paths*
+    (property shapes whose value types carry ``sh:class`` or ``sh:node``
+    constraints): those checks validate the referenced node's nested
+    conformance, so any change to it — types or literal properties —
+    can flip the referrer's verdict.  Deltas on nodes no reference path
+    points at never fan out.  A delta that rewrites the
+    ``rdfs:subClassOf`` taxonomy invalidates class membership globally
+    and falls back to a full rebuild.
+
+    Every focus node is checked with a fresh memo, which makes its
+    violation list independent of the order entities are (re)checked —
+    the standing report after any delta sequence is therefore *equal* to
+    the report a freshly built :class:`DeltaValidator` produces on the
+    final graph, and its ``conforms`` flag matches
+    :meth:`ShaclValidator.validate`.
+
+    Args:
+        schema: the shape schema ``S_G``.
+        graph: the RDF graph to track; deltas must already be applied to
+            it before :meth:`apply_delta` is called.
+        max_violations: per-entity violation cap (see ShaclValidator).
+    """
+
+    def __init__(
+        self,
+        schema: ShapeSchema,
+        graph: Graph,
+        max_violations: int = 10_000,
+    ):
+        self.schema = schema
+        self.graph = graph
+        self._validator = ShaclValidator(schema, max_violations)
+        self._targets = schema.target_classes()
+        self._reference_paths = self._compute_reference_paths()
+        #: Focus entity -> violations of all shapes targeting its types.
+        self._entries: dict[Subject, tuple[Violation, ...]] = {}
+        #: Focus nodes rechecked by the last apply_delta (or rebuild).
+        self.last_rechecked = 0
+        #: Cumulative focus-node checks over the validator's lifetime.
+        self.total_rechecked = 0
+        self.rebuild()
+
+    def _compute_reference_paths(self) -> frozenset[str]:
+        paths: set[str] = set()
+        for shape in self.schema:
+            for phi in self.schema.effective_property_shapes(shape.name):
+                if any(not vt.is_literal() for vt in phi.value_types):
+                    paths.add(phi.path)
+        return frozenset(paths)
+
+    # ------------------------------------------------------------------ #
+
+    def rebuild(self) -> None:
+        """Recompute the standing report from scratch (full validation)."""
+        self._entries = {}
+        checked = 0
+        for entity in self._targeted_entities():
+            self._entries[entity] = self._check(entity)
+            checked += 1
+        self.last_rechecked = checked
+        self.total_rechecked += checked
+
+    def _targeted_entities(self) -> Iterable[Subject]:
+        seen: set[Subject] = set()
+        for cls_iri in self._targets:
+            for entity in self.graph.instances_of(IRI(cls_iri)):
+                if entity not in seen:
+                    seen.add(entity)
+                    yield entity
+
+    def _shapes_for(self, entity: Subject) -> list[str]:
+        shapes = {
+            self._targets[t.value]
+            for t in self.graph.types_of(entity)
+            if isinstance(t, IRI) and t.value in self._targets
+        }
+        return sorted(shapes)
+
+    def _check(self, entity: Subject) -> tuple[Violation, ...]:
+        violations: list[Violation] = []
+        for shape_name in self._shapes_for(entity):
+            report = ValidationReport(conforms=True)
+            self._validator._check_entity(self.graph, entity, shape_name, report, {})
+            violations.extend(report.violations)
+        return tuple(violations)
+
+    # ------------------------------------------------------------------ #
+
+    def apply_delta(
+        self,
+        added: Iterable[Triple] = (),
+        removed: Iterable[Triple] = (),
+    ) -> int:
+        """Recheck the focus nodes affected by an already-applied delta.
+
+        Returns the number of focus nodes rechecked.
+        """
+        added = tuple(added)
+        removed = tuple(removed)
+        if any(t.p == _SUBCLASS_OF for t in (*added, *removed)):
+            # Subclass-axiom changes shift class membership for every
+            # ``sh:class`` check; delta scoping is unsound here.
+            self.rebuild()
+            return self.last_rechecked
+        affected = self._affected_entities(added, removed)
+        checked = 0
+        for entity in affected:
+            shapes = self._shapes_for(entity)
+            if not shapes:
+                self._entries.pop(entity, None)
+                continue
+            self._entries[entity] = self._check(entity)
+            checked += 1
+        self.last_rechecked = checked
+        self.total_rechecked += checked
+        return checked
+
+    def _affected_entities(
+        self,
+        added: tuple[Triple, ...],
+        removed: tuple[Triple, ...],
+    ) -> set[Subject]:
+        seeds: set[Subject] = {t.s for t in (*added, *removed)}
+        affected = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            node = frontier.pop()
+            if not isinstance(node, (IRI, BlankNode)):
+                continue
+            for path in self._reference_paths:
+                for referrer in self.graph.subjects(IRI(path), node):
+                    if referrer not in affected:
+                        affected.add(referrer)
+                        frontier.append(referrer)
+        return affected
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def focus_count(self) -> int:
+        """Focus nodes currently tracked (= a full validation's targets)."""
+        return len(self._entries)
+
+    def report(self) -> ValidationReport:
+        """The standing conformance report."""
+        violations = [
+            violation
+            for entity in sorted(self._entries, key=str)
+            for violation in self._entries[entity]
+        ]
+        return ValidationReport(
+            conforms=not violations,
+            violations=violations,
+            checked_entities=len(self._entries),
+        )
+
+    @property
+    def conforms(self) -> bool:
+        """True when every tracked focus node conforms."""
+        return all(not v for v in self._entries.values())
+
+    def snapshot(self) -> dict[str, list[str]]:
+        """Focus node -> sorted violation strings (comparison/persistence)."""
+        return {
+            str(entity): sorted(str(v) for v in violations)
+            for entity, violations in self._entries.items()
+        }

@@ -1,0 +1,165 @@
+"""Changefeed sources: the JSONL codec, in-memory queue, and log tailing."""
+
+import asyncio
+
+import pytest
+
+from repro.cdc import (
+    BadDelta,
+    Delta,
+    JsonlChangefeed,
+    MemoryChangefeed,
+    append_delta,
+    delta_from_json,
+    delta_to_json,
+    read_delta_log,
+    write_delta_log,
+)
+from repro.errors import ChangefeedError
+from repro.rdf.ntriples import parse_line
+
+T1 = parse_line('<http://x/a> <http://x/p> "v" .')
+T2 = parse_line("<http://x/a> <http://x/q> <http://x/b> .")
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        delta = Delta(seq=7, added=(T1,), removed=(T2,))
+        back = delta_from_json(delta_to_json(delta))
+        assert back == delta
+
+    def test_unicode_survives(self):
+        triple = parse_line('<http://x/a> <http://x/p> "gr\\u00fc\\u00df" .')
+        back = delta_from_json(delta_to_json(Delta(1, added=(triple,))))
+        assert back.added == (triple,)
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ChangefeedError):
+            delta_from_json("not json")
+
+    def test_rejects_missing_seq(self):
+        with pytest.raises(ChangefeedError):
+            delta_from_json('{"add": []}')
+
+    def test_rejects_bad_statement(self):
+        with pytest.raises(ChangefeedError):
+            delta_from_json('{"seq": 1, "add": ["<oops"]}')
+
+    def test_len_counts_both_sides(self):
+        assert len(Delta(1, added=(T1,), removed=(T2,))) == 2
+
+
+class TestDeltaLog:
+    def test_write_read_roundtrip(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        deltas = [Delta(1, added=(T1,)), Delta(2, removed=(T1,), added=(T2,))]
+        assert write_delta_log(deltas, log) == 2
+        assert read_delta_log(log) == deltas
+
+    def test_append(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        append_delta(log, Delta(1, added=(T1,)))
+        append_delta(log, Delta(2, added=(T2,)))
+        assert [d.seq for d in read_delta_log(log)] == [1, 2]
+
+    def test_read_is_strict(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        log.write_text('{"seq": 1, "add": []}\ngarbage\n', encoding="utf-8")
+        with pytest.raises(ChangefeedError):
+            read_delta_log(log)
+
+
+async def _collect(feed):
+    return [item async for item in feed]
+
+
+class TestMemoryChangefeed:
+    def test_fifo_until_closed(self):
+        async def scenario():
+            feed = MemoryChangefeed()
+            await feed.put(Delta(1))
+            await feed.put(Delta(2))
+            feed.close()
+            return await _collect(feed)
+
+        items = asyncio.run(scenario())
+        assert [d.seq for d in items] == [1, 2]
+
+    def test_put_after_close_raises(self):
+        async def scenario():
+            feed = MemoryChangefeed()
+            feed.close()
+            with pytest.raises(ChangefeedError):
+                await feed.put(Delta(1))
+
+        asyncio.run(scenario())
+
+    def test_bounded_put_backpressures(self):
+        async def scenario():
+            feed = MemoryChangefeed(maxsize=2)
+            await feed.put(Delta(1))
+            await feed.put(Delta(2))
+
+            async def producer():
+                await feed.put(Delta(3))
+                feed.close()
+
+            task = asyncio.create_task(producer())
+            await asyncio.sleep(0)
+            assert feed.backpressure_waits == 1  # producer is blocked
+            items = await _collect(feed)
+            await task
+            return items
+
+        items = asyncio.run(scenario())
+        assert [d.seq for d in items] == [1, 2, 3]
+
+
+class TestJsonlChangefeed:
+    def test_replay_to_eof(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        write_delta_log([Delta(1, added=(T1,)), Delta(2)], log)
+        items = asyncio.run(_collect(JsonlChangefeed(log)))
+        assert [d.seq for d in items] == [1, 2]
+
+    def test_start_after_skips_watermarked(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        write_delta_log([Delta(1), Delta(2), Delta(3)], log)
+        items = asyncio.run(_collect(JsonlChangefeed(log, start_after=2)))
+        assert [d.seq for d in items] == [3]
+
+    def test_bad_line_yields_baddelta(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        log.write_text(
+            delta_to_json(Delta(1)) + "\n" + "garbage\n"
+            + delta_to_json(Delta(2)) + "\n",
+            encoding="utf-8",
+        )
+        items = asyncio.run(_collect(JsonlChangefeed(log)))
+        assert [type(i).__name__ for i in items] == [
+            "Delta", "BadDelta", "Delta"
+        ]
+        assert items[1].line_number == 2
+
+    def test_follow_sees_appended_records(self, tmp_path):
+        log = tmp_path / "deltas.jsonl"
+        write_delta_log([Delta(1)], log)
+
+        async def scenario():
+            feed = JsonlChangefeed(log, follow=True, poll_interval=0.01)
+            seen = []
+
+            async def consume():
+                async for item in feed:
+                    seen.append(item)
+                    if len(seen) == 2:
+                        feed.stop()
+
+            task = asyncio.create_task(consume())
+            await asyncio.sleep(0.05)
+            append_delta(log, Delta(2, added=(T2,)))
+            await asyncio.wait_for(task, timeout=5)
+            return seen
+
+        seen = asyncio.run(scenario())
+        assert [d.seq for d in seen] == [1, 2]

@@ -1,0 +1,138 @@
+"""Checkpoint/resume: watermark protocol and state recovery."""
+
+import json
+
+import pytest
+
+from repro.cdc import (
+    CDCConfig,
+    CDCPipeline,
+    Delta,
+    has_checkpoint,
+    load_checkpoint,
+    replay_deltas,
+    save_checkpoint,
+)
+from repro.errors import ChangefeedError
+from repro.pg import PropertyGraphStore
+from repro.rdf import parse_turtle
+from repro.rdf.ntriples import parse_line
+from repro.shacl import DeltaValidator, parse_shacl
+from repro.core import S3PG
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :friend ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] .
+""")
+
+BASE = '@prefix : <http://x/> .\n:a a :Person ; :name "A" .'
+
+ADD_B_TYPE = parse_line("<http://x/b> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .")
+ADD_B_NAME = parse_line('<http://x/b> <http://x/name> "B" .')
+ADD_AB_EDGE = parse_line("<http://x/a> <http://x/friend> <http://x/b> .")
+
+
+def make_pipeline(**kwargs):
+    graph = parse_turtle(BASE)
+    result = S3PG().transform(graph, SHAPES)
+    return CDCPipeline(
+        result.transformed,
+        graph,
+        store=PropertyGraphStore(result.graph),
+        validator=DeltaValidator(SHAPES, graph),
+        config=CDCConfig(max_linger_s=0.0),
+        **kwargs,
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_state(self, tmp_path):
+        pipeline = make_pipeline()
+        replay_deltas(pipeline, [
+            Delta(1, added=(ADD_B_TYPE, ADD_B_NAME)),
+            Delta(2, added=(ADD_AB_EDGE,)),
+        ])
+        save_checkpoint(tmp_path, pipeline)
+        assert has_checkpoint(tmp_path)
+
+        state = load_checkpoint(tmp_path)
+        assert state.watermark == 2
+        assert state.transformed.graph.structurally_equal(
+            pipeline.transformed.graph
+        )
+        assert set(state.source_graph) == set(pipeline.graph)
+        assert state.meta["conforms"] is True
+
+    def test_resumed_pipeline_continues_the_stream(self, tmp_path):
+        first = make_pipeline()
+        replay_deltas(first, [Delta(1, added=(ADD_B_TYPE, ADD_B_NAME))])
+        save_checkpoint(tmp_path, first)
+
+        state = load_checkpoint(tmp_path)
+        resumed = CDCPipeline(
+            state.transformed,
+            state.source_graph,
+            store=PropertyGraphStore(state.transformed.graph),
+            validator=DeltaValidator(SHAPES, state.source_graph),
+            config=CDCConfig(max_linger_s=0.0),
+            watermark=state.watermark,
+        )
+        stats = replay_deltas(resumed, [
+            Delta(1, added=(ADD_B_TYPE,)),  # below watermark -> skipped
+            Delta(2, added=(ADD_AB_EDGE,)),
+        ])
+        assert stats.deltas_skipped == 1
+        assert stats.deltas_applied == 1
+
+        # End state equals one uninterrupted run over the same history.
+        uninterrupted = make_pipeline()
+        replay_deltas(uninterrupted, [
+            Delta(1, added=(ADD_B_TYPE, ADD_B_NAME)),
+            Delta(2, added=(ADD_AB_EDGE,)),
+        ])
+        assert resumed.transformed.graph.structurally_equal(
+            uninterrupted.transformed.graph
+        )
+        assert resumed.store.catalog_discrepancies() == []
+
+    def test_periodic_checkpointing(self, tmp_path):
+        pipeline = make_pipeline()
+        pipeline.checkpoint_dir = tmp_path
+        pipeline.config.checkpoint_every = 1
+        stats = replay_deltas(pipeline, [
+            Delta(1, added=(ADD_B_TYPE,)),
+            Delta(2, added=(ADD_B_NAME,)),
+        ])
+        # One checkpoint per applied delta plus the final one.
+        assert stats.checkpoints >= 2
+        assert load_checkpoint(tmp_path).watermark == 2
+
+
+class TestProtocol:
+    def test_missing_checkpoint_raises(self, tmp_path):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(ChangefeedError):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_watermark_raises(self, tmp_path):
+        (tmp_path / "watermark.json").write_text("nope", encoding="utf-8")
+        with pytest.raises(ChangefeedError):
+            load_checkpoint(tmp_path)
+
+    def test_watermark_written_last(self, tmp_path):
+        pipeline = make_pipeline()
+        replay_deltas(pipeline, [Delta(1, added=(ADD_B_TYPE,))])
+        save_checkpoint(tmp_path, pipeline)
+        meta = json.loads((tmp_path / "watermark.json").read_text())
+        assert meta["watermark"] == 1
+        # Every artifact the watermark vouches for exists.
+        for artifact in ("nodes.csv", "edges.csv", "mapping.json",
+                         "source.nt", "report.json"):
+            assert (tmp_path / artifact).is_file(), artifact

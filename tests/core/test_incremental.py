@@ -150,3 +150,127 @@ class TestMonotonicityProperty:
         inc.apply_additions(parse_turtle(PREFIX + ':c a :Person ; :name "C" .'))
         inc.apply_additions(parse_turtle(PREFIX + ":c :friend :a ."))
         assert "http://x/c|friend|http://x/a" in result.graph.edges
+
+
+class TestRemoveReAddRoundTrip:
+    """Deletion followed by re-addition must land exactly where a
+    from-scratch transform of the final graph lands (no resurrected
+    stale state, no lost labels)."""
+
+    def _roundtrip(self, fragment: str):
+        base = parse_turtle(BASE)
+        delta = parse_turtle(PREFIX + fragment)
+        incremental = full_transform(base)
+        apply_delta(incremental.transformed, removed=delta)
+        apply_delta(incremental.transformed, added=delta)
+        from_scratch = full_transform(base)
+        assert incremental.graph.structurally_equal(from_scratch.graph)
+
+    def test_literal_value_roundtrip(self):
+        self._roundtrip(':a :note "n1" .')
+
+    def test_name_property_roundtrip(self):
+        self._roundtrip(':a :name "A" .')
+
+    def test_type_roundtrip(self):
+        self._roundtrip(":a a :Person .")
+
+    def test_edge_roundtrip(self):
+        self._roundtrip(":a :friend :b .")
+
+    def test_detyped_node_keeps_resource_label(self):
+        result = full_transform(parse_turtle(BASE))
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ":b a :Person ."))
+        # :b is still referenced by :a's friend edge, so it must remain
+        # as an untyped Resource (what a from-scratch transform yields).
+        node = result.graph.get_node("http://x/b")
+        assert node.labels == {"Resource"}
+
+    def test_edge_removal_gcs_orphaned_subject(self):
+        graph = parse_turtle(PREFIX + ':a a :Person ; :name "A" ; :friend :b .')
+        result = full_transform(graph)
+        removed = parse_turtle(
+            PREFIX + ':a a :Person . :a :name "A" . :a :friend :b .'
+        )
+        apply_delta(result.transformed, removed=removed)
+        from_scratch = full_transform(graph - removed)
+        assert result.graph.structurally_equal(from_scratch.graph)
+
+    def test_multivalued_note_demotes_to_scalar(self):
+        base = parse_turtle(BASE + ':a :note "n2" .')
+        result = full_transform(base)
+        removed = parse_turtle(PREFIX + ':a :note "n2" .')
+        apply_delta(result.transformed, removed=removed)
+        from_scratch = full_transform(base - removed)
+        assert result.graph.structurally_equal(from_scratch.graph)
+
+
+class TestStoreRouting:
+    """A store passed to the transformer stays index- and
+    statistics-consistent (regression: deltas used to bypass the store,
+    leaving the planner catalogs and version counter stale)."""
+
+    def _store_pair(self):
+        from repro.pg import PropertyGraphStore
+
+        result = full_transform(parse_turtle(BASE))
+        store = PropertyGraphStore(result.graph)
+        return result, store
+
+    def test_store_version_advances_per_delta(self):
+        result, store = self._store_pair()
+        before = store.version
+        apply_delta(result.transformed,
+                    added=parse_turtle(PREFIX + ':c a :Person ; :name "C" .'),
+                    store=store)
+        assert store.version > before
+
+    def test_catalogs_track_additions(self):
+        result, store = self._store_pair()
+        apply_delta(result.transformed,
+                    added=parse_turtle(PREFIX + ':c a :Person ; :name "C" ; :friend :a .'),
+                    store=store)
+        assert store.catalog_discrepancies() == []
+        assert store.rel_type_count("friend") == 2
+
+    def test_catalogs_track_removals(self):
+        result, store = self._store_pair()
+        apply_delta(result.transformed,
+                    removed=parse_turtle(PREFIX + ':a :friend :b . :a :note "n1" .'),
+                    store=store)
+        assert store.catalog_discrepancies() == []
+        assert store.rel_type_count("friend") == 0
+
+    def test_store_must_wrap_the_transformed_graph(self):
+        from repro.errors import TransformError
+        from repro.pg import PropertyGraphStore
+
+        result = full_transform(parse_turtle(BASE))
+        foreign = PropertyGraphStore()
+        with pytest.raises(TransformError):
+            IncrementalTransformer(result.transformed, store=foreign)
+
+
+class TestProbeAdditions:
+    def test_probe_accepts_known_triples(self):
+        result = full_transform(parse_turtle(BASE))
+        inc = IncrementalTransformer(result.transformed)
+        inc.probe_additions(parse_turtle(PREFIX + ':c a :Person ; :name "C" .'))
+
+    def test_probe_rejects_unknown_under_error_mode(self):
+        from repro.core import TransformOptions
+        from repro.errors import TransformError
+
+        options = TransformOptions(parsimonious=False, on_unknown="error")
+        result = S3PG(options).transform(parse_turtle(BASE), SHAPES)
+        inc = IncrementalTransformer(result.transformed)
+        with pytest.raises(TransformError):
+            inc.probe_additions(parse_turtle(PREFIX + ":a :mystery :b ."))
+
+    def test_probe_does_not_mutate(self):
+        result = full_transform(parse_turtle(BASE))
+        inc = IncrementalTransformer(result.transformed)
+        before = result.graph.canonical_form()
+        inc.probe_additions(parse_turtle(PREFIX + ':c a :Person ; :name "C" .'))
+        assert result.graph.canonical_form() == before

@@ -1,0 +1,136 @@
+"""Delta-scoped revalidation: standing report == full revalidation."""
+
+from repro.rdf import parse_turtle
+from repro.rdf.ntriples import parse_line
+from repro.shacl import DeltaValidator, parse_shacl
+from repro.shacl.validator import validate
+
+SHAPES = parse_shacl("""
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix : <http://x/> .
+@prefix shapes: <http://x/shapes#> .
+shapes:Person a sh:NodeShape ; sh:targetClass :Person ;
+  sh:property [ sh:path :name ; sh:datatype xsd:string ;
+                sh:minCount 1 ; sh:maxCount 1 ] ;
+  sh:property [ sh:path :friend ; sh:nodeKind sh:IRI ; sh:class :Person ;
+                sh:minCount 0 ] .
+""")
+
+PREFIX = "@prefix : <http://x/> .\n"
+BASE = PREFIX + """
+:a a :Person ; :name "A" ; :friend :b .
+:b a :Person ; :name "B" .
+:c a :Person ; :name "C" .
+"""
+
+
+def t(line: str):
+    return parse_line(line)
+
+
+def apply(graph, validator, added=(), removed=()):
+    """Mutate the tracked graph, then inform the validator."""
+    for triple in removed:
+        graph.remove(triple)
+    for triple in added:
+        graph.add(triple)
+    return validator.apply_delta(added=added, removed=removed)
+
+
+class TestStandingReport:
+    def test_initially_matches_full_validation(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        full = validate(graph, SHAPES)
+        assert validator.conforms == full.conforms is True
+        assert validator.focus_count == full.checked_entities == 3
+
+    def test_violation_appears_and_clears(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        name_b = t('<http://x/b> <http://x/name> "B" .')
+        apply(graph, validator, removed=(name_b,))
+        assert not validator.conforms
+        assert validator.conforms == validate(graph, SHAPES).conforms
+        apply(graph, validator, added=(name_b,))
+        assert validator.conforms
+
+    def test_report_equals_fresh_rebuild_after_delta_sequence(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        history = [
+            ((t("<http://x/d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> ."),), ()),
+            ((t("<http://x/c> <http://x/friend> <http://x/d> ."),), ()),
+            ((), (t('<http://x/a> <http://x/name> "A" .'),)),
+            ((t('<http://x/d> <http://x/name> "D" .'),), ()),
+        ]
+        for added, removed in history:
+            apply(graph, validator, added=added, removed=removed)
+            fresh = DeltaValidator(SHAPES, graph)
+            assert validator.snapshot() == fresh.snapshot()
+            assert validator.conforms == validate(graph, SHAPES).conforms
+
+    def test_untyped_entity_leaves_the_report(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        apply(graph, validator, removed=(
+            t("<http://x/c> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> ."),
+        ))
+        assert validator.focus_count == 2
+        assert validator.snapshot() == DeltaValidator(SHAPES, graph).snapshot()
+
+
+class TestDeltaScoping:
+    def test_sparse_delta_rechecks_strictly_fewer_nodes(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        checked = apply(graph, validator, removed=(
+            t('<http://x/c> <http://x/name> "C" .'),
+        ))
+        # Only :c is affected — nobody references it.
+        assert checked == 1
+        assert checked < validator.focus_count
+
+    def test_referencing_entities_are_rechecked(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        # De-typing :b invalidates :a's sh:class check on :friend.
+        checked = apply(graph, validator, removed=(
+            t("<http://x/b> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> ."),
+        ))
+        assert checked == 1  # :a (the referrer); :b leaves the report
+        assert validator.focus_count == 2
+        assert not validator.conforms
+        assert validator.conforms == validate(graph, SHAPES).conforms
+
+    def test_literal_change_fans_out_to_referrers(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        # A second name breaks :b's maxCount — and, because sh:class
+        # validates nested conformance, :a's :friend check with it.
+        checked = apply(graph, validator, added=(
+            t('<http://x/b> <http://x/name> "B2" .'),
+        ))
+        assert checked == 2  # :b and its referrer :a
+        assert not validator.conforms
+        assert validator.snapshot() == DeltaValidator(SHAPES, graph).snapshot()
+
+    def test_subclass_delta_triggers_full_rebuild(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        checked = apply(graph, validator, added=(
+            t("<http://x/Admin> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://x/Person> ."),
+        ))
+        assert checked == validator.focus_count  # everything rechecked
+
+    def test_recheck_counters_accumulate(self):
+        graph = parse_turtle(BASE)
+        validator = DeltaValidator(SHAPES, graph)
+        initial = validator.total_rechecked
+        assert initial == 3  # the constructor's full build
+        apply(graph, validator, added=(
+            t('<http://x/c> <http://x/name> "C2" .'),
+        ))
+        assert validator.last_rechecked == 1
+        assert validator.total_rechecked == initial + 1

@@ -203,3 +203,70 @@ class TestToRdfAndCompact:
         assert main([
             "conformance", str(compacted), str(compacted / "schema.pgs"),
         ]) == 0
+
+
+class TestServe:
+    @pytest.fixture
+    def delta_log(self, tmp_path):
+        from repro.cdc import Delta, write_delta_log
+        from repro.rdf.ntriples import parse_line
+
+        graph = university_graph()
+        triples = sorted(graph, key=str)
+        # Stream the last few triples instead of baking them into the base.
+        streamed, base = triples[-4:], triples[:-4]
+        base_path = tmp_path / "base.nt"
+        base_path.write_text(serialize_ntriples(base), encoding="utf-8")
+        log = tmp_path / "deltas.jsonl"
+        write_delta_log(
+            [Delta(i + 1, added=(t,)) for i, t in enumerate(streamed)], log
+        )
+        return base_path, log
+
+    def test_serve_once_replays_and_reports(self, delta_log, shapes_file,
+                                            tmp_path, capsys):
+        base, log = delta_log
+        assert main([
+            "serve", "--source", str(log), "--data", str(base),
+            "--shapes", str(shapes_file), "--once",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "applied 4 delta(s)" in out
+        assert "standing report" in out
+
+    def test_serve_checkpoint_resume(self, delta_log, shapes_file,
+                                     tmp_path, capsys):
+        base, log = delta_log
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "serve", "--source", str(log), "--data", str(base),
+            "--shapes", str(shapes_file), "--once",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Second run resumes from the watermark: nothing left to apply.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "applied 0 delta(s)" in out
+
+    def test_serve_exports_metrics(self, delta_log, shapes_file,
+                                   tmp_path, capsys):
+        from repro.obs import get_metrics
+
+        get_metrics().reset()  # counters persist across in-process runs
+        base, log = delta_log
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "serve", "--source", str(log), "--data", str(base),
+            "--shapes", str(shapes_file), "--once",
+            "--metrics", str(metrics),
+        ]) == 0
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        applied = [
+            s for s in snapshot["repro_cdc_deltas_total"]["series"]
+            if s["labels"].get("status") == "applied"
+        ]
+        assert applied and applied[0]["value"] == 4
+        assert snapshot["repro_cdc_delta_latency_seconds"]["series"][0]["count"] == 4
