@@ -9,6 +9,8 @@ asserts the same ordering: rdf2pg is the heaviest.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from conftest import write_json_result, write_result
 
@@ -19,6 +21,10 @@ from repro.eval import (
     run_s3pg,
     traced_memory,
 )
+
+#: ``REPRO_BENCH_QUICK=1`` halves the measurement rounds for CI smoke runs.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+_ROUNDS = 1 if BENCH_QUICK else 2
 
 _PEAKS: dict[str, float] = {}
 
@@ -40,7 +46,7 @@ def test_memory_per_method(benchmark, dbpedia2022_bundle, method):
             runner(bundle)
         return holder[0]
 
-    usage = benchmark.pedantic(run_with_tracing, rounds=2, iterations=1)
+    usage = benchmark.pedantic(run_with_tracing, rounds=_ROUNDS, iterations=1)
     _PEAKS[method] = usage.peak_mb
     assert usage.peak_bytes > 0
 
@@ -60,7 +66,7 @@ def test_memory_report(benchmark, dbpedia2022_bundle):
     write_result("memory.txt", benchmark.pedantic(
         lambda: render_table(rows, title="Peak transformation memory"), rounds=1
     ))
-    write_json_result("memory", rows)
+    write_json_result("memory", rows, quick=BENCH_QUICK)
 
     # The paper's observation: rdf2pg needs the most memory (it holds the
     # whole graph plus YARS-PG and CSV serializations at once).

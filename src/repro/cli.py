@@ -13,6 +13,10 @@ Subcommands cover the full S3PG workflow on files:
 * ``compact``         — fold a non-parsimonious PG into the parsimonious
   layout (the Section 7 optimizer)
 * ``generate``        — emit one of the synthetic benchmark datasets
+* ``snapshot``        — save/load/inspect binary graph snapshots
+  (``.snap``): ``save`` serializes a parsed RDF graph, ``load`` mmaps
+  one back (and reports the speedup over re-parsing), ``info`` prints
+  the verified header
 * ``fuzz``            — run the property-based fuzzing harness
   (round-trip, validation, differential, serializer, engine oracles)
 * ``profile``         — run a workload under tracing and print a top-N
@@ -26,7 +30,8 @@ Subcommands cover the full S3PG workflow on files:
 for ``.jsonl``) and ``--metrics FILE`` (Prometheus text exposition, or
 a JSON snapshot for ``.json``) to export the run's observability data.
 
-RDF inputs may be N-Triples (``.nt``) or Turtle (anything else).
+RDF inputs may be N-Triples (``.nt``), a binary snapshot (``.snap``),
+or Turtle (anything else).
 """
 
 from __future__ import annotations
@@ -72,8 +77,13 @@ _DATASETS = {
 
 
 def load_rdf(path: str | Path) -> Graph:
-    """Load an RDF document; N-Triples for ``.nt``, Turtle otherwise."""
+    """Load an RDF document; snapshots for ``.snap``, N-Triples for
+    ``.nt``, Turtle otherwise."""
     path = Path(path)
+    if path.suffix == ".snap":
+        from .storage import load_snapshot
+
+        return load_snapshot(path)
     text = path.read_text(encoding="utf-8")
     if path.suffix == ".nt":
         return parse_ntriples(text)
@@ -198,6 +208,28 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--out", required=True, help="output .nt file")
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--seed", type=int, default=42)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="save/load/inspect binary graph snapshots"
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_action", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="serialize an RDF document into a .snap file"
+    )
+    snap_save.add_argument("data", help="RDF instance data (.nt or Turtle)")
+    snap_save.add_argument("-o", "--out", required=True, help="output .snap file")
+    snap_load = snap_sub.add_parser(
+        "load", help="load a .snap file and report timing vs. the source"
+    )
+    snap_load.add_argument("snap", help=".snap file")
+    snap_load.add_argument(
+        "--compare", metavar="FILE",
+        help="also parse this RDF document and report the load speedup",
+    )
+    snap_info = snap_sub.add_parser(
+        "info", help="print the verified header of a .snap file"
+    )
+    snap_info.add_argument("snap", help=".snap file")
 
     fuzz = sub.add_parser(
         "fuzz", help="run the property-based fuzzing harness"
@@ -536,6 +568,46 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .storage import load_snapshot, save_snapshot, snapshot_info
+
+    if args.snapshot_action == "save":
+        start = time.perf_counter()
+        graph = load_rdf(args.data)
+        parse_s = time.perf_counter() - start
+        start = time.perf_counter()
+        size = save_snapshot(graph, args.out)
+        save_s = time.perf_counter() - start
+        print(
+            f"saved {len(graph)} triples ({size} bytes) to {args.out} "
+            f"in {save_s:.3f}s (source loaded in {parse_s:.3f}s)"
+        )
+        return 0
+
+    if args.snapshot_action == "info":
+        info = snapshot_info(args.snap)
+        for key in ("format_version", "file_size", "n_terms", "n_triples",
+                    "graph_version", "crc32"):
+            print(f"{key}: {info[key]}")
+        return 0
+
+    start = time.perf_counter()
+    graph = load_snapshot(args.snap)
+    load_s = time.perf_counter() - start
+    print(f"loaded {len(graph)} triples from {args.snap} in {load_s:.4f}s")
+    if args.compare:
+        start = time.perf_counter()
+        other = load_rdf(args.compare)
+        parse_s = time.perf_counter() - start
+        ratio = parse_s / load_s if load_s > 0 else float("inf")
+        print(f"parsing {args.compare} took {parse_s:.4f}s ({ratio:.1f}x slower)")
+        if set(other) != set(graph):
+            print(f"snapshot DIFFERS from parsed graph ({len(other)} triples parsed)")
+            return 1
+        print(f"snapshot matches parsed graph ({len(other)} triples)")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import ORACLES, replay_corpus, run_fuzz
 
@@ -735,6 +807,7 @@ _COMMANDS = {
     "shape-stats": _cmd_shape_stats,
     "query": _cmd_query,
     "generate": _cmd_generate,
+    "snapshot": _cmd_snapshot,
     "to-rdf": _cmd_to_rdf,
     "compact": _cmd_compact,
     "fuzz": _cmd_fuzz,

@@ -62,6 +62,14 @@ class ChangefeedError(ReproError):
     """A CDC changefeed source or checkpoint is malformed or inconsistent."""
 
 
+class SnapshotError(ReproError):
+    """A binary graph snapshot is corrupt, truncated, or unsupported.
+
+    Raised eagerly on load — a bad file produces this error, never a
+    silently wrong graph.
+    """
+
+
 class EngineError(ReproError):
     """The parallel execution engine cannot complete a sharded run.
 

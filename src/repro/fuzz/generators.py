@@ -47,8 +47,16 @@ _TYPE = IRI(RDF_TYPE)
 DATATYPES = (XSD.string, XSD.integer, XSD.boolean, XSD.date, XSD.gYear)
 
 #: Characters mixed into generated string literals — quotes, escapes,
-#: CSV separators, and non-ASCII to stress every serializer.
-_EVIL_CHARS = '";\\\t|,\'{}<>é世\U0001f600'
+#: CSV separators, non-ASCII, and the full set of ``str.splitlines``
+#: boundaries (U+000B U+000C U+001C U+001D U+001E U+0085 U+2028 U+2029)
+#: plus other C0 controls, to stress every serializer's escaping.  Lone
+#: surrogates are deliberately absent: serializers replace them with
+#: U+FFFD (they are unescapable in N-Triples), which breaks round-trip
+#: *equality* without being a bug.
+_EVIL_CHARS = (
+    '";\\\t|,\'{}<>é世\U0001f600'
+    "\x00\x07\x0b\x0c\x1b\x1c\x1d\x1e\x7f\x85\u2028\u2029"
+)
 
 
 @dataclass

@@ -244,6 +244,40 @@ def ntriples_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
     return None
 
 
+def snapshot_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
+    """save → load preserves the graph and its counters, byte-stably."""
+    import os
+    import tempfile
+
+    from ..storage import load_snapshot, save_snapshot
+
+    graph = Graph(case.triples)
+    fd, path = tempfile.mkstemp(suffix=".snap")
+    os.close(fd)
+    try:
+        save_snapshot(graph, path)
+        loaded = load_snapshot(path)
+        if set(loaded) != set(graph):
+            return "snapshot round-trip lost or altered triples"
+        for p in graph.predicate_set():
+            if loaded.predicate_count(p) != graph.predicate_count(p):
+                return f"snapshot changed predicate_count({p})"
+            if loaded.predicate_distinct_subjects(p) != (
+                graph.predicate_distinct_subjects(p)
+            ):
+                return f"snapshot changed predicate_distinct_subjects({p})"
+        with open(path, "rb") as f:
+            first = f.read()
+        save_snapshot(loaded, path)
+        with open(path, "rb") as f:
+            second = f.read()
+        if first != second:
+            return "snapshot save → load → save is not byte-stable"
+    finally:
+        os.unlink(path)
+    return None
+
+
 def turtle_roundtrip(case: FuzzCase, ctx: OracleContext) -> str | None:
     original = set(case.triples)
     text = serialize_turtle(Graph(case.triples))
@@ -625,6 +659,10 @@ ORACLES: dict[str, Oracle] = {
         Oracle(
             "turtle_roundtrip", _RDF_KINDS, turtle_roundtrip,
             "parse(serialize(G)) = G for Turtle",
+        ),
+        Oracle(
+            "snapshot_roundtrip", _RDF_KINDS, snapshot_roundtrip,
+            "load(save(G)) = G with exact counters, byte-stable resave",
         ),
         Oracle(
             "csv_roundtrip", ("valid", "noise", "pg"), csv_roundtrip,

@@ -6,14 +6,21 @@ by relationship type, and optional property (key, value) indexes.  The
 Cypher engine evaluates against this store, and the *loading* phase of the
 Table 4 experiment is exactly the :func:`PropertyGraphStore.bulk_load`
 call (deserialize + index build), mirroring a bulk CSV import.
+
+Physically the indexes are dictionary-encoded (:mod:`repro.storage`):
+node/edge identifiers and labels/relationship types are interned to dense
+integer ids, and every bucket is an
+:class:`~repro.storage.postings.IntPostings` (sorted ``array('q')``)
+rather than a ``set``/``list`` of strings.  Strings only appear at the
+public API boundary.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Iterable, Iterator
 
-from ..errors import GraphError
+from ..storage.intern import Interner
+from ..storage.postings import IntPostings
 from .model import PGEdge, PGNode, PropertyGraph, PropertyValue, Scalar
 
 
@@ -32,12 +39,19 @@ class PropertyGraphStore:
     ):
         self.graph = graph or PropertyGraph()
         self._indexed_keys = tuple(property_indexes)
-        self._label_index: dict[str, set[str]] = defaultdict(set)
-        self._out: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
-        self._in: dict[str, dict[str, list[str]]] = defaultdict(lambda: defaultdict(list))
-        self._property_index: dict[tuple[str, Scalar], set[str]] = defaultdict(set)
-        #: Edges per relationship type (planner statistics).
-        self._rel_count: dict[str, int] = {}
+        #: Node/edge identifier ⇄ dense int dictionary.
+        self._names = Interner()
+        #: Label / relationship-type ⇄ dense int dictionary.
+        self._labels = Interner()
+        # label id -> postings of node ids
+        self._label_index: dict[int, IntPostings] = {}
+        # node id -> rel-type id -> postings of edge ids
+        self._out: dict[int, dict[int, IntPostings]] = {}
+        self._in: dict[int, dict[int, IntPostings]] = {}
+        # (property key, scalar value) -> postings of node ids
+        self._property_index: dict[tuple[str, Scalar], IntPostings] = {}
+        #: Edges per relationship type id (planner statistics).
+        self._rel_count: dict[int, int] = {}
         #: Mutation counter (plan/statistics cache invalidation).
         self._version = 0
         if graph is not None:
@@ -61,53 +75,87 @@ class PropertyGraphStore:
             self._index_edge(edge)
 
     def _index_node(self, node: PGNode) -> None:
+        nid = self._names.intern(node.id)
+        intern_label = self._labels.intern
         for label in node.labels:
-            self._label_index[label].add(node.id)
+            li = intern_label(label)
+            bucket = self._label_index.get(li)
+            if bucket is None:
+                bucket = self._label_index[li] = IntPostings()
+            bucket.add(nid)
         for key in self._indexed_keys:
             value = node.properties.get(key)
             if isinstance(value, (str, int, float, bool)):
-                self._property_index[(key, value)].add(node.id)
+                bucket = self._property_index.get((key, value))
+                if bucket is None:
+                    bucket = self._property_index[(key, value)] = IntPostings()
+                bucket.add(nid)
 
     def _index_edge(self, edge: PGEdge) -> None:
+        names = self._names.intern
+        eid = names(edge.id)
+        src = names(edge.src)
+        dst = names(edge.dst)
+        intern_label = self._labels.intern
         for label in edge.labels:
-            self._out[edge.src][label].append(edge.id)
-            self._in[edge.dst][label].append(edge.id)
-            self._rel_count[label] = self._rel_count.get(label, 0) + 1
+            li = intern_label(label)
+            for adjacency, endpoint in ((self._out, src), (self._in, dst)):
+                by_type = adjacency.get(endpoint)
+                if by_type is None:
+                    by_type = adjacency[endpoint] = {}
+                bucket = by_type.get(li)
+                if bucket is None:
+                    bucket = by_type[li] = IntPostings()
+                bucket.add(eid)
+            self._rel_count[li] = self._rel_count.get(li, 0) + 1
 
     def _unindex_node(self, node: PGNode) -> None:
+        nid = self._names.lookup(node.id)
+        if nid is None:
+            return
+        lookup_label = self._labels.lookup
         for label in node.labels:
-            bucket = self._label_index.get(label)
+            li = lookup_label(label)
+            bucket = self._label_index.get(li) if li is not None else None
             if bucket is not None:
-                bucket.discard(node.id)
+                bucket.discard(nid)
                 if not bucket:
-                    del self._label_index[label]
+                    del self._label_index[li]
         for key in self._indexed_keys:
             value = node.properties.get(key)
             if isinstance(value, (str, int, float, bool)):
                 bucket = self._property_index.get((key, value))
                 if bucket is not None:
-                    bucket.discard(node.id)
+                    bucket.discard(nid)
                     if not bucket:
                         del self._property_index[(key, value)]
 
     def _unindex_edge(self, edge: PGEdge) -> None:
+        names = self._names.lookup
+        eid = names(edge.id)
+        src = names(edge.src)
+        dst = names(edge.dst)
+        lookup_label = self._labels.lookup
         for label in edge.labels:
-            for adjacency, endpoint in ((self._out, edge.src), (self._in, edge.dst)):
+            li = lookup_label(label)
+            if li is None:
+                continue
+            for adjacency, endpoint in ((self._out, src), (self._in, dst)):
                 by_type = adjacency.get(endpoint)
                 if by_type is None:
                     continue
-                edge_ids = by_type.get(label)
-                if edge_ids is not None and edge.id in edge_ids:
-                    edge_ids.remove(edge.id)
-                    if not edge_ids:
-                        del by_type[label]
+                bucket = by_type.get(li)
+                if bucket is not None and eid is not None and eid in bucket:
+                    bucket.discard(eid)
+                    if not bucket:
+                        del by_type[li]
                 if not by_type:
                     del adjacency[endpoint]
-            remaining = self._rel_count.get(label, 0) - 1
+            remaining = self._rel_count.get(li, 0) - 1
             if remaining > 0:
-                self._rel_count[label] = remaining
+                self._rel_count[li] = remaining
             else:
-                self._rel_count.pop(label, None)
+                self._rel_count.pop(li, None)
 
     # ------------------------------------------------------------------ #
     # Mutation (kept index-consistent)
@@ -143,7 +191,11 @@ class PropertyGraphStore:
         """Add a label to an existing node, keeping the label index fresh."""
         node = self.graph.get_node(node_id)
         node.labels.add(label)
-        self._label_index[label].add(node_id)
+        li = self._labels.intern(label)
+        bucket = self._label_index.get(li)
+        if bucket is None:
+            bucket = self._label_index[li] = IntPostings()
+        bucket.add(self._names.intern(node_id))
         self._version += 1
 
     def remove_label(self, node_id: str, label: str) -> None:
@@ -152,22 +204,31 @@ class PropertyGraphStore:
         if label not in node.labels:
             return
         node.labels.discard(label)
-        bucket = self._label_index.get(label)
-        if bucket is not None:
-            bucket.discard(node_id)
+        li = self._labels.lookup(label)
+        nid = self._names.lookup(node_id)
+        bucket = self._label_index.get(li) if li is not None else None
+        if bucket is not None and nid is not None:
+            bucket.discard(nid)
             if not bucket:
-                del self._label_index[label]
+                del self._label_index[li]
         self._version += 1
 
     def set_node_property(self, node_id: str, key: str, value: PropertyValue) -> None:
         """Update a node property, keeping property indexes consistent."""
         node = self.graph.get_node(node_id)
         old = node.properties.get(key)
-        if key in self._indexed_keys and isinstance(old, (str, int, float, bool)):
-            self._property_index[(key, old)].discard(node_id)
+        indexed = key in self._indexed_keys
+        nid = self._names.intern(node_id) if indexed else None
+        if indexed and isinstance(old, (str, int, float, bool)):
+            bucket = self._property_index.get((key, old))
+            if bucket is not None:
+                bucket.discard(nid)
         node.set_property(key, value)
-        if key in self._indexed_keys and isinstance(value, (str, int, float, bool)):
-            self._property_index[(key, value)].add(node_id)
+        if indexed and isinstance(value, (str, int, float, bool)):
+            bucket = self._property_index.get((key, value))
+            if bucket is None:
+                bucket = self._property_index[(key, value)] = IntPostings()
+            bucket.add(nid)
         self._version += 1
 
     def delete_node_property(self, node_id: str, key: str) -> None:
@@ -178,8 +239,9 @@ class PropertyGraphStore:
         old = node.properties[key]
         if key in self._indexed_keys and isinstance(old, (str, int, float, bool)):
             bucket = self._property_index.get((key, old))
-            if bucket is not None:
-                bucket.discard(node_id)
+            nid = self._names.lookup(node_id)
+            if bucket is not None and nid is not None:
+                bucket.discard(nid)
                 if not bucket:
                     del self._property_index[(key, old)]
         del node.properties[key]
@@ -239,33 +301,37 @@ class PropertyGraphStore:
 
         Two stores over structurally equal graphs must produce equal
         snapshots regardless of the mutation history that built them —
-        the invariant incremental maintenance has to preserve.
+        the invariant incremental maintenance has to preserve.  Keys and
+        identifiers are decoded back to strings, so snapshots compare
+        across stores with different interning histories.
         """
+        label = self._labels.value
+        name = self._names.value
         return {
-            "rel_count": dict(self._rel_count),
+            "rel_count": {label(li): n for li, n in self._rel_count.items()},
             "labels": {
-                label: frozenset(ids)
-                for label, ids in self._label_index.items()
+                label(li): frozenset(name(i) for i in ids)
+                for li, ids in self._label_index.items()
                 if ids
             },
             "properties": {
-                key: frozenset(ids)
+                key: frozenset(name(i) for i in ids)
                 for key, ids in self._property_index.items()
                 if ids
             },
             "out": {
-                node: {
-                    label: sorted(ids)
-                    for label, ids in adjacency.items()
+                name(node): {
+                    label(li): sorted(name(i) for i in ids)
+                    for li, ids in adjacency.items()
                     if ids
                 }
                 for node, adjacency in self._out.items()
                 if any(adjacency.values())
             },
             "in": {
-                node: {
-                    label: sorted(ids)
-                    for label, ids in adjacency.items()
+                name(node): {
+                    label(li): sorted(name(i) for i in ids)
+                    for li, ids in adjacency.items()
                     if ids
                 }
                 for node, adjacency in self._in.items()
@@ -301,7 +367,8 @@ class PropertyGraphStore:
 
     def rel_type_count(self, rel_type: str) -> int:
         """Number of edges carrying ``rel_type`` (O(1))."""
-        return self._rel_count.get(rel_type, 0)
+        li = self._labels.lookup(rel_type)
+        return self._rel_count.get(li, 0) if li is not None else 0
 
     def property_hits(self, key: str, value: Scalar) -> int | None:
         """Indexed hit count for ``key = value``; None when not indexed."""
@@ -313,12 +380,18 @@ class PropertyGraphStore:
 
     def nodes_with_label(self, label: str) -> Iterator[PGNode]:
         """All nodes carrying ``label`` (index lookup)."""
-        for node_id in self._label_index.get(label, ()):
-            yield self.graph.nodes[node_id]
+        li = self._labels.lookup(label)
+        if li is None:
+            return
+        name = self._names.value
+        nodes = self.graph.nodes
+        for nid in self._label_index.get(li, ()):
+            yield nodes[name(nid)]
 
     def count_label(self, label: str) -> int:
         """Number of nodes carrying ``label``."""
-        return len(self._label_index.get(label, ()))
+        li = self._labels.lookup(label)
+        return len(self._label_index.get(li, ())) if li is not None else 0
 
     def nodes_by_property(self, key: str, value: Scalar) -> Iterator[PGNode]:
         """All nodes with ``properties[key] == value``.
@@ -326,8 +399,10 @@ class PropertyGraphStore:
         Uses the property index when ``key`` is indexed; otherwise scans.
         """
         if key in self._indexed_keys:
-            for node_id in self._property_index.get((key, value), ()):
-                yield self.graph.nodes[node_id]
+            name = self._names.value
+            nodes = self.graph.nodes
+            for nid in self._property_index.get((key, value), ()):
+                yield nodes[name(nid)]
             return
         for node in self.graph.nodes.values():
             if node.properties.get(key) == value:
@@ -341,35 +416,34 @@ class PropertyGraphStore:
 
     def out_edges(self, node_id: str, rel_type: str | None = None) -> Iterator[PGEdge]:
         """Outgoing edges of a node, optionally restricted to one type."""
-        by_type = self._out.get(node_id)
-        if by_type is None:
-            return
-        if rel_type is not None:
-            for edge_id in by_type.get(rel_type, ()):
-                yield self.graph.edges[edge_id]
-            return
-        seen: set[str] = set()
-        for edge_ids in by_type.values():
-            for edge_id in edge_ids:
-                if edge_id not in seen:
-                    seen.add(edge_id)
-                    yield self.graph.edges[edge_id]
+        yield from self._adjacent_edges(self._out, node_id, rel_type)
 
     def in_edges(self, node_id: str, rel_type: str | None = None) -> Iterator[PGEdge]:
         """Incoming edges of a node, optionally restricted to one type."""
-        by_type = self._in.get(node_id)
+        yield from self._adjacent_edges(self._in, node_id, rel_type)
+
+    def _adjacent_edges(
+        self, adjacency: dict, node_id: str, rel_type: str | None
+    ) -> Iterator[PGEdge]:
+        nid = self._names.lookup(node_id)
+        by_type = adjacency.get(nid) if nid is not None else None
         if by_type is None:
             return
+        name = self._names.value
+        edges = self.graph.edges
         if rel_type is not None:
-            for edge_id in by_type.get(rel_type, ()):
-                yield self.graph.edges[edge_id]
+            li = self._labels.lookup(rel_type)
+            if li is None:
+                return
+            for eid in by_type.get(li, ()):
+                yield edges[name(eid)]
             return
-        seen: set[str] = set()
+        seen: set[int] = set()
         for edge_ids in by_type.values():
-            for edge_id in edge_ids:
-                if edge_id not in seen:
-                    seen.add(edge_id)
-                    yield self.graph.edges[edge_id]
+            for eid in edge_ids:
+                if eid not in seen:
+                    seen.add(eid)
+                    yield edges[name(eid)]
 
     def edges_with_type(self, rel_type: str) -> Iterator[PGEdge]:
         """All edges of a given relationship type."""

@@ -27,22 +27,36 @@ def _encode_props(properties: dict[str, PropertyValue]) -> str:
 
 
 def export_yarspg(graph: PropertyGraph) -> str:
-    """Serialize ``graph`` in YARS-PG node/edge statements."""
+    """Serialize ``graph`` in YARS-PG node/edge statements.
+
+    Node and edge identifiers are JSON-encoded: literal nodes embed
+    arbitrary lexical forms in their ids, and ``json.dumps`` (with its
+    default ``ensure_ascii``) escapes every quote, control character,
+    and Unicode line separator — keeping the format one statement per
+    line no matter what the data contains.
+    """
     lines: list[str] = ["# YARS-PG 1.0"]
     for node in graph.nodes.values():
         labels = "{" + ", ".join(json.dumps(lab) for lab in sorted(node.labels)) + "}"
-        lines.append(f'("{node.id}" {labels}{_encode_props(node.properties)})')
+        lines.append(f"({json.dumps(node.id)} {labels}{_encode_props(node.properties)})")
     for edge in graph.edges.values():
         label = json.dumps(sorted(edge.labels)[0] if edge.labels else "")
         lines.append(
-            f'("{edge.src}")-[{label}{_encode_props(edge.properties)}]->("{edge.dst}")'
+            f"({json.dumps(edge.src)})-[{label}{_encode_props(edge.properties)}]"
+            f"->({json.dumps(edge.dst)})"
         )
     return "\n".join(lines) + "\n"
 
 
-_NODE_RE = re.compile(r'^\("(?P<id>[^"]+)"\s*\{(?P<labels>[^}]*)\}(?:\s*\[(?P<props>.*)\])?\)$')
+#: A JSON string token, escaped quotes included (quotes kept so the
+#: match can be handed to ``json.loads`` verbatim).
+_JSTR = r'"(?:[^"\\]|\\.)*"'
+_NODE_RE = re.compile(
+    rf"^\((?P<id>{_JSTR})\s*\{{(?P<labels>[^}}]*)\}}(?:\s*\[(?P<props>.*)\])?\)$"
+)
 _EDGE_RE = re.compile(
-    r'^\("(?P<src>[^"]+)"\)-\[(?P<label>"[^"]*")(?:\s*\[(?P<props>.*)\])?\]->\("(?P<dst>[^"]+)"\)$'
+    rf"^\((?P<src>{_JSTR})\)-\[(?P<label>{_JSTR})(?:\s*\[(?P<props>.*)\])?\]"
+    rf"->\((?P<dst>{_JSTR})\)$"
 )
 
 
@@ -73,7 +87,7 @@ def import_yarspg(text: str) -> PropertyGraph:
                 if part.strip()
             ]
             graph.add_node(
-                node_match.group("id"),
+                json.loads(node_match.group("id")),
                 labels=labels,
                 properties=_parse_props(node_match.group("props")),
             )
@@ -82,8 +96,8 @@ def import_yarspg(text: str) -> PropertyGraph:
         if edge_match:
             pending_edges.append(
                 (
-                    edge_match.group("src"),
-                    edge_match.group("dst"),
+                    json.loads(edge_match.group("src")),
+                    json.loads(edge_match.group("dst")),
                     json.loads(edge_match.group("label")),
                     _parse_props(edge_match.group("props")),
                 )

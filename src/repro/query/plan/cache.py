@@ -6,6 +6,13 @@ groups all collapse to one key) combined with the statistics catalog's
 version counter — any mutation of the underlying graph/store bumps the
 version and naturally invalidates every cached plan without scanning
 the cache.
+
+Version-keyed entries can never hit again once the catalog moves on,
+but LRU alone only evicts them under capacity pressure: a workload of
+interleaved queries and mutations (the CDC steady state) would fill the
+cache with dead plans and evict the live ones.  ``put`` therefore takes
+the catalog version that produced the plan and sweeps every entry tagged
+with an older version as soon as a newer one is inserted.
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ class PlanCache:
     def __init__(self, maxsize: int = 128):
         self.maxsize = maxsize
         self._entries: OrderedDict = OrderedDict()
+        #: key -> catalog version that produced the entry (parallel map).
+        self._entry_version: dict = {}
+        #: Highest catalog version seen by ``put``.
+        self._latest_version = None
         self.hits = 0
         self.misses = 0
 
@@ -35,15 +46,35 @@ class PlanCache:
         self.hits += 1
         return value
 
-    def put(self, key, value) -> None:
-        """Insert a plan, evicting the least recently used beyond capacity."""
+    def put(self, key, value, version=None) -> None:
+        """Insert a plan, evicting the least recently used beyond capacity.
+
+        ``version`` is the statistics-catalog version the plan was built
+        against.  When it advances past the newest version seen so far,
+        all entries tagged with older versions are swept: their keys embed
+        the old version, so they can never be requested again.
+        """
+        if version is not None and version != self._latest_version:
+            if self._latest_version is not None:
+                stale = [
+                    k for k, v in self._entry_version.items() if v != version
+                ]
+                for k in stale:
+                    del self._entries[k]
+                    del self._entry_version[k]
+            self._latest_version = version
         self._entries.pop(key, None)
         self._entries[key] = value
+        if version is not None:
+            self._entry_version[key] = version
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._entry_version.pop(evicted, None)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._entry_version.clear()
+        self._latest_version = None
 
     def __len__(self) -> int:
         return len(self._entries)

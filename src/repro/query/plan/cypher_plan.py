@@ -380,8 +380,9 @@ class CypherPlanner:
             for name in (clause_vars & bound)
             if any(row.get(name) is None for row in rows)
         )
+        version = self.catalog.version
         key = (
-            self.catalog.version,
+            version,
             self.force_join,
             bound,
             nullable,
@@ -391,7 +392,7 @@ class CypherPlanner:
         hit = plan is not None
         if plan is None:
             plan = self._build(clause, set(bound), nullable)
-            self.cache.put(key, plan)
+            self.cache.put(key, plan, version=version)
         if obs.enabled():
             with obs.span("cypher.plan", cache_hit=hit, paths=len(clause.paths)):
                 pass

@@ -193,8 +193,9 @@ class SparqlPlanner:
 
     def plan_bgp(self, patterns: list[TriplePattern]) -> SparqlOperator:
         """The (cached) physical plan for a basic graph pattern."""
+        version = self.catalog.version
         key = (
-            self.catalog.version,
+            version,
             self.force_join,
             "\x1f".join(str(p) for p in patterns),
         )
@@ -202,7 +203,7 @@ class SparqlPlanner:
         hit = plan is not None
         if plan is None:
             plan = self._build(patterns)
-            self.cache.put(key, plan)
+            self.cache.put(key, plan, version=version)
         if obs.enabled():
             with obs.span("sparql.plan", cache_hit=hit, patterns=len(patterns)):
                 pass

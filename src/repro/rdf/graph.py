@@ -5,20 +5,43 @@ standard layout for in-memory RDF stores, so that any triple pattern with
 fixed terms can be answered without a full scan.  This is the substrate on
 which shape extraction, SHACL validation, the S3PG data transformation
 (Algorithm 1), and the SPARQL engine all run.
+
+Physically the store is dictionary-encoded (:mod:`repro.storage`): every
+term is interned to a dense integer id once, and each index bucket is an
+:class:`~repro.storage.postings.IntPostings` — a sorted ``array('q')`` of
+ids — instead of a Python ``set`` of term objects.  Index traversal is
+int comparisons over machine arrays; term objects are only touched at the
+API boundary.  Graphs can be persisted to and memory-mapped back from
+binary snapshots (:mod:`repro.storage.snapshot`) without re-parsing.
 """
 
 from __future__ import annotations
 
 import hashlib
-from collections import defaultdict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
-from ..errors import GraphError
 from ..namespaces import RDF_TYPE, RDFS
-from .terms import IRI, BlankNode, Literal, Object, Subject, Triple, is_literal
+from ..storage.intern import TermInterner
+from ..storage.postings import IntPostings
+from .terms import IRI, BlankNode, Literal, Object, Subject, Triple
 
 _SUBCLASS_OF = IRI(RDFS.subClassOf)
+_RDF_TYPE = IRI(RDF_TYPE)
+
+_new_triple = Triple.__new__
+_set = object.__setattr__
+
+
+def _triple(s: Subject, p: IRI, o: Object) -> Triple:
+    # Bypass Triple.__init__ validation: every stored term was already
+    # validated on insertion, and decode is the hottest path of the
+    # streaming transformation (the graph is scanned twice per run).
+    t = _new_triple(Triple)
+    _set(t, "s", s)
+    _set(t, "p", p)
+    _set(t, "o", o)
+    return t
 
 
 @dataclass(frozen=True)
@@ -65,17 +88,20 @@ class Graph:
     """
 
     def __init__(self, triples: Iterable[Triple] | None = None):
-        # spo[s][p] -> set of o ; pos[p][o] -> set of s ; osp[o][s] -> set of p
-        self._spo: dict[Subject, dict[IRI, set[Object]]] = {}
-        self._pos: dict[IRI, dict[Object, set[Subject]]] = {}
-        self._osp: dict[Object, dict[Subject, set[IRI]]] = {}
+        #: Term ⇄ dense-int dictionary shared by all three indexes.
+        self._terms = TermInterner()
+        # spo[s][p] -> postings of o ; pos[p][o] -> postings of s ;
+        # osp[o][s] -> postings of p  (all keys/values are interned ids).
+        self._spo: dict[int, dict[int, IntPostings]] = {}
+        self._pos: dict[int, dict[int, IntPostings]] = {}
+        self._osp: dict[int, dict[int, IntPostings]] = {}
         self._size = 0
         # Incrementally maintained statistics for the query planner:
         # triples per predicate and distinct subjects per predicate.  Both
         # are O(1) dict updates on add/remove; distinct *objects* per
         # predicate need no counter (len of the POS bucket).
-        self._p_count: dict[IRI, int] = {}
-        self._p_subjects: dict[IRI, int] = {}
+        self._p_count: dict[int, int] = {}
+        self._p_subjects: dict[int, int] = {}
         #: Monotonic mutation counter (plan/statistics cache invalidation).
         self._version = 0
         if triples is not None:
@@ -83,25 +109,75 @@ class Graph:
                 self.add(t)
 
     # ------------------------------------------------------------------ #
+    # Storage plumbing (snapshot friend interface)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_storage(
+        cls,
+        terms: TermInterner,
+        spo: dict,
+        pos: dict,
+        osp: dict,
+        size: int,
+        p_count: dict[int, int],
+        p_subjects: dict[int, int],
+        version: int = 0,
+    ) -> "Graph":
+        """Assemble a graph directly from physical-layer parts (snapshot load)."""
+        g = cls.__new__(cls)
+        g._terms = terms
+        g._spo = spo
+        g._pos = pos
+        g._osp = osp
+        g._size = size
+        g._p_count = p_count
+        g._p_subjects = p_subjects
+        g._version = version
+        return g
+
+    def _storage(self):
+        """The physical-layer parts, for the snapshot writer."""
+        return (self._terms, self._spo, self._pos, self._osp, self._p_count, self._p_subjects)
+
+    # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
 
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; return True when it was not already present."""
-        s, p, o = triple.s, triple.p, triple.o
-        by_p = self._spo.setdefault(s, {})
-        objs = by_p.setdefault(p, set())
-        if o in objs:
-            return False
-        new_pair = not objs
-        objs.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        intern = self._terms.intern
+        si = intern(triple.s)
+        pi = intern(triple.p)
+        oi = intern(triple.o)
+        by_p = self._spo.setdefault(si, {})
+        objs = by_p.get(pi)
+        if objs is None:
+            # Empty buckets are always deleted, so a present bucket is
+            # non-empty: a fresh bucket means a new (s, p) pair.
+            objs = by_p[pi] = IntPostings()
+            new_pair = True
+        else:
+            if not objs.add(oi):
+                return False
+            new_pair = False
+        if new_pair:
+            objs.add(oi)
+        by_o = self._pos.setdefault(pi, {})
+        subs = by_o.get(oi)
+        if subs is None:
+            subs = by_o[oi] = IntPostings()
+        subs.add(si)
+        by_s = self._osp.setdefault(oi, {})
+        preds = by_s.get(si)
+        if preds is None:
+            preds = by_s[si] = IntPostings()
+        preds.add(pi)
         self._size += 1
         self._version += 1
-        self._p_count[p] = self._p_count.get(p, 0) + 1
+        self._p_count[pi] = self._p_count.get(pi, 0) + 1
         if new_pair:
-            self._p_subjects[p] = self._p_subjects.get(p, 0) + 1
+            self._p_subjects[pi] = self._p_subjects.get(pi, 0) + 1
         return True
 
     def add_triple(self, s: Subject, p: IRI, o: Object) -> bool:
@@ -110,39 +186,46 @@ class Graph:
 
     def remove(self, triple: Triple) -> bool:
         """Delete ``triple``; return True when it was present."""
-        s, p, o = triple.s, triple.p, triple.o
-        objs = self._spo.get(s, {}).get(p)
-        if objs is None or o not in objs:
+        lookup = self._terms.lookup
+        si = lookup(triple.s)
+        if si is None:
             return False
-        objs.discard(o)
+        pi = lookup(triple.p)
+        oi = lookup(triple.o)
+        if pi is None or oi is None:
+            return False
+        by_p = self._spo.get(si)
+        objs = by_p.get(pi) if by_p is not None else None
+        if objs is None or not objs.discard(oi):
+            return False
         if not objs:
-            del self._spo[s][p]
-            if not self._spo[s]:
-                del self._spo[s]
-            remaining_subjects = self._p_subjects[p] - 1
+            del by_p[pi]
+            if not by_p:
+                del self._spo[si]
+            remaining_subjects = self._p_subjects[pi] - 1
             if remaining_subjects:
-                self._p_subjects[p] = remaining_subjects
+                self._p_subjects[pi] = remaining_subjects
             else:
-                del self._p_subjects[p]
-        subs = self._pos[p][o]
-        subs.discard(s)
+                del self._p_subjects[pi]
+        subs = self._pos[pi][oi]
+        subs.discard(si)
         if not subs:
-            del self._pos[p][o]
-            if not self._pos[p]:
-                del self._pos[p]
-        preds = self._osp[o][s]
-        preds.discard(p)
+            del self._pos[pi][oi]
+            if not self._pos[pi]:
+                del self._pos[pi]
+        preds = self._osp[oi][si]
+        preds.discard(pi)
         if not preds:
-            del self._osp[o][s]
-            if not self._osp[o]:
-                del self._osp[o]
+            del self._osp[oi][si]
+            if not self._osp[oi]:
+                del self._osp[oi]
         self._size -= 1
         self._version += 1
-        remaining = self._p_count[p] - 1
+        remaining = self._p_count[pi] - 1
         if remaining:
-            self._p_count[p] = remaining
+            self._p_count[pi] = remaining
         else:
-            del self._p_count[p]
+            del self._p_count[pi]
         return True
 
     def update(self, triples: Iterable[Triple]) -> int:
@@ -155,6 +238,7 @@ class Graph:
 
     def clear(self) -> None:
         """Remove every triple."""
+        self._terms = TermInterner()
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
@@ -174,22 +258,28 @@ class Graph:
         return self._size > 0
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple.o in self._spo.get(triple.s, {}).get(triple.p, ())
+        lookup = self._terms.lookup
+        si = lookup(triple.s)
+        if si is None:
+            return False
+        pi = lookup(triple.p)
+        oi = lookup(triple.o)
+        if pi is None or oi is None:
+            return False
+        by_p = self._spo.get(si)
+        if by_p is None:
+            return False
+        objs = by_p.get(pi)
+        return objs is not None and oi in objs
 
     def __iter__(self) -> Iterator[Triple]:
-        # Bypass Triple.__init__ validation: every stored term was already
-        # validated on insertion, and iteration is the hottest path of the
-        # streaming transformation (the graph is scanned twice per run).
-        new = Triple.__new__
-        setattr_ = object.__setattr__
-        for s, by_p in self._spo.items():
-            for p, objs in by_p.items():
-                for o in objs:
-                    t = new(Triple)
-                    setattr_(t, "s", s)
-                    setattr_(t, "p", p)
-                    setattr_(t, "o", o)
-                    yield t
+        term = self._terms.term
+        for si, by_p in self._spo.items():
+            s = term(si)
+            for pi, objs in by_p.items():
+                p = term(pi)
+                for oi in objs:
+                    yield _triple(s, p, term(oi))
 
     def triples(
         self,
@@ -201,48 +291,66 @@ class Graph:
 
         The best index for the bound positions is chosen automatically.
         """
+        lookup = self._terms.lookup
+        term = self._terms.term
+        si = pi = oi = None
         if s is not None:
-            by_p = self._spo.get(s)
+            si = lookup(s)
+            if si is None:
+                return
+        if p is not None:
+            pi = lookup(p)
+            if pi is None:
+                return
+        if o is not None:
+            oi = lookup(o)
+            if oi is None:
+                return
+        if si is not None:
+            by_p = self._spo.get(si)
             if by_p is None:
                 return
-            if p is not None:
-                objs = by_p.get(p)
+            if pi is not None:
+                objs = by_p.get(pi)
                 if objs is None:
                     return
-                if o is not None:
-                    if o in objs:
-                        yield Triple(s, p, o)
+                if oi is not None:
+                    if oi in objs:
+                        yield _triple(s, p, o)
                     return
-                for obj in objs:
-                    yield Triple(s, p, obj)
+                for obj_id in objs:
+                    yield _triple(s, p, term(obj_id))
                 return
-            if o is not None:
-                preds = self._osp.get(o, {}).get(s)
+            if oi is not None:
+                preds = self._osp.get(oi, {}).get(si)
                 if preds is None:
                     return
-                for pred in preds:
-                    yield Triple(s, pred, o)
+                for pred_id in preds:
+                    yield _triple(s, term(pred_id), o)
                 return
-            for pred, objs in by_p.items():
-                for obj in objs:
-                    yield Triple(s, pred, obj)
+            for pred_id, objs in by_p.items():
+                pred = term(pred_id)
+                for obj_id in objs:
+                    yield _triple(s, pred, term(obj_id))
             return
-        if p is not None:
-            by_o = self._pos.get(p)
+        if pi is not None:
+            by_o = self._pos.get(pi)
             if by_o is None:
                 return
-            if o is not None:
-                for sub in by_o.get(o, ()):
-                    yield Triple(sub, p, o)
+            if oi is not None:
+                for sub_id in by_o.get(oi, ()):
+                    yield _triple(term(sub_id), p, o)
                 return
-            for obj, subs in by_o.items():
-                for sub in subs:
-                    yield Triple(sub, p, obj)
+            for obj_id, subs in by_o.items():
+                obj = term(obj_id)
+                for sub_id in subs:
+                    yield _triple(term(sub_id), p, obj)
             return
-        if o is not None:
-            for sub, preds in self._osp.get(o, {}).items():
-                for pred in preds:
-                    yield Triple(sub, pred, o)
+        if oi is not None:
+            for sub_id, preds in self._osp.get(oi, {}).items():
+                sub = term(sub_id)
+                for pred_id in preds:
+                    yield _triple(sub, term(pred_id), o)
             return
         yield from self
 
@@ -253,27 +361,58 @@ class Graph:
         o: Object | None = None,
     ) -> int:
         """Count triples matching the pattern without materializing them."""
-        if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if s is None and p is not None and o is not None:
-            return len(self._pos.get(p, {}).get(o, ()))
         if s is None and p is None and o is None:
             return self._size
-        if s is not None and p is None and o is None:
-            return sum(len(objs) for objs in self._spo.get(s, {}).values())
-        if s is None and p is None and o is not None:
-            return sum(len(preds) for preds in self._osp.get(o, {}).values())
-        if s is not None and p is None and o is not None:
-            return len(self._osp.get(o, {}).get(s, ()))
+        lookup = self._terms.lookup
+        si = pi = oi = None
+        if s is not None:
+            si = lookup(s)
+            if si is None:
+                return 0
+        if p is not None:
+            pi = lookup(p)
+            if pi is None:
+                return 0
+        if o is not None:
+            oi = lookup(o)
+            if oi is None:
+                return 0
+        if si is not None and pi is not None and oi is None:
+            return len(self._spo.get(si, {}).get(pi, ()))
+        if si is None and pi is not None and oi is not None:
+            return len(self._pos.get(pi, {}).get(oi, ()))
+        if si is not None and pi is None and oi is None:
+            return sum(len(objs) for objs in self._spo.get(si, {}).values())
+        if si is None and pi is None and oi is not None:
+            return sum(len(preds) for preds in self._osp.get(oi, {}).values())
+        if si is not None and pi is None and oi is not None:
+            return len(self._osp.get(oi, {}).get(si, ()))
+        if si is None and pi is not None and oi is None:
+            return self._p_count.get(pi, 0)
         return sum(1 for _ in self.triples(s, p, o))
 
     def objects(self, s: Subject, p: IRI) -> Iterator[Object]:
         """Yield all objects ``o`` with ``(s, p, o)`` in the graph."""
-        yield from self._spo.get(s, {}).get(p, ())
+        yield from self._decode_bucket(self._spo, s, p)
 
     def subjects(self, p: IRI, o: Object) -> Iterator[Subject]:
         """Yield all subjects ``s`` with ``(s, p, o)`` in the graph."""
-        yield from self._pos.get(p, {}).get(o, ())
+        yield from self._decode_bucket(self._pos, p, o)
+
+    def _decode_bucket(self, index: dict, k1, k2) -> Iterator:
+        lookup = self._terms.lookup
+        i1 = lookup(k1)
+        if i1 is None:
+            return
+        i2 = lookup(k2)
+        if i2 is None:
+            return
+        bucket = index.get(i1, {}).get(i2)
+        if bucket is None:
+            return
+        term = self._terms.term
+        for i in bucket:
+            yield term(i)
 
     def value(self, s: Subject, p: IRI) -> Object | None:
         """Return an arbitrary single object of ``(s, p, ·)``, or None."""
@@ -283,19 +422,27 @@ class Graph:
 
     def predicates_of(self, s: Subject) -> Iterator[IRI]:
         """Yield the distinct predicates attached to subject ``s``."""
-        yield from self._spo.get(s, {})
+        si = self._terms.lookup(s)
+        if si is None:
+            return
+        term = self._terms.term
+        for pi in self._spo.get(si, ()):
+            yield term(pi)
 
     def subject_set(self) -> set[Subject]:
         """The set of all subjects."""
-        return set(self._spo)
+        term = self._terms.term
+        return {term(i) for i in self._spo}
 
     def predicate_set(self) -> set[IRI]:
         """The set of all predicates (the set ``P`` of Definition 2.1)."""
-        return set(self._pos)
+        term = self._terms.term
+        return {term(i) for i in self._pos}
 
     def object_set(self) -> set[Object]:
         """The set of all objects."""
-        return set(self._osp)
+        term = self._terms.term
+        return {term(i) for i in self._osp}
 
     # ------------------------------------------------------------------ #
     # Planner statistics (all O(1), incrementally maintained)
@@ -308,15 +455,18 @@ class Graph:
 
     def predicate_count(self, p: IRI) -> int:
         """Number of triples with predicate ``p``."""
-        return self._p_count.get(p, 0)
+        pi = self._terms.lookup(p)
+        return self._p_count.get(pi, 0) if pi is not None else 0
 
     def predicate_distinct_subjects(self, p: IRI) -> int:
         """Number of distinct subjects occurring with predicate ``p``."""
-        return self._p_subjects.get(p, 0)
+        pi = self._terms.lookup(p)
+        return self._p_subjects.get(pi, 0) if pi is not None else 0
 
     def predicate_distinct_objects(self, p: IRI) -> int:
         """Number of distinct objects occurring with predicate ``p``."""
-        return len(self._pos.get(p, ()))
+        pi = self._terms.lookup(p)
+        return len(self._pos.get(pi, ())) if pi is not None else 0
 
     def n_subjects(self) -> int:
         """Number of distinct subjects."""
@@ -336,21 +486,22 @@ class Graph:
 
     def types_of(self, entity: Subject) -> set[IRI]:
         """All classes ``c`` with ``(entity, rdf:type, c)`` in the graph."""
-        return {
-            o for o in self._spo.get(entity, {}).get(IRI(RDF_TYPE), ())
-            if isinstance(o, IRI)
-        }
+        return {o for o in self.objects(entity, _RDF_TYPE) if isinstance(o, IRI)}
 
     def instances_of(self, cls: IRI) -> Iterator[Subject]:
         """All entities typed with ``cls``."""
-        yield from self._pos.get(IRI(RDF_TYPE), {}).get(cls, ())
+        yield from self.subjects(_RDF_TYPE, cls)
 
     def classes(self) -> set[IRI]:
         """The set ``C``: IRIs used as an object of ``rdf:type`` or in
         ``rdfs:subClassOf`` statements (Definition 2.1)."""
-        result: set[IRI] = {
-            o for o in self._pos.get(IRI(RDF_TYPE), ()) if isinstance(o, IRI)
-        }
+        term = self._terms.term
+        ti = self._terms.lookup(_RDF_TYPE)
+        result: set[IRI] = set()
+        if ti is not None:
+            result = {
+                o for o in (term(oi) for oi in self._pos.get(ti, ())) if isinstance(o, IRI)
+            }
         for t in self.triples(p=_SUBCLASS_OF):
             if isinstance(t.s, IRI):
                 result.add(t.s)
@@ -427,17 +578,19 @@ class Graph:
 
     def stats(self) -> GraphStats:
         """Compute the dataset characteristics reported in Table 2."""
-        literals = {o for o in self._osp if is_literal(o)}
-        type_pred = IRI(RDF_TYPE)
-        instances: set[Subject] = set()
-        for subs in self._pos.get(type_pred, {}).values():
-            instances.update(subs)
+        term = self._terms.term
+        n_literals = sum(1 for oi in self._osp if isinstance(term(oi), Literal))
+        ti = self._terms.lookup(_RDF_TYPE)
+        instances: set[int] = set()
+        if ti is not None:
+            for subs in self._pos.get(ti, {}).values():
+                instances.update(subs)
         size_bytes = sum(len(t.n3()) + 1 for t in self)
         return GraphStats(
             n_triples=self._size,
             n_subjects=len(self._spo),
             n_objects=len(self._osp),
-            n_literals=len(literals),
+            n_literals=n_literals,
             n_instances=len(instances),
             n_classes=len(self.classes()),
             n_properties=len(self._pos),
@@ -472,7 +625,9 @@ class Graph:
         graphs refine through identical colour sequences.
         """
         colour: dict[BlankNode, str] = {}
-        bnodes = [n for n in set(self._spo) | set(self._osp) if isinstance(n, BlankNode)]
+        bnodes = [
+            n for n in self.subject_set() | self.object_set() if isinstance(n, BlankNode)
+        ]
         for b in bnodes:
             colour[b] = "b"
 

@@ -9,10 +9,65 @@ keys inside the indexed triple store.
 from __future__ import annotations
 
 import itertools
+import re
 from typing import Union
 
 from ..errors import TermError
 from ..namespaces import XSD
+
+# --------------------------------------------------------------------- #
+# N-Triples escaping
+#
+# The parser (ntriples._unescape / _codepoint) rejects out-of-range and
+# surrogate \u/\U escapes, and the line splitter breaks on *every*
+# ``str.splitlines`` boundary — \x0b \x0c \x1c \x1d \x1e \x85 \u2028
+# \u2029, not just \n and \r.  Serialization must therefore (a) escape
+# every control and line-separator character so no literal or IRI can
+# split a statement, (b) escape backslashes in IRIs (the parser
+# unescapes \uXXXX inside IRIs, so a raw backslash is ambiguous), and
+# (c) never emit lone surrogates — they cannot be escaped (the parser
+# rejects surrogate escapes, per RDF's scalar-value-only string model)
+# nor UTF-8 encoded, so they are replaced with U+FFFD.
+# --------------------------------------------------------------------- #
+
+_LITERAL_ESCAPES: dict[int, str] = {
+    0x22: '\\"',
+    0x5C: "\\\\",
+    0x0A: "\\n",
+    0x0D: "\\r",
+    0x09: "\\t",
+    0x08: "\\b",
+    0x0C: "\\f",
+}
+_IRI_ESCAPES: dict[int, str] = {}
+for _cp in (*range(0x00, 0x20), 0x7F, 0x85, 0x2028, 0x2029):
+    _LITERAL_ESCAPES.setdefault(_cp, f"\\u{_cp:04X}")
+    _IRI_ESCAPES[_cp] = f"\\u{_cp:04X}"
+# Characters the N-Triples grammar forbids unescaped inside <...>.
+for _cp in map(ord, '\\"^`{|}'):
+    _IRI_ESCAPES[_cp] = f"\\u{_cp:04X}"
+for _cp in range(0xD800, 0xE000):
+    _LITERAL_ESCAPES[_cp] = "\uFFFD"
+    _IRI_ESCAPES[_cp] = "\uFFFD"
+del _cp
+
+#: Fast path: most strings contain nothing that needs escaping.
+_LITERAL_DIRTY = re.compile(r'[\x00-\x1f"\\\x7f\x85\u2028\u2029\ud800-\udfff]')
+_IRI_DIRTY = re.compile(r'[\x00-\x1f"\\^`{|}\x7f\x85\u2028\u2029\ud800-\udfff]')
+
+
+def _escape_literal(text: str) -> str:
+    """Escape a literal's lexical form for N-Triples output."""
+    if _LITERAL_DIRTY.search(text) is None:
+        return text
+    return text.translate(_LITERAL_ESCAPES)
+
+
+def _escape_iri(text: str) -> str:
+    """Escape an IRI's value for N-Triples output inside ``<...>``."""
+    if _IRI_DIRTY.search(text) is None:
+        return text
+    return text.translate(_IRI_ESCAPES)
 
 
 class IRI:
@@ -26,7 +81,7 @@ class IRI:
         IRI('http://example.org/alice')
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not isinstance(value, str) or not value:
@@ -42,7 +97,17 @@ class IRI:
         return isinstance(other, IRI) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash((IRI, self.value))
+        # Interned terms are hashed constantly (dictionary encoding,
+        # planner catalogs); cache the hash on first use.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((IRI, self.value))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __reduce__(self):
+        return (IRI, (self.value,))
 
     def __repr__(self) -> str:
         return f"IRI({self.value!r})"
@@ -51,8 +116,8 @@ class IRI:
         return self.value
 
     def n3(self) -> str:
-        """Render in N-Triples syntax: ``<iri>``."""
-        return f"<{self.value}>"
+        """Render in N-Triples syntax: ``<iri>`` (escaped)."""
+        return f"<{_escape_iri(self.value)}>"
 
 
 class BlankNode:
@@ -68,7 +133,7 @@ class BlankNode:
         True
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     _counter = itertools.count()
 
@@ -86,7 +151,15 @@ class BlankNode:
         return isinstance(other, BlankNode) and other.label == self.label
 
     def __hash__(self) -> int:
-        return hash((BlankNode, self.label))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((BlankNode, self.label))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __reduce__(self):
+        return (BlankNode, (self.label,))
 
     def __repr__(self) -> str:
         return f"BlankNode({self.label!r})"
@@ -118,7 +191,7 @@ class Literal:
         'en'
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     LANG_STRING = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
 
@@ -147,7 +220,17 @@ class Literal:
         )
 
     def __hash__(self) -> int:
-        return hash((Literal, self.lexical, self.datatype, self.language))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((Literal, self.lexical, self.datatype, self.language))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __reduce__(self):
+        if self.language is not None:
+            return (Literal, (self.lexical, None, self.language))
+        return (Literal, (self.lexical, self.datatype))
 
     def __repr__(self) -> str:
         if self.language is not None:
@@ -161,18 +244,12 @@ class Literal:
 
     def n3(self) -> str:
         """Render in N-Triples syntax with escaping, type, and language tag."""
-        escaped = (
-            self.lexical.replace("\\", "\\\\")
-            .replace('"', '\\"')
-            .replace("\n", "\\n")
-            .replace("\r", "\\r")
-            .replace("\t", "\\t")
-        )
+        escaped = _escape_literal(self.lexical)
         if self.language is not None:
             return f'"{escaped}"@{self.language}'
         if self.datatype == XSD.string:
             return f'"{escaped}"'
-        return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"^^<{_escape_iri(self.datatype)}>'
 
     def to_python(self) -> object:
         """Convert to a native Python value according to the XSD datatype.
@@ -216,7 +293,7 @@ class Triple:
         s, p, o = triple
     """
 
-    __slots__ = ("s", "p", "o")
+    __slots__ = ("s", "p", "o", "_hash")
 
     def __init__(self, s: Subject, p: IRI, o: Object):
         if not isinstance(s, (IRI, BlankNode)):
@@ -247,7 +324,15 @@ class Triple:
         )
 
     def __hash__(self) -> int:
-        return hash((Triple, self.s, self.p, self.o))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((Triple, self.s, self.p, self.o))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __reduce__(self):
+        return (Triple, (self.s, self.p, self.o))
 
     def __repr__(self) -> str:
         return f"Triple({self.s!r}, {self.p!r}, {self.o!r})"

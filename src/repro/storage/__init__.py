@@ -1,0 +1,40 @@
+"""Interned-ID columnar storage substrate.
+
+This package is the physical layer under both graph stores:
+
+* :class:`Interner` / :class:`TermInterner` dictionary-encode strings and
+  RDF terms into dense integer ids (:mod:`repro.storage.intern`);
+* :class:`IntPostings` keeps each index bucket as a sorted ``array('q')``
+  of ids with a small unsorted delta buffer, so membership is a bisect
+  and bulk builds are appends (:mod:`repro.storage.postings`);
+* :mod:`repro.storage.snapshot` serializes a whole
+  :class:`~repro.rdf.graph.Graph` — dictionary, all three permutation
+  indexes, and statistics counters — into a versioned binary file that
+  loads back via ``mmap`` with zero-copy posting views.
+
+:class:`~repro.rdf.graph.Graph` and
+:class:`~repro.pg.store.PropertyGraphStore` build their SPO/POS/OSP and
+label/rel-type/incidence indexes on these primitives; their public
+interfaces are unchanged.
+"""
+
+from .intern import Interner, TermInterner
+from .postings import IntPostings
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+
+__all__ = [
+    "Interner",
+    "TermInterner",
+    "IntPostings",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_info",
+]

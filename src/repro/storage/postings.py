@@ -1,0 +1,155 @@
+"""Sorted integer postings — the columnar index bucket.
+
+An :class:`IntPostings` holds a *distinct* set of non-negative integer
+ids (interned terms, node ids, edge ids) the way a column store keeps an
+inverted-index bucket: a sorted ``array('q')`` answering membership by
+bisection, plus a small unsorted delta ``set`` absorbing out-of-order
+inserts.  The delta is merged back into the array geometrically, so a
+bulk build costs O(n log n) total instead of O(n²) memmove, while the
+steady state stays an 8-bytes-per-entry machine array instead of a
+Python ``set`` of boxed ints (~70 bytes each, pointer-chasing on scan).
+
+Buckets loaded from a snapshot are zero-copy ``memoryview`` slices of
+the mmapped file; the first mutation materializes them into a private
+``array``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections.abc import Iterator
+
+__all__ = ["IntPostings"]
+
+#: Delta buffer floor before a merge back into the sorted run.
+_MERGE_FLOOR = 64
+
+
+def _as_array(data) -> array:
+    """A private mutable ``array('q')`` copy of ``data`` (no-op for arrays)."""
+    if type(data) is array:
+        return data
+    return array("q", data)
+
+
+class IntPostings:
+    """A sorted, distinct run of int64 ids with a delta insert buffer.
+
+    ``_data`` is the sorted run: an ``array('q')``, or an immutable
+    ``memoryview`` with format ``'q'`` when backed by an mmapped
+    snapshot.  ``_extra`` is the unsorted delta (``None`` when empty),
+    always disjoint from ``_data``.
+    """
+
+    __slots__ = ("_data", "_extra")
+
+    def __init__(self, data=None):
+        self._data = data if data is not None else array("q")
+        self._extra: set[int] | None = None
+
+    @classmethod
+    def from_view(cls, view) -> "IntPostings":
+        """Wrap a sorted ``memoryview('q')`` without copying (mmap load)."""
+        return cls(view)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        extra = self._extra
+        return len(self._data) + (len(extra) if extra else 0)
+
+    def __bool__(self) -> bool:
+        return bool(self._data) or bool(self._extra)
+
+    def __contains__(self, value: int) -> bool:
+        extra = self._extra
+        if extra and value in extra:
+            return True
+        data = self._data
+        i = bisect_left(data, value)
+        return i < len(data) and data[i] == value
+
+    def __iter__(self) -> Iterator[int]:
+        if self._extra:
+            self._compact()
+        return iter(self._data)
+
+    def sorted_array(self) -> array:
+        """The full contents as one sorted ``array('q')`` (compacts first).
+
+        When array-backed this is the internal run itself — do not
+        mutate; view-backed postings return a private copy.
+        """
+        if self._extra:
+            self._compact()
+        return _as_array(self._data)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: int) -> bool:
+        """Insert ``value``; return True when it was not already present."""
+        if value in self:
+            return False
+        data = self._data
+        if type(data) is not array:
+            data = self._data = _as_array(data)
+        if not data or value > data[-1]:
+            # Ascending inserts (the bulk-load common case: interner ids
+            # are handed out in insertion order) keep the run sorted.
+            data.append(value)
+            return True
+        extra = self._extra
+        if extra is None:
+            extra = self._extra = set()
+        extra.add(value)
+        if len(extra) > max(_MERGE_FLOOR, len(data) >> 3):
+            self._compact()
+        return True
+
+    def discard(self, value: int) -> bool:
+        """Remove ``value``; return True when it was present."""
+        extra = self._extra
+        if extra and value in extra:
+            extra.discard(value)
+            return True
+        data = self._data
+        i = bisect_left(data, value)
+        if i >= len(data) or data[i] != value:
+            return False
+        if type(data) is not array:
+            data = self._data = _as_array(data)
+        data.pop(i)
+        return True
+
+    def _compact(self) -> None:
+        extra = self._extra
+        data = self._data
+        if extra:
+            merged = list(data)
+            merged.extend(extra)
+            merged.sort()
+            self._data = array("q", merged)
+        else:
+            self._data = _as_array(data)
+        self._extra = None
+
+    # ------------------------------------------------------------------ #
+    # Copy / pickle (materializes mmap-backed views)
+    # ------------------------------------------------------------------ #
+
+    def __reduce__(self):
+        return (IntPostings, (self.sorted_array(),))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntPostings):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __repr__(self) -> str:
+        backing = "view" if type(self._data) is not array else "array"
+        return f"<IntPostings n={len(self)} backing={backing}>"

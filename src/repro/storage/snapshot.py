@@ -1,0 +1,468 @@
+"""Versioned binary graph snapshots, loaded by ``mmap`` instead of a parse.
+
+A snapshot persists a :class:`~repro.rdf.graph.Graph`'s entire physical
+state — the term dictionary, all three permutation indexes, and the
+incrementally maintained planner counters — as one little-endian binary
+file.  Loading maps the file and wraps each posting run in a zero-copy
+``memoryview``; terms and strings materialize lazily on first access, so
+opening a snapshot does constant work per index *bucket* rather than per
+triple or per character.
+
+Layout (all sections 8-byte aligned, all ids ``int64``)::
+
+    header      magic "RPROSNAP", format version, flags, file size,
+                n_terms, n_triples, graph version, CRC-32 of the payload
+    strings     count, count+1 offsets, UTF-8 blob
+    terms       n_terms kind bytes (0=IRI 1=bnode 2=typed 3=lang literal),
+                n_terms × (a, b) string indexes (-1 = unused)
+    spo/pos/osp three grouped-postings sections: sorted k1 ids + group
+                lengths, sorted k2 ids + posting lengths, concatenated
+                sorted posting values
+    counters    per-predicate triple counts, per-predicate distinct
+                subject counts (sorted id/value pairs)
+
+Writes are canonical (every key sequence sorted), so save → load → save
+reproduces the identical byte string.  Every load failure raises
+:class:`~repro.errors.SnapshotError`; a bad file never yields a graph.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+import zlib
+from array import array
+from itertools import islice
+
+from ..errors import SnapshotError
+from .intern import Interner, TermInterner
+from .postings import IntPostings
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_info",
+]
+
+SNAPSHOT_MAGIC = b"RPROSNAP"
+SNAPSHOT_VERSION = 1
+
+#: magic, format version, flags, file size, n_terms, n_triples,
+#: graph version, payload crc32, 4 pad bytes — 56 bytes total.
+_HEADER = struct.Struct("<8sIIQQQQI4x")
+_FLAG_LITTLE_ENDIAN = 1
+
+_KIND_IRI = 0
+_KIND_BNODE = 1
+_KIND_TYPED_LITERAL = 2
+_KIND_LANG_LITERAL = 3
+
+_LITTLE = sys.byteorder == "little"
+
+
+# ---------------------------------------------------------------------- #
+# Save
+# ---------------------------------------------------------------------- #
+
+
+def _pad8(buf: bytearray) -> None:
+    buf.extend(b"\x00" * (-len(buf) % 8))
+
+
+def _put_u64(buf: bytearray, value: int) -> None:
+    buf += struct.pack("<Q", value)
+
+
+def _put_ints(buf: bytearray, values) -> None:
+    arr = values if type(values) is array else array("q", values)
+    if not _LITTLE:
+        arr = array("q", arr)
+        arr.byteswap()
+    buf += arr.tobytes()
+
+
+def _encode_terms(terms: list) -> tuple[Interner, bytearray, array, array]:
+    """Decompose every term into (kind, string-index a, string-index b)."""
+    from ..rdf.terms import IRI, BlankNode, Literal
+
+    strings = Interner()
+    sid = strings.intern
+    kinds = bytearray(len(terms))
+    a = array("q", bytes(8 * len(terms)))
+    b = array("q", bytes(8 * len(terms)))
+    for i, term in enumerate(terms):
+        cls = type(term)
+        if cls is IRI:
+            kinds[i] = _KIND_IRI
+            a[i] = sid(term.value)
+            b[i] = -1
+        elif cls is BlankNode:
+            kinds[i] = _KIND_BNODE
+            a[i] = sid(term.label)
+            b[i] = -1
+        elif cls is Literal:
+            a[i] = sid(term.lexical)
+            if term.language is not None:
+                kinds[i] = _KIND_LANG_LITERAL
+                b[i] = sid(term.language)
+            else:
+                kinds[i] = _KIND_TYPED_LITERAL
+                b[i] = sid(term.datatype)
+        else:
+            raise SnapshotError(f"cannot snapshot term of type {cls.__name__}")
+    return strings, kinds, a, b
+
+
+def _emit_strings(buf: bytearray, strings: Interner) -> None:
+    blob = bytearray()
+    offsets = array("q", [0])
+    for s in strings:
+        blob += s.encode("utf-8")
+        offsets.append(len(blob))
+    _put_u64(buf, len(strings))
+    _put_ints(buf, offsets)
+    _put_u64(buf, len(blob))
+    buf += blob
+    _pad8(buf)
+
+
+def _emit_index(buf: bytearray, index: dict) -> None:
+    """Write one permutation index as grouped, sorted posting runs."""
+    k1s = sorted(index)
+    glens = array("q", (len(index[k1]) for k1 in k1s))
+    k2s = array("q")
+    plens = array("q")
+    vals = array("q")
+    for k1 in k1s:
+        group = index[k1]
+        for k2 in sorted(group):
+            run = group[k2].sorted_array()
+            k2s.append(k2)
+            plens.append(len(run))
+            vals.extend(run)
+    _put_u64(buf, len(k1s))
+    _put_ints(buf, array("q", k1s))
+    _put_ints(buf, glens)
+    _put_u64(buf, len(k2s))
+    _put_ints(buf, k2s)
+    _put_ints(buf, plens)
+    _put_u64(buf, len(vals))
+    _put_ints(buf, vals)
+
+
+def _emit_counters(buf: bytearray, counters: dict[int, int]) -> None:
+    keys = sorted(counters)
+    _put_u64(buf, len(keys))
+    _put_ints(buf, array("q", keys))
+    _put_ints(buf, array("q", (counters[k] for k in keys)))
+
+
+def save_snapshot(graph, path) -> int:
+    """Write ``graph`` to ``path`` as a binary snapshot; return byte size.
+
+    The write is atomic: the snapshot is assembled in a sibling temp file
+    and renamed over ``path``.
+    """
+    storage = graph._storage()
+    interner, spo, pos, osp, p_count, p_subjects = storage
+
+    payload = bytearray()
+    interner._ensure_ids()
+    strings, kinds, a, b = _encode_terms(interner._terms)
+    _emit_strings(payload, strings)
+    payload += kinds
+    _pad8(payload)
+    _put_ints(payload, a)
+    _put_ints(payload, b)
+    for index in (spo, pos, osp):
+        _emit_index(payload, index)
+    _emit_counters(payload, p_count)
+    _emit_counters(payload, p_subjects)
+
+    header = _HEADER.pack(
+        SNAPSHOT_MAGIC,
+        SNAPSHOT_VERSION,
+        _FLAG_LITTLE_ENDIAN,
+        _HEADER.size + len(payload),
+        len(interner),
+        len(graph),
+        graph.version,
+        zlib.crc32(bytes(payload)),
+    )
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(header)
+            f.write(payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return _HEADER.size + len(payload)
+
+
+# ---------------------------------------------------------------------- #
+# Load
+# ---------------------------------------------------------------------- #
+
+
+class _Reader:
+    """Bounds-checked cursor over the mapped payload."""
+
+    __slots__ = ("mv", "pos", "end")
+
+    def __init__(self, mv, pos: int, end: int):
+        self.mv = mv
+        self.pos = pos
+        self.end = end
+
+    def _take(self, nbytes: int) -> int:
+        start = self.pos
+        if start + nbytes > self.end:
+            raise SnapshotError("snapshot is truncated: section extends past end of file")
+        self.pos = start + nbytes
+        return start
+
+    def u64(self) -> int:
+        start = self._take(8)
+        return struct.unpack_from("<Q", self.mv, start)[0]
+
+    def int_view(self, count: int):
+        """A zero-copy ``memoryview('q')`` of ``count`` int64s (array copy
+        with byteswap on big-endian hosts)."""
+        start = self._take(8 * count)
+        view = self.mv[start : start + 8 * count]
+        if _LITTLE:
+            return view.cast("q")
+        arr = array("q", view.tobytes())
+        arr.byteswap()
+        return arr
+
+    def raw(self, nbytes: int):
+        start = self._take(nbytes)
+        return self.mv[start : start + nbytes]
+
+    def align8(self) -> None:
+        self.pos += -self.pos % 8
+
+
+class _StringTable:
+    """Lazy UTF-8 decode over the mapped string blob."""
+
+    __slots__ = ("offsets", "blob", "cache")
+
+    def __init__(self, offsets, blob):
+        self.offsets = offsets
+        self.blob = blob
+        self.cache: dict[int, str] = {}
+
+    def get(self, i: int) -> str:
+        s = self.cache.get(i)
+        if s is None:
+            offsets = self.offsets
+            s = self.cache[i] = bytes(self.blob[offsets[i] : offsets[i + 1]]).decode("utf-8")
+        return s
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+
+class _SnapshotTermSource:
+    """Materializes term ``i`` from the mapped term table on demand.
+
+    Holds the ``mmap`` (and its file handle, via the memoryviews) alive for
+    as long as any lazy term or zero-copy posting view is reachable.
+    """
+
+    __slots__ = ("mm", "strings", "kinds", "a", "b")
+
+    def __init__(self, mm, strings, kinds, a, b):
+        self.mm = mm
+        self.strings = strings
+        self.kinds = kinds
+        self.a = a
+        self.b = b
+
+    def materialize(self, i: int):
+        # __new__ + object.__setattr__ skips constructor validation: the
+        # payload CRC already vouches for the stored terms, and decode is
+        # the per-term hot path of lazy loads.
+        from ..rdf.terms import IRI, BlankNode, Literal
+
+        kind = self.kinds[i]
+        text = self.strings.get(self.a[i])
+        set_ = object.__setattr__
+        if kind == _KIND_IRI:
+            term = IRI.__new__(IRI)
+            set_(term, "value", text)
+            return term
+        if kind == _KIND_BNODE:
+            term = BlankNode.__new__(BlankNode)
+            set_(term, "label", text)
+            return term
+        term = Literal.__new__(Literal)
+        set_(term, "lexical", text)
+        if kind == _KIND_LANG_LITERAL:
+            set_(term, "datatype", Literal.LANG_STRING)
+            set_(term, "language", self.strings.get(self.b[i]))
+        elif kind == _KIND_TYPED_LITERAL:
+            set_(term, "datatype", self.strings.get(self.b[i]))
+            set_(term, "language", None)
+        else:
+            raise SnapshotError(f"snapshot term {i} has unknown kind {kind}")
+        return term
+
+
+def _read_index(reader: _Reader) -> dict:
+    n_k1 = reader.u64()
+    k1 = reader.int_view(n_k1)
+    glen = reader.int_view(n_k1)
+    n_k2 = reader.u64()
+    k2 = reader.int_view(n_k2)
+    plen = reader.int_view(n_k2)
+    n_vals = reader.u64()
+    vals = reader.int_view(n_vals)
+    index: dict[int, dict[int, IntPostings]] = {}
+    # Hot loop: one IntPostings per (k1, k2) bucket.  Construct via
+    # __new__ + direct slot stores — the classmethod/__init__ call pair
+    # costs more than everything else in a snapshot load combined.
+    new = IntPostings.__new__
+    pairs = iter(zip(k2, plen))
+    j = 0
+    off = 0
+    for i in range(n_k1):
+        group: dict[int, IntPostings] = {}
+        for k2_id, run_len in islice(pairs, glen[i]):
+            end = off + run_len
+            postings = new(IntPostings)
+            postings._data = vals[off:end]
+            postings._extra = None
+            group[k2_id] = postings
+            off = end
+            j += 1
+        index[k1[i]] = group
+    if j != n_k2 or off != n_vals:
+        raise SnapshotError("snapshot index section is internally inconsistent")
+    return index
+
+
+def _read_counters(reader: _Reader) -> dict[int, int]:
+    n = reader.u64()
+    keys = reader.int_view(n)
+    vals = reader.int_view(n)
+    return dict(zip(keys, vals))
+
+
+def _open_verified(path):
+    """Map ``path`` and verify header + CRC; return (mm, header fields)."""
+    path = os.fspath(path)
+    try:
+        f = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot open snapshot {path!r}: {exc}") from exc
+    try:
+        size = os.fstat(f.fileno()).st_size
+        if size < _HEADER.size:
+            raise SnapshotError(
+                f"snapshot {path!r} is truncated: {size} bytes, header needs {_HEADER.size}"
+            )
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    finally:
+        f.close()
+    try:
+        magic, version, flags, file_size, n_terms, n_triples, graph_version, crc = (
+            _HEADER.unpack_from(mm, 0)
+        )
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(f"{path!r} is not a repro snapshot (bad magic {magic!r})")
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot format version {version} (this build reads {SNAPSHOT_VERSION})"
+            )
+        if not flags & _FLAG_LITTLE_ENDIAN:
+            raise SnapshotError("snapshot byte order flag is unsupported")
+        if file_size != size:
+            raise SnapshotError(
+                f"snapshot {path!r} is truncated: header declares {file_size} bytes, file has {size}"
+            )
+        actual_crc = zlib.crc32(memoryview(mm)[_HEADER.size :])
+        if actual_crc != crc:
+            raise SnapshotError(
+                f"snapshot {path!r} is corrupt: payload CRC {actual_crc:#010x} != stored {crc:#010x}"
+            )
+    except SnapshotError:
+        mm.close()
+        raise
+    except Exception as exc:
+        mm.close()
+        raise SnapshotError(f"snapshot {path!r} is unreadable: {exc}") from exc
+    return mm, (version, file_size, n_terms, n_triples, graph_version, crc)
+
+
+def load_snapshot(path):
+    """Load a :class:`~repro.rdf.graph.Graph` from a snapshot file.
+
+    Postings stay zero-copy views of the mapped file until first mutated;
+    terms decode lazily on first access.
+
+    Raises:
+        SnapshotError: the file is missing, truncated, corrupt, or of an
+            unsupported format version.
+    """
+    from ..rdf.graph import Graph
+
+    mm, (_, file_size, n_terms, n_triples, graph_version, _) = _open_verified(path)
+    try:
+        mv = memoryview(mm)
+        reader = _Reader(mv, _HEADER.size, file_size)
+
+        n_strings = reader.u64()
+        offsets = reader.int_view(n_strings + 1)
+        blob_len = reader.u64()
+        blob = reader.raw(blob_len)
+        reader.align8()
+        strings = _StringTable(offsets, blob)
+
+        kinds = reader.raw(n_terms)
+        reader.align8()
+        a = reader.int_view(n_terms)
+        b = reader.int_view(n_terms)
+        source = _SnapshotTermSource(mm, strings, kinds, a, b)
+        interner = TermInterner.lazy(source, n_terms)
+
+        spo = _read_index(reader)
+        pos = _read_index(reader)
+        osp = _read_index(reader)
+        p_count = _read_counters(reader)
+        p_subjects = _read_counters(reader)
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(f"snapshot {os.fspath(path)!r} is corrupt: {exc}") from exc
+
+    return Graph._from_storage(
+        interner, spo, pos, osp, n_triples, p_count, p_subjects, graph_version
+    )
+
+
+def snapshot_info(path) -> dict:
+    """Header metadata of a snapshot (after full integrity verification).
+
+    Returns a dict with ``format_version``, ``file_size``, ``n_terms``,
+    ``n_triples``, and ``graph_version``.
+    """
+    mm, (version, file_size, n_terms, n_triples, graph_version, crc) = _open_verified(path)
+    mm.close()
+    return {
+        "format_version": version,
+        "file_size": file_size,
+        "n_terms": n_terms,
+        "n_triples": n_triples,
+        "graph_version": graph_version,
+        "crc32": crc,
+    }

@@ -22,31 +22,20 @@ from repro.rdf.terms import IRI, Literal, Triple
 
 
 def _index_snapshot(store: PropertyGraphStore):
-    """Order-insensitive view of every index and statistic."""
-    return {
-        "labels": {k: set(v) for k, v in store._label_index.items() if v},
-        "out": {
-            (node, rel): sorted(ids)
-            for node, by_type in store._out.items()
-            for rel, ids in by_type.items()
-            if ids
-        },
-        "in": {
-            (node, rel): sorted(ids)
-            for node, by_type in store._in.items()
-            for rel, ids in by_type.items()
-            if ids
-        },
-        "props": {k: set(v) for k, v in store._property_index.items() if v},
-        "rel_count": dict(store._rel_count),
-    }
+    """Order-insensitive view of every index and statistic.
+
+    Uses the public ``catalog_snapshot`` so the comparison is independent
+    of the store's internal dictionary encoding (interned ids depend on
+    mutation history; the decoded snapshot must not).
+    """
+    return store.catalog_snapshot()
 
 
 def _assert_fresh(store: PropertyGraphStore):
     """The incrementally maintained indexes match a from-scratch build."""
-    incremental = _index_snapshot(store)
     fresh = PropertyGraphStore(store.graph, store.indexed_keys)
-    assert incremental == _index_snapshot(fresh)
+    assert _index_snapshot(store) == _index_snapshot(fresh)
+    assert store.catalog_discrepancies() == []
 
 
 def _sample_store() -> PropertyGraphStore:
@@ -204,6 +193,73 @@ def test_graph_statistics_match_recount():
         assert graph.predicate_distinct_objects(p) == len(
             {t.o for t in expected}
         )
+
+
+def test_randomized_counter_workload_matches_recount():
+    """Counters survive duplicate adds, re-adds after remove, and
+    ``update`` overlap: after a randomized workload every maintained
+    statistic equals a full recount of the surviving triples."""
+    ex = "http://example.org/"
+    rng = random.Random(20240731)
+    graph = Graph()
+    predicates = [IRI(f"{ex}p{i}") for i in range(5)]
+    subjects = [IRI(f"{ex}s{i}") for i in range(8)]
+    objects = subjects + [Literal(str(i)) for i in range(6)]
+    pool = [
+        Triple(rng.choice(subjects), rng.choice(predicates), rng.choice(objects))
+        for _ in range(150)
+    ]
+    for step in range(1200):
+        action = rng.random()
+        t = rng.choice(pool)
+        if action < 0.45:
+            graph.add(t)
+        elif action < 0.55:
+            graph.add(t)
+            graph.add(t)  # duplicate add must not bump anything twice
+        elif action < 0.8:
+            graph.remove(t)
+        elif action < 0.9:
+            graph.remove(t)
+            graph.add(t)  # re-add after remove restores exactly one count
+        else:
+            # Bulk update with overlap: some triples already present.
+            graph.update(rng.sample(pool, rng.randrange(1, 10)))
+
+    live = list(graph)
+    assert len(graph) == len(set(live)) == len(live)
+    by_p: dict[IRI, set[Triple]] = {}
+    for t in live:
+        by_p.setdefault(t.p, set()).add(t)
+    for p in predicates:
+        expected = by_p.get(p, set())
+        assert graph.predicate_count(p) == len(expected)
+        assert graph.predicate_distinct_subjects(p) == len({t.s for t in expected})
+        assert graph.predicate_distinct_objects(p) == len({t.o for t in expected})
+    assert graph.n_subjects() == len({t.s for t in live})
+    assert graph.n_predicates() == len({t.p for t in live})
+    assert graph.n_objects() == len({t.o for t in live})
+
+
+def test_store_counters_survive_duplicate_and_readd_cycles():
+    """Rel-type/label counters under re-adds, removes, and merge overlap."""
+    store = _sample_store()
+    # Re-add after remove: counter returns to exactly its old value.
+    store.remove_edge("e1")
+    store.add_edge("a", "b", ["knows"], edge_id="e1")
+    assert store.rel_type_count("knows") == 2
+    # Duplicate label adds are idempotent in the index.
+    store.add_label("a", "Person")
+    store.add_label("a", "Person")
+    assert sum(1 for n in store.nodes_with_label("Person") if n.id == "a") == 1
+    # Merge overlap: shared nodes/edges must not double-count.
+    other = PropertyGraph()
+    other.add_node("a", ["Person"], {"iri": "ex:a"})
+    other.add_node("b", ["Person"], {"iri": "ex:b"})
+    other.add_edge("a", "b", ["knows"], edge_id="e1")
+    store.merge_from(other)
+    assert store.rel_type_count("knows") == 2
+    _assert_fresh(store)
 
 
 def test_graph_catalog_estimates_follow_mutations():

@@ -1,0 +1,82 @@
+"""Regression tests for :class:`PlanCache` stale-version eviction.
+
+Plan keys embed the statistics-catalog version, so an entry built
+against an old version can never hit again once the graph mutates.
+Before the version-aware sweep, such dead entries lingered until LRU
+capacity pressure — under a CDC-style interleaving of queries and
+mutations the cache filled with garbage and evicted live plans.
+"""
+
+from __future__ import annotations
+
+from repro.pg.store import PropertyGraphStore
+from repro.query.cypher import CypherEngine
+from repro.query.plan.cache import PlanCache
+from repro.query.sparql import SparqlEngine
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Triple
+
+
+def test_put_sweeps_stale_version_entries():
+    cache = PlanCache(maxsize=128)
+    cache.put(("q1", 1), "plan-a", version=1)
+    cache.put(("q2", 1), "plan-b", version=1)
+    assert len(cache) == 2
+    cache.put(("q1", 2), "plan-a2", version=2)
+    # Both version-1 entries are dead (their keys embed version 1).
+    assert len(cache) == 1
+    assert cache.get(("q1", 2)) == "plan-a2"
+    assert cache.get(("q1", 1)) is None
+    assert cache.get(("q2", 1)) is None
+
+
+def test_unversioned_put_keeps_legacy_lru_behaviour():
+    cache = PlanCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert cache.get("a") is None
+    assert cache.get("c") == 3
+
+
+def test_clear_resets_version_tracking():
+    cache = PlanCache()
+    cache.put("a", 1, version=5)
+    cache.clear()
+    assert len(cache) == 0
+    cache.put("b", 2, version=1)  # older version after clear is fine
+    assert cache.get("b") == 2
+
+
+def test_cache_stays_bounded_across_mutations_sparql():
+    ex = "http://example.org/"
+    graph = Graph()
+    p = IRI(f"{ex}knows")
+    for i in range(10):
+        graph.add(Triple(IRI(f"{ex}s{i}"), p, IRI(f"{ex}s{(i + 1) % 10}")))
+    engine = SparqlEngine(graph)
+    query = f"SELECT ?a ?b WHERE {{ ?a <{ex}knows> ?b . }}"
+    for i in range(60):
+        engine.query(query)
+        # Mutation bumps the catalog version; the next planned query
+        # must sweep the now-dead entry instead of accumulating it.
+        graph.add(Triple(IRI(f"{ex}x{i}"), p, Literal(str(i))))
+    engine.query(query)
+    assert len(engine.planner.cache) <= 2
+
+
+def test_cache_stays_bounded_across_mutations_cypher():
+    ex = "http://example.org/"
+    store = PropertyGraphStore()
+    for i in range(6):
+        store.add_node(f"s{i}", ["Person"], {"iri": f"{ex}s{i}"})
+    for i in range(6):
+        store.add_edge(f"s{i}", f"s{(i + 1) % 6}", ["knows"], edge_id=f"e{i}")
+    engine = CypherEngine(store)
+    query = "MATCH (a:Person)-[:knows]->(b) RETURN a, b"
+    for i in range(40):
+        engine.query(query)
+        store.add_node(f"extra{i}", ["Person"], {"iri": f"{ex}extra{i}"})
+    engine.query(query)
+    assert len(engine.planner.cache) <= 2

@@ -167,3 +167,70 @@ class TestBnodeTerminator:
         # "_:b.." = label "b" followed by terminator plus trailing junk.
         with pytest.raises(ParseError):
             parse_line("<http://x/s> <http://x/p> _:b..")
+
+
+class TestSerializerEscaping:
+    """serialize_ntriples must provably emit parseable output.
+
+    The historical asymmetry: the parser unescaped ``\\uXXXX`` in IRIs
+    and named escapes in literals, but the serializer only escaped the
+    named subset — so literals with line separators (``\\x0c``,
+    ``\\u2028``, ...) or IRIs containing a backslash produced documents
+    the parser split or decoded differently.
+    """
+
+    def _round_trip_one(self, obj):
+        g = [Triple(IRI("http://x/s"), IRI("http://x/p"), obj)]
+        text = serialize_ntriples(g)
+        assert len(text.splitlines()) == 1, f"statement split: {text!r}"
+        (again,) = parse_ntriples(text)
+        return text, again.o
+
+    @pytest.mark.parametrize(
+        "ch", ["\x00", "\x07", "\x0b", "\x0c", "\x1c", "\x1d", "\x1e",
+               "\x7f", "\x85", " ", " "]
+    )
+    def test_control_and_line_separator_literals(self, ch):
+        _, again = self._round_trip_one(Literal(f"a{ch}b"))
+        assert again == Literal(f"a{ch}b")
+
+    def test_non_bmp_literal_passes_through(self):
+        text, again = self._round_trip_one(Literal("smile \U0001f600"))
+        assert again == Literal("smile \U0001f600")
+        assert "\U0001f600" in text  # no needless ASCII-folding
+
+    def test_lone_surrogate_replaced_with_ufffd(self):
+        # Lone surrogates cannot be written: the parser (correctly)
+        # rejects surrogate \uXXXX escapes and surrogates cannot be
+        # UTF-8 encoded. Policy: replace at serialization time.
+        text, again = self._round_trip_one(Literal("a\ud800b\udfffc"))
+        assert again == Literal("a�b�c")
+        assert "�" in text
+
+    def test_iri_backslash_round_trips(self):
+        # A literal backslash inside an IRI must not be re-interpreted
+        # as an escape sequence on the way back in.
+        iri = IRI("http://x/path\\u0041")
+        _, again = self._round_trip_one(iri)
+        assert again == iri  # NOT IRI("http://x/pathA")
+
+    def test_iri_grammar_forbidden_chars_escaped(self):
+        iri = IRI('http://x/a"b^c`d{e|f}g')
+        text, again = self._round_trip_one(iri)
+        assert again == iri
+        # None of the N-Triples-forbidden raw characters appear in the
+        # serialized IRI token.
+        iri_token = text.split(" ")[2]
+        assert not any(c in iri_token for c in '"^`{|}')
+
+    def test_escaped_output_is_pure_single_line_per_statement(self):
+        g = [
+            Triple(IRI("http://x/s"), IRI("http://x/p"),
+                   Literal("x y\x1cz", language="en")),
+            Triple(IRI("http://x/s"), IRI("http://x/q r"),
+                   Literal("\x00")),
+        ]
+        text = serialize_ntriples(g)
+        lines = [line for line in text.splitlines() if line]
+        assert len(lines) == 2
+        assert set(parse_ntriples(text)) == set(g)

@@ -112,3 +112,60 @@ def test_stats_are_consistent(graph):
 def test_graph_deduplicates(triple_list):
     graph = Graph(triple_list)
     assert len(graph) == len(set(triple_list))
+
+
+# --------------------------------------------------------------------- #
+# Serializer escaping: serialize must always emit parseable N-Triples
+# --------------------------------------------------------------------- #
+
+# Everything except lone surrogates (which have a replacement policy,
+# tested separately): C0/C1 controls, every str.splitlines boundary,
+# and astral-plane codepoints.
+_evil_text = st.text(
+    alphabet=st.characters(max_codepoint=0x10FFFF, exclude_categories=("Cs",)),
+    max_size=12,
+)
+_IRI_FORBIDDEN = set(" \n\t\r<>")
+_evil_iris = _evil_text.map(
+    lambda s: IRI(
+        "http://example.org/" + "".join(c for c in s if c not in _IRI_FORBIDDEN)
+    )
+)
+
+
+@st.composite
+def _evil_literals(draw):
+    lexical = draw(_evil_text)
+    if draw(st.booleans()):
+        return Literal(lexical, language=draw(st.sampled_from(["en", "de"])))
+    return Literal(lexical, draw(datatypes))
+
+
+_evil_graphs = st.lists(
+    st.builds(
+        Triple, st.one_of(_evil_iris, bnodes), _evil_iris,
+        st.one_of(_evil_iris, bnodes, _evil_literals()),
+    ),
+    max_size=15,
+).map(Graph)
+
+
+@given(_evil_graphs)
+@settings(max_examples=120)
+def test_serialize_ntriples_is_always_parseable(graph):
+    """Any literal/IRI content round-trips: controls, line separators,
+    astral codepoints — the serializer escapes whatever would break the
+    line-oriented grammar."""
+    text = serialize_ntriples(graph)
+    assert parse_ntriples(text) == graph
+
+
+@given(_evil_graphs)
+@settings(max_examples=60)
+def test_serialized_statements_stay_one_per_line(graph):
+    """No payload character may smuggle a line break past splitlines."""
+    text = serialize_ntriples(graph)
+    lines = [line for line in text.splitlines() if line]
+    assert len(lines) == len(graph)
+    for line in lines:
+        assert line.endswith(" .")

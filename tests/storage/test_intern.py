@@ -1,0 +1,102 @@
+"""Tests for the string/term interning dictionaries."""
+
+import pickle
+
+import pytest
+
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.storage.intern import Interner, TermInterner
+
+
+class TestInterner:
+    def test_ids_are_dense_and_first_appearance_ordered(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0  # idempotent
+        assert interner.intern("c") == 2
+        assert len(interner) == 3
+        assert list(interner) == ["a", "b", "c"]
+
+    def test_decode_is_list_index(self):
+        interner = Interner(["x", "y"])
+        assert interner.value(0) == "x"
+        assert interner.value(1) == "y"
+        assert interner.values() == ["x", "y"]
+
+    def test_lookup_does_not_allocate(self):
+        interner = Interner()
+        interner.intern("present")
+        assert interner.lookup("present") == 0
+        assert interner.lookup("absent") is None
+        assert len(interner) == 1
+
+    def test_seeded_constructor_round_trips(self):
+        interner = Interner(["p", "q"])
+        assert interner.intern("p") == 0
+        assert interner.intern("r") == 2
+
+
+class _ListSource:
+    """A `materialize(i)` source over a fixed term list, counting calls."""
+
+    def __init__(self, terms):
+        self.terms = terms
+        self.calls = 0
+
+    def materialize(self, i):
+        self.calls += 1
+        return self.terms[i]
+
+
+class TestTermInterner:
+    def test_eager_intern_and_lookup(self):
+        interner = TermInterner()
+        a = IRI("http://example.org/a")
+        lit = Literal("x", language="en")
+        assert interner.intern(a) == 0
+        assert interner.intern(lit) == 1
+        assert interner.intern(a) == 0
+        assert interner.term(1) == lit
+        assert interner.lookup(BlankNode("b")) is None
+        assert len(interner) == 2
+
+    def test_lazy_decode_is_on_demand(self):
+        terms = [IRI("http://example.org/a"), BlankNode("b"), Literal("3")]
+        source = _ListSource(terms)
+        interner = TermInterner.lazy(source, len(terms))
+        assert len(interner) == 3
+        assert source.calls == 0
+        assert interner.term(2) == Literal("3")
+        assert source.calls == 1
+        # Repeated access hits the cache, not the source.
+        assert interner.term(2) == Literal("3")
+        assert source.calls == 1
+
+    def test_first_bound_lookup_materializes_everything(self):
+        terms = [IRI("http://example.org/a"), BlankNode("b")]
+        source = _ListSource(terms)
+        interner = TermInterner.lazy(source, len(terms))
+        assert interner.lookup(terms[1]) == 1
+        assert source.calls == len(terms)
+        # New terms keep allocating dense ids past the snapshot range.
+        assert interner.intern(Literal("new")) == 2
+
+    def test_pickle_materializes_and_drops_source(self):
+        terms = [IRI("http://example.org/a"), Literal("x", language="en")]
+        interner = TermInterner.lazy(_ListSource(terms), len(terms))
+        clone = pickle.loads(pickle.dumps(interner))
+        assert clone._source is None
+        assert clone.term(0) == terms[0]
+        assert clone.lookup(terms[1]) == 1
+
+    def test_repr_reports_lazy_vs_materialized(self):
+        interner = TermInterner.lazy(_ListSource([IRI("http://e/x")]), 1)
+        assert "lazy" in repr(interner)
+        interner.lookup(IRI("http://e/x"))
+        assert "materialized" in repr(interner)
+
+    def test_lazy_source_errors_propagate(self):
+        interner = TermInterner.lazy(_ListSource([]), 1)
+        with pytest.raises(IndexError):
+            interner.term(0)

@@ -1,0 +1,124 @@
+"""Tests for the sorted-int posting runs backing the columnar indexes."""
+
+import pickle
+import random
+from array import array
+
+from repro.storage.postings import IntPostings
+
+
+def test_ascending_bulk_load_stays_sorted():
+    postings = IntPostings()
+    for value in range(100):
+        assert postings.add(value)
+    assert list(postings) == list(range(100))
+    assert len(postings) == 100
+
+
+def test_out_of_order_inserts_buffer_then_merge():
+    postings = IntPostings()
+    values = list(range(0, 400, 2))
+    random.Random(7).shuffle(values)
+    for value in values:
+        postings.add(value)
+    assert list(postings) == sorted(values)
+
+
+def test_add_is_distinct():
+    postings = IntPostings()
+    assert postings.add(5)
+    assert not postings.add(5)
+    postings.add(1)  # goes to the delta buffer (out of order)
+    assert not postings.add(1)
+    assert len(postings) == 2
+
+
+def test_membership_checks_both_run_and_delta():
+    postings = IntPostings()
+    postings.add(10)
+    postings.add(3)  # delta
+    assert 10 in postings
+    assert 3 in postings
+    assert 7 not in postings
+
+
+def test_discard_from_run_and_delta():
+    postings = IntPostings()
+    for value in (2, 9, 4):
+        postings.add(value)
+    assert postings.discard(4)
+    assert not postings.discard(4)
+    assert postings.discard(2)
+    assert list(postings) == [9]
+    assert postings.discard(9)
+    assert not postings
+    assert len(postings) == 0
+
+
+def test_randomized_add_discard_matches_set_model():
+    rng = random.Random(20240807)
+    postings = IntPostings()
+    model: set[int] = set()
+    for _ in range(3000):
+        value = rng.randrange(200)
+        if rng.random() < 0.6:
+            assert postings.add(value) == (value not in model)
+            model.add(value)
+        else:
+            assert postings.discard(value) == (value in model)
+            model.discard(value)
+        if rng.random() < 0.01:
+            assert list(postings) == sorted(model)
+    assert list(postings) == sorted(model)
+
+
+def test_from_view_is_zero_copy_until_mutated():
+    backing = array("q", [1, 5, 9])
+    view = memoryview(backing)
+    postings = IntPostings.from_view(view)
+    assert "view" in repr(postings)
+    assert 5 in postings
+    assert list(postings) == [1, 5, 9]
+    assert "view" in repr(postings)  # reads do not materialize
+    postings.add(7)
+    assert "array" in repr(postings)  # first write copies out of the view
+    assert list(postings) == [1, 5, 7, 9]
+    assert list(backing) == [1, 5, 9]  # the backing store is untouched
+
+
+def test_sorted_array_compacts():
+    postings = IntPostings()
+    postings.add(8)
+    postings.add(2)
+    run = postings.sorted_array()
+    assert list(run) == [2, 8]
+    assert type(run) is array
+
+
+def test_sorted_array_copies_out_of_views():
+    backing = array("q", [2, 8])
+    postings = IntPostings.from_view(memoryview(backing))
+    run = postings.sorted_array()
+    run.append(99)  # a private copy: neither postings nor backing change
+    assert list(postings) == [2, 8]
+    assert list(backing) == [2, 8]
+
+
+def test_pickle_round_trip_materializes_views():
+    postings = IntPostings.from_view(memoryview(array("q", [3, 6])))
+    clone = pickle.loads(pickle.dumps(postings))
+    assert clone == postings
+    assert "array" in repr(clone)
+
+
+def test_equality_is_by_contents():
+    a = IntPostings()
+    b = IntPostings()
+    for value in (4, 1, 8):
+        a.add(value)
+    for value in (1, 8, 4):
+        b.add(value)
+    assert a == b
+    b.add(2)
+    assert a != b
+    assert a.__eq__(object()) is NotImplemented

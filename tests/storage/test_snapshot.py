@@ -1,0 +1,226 @@
+"""Tests for the versioned binary snapshot format.
+
+A committed golden file (``golden-v1.snap``) pins the byte-level format:
+if an intentional format change breaks it, bump ``SNAPSHOT_VERSION`` and
+regenerate via ``python tests/storage/test_snapshot.py``.
+"""
+
+import pickle
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.namespaces import RDF_TYPE, XSD
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.storage import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
+
+GOLDEN = Path(__file__).parent / "golden-v1.snap"
+EX = "http://example.org/"
+
+
+def golden_graph() -> Graph:
+    """A small fixed graph covering every term kind the format stores."""
+    g = Graph()
+    alice, bob = IRI(f"{EX}alice"), IRI(f"{EX}bob")
+    knows, name, age = IRI(f"{EX}knows"), IRI(f"{EX}name"), IRI(f"{EX}age")
+    g.add(Triple(alice, IRI(RDF_TYPE), IRI(f"{EX}Person")))
+    g.add(Triple(bob, IRI(RDF_TYPE), IRI(f"{EX}Person")))
+    g.add(Triple(alice, knows, bob))
+    g.add(Triple(bob, knows, alice))
+    g.add(Triple(alice, name, Literal("Alice", language="en")))
+    g.add(Triple(alice, age, Literal("30", XSD.integer)))
+    g.add(Triple(bob, name, Literal('evil "name"\nwith\tescapes  ')))
+    g.add(Triple(BlankNode("addr1"), IRI(f"{EX}city"), Literal("Łódź")))
+    g.add(Triple(bob, IRI(f"{EX}addr"), BlankNode("addr1")))
+    return g
+
+
+def _graphs_equal(a: Graph, b: Graph) -> bool:
+    return set(a) == set(b) and len(a) == len(b)
+
+
+# --------------------------------------------------------------------- #
+# Round trip + canonical bytes
+# --------------------------------------------------------------------- #
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "g.snap"
+    size = save_snapshot(golden_graph(), path)
+    assert size == path.stat().st_size
+    loaded = load_snapshot(path)
+    assert _graphs_equal(loaded, golden_graph())
+    assert loaded.version == golden_graph().version
+
+
+def test_counters_survive_round_trip(tmp_path):
+    graph = golden_graph()
+    path = tmp_path / "g.snap"
+    save_snapshot(graph, path)
+    loaded = load_snapshot(path)
+    knows = IRI(f"{EX}knows")
+    assert loaded.count(p=knows) == graph.count(p=knows)
+    assert loaded.stats() == graph.stats()
+
+
+def test_save_load_save_is_byte_stable(tmp_path):
+    first = tmp_path / "a.snap"
+    second = tmp_path / "b.snap"
+    save_snapshot(golden_graph(), first)
+    save_snapshot(load_snapshot(first), second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_golden_file_matches_current_writer(tmp_path):
+    path = tmp_path / "g.snap"
+    save_snapshot(golden_graph(), path)
+    assert path.read_bytes() == GOLDEN.read_bytes(), (
+        "snapshot writer output changed; if intentional, bump "
+        "SNAPSHOT_VERSION and regenerate the golden file"
+    )
+
+
+def test_golden_file_loads():
+    loaded = load_snapshot(GOLDEN)
+    assert _graphs_equal(loaded, golden_graph())
+    info = snapshot_info(GOLDEN)
+    assert info["format_version"] == SNAPSHOT_VERSION
+    assert info["n_triples"] == len(golden_graph())
+    assert info["file_size"] == GOLDEN.stat().st_size
+
+
+# --------------------------------------------------------------------- #
+# Loaded graphs stay fully mutable and pickleable
+# --------------------------------------------------------------------- #
+
+
+def test_loaded_graph_is_lazy_until_bound_lookup(tmp_path):
+    path = tmp_path / "g.snap"
+    save_snapshot(golden_graph(), path)
+    loaded = load_snapshot(path)
+    assert "lazy" in repr(loaded._terms)
+    assert Triple(IRI(f"{EX}alice"), IRI(f"{EX}knows"), IRI(f"{EX}bob")) in loaded
+    assert "materialized" in repr(loaded._terms)
+
+
+def test_loaded_graph_mutates_correctly(tmp_path):
+    path = tmp_path / "g.snap"
+    save_snapshot(golden_graph(), path)
+    loaded = load_snapshot(path)
+    extra = Triple(IRI(f"{EX}carol"), IRI(f"{EX}knows"), IRI(f"{EX}alice"))
+    gone = Triple(IRI(f"{EX}alice"), IRI(f"{EX}knows"), IRI(f"{EX}bob"))
+    assert loaded.add(extra)
+    assert loaded.remove(gone)
+    assert extra in loaded
+    assert gone not in loaded
+    expected = (set(golden_graph()) | {extra}) - {gone}
+    assert set(loaded) == expected
+    assert loaded.count(p=IRI(f"{EX}knows")) == 2
+
+
+def test_loaded_graph_pickles(tmp_path):
+    path = tmp_path / "g.snap"
+    save_snapshot(golden_graph(), path)
+    clone = pickle.loads(pickle.dumps(load_snapshot(path)))
+    assert _graphs_equal(clone, golden_graph())
+    clone.add(Triple(IRI(f"{EX}new"), IRI(f"{EX}p"), Literal("1")))
+    assert len(clone) == len(golden_graph()) + 1
+
+
+def test_empty_graph_round_trips(tmp_path):
+    path = tmp_path / "empty.snap"
+    save_snapshot(Graph(), path)
+    loaded = load_snapshot(path)
+    assert len(loaded) == 0
+    assert list(loaded) == []
+
+
+# --------------------------------------------------------------------- #
+# Corruption: every bad file raises SnapshotError, never a wrong graph
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def snap(tmp_path):
+    path = tmp_path / "g.snap"
+    save_snapshot(golden_graph(), path)
+    return path
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(SnapshotError, match="cannot open"):
+        load_snapshot(tmp_path / "nope.snap")
+
+
+def test_shorter_than_header_raises(tmp_path):
+    path = tmp_path / "tiny.snap"
+    path.write_bytes(b"RPRO")
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_snapshot(path)
+
+
+def test_bad_magic_raises(snap):
+    data = bytearray(snap.read_bytes())
+    data[:8] = b"NOTASNAP"
+    snap.write_bytes(data)
+    with pytest.raises(SnapshotError, match="bad magic"):
+        load_snapshot(snap)
+
+
+def test_wrong_format_version_raises(snap):
+    data = bytearray(snap.read_bytes())
+    struct.pack_into("<I", data, 8, SNAPSHOT_VERSION + 41)
+    snap.write_bytes(data)
+    with pytest.raises(SnapshotError, match="unsupported snapshot format version"):
+        load_snapshot(snap)
+
+
+def test_unsupported_flags_raise(snap):
+    data = bytearray(snap.read_bytes())
+    struct.pack_into("<I", data, 12, 0)
+    snap.write_bytes(data)
+    with pytest.raises(SnapshotError, match="byte order"):
+        load_snapshot(snap)
+
+
+def test_truncated_file_raises(snap):
+    data = snap.read_bytes()
+    snap.write_bytes(data[: len(data) - 16])
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_snapshot(snap)
+
+
+@pytest.mark.parametrize("offset_from_end", [1, 100, 500])
+def test_flipped_payload_byte_raises_crc_error(snap, offset_from_end):
+    data = bytearray(snap.read_bytes())
+    data[len(data) - offset_from_end] ^= 0xFF
+    snap.write_bytes(data)
+    with pytest.raises(SnapshotError, match="corrupt"):
+        load_snapshot(snap)
+
+
+def test_snapshot_info_verifies_integrity(snap):
+    data = bytearray(snap.read_bytes())
+    data[-1] ^= 0xFF
+    snap.write_bytes(data)
+    with pytest.raises(SnapshotError, match="corrupt"):
+        snapshot_info(snap)
+
+
+def test_magic_constant_is_pinned():
+    assert SNAPSHOT_MAGIC == b"RPROSNAP"
+    assert SNAPSHOT_VERSION == 1
+
+
+if __name__ == "__main__":  # golden-file regeneration: PYTHONPATH=src python <this file>
+    save_snapshot(golden_graph(), GOLDEN)
+    print(f"wrote {GOLDEN} ({GOLDEN.stat().st_size} bytes)")
