@@ -118,6 +118,10 @@ def test_fig6_planner_ablation(benchmark):
     result = S3PG().transform(graph, university_shapes())
     store = PropertyGraphStore(result.graph)
 
+    # Estimate-vs-actual summaries from the cardinality-feedback store
+    # of the planner-on engines, embedded in the JSON artifact.
+    feedback: dict[str, dict] = {}
+
     def run_ablation():
         rows = []
         sparql_on = SparqlEngine(graph)
@@ -148,6 +152,19 @@ def test_fig6_planner_ablation(benchmark):
                 "results_identical":
                     normalize_cypher_rows(r_on) == normalize_cypher_rows(r_off),
             })
+        for lang, engine in (("sparql", sparql_on), ("cypher", cypher_on)):
+            summary = engine.planner.feedback.summary()
+            summary["worst_plans"] = [
+                {"detail": entry["operators"][0]["detail"]
+                          if entry["operators"] else "",
+                 "max_q_error": entry["max_q_error"],
+                 "executions": entry["executions"]}
+                for entry in sorted(
+                    engine.planner.feedback.snapshot(),
+                    key=lambda e: e["max_q_error"], reverse=True,
+                )[:5]
+            ]
+            feedback[lang] = summary
         return rows
 
     rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
@@ -165,12 +182,19 @@ def test_fig6_planner_ablation(benchmark):
     write_json_result(
         "fig6_planner_ablation", rows,
         scale=scale, quick=BENCH_QUICK, triples=len(graph),
+        feedback=feedback,
     )
 
     # Correctness is unconditional: identical bags in every mode.
     for row in rows:
         assert row["results_identical"], (row["qid"], row["lang"])
         assert row["rows"] > 0, row["qid"]
+
+    # The feedback store observed every planned query: sane q-errors.
+    for lang in ("sparql", "cypher"):
+        assert feedback[lang]["plans"] > 0, lang
+        assert feedback[lang]["max_q_error"] >= 1.0, lang
+        assert math.isfinite(feedback[lang]["max_q_error"]), lang
 
     if BENCH_QUICK:
         return

@@ -7,9 +7,12 @@ stats collection entirely.  This bench pins that property down two ways:
 
 * a micro-benchmark of the disabled ``obs.span`` call itself, asserting
   the per-call cost times a generous span count stays under 5% of the
-  serial transform's wall time, and
+  serial transform's wall time,
 * an A/B of the serial transform with tracing off vs. on, reported (but
-  not asserted — wall-clock A/Bs at this scale are noise-dominated).
+  not asserted — wall-clock A/Bs at this scale are noise-dominated), and
+* the same per-call budget argument with the **flight recorder**
+  installed: bounded span ring + fast-path ``record_query`` hook must
+  also land under 5%, and the ring must stay at its capacity bound.
 """
 
 from __future__ import annotations
@@ -87,3 +90,60 @@ def test_traced_vs_untraced_transform(dbpedia2022_bundle):
     )
     assert spans > 0
     assert spans <= SPAN_BUDGET
+
+
+def test_recorder_overhead(dbpedia2022_bundle):
+    """Flight-recorder-enabled instrumentation must stay under 5%.
+
+    The recorder path is costlier than disabled tracing: every span
+    lands in the bounded ring and every finished query pays the
+    ``record_query`` threshold check.  Both per-call costs, scaled by
+    the span budget, must still fit the same 5% envelope — and the span
+    ring must honour its capacity bound no matter how many spans flow
+    through it.
+    """
+    assert not obs.enabled()
+    transform_s = min(_transform_seconds(dbpedia2022_bundle) for _ in range(3))
+
+    calls = 100_000
+    recorder = obs.install_recorder(span_capacity=1024, slow_threshold_ms=100.0)
+    try:
+        assert obs.enabled()  # the recorder's bounded tracer is live
+
+        start = time.perf_counter()
+        for _ in range(calls):
+            with obs.span("bench.recorded"):
+                pass
+        per_span = (time.perf_counter() - start) / calls
+
+        start = time.perf_counter()
+        for _ in range(calls):
+            # Fast path: below the slow threshold, so no capture.
+            obs.record_query("sparql", "SELECT 1", 0.0001, 1)
+        per_record = (time.perf_counter() - start) / calls
+
+        # The ring is bounded: 100k spans flowed, at most 1024 retained.
+        assert len(recorder.tracer) <= recorder.span_capacity
+        assert len(recorder.slow()) == 0  # nothing crossed the threshold
+
+        overhead = (per_span + per_record) * SPAN_BUDGET / transform_s
+        rows = [{
+            "recorded_span_ns": round(per_span * 1e9, 1),
+            "record_query_ns": round(per_record * 1e9, 1),
+            "span_budget": SPAN_BUDGET,
+            "spans_buffered": len(recorder.tracer),
+            "span_capacity": recorder.span_capacity,
+            "transform_s": round(transform_s, 4),
+            "overhead_pct": round(overhead * 100, 4),
+        }]
+        write_result("obs_overhead_recorder.txt", render_table(
+            rows, title="Flight-recorder overhead (serial transform)"
+        ))
+        write_json_result("obs_overhead_recorder", rows)
+        assert overhead < MAX_OVERHEAD, (
+            f"flight recorder costs {overhead:.2%} of a serial transform"
+        )
+    finally:
+        obs.uninstall_recorder()
+        obs.get_metrics().reset()
+    assert not obs.enabled()

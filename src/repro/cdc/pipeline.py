@@ -170,6 +170,26 @@ class CDCPipeline:
         self._m_checkpoints = metrics.counter(
             "repro_cdc_checkpoints_total", help="checkpoints written"
         )
+        self._m_batch = metrics.histogram(
+            "repro_cdc_batch_seconds",
+            boundaries=obs.LATENCY_BOUNDARIES,
+            help="wall time per applied CDC batch",
+        )
+
+    def health_snapshot(self) -> dict:
+        """Liveness summary for the ops endpoint's ``/healthz``."""
+        stats = self.stats
+        return {
+            "watermark": self.watermark,
+            "deltas_applied": stats.deltas_applied,
+            "deltas_skipped": stats.deltas_skipped,
+            "deltas_quarantined": stats.deltas_quarantined,
+            "batches": stats.batches,
+            "staleness_s": stats.staleness[-1] if stats.staleness else None,
+            "conforms": (
+                self.validator.conforms if self.validator is not None else None
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # Stream consumption
@@ -244,6 +264,7 @@ class CDCPipeline:
 
     async def _process_batch(self, batch) -> None:
         config = self.config
+        batch_start = time.perf_counter()
         with obs.span("cdc.batch", size=len(batch)) as span:
             added_effective = []
             removed_effective = []
@@ -298,6 +319,22 @@ class CDCPipeline:
                 and self._since_checkpoint >= config.checkpoint_every
             ):
                 self._checkpoint()
+        batch_s = time.perf_counter() - batch_start
+        self._m_batch.observe(batch_s)
+        # Slow batches land in the flight recorder's slow-op log (when
+        # one is installed) so /debug/slow covers ingest, not just queries.
+        obs.record_op(
+            "cdc.batch",
+            f"batch@{self.watermark}",
+            batch_s,
+            detail={
+                "size": len(batch),
+                "applied": applied,
+                "triples_added": len(added_effective),
+                "triples_removed": len(removed_effective),
+                "watermark": self.watermark,
+            },
+        )
 
     async def _apply_delta(self, delta: Delta):
         """Apply one delta; returns (added, removed) effective triples.

@@ -180,6 +180,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "counts) instead of the result rows",
     )
     query.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: like --explain, additionally reporting "
+             "per-operator loop counts and inclusive wall time",
+    )
+    query.add_argument(
         "--explain-format", choices=("text", "json"), default="text",
         help="EXPLAIN rendering (default: text)",
     )
@@ -359,7 +364,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "--on-unknown", choices=("fallback", "skip", "error"), default="fallback",
         help="handling of triples not covered by the shapes",
     )
+    serve.add_argument(
+        "--ops-port", type=int, default=None, metavar="PORT",
+        help="expose the live ops endpoint (/metrics, /healthz, /debug/*) "
+             "on this port while serving (0 picks an ephemeral port; "
+             "omitted = disabled)",
+    )
+    serve.add_argument(
+        "--ops-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for the ops endpoint (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="flight-recorder slow-op threshold in milliseconds "
+             "(default 100; 0 captures everything)",
+    )
+    serve.add_argument(
+        "--ops-grace-s", type=float, default=0.0, metavar="S",
+        help="after a --once replay, keep the ops endpoint up for this "
+             "many seconds so scrapers can collect final state "
+             "(released early by /quitquitquit; default 0)",
+    )
     _add_obs_arguments(serve)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities (standalone ops endpoint)"
+    )
+    obs_sub = obs_cmd.add_subparsers(
+        dest="obs_command", required=True, metavar="ACTION"
+    )
+    obs_serve = obs_sub.add_parser(
+        "serve",
+        help="install the flight recorder and serve /metrics, /healthz, "
+             "/debug/slow, /debug/trace over HTTP",
+    )
+    obs_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address (default 127.0.0.1)",
+    )
+    obs_serve.add_argument(
+        "--port", type=int, default=9464, metavar="PORT",
+        help="bind port (default 9464; 0 picks an ephemeral port)",
+    )
+    obs_serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="flight-recorder slow-op threshold (default 100; 0 captures "
+             "everything)",
+    )
+    obs_serve.add_argument(
+        "--span-buffer", type=int, default=4096, metavar="N",
+        help="spans retained in the flight-recorder ring (default 4096)",
+    )
+    obs_serve.add_argument(
+        "--slow-buffer", type=int, default=64, metavar="N",
+        help="slow operations retained in the log (default 64)",
+    )
+    obs_serve.add_argument(
+        "--data", metavar="FILE",
+        help="optional RDF file; with --query, runs a warm-up workload "
+             "so the first scrape already has query metrics",
+    )
+    obs_serve.add_argument(
+        "--query", metavar="SPARQL",
+        help="SPARQL text (or @file) executed --repeat times against "
+             "--data at startup",
+    )
+    obs_serve.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="warm-up query repetitions (default 1)",
+    )
+    obs_serve.add_argument(
+        "--duration", type=float, default=0.0, metavar="S",
+        help="serve for this many seconds, then exit (default 0 = serve "
+             "until /quitquitquit or Ctrl-C)",
+    )
 
     return parser
 
@@ -481,8 +559,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     planner = not args.no_planner
     if not args.via_pg:
         engine = SparqlEngine(graph, planner=planner)
-        if args.explain:
-            return _print_explain(engine, sparql, args.explain_format)
+        if args.explain or args.analyze:
+            return _print_explain(engine, sparql, args.explain_format, args.analyze)
         rows = engine.query(sparql)
         printable = [
             {key: str(value) for key, value in row.items()} for row in rows
@@ -495,8 +573,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for line in cypher.splitlines():
             print("   ", line)
         engine = CypherEngine(PropertyGraphStore(result.graph), planner=planner)
-        if args.explain:
-            return _print_explain(engine, cypher, args.explain_format)
+        if args.explain or args.analyze:
+            return _print_explain(engine, cypher, args.explain_format, args.analyze)
         rows = engine.query(cypher)
         printable = [
             {key: scalar_to_lexical(value) if value is not None else ""
@@ -509,9 +587,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_explain(engine, text: str, fmt: str) -> int:
+def _print_explain(engine, text: str, fmt: str, analyze: bool = False) -> int:
     """Run ``text`` through ``engine.explain`` and print the plan."""
-    rendered = engine.explain(text, fmt=fmt)
+    rendered = engine.explain(text, fmt=fmt, analyze=analyze)
     if fmt == "json":
         print(json.dumps(rendered, indent=2, sort_keys=True))
     else:
@@ -696,6 +774,42 @@ def _percentile(samples: list[float], q: float) -> float:
     return ordered[index]
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command != "serve":  # pragma: no cover (argparse enforces)
+        raise ReproError(f"unknown obs action {args.obs_command!r}")
+    obs.install_recorder(
+        span_capacity=args.span_buffer,
+        slow_threshold_ms=args.slow_ms,
+        slow_capacity=args.slow_buffer,
+    )
+    server = obs.OpsServer(host=args.host, port=args.port)
+    try:
+        host, port = server.start()
+        print(f"ops endpoint on http://{host}:{port}")
+        print("routes: /metrics /healthz /debug/slow /debug/trace /quitquitquit")
+        if args.data and args.query:
+            sparql = args.query
+            if sparql.startswith("@"):
+                sparql = Path(sparql[1:]).read_text(encoding="utf-8")
+            engine = SparqlEngine(load_rdf(args.data))
+            repeat = max(1, args.repeat)
+            for _ in range(repeat):
+                engine.query(sparql)
+            print(f"warmed query metrics with {repeat} run(s)")
+        timeout = args.duration if args.duration > 0 else None
+        try:
+            if server.wait(timeout):
+                print("released by /quitquitquit")
+            else:
+                print(f"duration of {args.duration:g}s elapsed")
+        except KeyboardInterrupt:
+            print("interrupted")
+    finally:
+        server.stop()
+        obs.uninstall_recorder()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -754,20 +868,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         watermark=watermark,
     )
+
+    ops_server = None
+    if args.ops_port is not None:
+        obs.install_recorder(slow_threshold_ms=args.slow_ms)
+        ops_server = obs.OpsServer(
+            host=args.ops_host,
+            port=args.ops_port,
+            health=pipeline.health_snapshot,
+        )
+        host, port = ops_server.start()
+        print(f"ops endpoint on http://{host}:{port}")
+
     feed = JsonlChangefeed(
         args.source, start_after=watermark, follow=not args.once
     )
     mode = "replaying" if args.once else "tailing"
     print(f"{mode} {args.source} from watermark {watermark}")
     try:
-        stats = asyncio.run(pipeline.run(feed))
-    except KeyboardInterrupt:
-        print("interrupted")
-        if pipeline.checkpoint_dir is not None:
-            save_checkpoint(pipeline.checkpoint_dir, pipeline)
-            pipeline.stats.checkpoints += 1
-        stats = pipeline.stats
+        try:
+            stats = asyncio.run(pipeline.run(feed))
+        except KeyboardInterrupt:
+            print("interrupted")
+            if pipeline.checkpoint_dir is not None:
+                save_checkpoint(pipeline.checkpoint_dir, pipeline)
+                pipeline.stats.checkpoints += 1
+            stats = pipeline.stats
+        return _print_serve_summary(args, pipeline, stats, validator, ops_server)
+    finally:
+        if ops_server is not None:
+            ops_server.stop()
+            obs.uninstall_recorder()
 
+
+def _print_serve_summary(args, pipeline, stats, validator, ops_server) -> int:
+    transformed = pipeline.transformed
     pg_stats = transformed.graph.stats()
     print(
         f"applied {stats.deltas_applied} delta(s) in {stats.batches} "
@@ -795,6 +930,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if stats.checkpoints:
         print(f"wrote {stats.checkpoints} checkpoint(s) to {args.checkpoint_dir}")
+    if (
+        ops_server is not None
+        and args.once
+        and args.ops_grace_s > 0
+        and not ops_server.shutdown_requested.is_set()
+    ):
+        print(
+            f"holding ops endpoint for up to {args.ops_grace_s:g}s "
+            "(/quitquitquit releases early)"
+        )
+        ops_server.wait(args.ops_grace_s)
     return 0
 
 
@@ -813,6 +959,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
 
 

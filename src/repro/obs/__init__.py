@@ -35,6 +35,15 @@ from .metrics import (
     get_metrics,
 )
 from .profile import SelfTimeRow, aggregate_self_times, render_profile
+from .recorder import (
+    FlightRecorder,
+    get_recorder,
+    install_recorder,
+    record_op,
+    record_query,
+    uninstall_recorder,
+)
+from .server import OpsServer
 from .tracer import (
     Span,
     SpanContext,
@@ -53,10 +62,12 @@ from .tracer import (
 __all__ = [
     "Counter",
     "DEFAULT_BOUNDARIES",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_BOUNDARIES",
     "MetricsRegistry",
+    "OpsServer",
     "SelfTimeRow",
     "Span",
     "SpanContext",
@@ -68,13 +79,18 @@ __all__ = [
     "disable",
     "enabled",
     "get_metrics",
+    "get_recorder",
     "get_tracer",
+    "install_recorder",
+    "record_op",
+    "record_query",
     "render_profile",
     "set_tracer",
     "span",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
     "timed_span",
+    "uninstall_recorder",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",

@@ -1,0 +1,240 @@
+"""The flight recorder: always-on, bounded runtime diagnostics.
+
+A :class:`FlightRecorder` owns two ring buffers sized for an always-on
+service:
+
+* a **span ring** — a :class:`~repro.obs.tracer.Tracer` bounded to the
+  most recent ``span_capacity`` spans, installed as the global tracer
+  so every existing instrument point feeds it; and
+* a **slow-op log** — any observed operation (query, CDC batch) slower
+  than ``slow_threshold_ms`` is captured with its metadata, including
+  the full plan with actuals for queries.  Plan capture is *lazy*: the
+  instrument points pass a zero-argument callable that is only invoked
+  when the operation actually crossed the threshold, so fast operations
+  never pay for explain assembly.
+
+The module-level hooks (:func:`record_query`, :func:`record_op`) are
+called unconditionally from the engines and the CDC pipeline; with no
+recorder installed they are a single attribute check, keeping the
+disabled path within the overhead budget pinned by
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+
+from .metrics import LATENCY_BOUNDARIES, get_metrics
+from .tracer import Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "FlightRecorder",
+    "get_recorder",
+    "install_recorder",
+    "record_op",
+    "record_query",
+    "uninstall_recorder",
+]
+
+
+class FlightRecorder:
+    """Bounded recent-history diagnostics for a long-running process.
+
+    Args:
+        span_capacity: how many recent spans the span ring retains.
+        slow_threshold_ms: operations at or above this latency are
+            captured in the slow-op log (0 captures everything).
+        slow_capacity: how many slow operations the log retains.
+    """
+
+    def __init__(
+        self,
+        span_capacity: int = 4096,
+        slow_threshold_ms: float = 100.0,
+        slow_capacity: int = 64,
+    ):
+        self.span_capacity = span_capacity
+        self.slow_threshold_ms = slow_threshold_ms
+        self.slow_capacity = slow_capacity
+        self.started_ns = time.time_ns()
+        #: The bounded tracer backing ``/debug/trace``.
+        self.tracer = Tracer(max_spans=span_capacity)
+        self._slow: deque[dict] = deque(maxlen=slow_capacity)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self,
+        kind: str,
+        name: str,
+        duration_s: float,
+        detail: dict | None = None,
+        plan: Callable[[], object] | None = None,
+    ) -> dict | None:
+        """Record one finished operation; capture it if it was slow.
+
+        ``plan`` is a lazy callable producing a JSON-friendly plan
+        snapshot — only invoked when the operation crosses the slow
+        threshold.  Returns the captured record, or None for fast ops.
+        """
+        duration_ms = duration_s * 1000.0
+        if duration_ms < self.slow_threshold_ms:
+            return None
+        record: dict = {
+            "seq": next(self._seq),
+            "kind": kind,
+            "name": name,
+            "duration_ms": round(duration_ms, 3),
+            "unix_ms": time.time_ns() // 1_000_000,
+        }
+        if detail:
+            record.update(detail)
+        if plan is not None:
+            try:
+                record["plan"] = plan()
+            except Exception as exc:  # capture must never fail the op
+                record["plan_error"] = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self._slow.append(record)
+        get_metrics().counter(
+            "repro_slow_ops_total",
+            help="operations captured by the slow-op log",
+        ).inc(1, kind=kind)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    def slow(self) -> list[dict]:
+        """The slow-op log, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def recent_spans(self, limit: int | None = None) -> list[dict]:
+        """The most recent spans of the ring, as dicts, oldest first."""
+        spans = self.tracer.serialized()
+        if limit is not None:
+            spans = spans[-limit:]
+        return spans
+
+    def snapshot(self) -> dict:
+        """Recorder configuration + occupancy (for ``/healthz``)."""
+        with self._lock:
+            slow_len = len(self._slow)
+        return {
+            "span_capacity": self.span_capacity,
+            "spans_buffered": len(self.tracer),
+            "slow_threshold_ms": self.slow_threshold_ms,
+            "slow_capacity": self.slow_capacity,
+            "slow_captured": slow_len,
+            "started_unix_ms": self.started_ns // 1_000_000,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Process-global recorder + fast-path hooks
+# --------------------------------------------------------------------- #
+
+_RECORDER: FlightRecorder | None = None
+
+
+def install_recorder(
+    span_capacity: int = 4096,
+    slow_threshold_ms: float = 100.0,
+    slow_capacity: int = 64,
+) -> FlightRecorder:
+    """Install the process-global flight recorder (idempotent).
+
+    The recorder's bounded tracer becomes the global tracer *unless*
+    one is already configured (an explicit ``--trace`` run keeps its
+    unbounded tracer; the recorder then only maintains the slow-op
+    log).  Metric families that the ops endpoint promises are
+    pre-registered so a scrape before the first query still shows them.
+    """
+    global _RECORDER
+    if _RECORDER is not None:
+        return _RECORDER
+    _RECORDER = FlightRecorder(
+        span_capacity=span_capacity,
+        slow_threshold_ms=slow_threshold_ms,
+        slow_capacity=slow_capacity,
+    )
+    if get_tracer() is None:
+        set_tracer(_RECORDER.tracer)
+    metrics = get_metrics()
+    metrics.counter("repro_query_runs_total", help="query engine invocations")
+    metrics.histogram(
+        "repro_query_latency_seconds",
+        boundaries=LATENCY_BOUNDARIES,
+        help="end-to-end query evaluation latency",
+    )
+    metrics.counter(
+        "repro_slow_ops_total", help="operations captured by the slow-op log"
+    )
+    # Lazy import: plan.stats imports repro.obs at module load.
+    from ..query.plan.stats import Q_ERROR_BOUNDARIES
+
+    metrics.histogram(
+        "repro_plan_q_error",
+        boundaries=Q_ERROR_BOUNDARIES,
+        help="per-plan worst cardinality q-error",
+    )
+    return _RECORDER
+
+
+def uninstall_recorder() -> None:
+    """Remove the global recorder (and its tracer, if installed)."""
+    global _RECORDER
+    if _RECORDER is None:
+        return
+    if get_tracer() is _RECORDER.tracer:
+        set_tracer(None)
+    _RECORDER = None
+
+
+def get_recorder() -> FlightRecorder | None:
+    """The global flight recorder, or None when not installed."""
+    return _RECORDER
+
+
+def record_query(
+    lang: str,
+    text: str,
+    duration_s: float,
+    rows: int,
+    plan: Callable[[], object] | None = None,
+) -> None:
+    """Feed one finished query to the recorder (no-op when absent)."""
+    recorder = _RECORDER
+    if recorder is None:
+        return
+    recorder.observe(
+        "query",
+        text,
+        duration_s,
+        detail={"lang": lang, "rows": rows},
+        plan=plan,
+    )
+
+
+def record_op(
+    kind: str,
+    name: str,
+    duration_s: float,
+    detail: dict | None = None,
+    plan: Callable[[], object] | None = None,
+) -> None:
+    """Feed one finished operation to the recorder (no-op when absent)."""
+    recorder = _RECORDER
+    if recorder is None:
+        return
+    recorder.observe(kind, name, duration_s, detail=detail, plan=plan)

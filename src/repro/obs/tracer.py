@@ -30,6 +30,7 @@ import itertools
 import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -147,11 +148,20 @@ class Tracer:
 
     Thread-safe: spans may finish on any thread; parenting follows the
     contextvar of the opening context.
+
+    Args:
+        trace_id: explicit trace identity (one is generated otherwise).
+        max_spans: when set, retain only the most recent ``max_spans``
+            finished spans (a bounded ring, for always-on services
+            where an unbounded run would grow without limit).
     """
 
-    def __init__(self, trace_id: str | None = None):
+    def __init__(self, trace_id: str | None = None, max_spans: int | None = None):
         self.trace_id = trace_id or _new_id("t")
-        self._spans: list[Span] = []
+        self.max_spans = max_spans
+        self._spans: deque[Span] | list[Span] = (
+            deque(maxlen=max_spans) if max_spans is not None else []
+        )
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #

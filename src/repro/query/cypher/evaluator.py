@@ -8,6 +8,7 @@ grouping, as in openCypher).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 
 from ... import obs
@@ -112,13 +113,22 @@ class CypherEngine:
         """Parse and evaluate; returns a list of column-name -> value rows."""
         from .parser import parse_cypher
 
-        return self.evaluate(parse_cypher(text))
+        query = parse_cypher(text)
+        start = time.perf_counter()
+        rows = self.evaluate(query)
+        duration = time.perf_counter() - start
+        plan = None
+        if self.planner is not None:
+            n_rows = len(rows)
+            plan = lambda: self._assemble_explain(query, n_rows).to_dict()
+        obs.record_query("cypher", text, duration, len(rows), plan=plan)
+        return rows
 
     def count(self, text: str) -> int:
         """Number of result rows of a query."""
         return len(self.query(text))
 
-    def explain(self, text: str, fmt: str = "text"):
+    def explain(self, text: str, fmt: str = "text", analyze: bool = False):
         """Run a query and explain its physical plan.
 
         Returns the rendered tree as a string (``fmt="text"``) or a
@@ -126,7 +136,8 @@ class CypherEngine:
         clauses show the planner's operator pipeline with estimated
         and actual cardinalities; OPTIONAL MATCH and the clause tail
         are evaluated by the engine's fixed code and appear as logical
-        nodes.
+        nodes.  With ``analyze`` the physical operators also report
+        loop counts and inclusive per-operator wall time.
         """
         from ..plan import render_text
         from .parser import parse_cypher
@@ -136,7 +147,7 @@ class CypherEngine:
         if fmt not in ("text", "json"):
             raise QueryError(f"unknown explain format {fmt!r}")
         query = parse_cypher(text)
-        rows = self.evaluate(query)
+        rows = self.evaluate(query, analyze=analyze)
         root = self._assemble_explain(query, len(rows))
         if fmt == "json":
             return root.to_dict()
@@ -200,11 +211,14 @@ class CypherEngine:
         root.actual_rows = result_rows
         return root
 
-    def evaluate(self, query: CypherQuery) -> list[dict[str, object]]:
+    def evaluate(
+        self, query: CypherQuery, analyze: bool = False
+    ) -> list[dict[str, object]]:
         """Evaluate a parsed query (UNION ALL concatenates parts)."""
         self._expansions = 0
         if self.planner is not None:
             self.planner.reset_explains()
+        start = time.perf_counter()
         with obs.span("cypher.evaluate", parts=len(query.parts)) as span:
             rows: list[dict[str, object]] = []
             columns: list[str] | None = None
@@ -214,7 +228,7 @@ class CypherEngine:
                     columns = part_columns
                 elif len(columns) != len(part_columns):
                     raise QueryError("UNION ALL parts must have the same arity")
-                for row in self._evaluate_single(part):
+                for row in self._evaluate_single(part, analyze):
                     rows.append(dict(zip(columns, row)))
             span.set("rows", len(rows))
             span.set("expansions", self._expansions)
@@ -222,6 +236,11 @@ class CypherEngine:
         metrics.counter(
             "repro_query_runs_total", help="query engine invocations"
         ).inc(1, lang="cypher")
+        metrics.histogram(
+            "repro_query_latency_seconds",
+            boundaries=obs.LATENCY_BOUNDARIES,
+            help="end-to-end query evaluation latency",
+        ).observe(time.perf_counter() - start, lang="cypher")
         metrics.counter(
             "repro_cypher_expansions_total",
             help="edges considered by pattern expansion",
@@ -235,13 +254,15 @@ class CypherEngine:
     # Pipeline
     # ------------------------------------------------------------------ #
 
-    def _evaluate_single(self, query: SingleQuery) -> list[tuple]:
+    def _evaluate_single(
+        self, query: SingleQuery, analyze: bool = False
+    ) -> list[tuple]:
         bindings: list[Binding] = [{}]
         for clause in query.clauses:
             if isinstance(clause, MatchClause):
                 kind = "cypher.optional_match" if clause.optional else "cypher.match"
                 with obs.span(kind, rows_in=len(bindings)) as span:
-                    bindings = self._apply_match(bindings, clause)
+                    bindings = self._apply_match(bindings, clause, analyze)
                     span.set("rows_out", len(bindings))
             elif isinstance(clause, UnwindClause):
                 with obs.span("cypher.unwind", rows_in=len(bindings)) as span:
@@ -264,10 +285,15 @@ class CypherEngine:
                 raise QueryError(f"unsupported clause {clause!r}")
         raise QueryError("query did not end with RETURN")
 
-    def _apply_match(self, bindings: list[Binding], clause: MatchClause) -> list[Binding]:
+    def _apply_match(
+        self,
+        bindings: list[Binding],
+        clause: MatchClause,
+        analyze: bool = False,
+    ) -> list[Binding]:
         if not clause.optional:
             if self.planner is not None:
-                result = self.planner.execute_match(bindings, clause, self)
+                result = self.planner.execute_match(bindings, clause, self, analyze)
             else:
                 result = bindings
                 for path in clause.paths:

@@ -24,18 +24,30 @@ result-identical.
 from .cache import PlanCache
 from .cypher_plan import CypherPlanner
 from .explain import ExplainNode, render_text
+from .operator import PhysicalOperator
 from .sparql_plan import SparqlPlanner, explain_select, flush_operator_obs
-from .stats import GraphCatalog, SeedChoice, StoreCatalog
+from .stats import (
+    FeedbackStore,
+    GraphCatalog,
+    Q_ERROR_BOUNDARIES,
+    SeedChoice,
+    StoreCatalog,
+    q_error,
+)
 
 __all__ = [
     "CypherPlanner",
     "ExplainNode",
+    "FeedbackStore",
     "GraphCatalog",
+    "PhysicalOperator",
     "PlanCache",
+    "Q_ERROR_BOUNDARIES",
     "SeedChoice",
     "SparqlPlanner",
     "StoreCatalog",
     "explain_select",
     "flush_operator_obs",
+    "q_error",
     "render_text",
 ]

@@ -38,7 +38,8 @@ from ...pg.store import PropertyGraphStore
 from ..cypher.ast import MatchClause, NodePattern, PathPattern, RelPattern
 from .cache import PlanCache
 from .explain import ExplainNode
-from .stats import SeedChoice, StoreCatalog
+from .operator import PhysicalOperator
+from .stats import FeedbackStore, SeedChoice, StoreCatalog
 
 __all__ = [
     "CypherOperator",
@@ -78,30 +79,16 @@ def _value_key(value: object):
     return key(value)
 
 
-class CypherOperator:
-    """An iterator-model operator over ``(binding, anchor, pivot)`` items."""
+class CypherOperator(PhysicalOperator):
+    """An iterator-model operator over ``(binding, anchor, pivot)`` items.
 
-    op = "Operator"
-
-    def __init__(self, est_rows: float | None, children: tuple["CypherOperator", ...] = ()):
-        self.est_rows = est_rows
-        self.children = children
-        self.actual_rows: int | None = None
+    Run-time bookkeeping (``actual_rows``/``actual_loops``/``wall_ns``,
+    the analyze timing wrapper, and the ``ExplainNode`` snapshot) lives
+    in :class:`~repro.query.plan.operator.PhysicalOperator`.
+    """
 
     def execute(self, engine) -> Iterator[Item]:
         raise NotImplementedError
-
-    def detail(self) -> str:
-        return ""
-
-    def explain(self) -> ExplainNode:
-        return ExplainNode(
-            op=self.op,
-            detail=self.detail(),
-            est_rows=self.est_rows,
-            actual_rows=self.actual_rows,
-            children=tuple(child.explain() for child in self.children),
-        )
 
 
 class InputRows(CypherOperator):
@@ -114,7 +101,7 @@ class InputRows(CypherOperator):
         self.rows: list[Binding] = []
 
     def execute(self, engine) -> Iterator[Item]:
-        self.actual_rows = 0
+        self.actual_loops += 1
         for binding in self.rows:
             self.actual_rows += 1
             yield binding, None, None
@@ -129,7 +116,8 @@ class ConstRow(CypherOperator):
         super().__init__(1.0)
 
     def execute(self, engine) -> Iterator[Item]:
-        self.actual_rows = 1
+        self.actual_loops += 1
+        self.actual_rows += 1
         yield {}, None, None
 
 
@@ -173,10 +161,10 @@ class Seed(CypherOperator):
     def execute(self, engine) -> Iterator[Item]:
         from ..cypher.evaluator import _node_matches
 
-        self.actual_rows = 0
         pattern = self.pattern
         bound_mode = self.choice.mode == "bound"
-        for binding, _, _ in self.children[0].execute(engine):
+        for binding, _, _ in self.children[0].run(engine):
+            self.actual_loops += 1
             for node in self._candidates(binding):
                 if not _node_matches(node, pattern):
                     continue
@@ -240,11 +228,11 @@ class Expand(CypherOperator):
     def execute(self, engine) -> Iterator[Item]:
         from ..cypher.evaluator import _node_matches
 
-        self.actual_rows = 0
         rel = self.traverse_rel
         rel_var = self.rel.var
         node_pattern = self.node
-        for binding, anchor, pivot in self.children[0].execute(engine):
+        for binding, anchor, pivot in self.children[0].run(engine):
+            self.actual_loops += 1
             for edge, neighbour in engine._neighbours(anchor, rel):
                 if not _node_matches(neighbour, node_pattern):
                     continue
@@ -277,8 +265,8 @@ class Pivot(CypherOperator):
         super().__init__(est_rows, (child,))
 
     def execute(self, engine) -> Iterator[Item]:
-        self.actual_rows = 0
-        for binding, _, pivot in self.children[0].execute(engine):
+        self.actual_loops += 1
+        for binding, _, pivot in self.children[0].run(engine):
             self.actual_rows += 1
             yield binding, pivot, pivot
 
@@ -310,14 +298,14 @@ class PathHashJoin(CypherOperator):
         return "on " + ", ".join(self.key)
 
     def execute(self, engine) -> Iterator[Item]:
-        self.actual_rows = 0
+        self.actual_loops += 1
         key = self.key
         table: dict[tuple, list[Binding]] = {}
-        for binding, _, _ in self.children[1].execute(engine):
+        for binding, _, _ in self.children[1].run(engine):
             table.setdefault(
                 tuple(_value_key(binding.get(k)) for k in key), []
             ).append(binding)
-        for binding, _, _ in self.children[0].execute(engine):
+        for binding, _, _ in self.children[0].run(engine):
             probe_key = tuple(_value_key(binding.get(k)) for k in key)
             for match in table.get(probe_key, ()):
                 self.actual_rows += 1
@@ -331,9 +319,12 @@ class MatchPlan:
         self.input = input_op
         self.root = root
 
-    def execute(self, rows: list[Binding], engine) -> list[Binding]:
+    def execute(
+        self, rows: list[Binding], engine, analyze: bool = False
+    ) -> list[Binding]:
         self.input.rows = rows
-        return [binding for binding, _, _ in self.root.execute(engine)]
+        self.root.prepare(analyze)
+        return [binding for binding, _, _ in self.root.run(engine)]
 
     def explain(self) -> ExplainNode:
         return self.root.explain()
@@ -363,14 +354,22 @@ class CypherPlanner:
         self.catalog = StoreCatalog(store)
         self.cache = PlanCache(cache_size)
         self.force_join = force_join
+        #: Observed-cardinality feedback, keyed by plan-cache key.
+        self.feedback = FeedbackStore("cypher")
         #: Explain snapshots of the clauses executed by the last query.
         self.last_explains: list[ExplainNode] = []
+        #: Plan-cache key of the last executed MATCH (feedback-store key).
+        self.last_key: tuple | None = None
 
     def reset_explains(self) -> None:
         self.last_explains = []
 
     def execute_match(
-        self, rows: list[Binding], clause: MatchClause, engine
+        self,
+        rows: list[Binding],
+        clause: MatchClause,
+        engine,
+        analyze: bool = False,
     ) -> list[Binding]:
         """Plan and run the (non-optional) paths of a MATCH clause."""
         bound = frozenset(rows[0].keys()) if rows else frozenset()
@@ -393,15 +392,17 @@ class CypherPlanner:
         if plan is None:
             plan = self._build(clause, set(bound), nullable)
             self.cache.put(key, plan, version=version)
+        self.last_key = key
         if obs.enabled():
             with obs.span("cypher.plan", cache_hit=hit, paths=len(clause.paths)):
                 pass
         obs.get_metrics().counter(
             "repro_plan_cache_total", help="plan cache lookups"
         ).inc(1, engine="cypher", result="hit" if hit else "miss")
-        result = plan.execute(rows, engine)
+        result = plan.execute(rows, engine, analyze)
         snapshot = plan.explain()
         self.last_explains.append(snapshot)
+        self.feedback.record(key, snapshot)
         from .sparql_plan import flush_operator_obs
 
         flush_operator_obs("cypher", snapshot)

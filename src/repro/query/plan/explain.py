@@ -9,7 +9,10 @@ hand the root to :func:`render_text` / :func:`ExplainNode.to_dict`.
 Estimated cardinalities come from the statistics catalog at plan time;
 actual cardinalities are the per-operator row counters of the most
 recent execution, so ``EXPLAIN`` output doubles as an ``EXPLAIN
-ANALYZE``.
+ANALYZE``.  Under ``analyze`` mode the operators additionally report
+loop counts (how often their per-row work ran) and inclusive wall time;
+both fields are optional and the renderers degrade gracefully — a plan
+without them renders exactly as plain ``EXPLAIN`` always did.
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ class ExplainNode:
     detail: str = ""
     est_rows: float | None = None
     actual_rows: int | None = None
+    #: Times the operator's per-row work ran (ANALYZE only): index
+    #: probes for a bind join, seedings/expansions for Cypher, 1 for a
+    #: one-shot scan or hash build.
+    actual_loops: int | None = None
+    #: Inclusive wall time of the subtree in milliseconds (ANALYZE only).
+    wall_ms: float | None = None
     children: tuple["ExplainNode", ...] = ()
     extras: dict[str, object] = field(default_factory=dict)
 
@@ -47,6 +56,10 @@ class ExplainNode:
             cards.append(f"est={_format_rows(self.est_rows)}")
         if self.actual_rows is not None:
             cards.append(f"act={self.actual_rows}")
+        if self.actual_loops is not None:
+            cards.append(f"loops={self.actual_loops}")
+        if self.wall_ms is not None:
+            cards.append(f"time={self.wall_ms:.3f}ms")
         if cards:
             parts.append(f"({' '.join(cards)})")
         return " ".join(parts)
@@ -60,6 +73,10 @@ class ExplainNode:
             data["est_rows"] = round(self.est_rows, 3)
         if self.actual_rows is not None:
             data["actual_rows"] = self.actual_rows
+        if self.actual_loops is not None:
+            data["actual_loops"] = self.actual_loops
+        if self.wall_ms is not None:
+            data["wall_ms"] = round(self.wall_ms, 3)
         if self.extras:
             data.update(self.extras)
         if self.children:
@@ -76,8 +93,9 @@ class ExplainNode:
 def render_text(root: ExplainNode) -> str:
     """Render an explain tree with box-drawing connectors.
 
-    The layout is deterministic, so golden tests can pin plan shape,
-    operator order, and cardinalities.
+    The layout is deterministic (wall times excepted, which only appear
+    under ANALYZE), so golden tests can pin plan shape, operator order,
+    and cardinalities.
     """
     lines: list[str] = [root.label()]
 

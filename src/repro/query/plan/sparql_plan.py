@@ -25,7 +25,8 @@ from ...rdf.terms import Term
 from ..sparql.ast import SelectQuery, TriplePattern, Var
 from .cache import PlanCache
 from .explain import ExplainNode
-from .stats import GraphCatalog
+from .operator import PhysicalOperator
+from .stats import FeedbackStore, GraphCatalog
 
 __all__ = [
     "BindJoin",
@@ -48,36 +49,18 @@ COST_HASH_BUILD = 2.0
 COST_EMIT = 1.0
 
 
-class SparqlOperator:
+class SparqlOperator(PhysicalOperator):
     """An iterator-model physical operator over solution bindings.
 
-    ``execute`` restarts the operator (and its children) and yields
-    bindings; ``actual_rows`` holds the output cardinality of the most
-    recent execution, for ``EXPLAIN``.
+    ``run`` restarts the operator (call ``prepare`` on the root first)
+    and yields bindings; ``actual_rows``/``actual_loops``/``wall_ns``
+    hold the run-time profile of the most recent execution, for
+    ``EXPLAIN`` and ``EXPLAIN ANALYZE`` (see
+    :class:`~repro.query.plan.operator.PhysicalOperator`).
     """
-
-    op = "Operator"
-
-    def __init__(self, est_rows: float, children: tuple["SparqlOperator", ...] = ()):
-        self.est_rows = est_rows
-        self.children = children
-        self.actual_rows: int | None = None
 
     def execute(self, stats=None) -> Iterator[Binding]:
         raise NotImplementedError
-
-    def detail(self) -> str:
-        return ""
-
-    def explain(self) -> ExplainNode:
-        """Snapshot this subtree (estimates + last execution's actuals)."""
-        return ExplainNode(
-            op=self.op,
-            detail=self.detail(),
-            est_rows=self.est_rows,
-            actual_rows=self.actual_rows,
-            children=tuple(child.explain() for child in self.children),
-        )
 
 
 class PatternScan(SparqlOperator):
@@ -96,7 +79,7 @@ class PatternScan(SparqlOperator):
     def execute(self, stats=None) -> Iterator[Binding]:
         from ..sparql.evaluator import _match_pattern
 
-        self.actual_rows = 0
+        self.actual_loops += 1
         for binding in _match_pattern(self.graph, self.pattern, {}, stats):
             self.actual_rows += 1
             yield binding
@@ -124,8 +107,8 @@ class BindJoin(SparqlOperator):
     def execute(self, stats=None) -> Iterator[Binding]:
         from ..sparql.evaluator import _match_pattern
 
-        self.actual_rows = 0
-        for binding in self.children[0].execute(stats):
+        for binding in self.children[0].run(stats):
+            self.actual_loops += 1
             for extended in _match_pattern(self.graph, self.pattern, binding, stats):
                 self.actual_rows += 1
                 yield extended
@@ -152,12 +135,12 @@ class HashJoin(SparqlOperator):
         return "on " + ", ".join(f"?{name}" for name in self.key)
 
     def execute(self, stats=None) -> Iterator[Binding]:
-        self.actual_rows = 0
+        self.actual_loops += 1
         key = self.key
         table: dict[tuple, list[Binding]] = {}
-        for binding in self.children[1].execute(stats):
+        for binding in self.children[1].run(stats):
             table.setdefault(tuple(binding[k] for k in key), []).append(binding)
-        for binding in self.children[0].execute(stats):
+        for binding in self.children[0].run(stats):
             for match in table.get(tuple(binding[k] for k in key), ()):
                 self.actual_rows += 1
                 yield {**binding, **match}
@@ -186,10 +169,14 @@ class SparqlPlanner:
         self.catalog = GraphCatalog(graph)
         self.cache = PlanCache(cache_size)
         self.force_join = force_join
+        #: Observed-cardinality feedback, keyed by plan-cache key.
+        self.feedback = FeedbackStore("sparql")
         #: Explain snapshot of the last executed BGP plan (set by the
         #: evaluator once the plan's iterator is fully consumed).
         self.last_explain: ExplainNode | None = None
         self.last_plan: SparqlOperator | None = None
+        #: Plan-cache key of the last planned BGP (feedback-store key).
+        self.last_key: tuple | None = None
 
     def plan_bgp(self, patterns: list[TriplePattern]) -> SparqlOperator:
         """The (cached) physical plan for a basic graph pattern."""
@@ -204,6 +191,7 @@ class SparqlPlanner:
         if plan is None:
             plan = self._build(patterns)
             self.cache.put(key, plan, version=version)
+        self.last_key = key
         if obs.enabled():
             with obs.span("sparql.plan", cache_hit=hit, patterns=len(patterns)):
                 pass
@@ -212,10 +200,16 @@ class SparqlPlanner:
         ).inc(1, engine="sparql", result="hit" if hit else "miss")
         return plan
 
-    def execute_bgp(self, patterns: list[TriplePattern], stats=None) -> Iterator[Binding]:
+    def execute_bgp(
+        self,
+        patterns: list[TriplePattern],
+        stats=None,
+        analyze: bool = False,
+    ) -> Iterator[Binding]:
         """Plan and run a BGP, yielding solution bindings."""
         plan = self.plan_bgp(patterns)
         self.last_plan = plan
+        plan.prepare(analyze)
         if stats is not None:
             # The plan-time join order plays the role of the naive
             # evaluator's per-binding greedy selections: surface the
@@ -225,7 +219,7 @@ class SparqlPlanner:
             stats.selections += len(profile)
             for concrete in profile:
                 stats.selectivity[concrete] += 1
-        return plan.execute(stats)
+        return plan.run(stats)
 
     # ------------------------------------------------------------------ #
     # Plan construction

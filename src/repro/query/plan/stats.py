@@ -20,13 +20,23 @@ of matches for one concrete value).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from ... import obs
 from ...pg.store import PropertyGraphStore
 from ...rdf.graph import Graph
 from ...rdf.terms import IRI, BlankNode, Triple
 from ..cypher.ast import NodePattern, RelPattern
 from ..sparql.ast import TriplePattern, Var
 
-__all__ = ["GraphCatalog", "StoreCatalog", "SeedChoice"]
+__all__ = [
+    "FeedbackStore",
+    "GraphCatalog",
+    "Q_ERROR_BOUNDARIES",
+    "SeedChoice",
+    "StoreCatalog",
+    "q_error",
+]
 
 
 class GraphCatalog:
@@ -190,3 +200,110 @@ class StoreCatalog:
         if rel.direction == "any":
             fanout *= 2.0
         return fanout
+
+
+# --------------------------------------------------------------------- #
+# Cardinality feedback
+# --------------------------------------------------------------------- #
+
+#: Histogram buckets for q-error observations: 1.0 is a perfect
+#: estimate, >10 is a badly mis-ordered join, >1000 is pathological.
+Q_ERROR_BOUNDARIES: tuple[float, ...] = (
+    1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0, 1000.0,
+)
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The multiplicative estimation error, symmetric and >= 1.
+
+    Both sides are floored at one row (the usual convention) so empty
+    results don't divide by zero and tiny cardinalities don't dominate.
+    """
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+class FeedbackStore:
+    """Observed cardinalities of executed plans, keyed by plan-cache key.
+
+    After every execution the planner records the explain snapshot here;
+    the store keeps, per plan, the latest per-operator estimated vs.
+    actual rows and the plan's worst q-error, bounded LRU-style to
+    ``capacity`` plans.  This is the signal a future adaptive replanner
+    (ROADMAP item 5) will consume, and each recording feeds the
+    ``repro_plan_q_error{engine=...}`` histogram so estimate drift is
+    scrapeable from the ops endpoint.
+    """
+
+    def __init__(self, engine: str, capacity: int = 512):
+        self.engine = engine
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, key: tuple | None, root) -> dict | None:
+        """Fold one executed plan's explain tree into the store.
+
+        Only physical operators (nodes carrying both an estimate and an
+        actual count) participate; the logical tail nodes wrapped around
+        the plan by the engines have no estimates and are skipped.
+        Returns the updated entry, or None if the tree had no physical
+        operators (e.g. an empty pattern).
+        """
+        if key is None or root is None:
+            return None
+        operators = []
+        worst = 1.0
+        for node in root.walk():
+            if node.est_rows is None or node.actual_rows is None:
+                continue
+            error = q_error(node.est_rows, node.actual_rows)
+            worst = max(worst, error)
+            operators.append(
+                {
+                    "op": node.op,
+                    "detail": node.detail,
+                    "est_rows": round(float(node.est_rows), 3),
+                    "actual_rows": node.actual_rows,
+                    "q_error": round(error, 3),
+                }
+            )
+        if not operators:
+            return None
+        previous = self._entries.pop(key, None)
+        entry = {
+            "engine": self.engine,
+            "executions": (previous["executions"] + 1) if previous else 1,
+            "max_q_error": round(worst, 3),
+            "operators": operators,
+        }
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        obs.get_metrics().histogram(
+            "repro_plan_q_error",
+            boundaries=Q_ERROR_BOUNDARIES,
+            help="per-plan worst cardinality q-error",
+        ).observe(worst, engine=self.engine)
+        return entry
+
+    def get(self, key: tuple) -> dict | None:
+        return self._entries.get(key)
+
+    def snapshot(self) -> list[dict]:
+        """Every retained entry, least-recently-recorded first."""
+        return [dict(entry) for entry in self._entries.values()]
+
+    def summary(self) -> dict:
+        """Aggregate accuracy numbers for artifacts and `/healthz`."""
+        entries = list(self._entries.values())
+        worst = max((e["max_q_error"] for e in entries), default=1.0)
+        return {
+            "engine": self.engine,
+            "plans": len(entries),
+            "executions": sum(e["executions"] for e in entries),
+            "max_q_error": worst,
+        }

@@ -9,6 +9,7 @@ greedy join order: at each step the pattern with the most bound positions
 from __future__ import annotations
 
 import re
+import time
 from collections.abc import Iterator
 
 from ... import obs
@@ -232,7 +233,7 @@ def _as_bool(value: object) -> bool:
 # --------------------------------------------------------------------- #
 
 def evaluate(
-    graph: Graph, query: SelectQuery, planner=None
+    graph: Graph, query: SelectQuery, planner=None, analyze: bool = False
 ) -> list[dict[str, Term]]:
     """Evaluate ``query`` over ``graph``; returns solution mappings.
 
@@ -241,6 +242,8 @@ def evaluate(
     :class:`~repro.query.plan.SparqlPlanner`) is given, the basic graph
     pattern runs through its cost-based physical plan instead of the
     per-binding greedy strategy; all other constructs are unaffected.
+    ``analyze`` additionally collects per-operator loop counts and wall
+    times for ``EXPLAIN ANALYZE`` (small per-row overhead).
     """
     # Operator tallies are only collected under an active tracer, so the
     # per-match bookkeeping stays off the disabled-path hot loop.
@@ -248,8 +251,9 @@ def evaluate(
     if planner is not None:
         planner.last_plan = None
         planner.last_explain = None
+    start = time.perf_counter()
     with obs.span("sparql.evaluate", patterns=len(query.patterns)) as span:
-        rows = _evaluate(graph, query, stats, planner)
+        rows = _evaluate(graph, query, stats, planner, analyze)
         span.set("rows", len(rows))
         if stats is not None:
             span.set("bgp_matches", stats.matches)
@@ -260,10 +264,16 @@ def evaluate(
 
             planner.last_explain = planner.last_plan.explain()
             flush_operator_obs("sparql", planner.last_explain)
+            planner.feedback.record(planner.last_key, planner.last_explain)
     metrics = obs.get_metrics()
     metrics.counter(
         "repro_query_runs_total", help="query engine invocations"
     ).inc(1, lang="sparql")
+    metrics.histogram(
+        "repro_query_latency_seconds",
+        boundaries=obs.LATENCY_BOUNDARIES,
+        help="end-to-end query evaluation latency",
+    ).observe(time.perf_counter() - start, lang="sparql")
     if stats is not None:
         metrics.counter(
             "repro_sparql_pattern_matches_total",
@@ -273,11 +283,15 @@ def evaluate(
 
 
 def _evaluate(
-    graph: Graph, query: SelectQuery, stats: _EvalStats | None, planner=None
+    graph: Graph,
+    query: SelectQuery,
+    stats: _EvalStats | None,
+    planner=None,
+    analyze: bool = False,
 ) -> list[dict[str, Term]]:
     solutions: list[Binding] = []
     if planner is not None and query.patterns:
-        bgp = planner.execute_bgp(query.patterns, stats)
+        bgp = planner.execute_bgp(query.patterns, stats, analyze)
     else:
         bgp = _evaluate_bgp(graph, query.patterns, stats)
     for binding in bgp:
@@ -400,14 +414,27 @@ class SparqlEngine:
         """Parse and evaluate a SELECT query."""
         from .parser import parse_sparql
 
-        return evaluate(self.graph, parse_sparql(text), planner=self.planner)
+        query = parse_sparql(text)
+        start = time.perf_counter()
+        rows = evaluate(self.graph, query, planner=self.planner)
+        duration = time.perf_counter() - start
+        plan = None
+        if self.planner is not None:
+            from ..plan import explain_select
 
-    def explain(self, text: str, fmt: str = "text"):
+            last_explain, n_rows = self.planner.last_explain, len(rows)
+            plan = lambda: explain_select(query, last_explain, n_rows).to_dict()
+        obs.record_query("sparql", text, duration, len(rows), plan=plan)
+        return rows
+
+    def explain(self, text: str, fmt: str = "text", analyze: bool = False):
         """Run a query and explain its physical plan.
 
         Returns the rendered tree as a string (``fmt="text"``) or a
         JSON-friendly dict (``fmt="json"``); estimated cardinalities
         come from the statistics catalog, actual ones from the run.
+        With ``analyze`` the physical operators also report loop counts
+        and inclusive per-operator wall time.
         """
         from ..plan import explain_select, render_text
         from .parser import parse_sparql
@@ -417,7 +444,7 @@ class SparqlEngine:
         if fmt not in ("text", "json"):
             raise QueryError(f"unknown explain format {fmt!r}")
         query = parse_sparql(text)
-        rows = evaluate(self.graph, query, planner=self.planner)
+        rows = evaluate(self.graph, query, planner=self.planner, analyze=analyze)
         root = explain_select(query, self.planner.last_explain, len(rows))
         if fmt == "json":
             return root.to_dict()

@@ -11,6 +11,7 @@ Regenerate them by running this module as a script:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 import pytest
@@ -68,10 +69,40 @@ def engines():
     return _engines()
 
 
-def _render(engine, query):
-    text = engine.explain(query)
-    as_json = json.dumps(engine.explain(query, fmt="json"), indent=2,
-                         sort_keys=True) + "\n"
+#: ANALYZE goldens for a representative subset (per engine).
+ANALYZE_CASES = {
+    "sparql_chain": ("sparql", SPARQL_CASES["sparql_chain"]),
+    "cypher_chain": ("cypher", CYPHER_CASES["cypher_chain"]),
+    "cypher_pivot": ("cypher", CYPHER_CASES["cypher_pivot"]),
+}
+
+_TIME_RE = re.compile(r"time=\d+(?:\.\d+)?ms")
+
+
+def _mask_text(text: str) -> str:
+    """Replace nondeterministic per-operator timings with ``time=?ms``."""
+    return _TIME_RE.sub("time=?ms", text)
+
+
+def _mask_json(node):
+    """Replace ``wall_ms`` values throughout an EXPLAIN document."""
+    if isinstance(node, dict):
+        return {
+            key: ("?" if key == "wall_ms" else _mask_json(value))
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_mask_json(value) for value in node]
+    return node
+
+
+def _render(engine, query, analyze=False):
+    text = engine.explain(query, analyze=analyze)
+    document = engine.explain(query, fmt="json", analyze=analyze)
+    if analyze:
+        text = _mask_text(text)
+        document = _mask_json(document)
+    as_json = json.dumps(document, indent=2, sort_keys=True) + "\n"
     return text if text.endswith("\n") else text + "\n", as_json
 
 
@@ -87,6 +118,43 @@ def test_cypher_explain_matches_golden(engines, name):
     text, as_json = _render(engines[1], CYPHER_CASES[name])
     assert text == (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
     assert as_json == (GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", sorted(ANALYZE_CASES))
+def test_explain_analyze_matches_golden(engines, name):
+    lang, query = ANALYZE_CASES[name]
+    engine = engines[0] if lang == "sparql" else engines[1]
+    text, as_json = _render(engine, query, analyze=True)
+    stem = f"{name}_analyze"
+    assert text == (GOLDEN_DIR / f"{stem}.txt").read_text(encoding="utf-8")
+    assert as_json == (GOLDEN_DIR / f"{stem}.json").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("name", sorted(ANALYZE_CASES))
+def test_analyze_adds_loops_and_timings(engines, name):
+    """ANALYZE decorates physical operators with loop counts and wall
+    time; a plain EXPLAIN of the same query carries neither field."""
+    lang, query = ANALYZE_CASES[name]
+    engine = engines[0] if lang == "sparql" else engines[1]
+
+    def walk(node):
+        yield node
+        for child in node.get("children", ()):
+            yield from walk(child)
+
+    analyzed = [
+        n for n in walk(engine.explain(query, fmt="json", analyze=True))
+        if "actual_loops" in n
+    ]
+    assert analyzed, "ANALYZE produced no instrumented operators"
+    for node in analyzed:
+        assert node["actual_loops"] >= 0, node
+        assert isinstance(node["wall_ms"], float) and node["wall_ms"] >= 0, node
+
+    plain = engine.explain(query, fmt="json")
+    for node in walk(plain):
+        assert "actual_loops" not in node, node
+        assert "wall_ms" not in node, node
 
 
 def test_explain_carries_estimates_and_actuals(engines):
@@ -126,6 +194,12 @@ def _regenerate() -> None:  # pragma: no cover
         text, as_json = _render(cypher, query)
         (GOLDEN_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
         (GOLDEN_DIR / f"{name}.json").write_text(as_json, encoding="utf-8")
+    for name, (lang, query) in ANALYZE_CASES.items():
+        engine = sparql if lang == "sparql" else cypher
+        text, as_json = _render(engine, query, analyze=True)
+        stem = f"{name}_analyze"
+        (GOLDEN_DIR / f"{stem}.txt").write_text(text, encoding="utf-8")
+        (GOLDEN_DIR / f"{stem}.json").write_text(as_json, encoding="utf-8")
     print(f"regenerated golden files in {GOLDEN_DIR}")
 
 
