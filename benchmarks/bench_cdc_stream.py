@@ -28,6 +28,7 @@ from conftest import write_json_result, write_result
 from repro.cdc import CDCConfig, CDCPipeline, Delta, replay_deltas
 from repro.core import transform
 from repro.eval import render_table
+from repro.obs import histogram_from_samples, quantiles_from_histogram
 from repro.pg import PropertyGraphStore
 from repro.rdf.graph import Graph
 from repro.shacl.validator import DeltaValidator
@@ -40,11 +41,12 @@ N_DELTAS = 60 if BENCH_QUICK else 600
 DELTA_SIZE = 4
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+def _quantiles_ms(samples: list[float], qs: tuple) -> list[float]:
+    """Histogram-derived quantiles in milliseconds (shared obs helper)."""
+    histogram = histogram_from_samples(samples)
+    return [
+        round(q * 1000, 3) for q in quantiles_from_histogram(histogram, qs)
+    ]
 
 
 def _build_stream(graph: Graph) -> tuple[list, list[Delta], set]:
@@ -123,17 +125,19 @@ def test_cdc_stream(benchmark, dbpedia2022_bundle):
     assert stats.focus_rechecked < full_equivalent
 
     throughput = stats.deltas_applied / elapsed if elapsed else 0.0
+    latency_p50_ms, latency_p99_ms = _quantiles_ms(
+        stats.latencies, (0.5, 0.99)
+    )
+    (staleness_p99_ms,) = _quantiles_ms(stats.staleness, (0.99,))
     measurements = {
         "deltas_applied": stats.deltas_applied,
         "batches": stats.batches,
         "triples_added": stats.triples_added,
         "triples_removed": stats.triples_removed,
         "deltas_per_s": round(throughput, 1),
-        "latency_p50_ms": round(_percentile(stats.latencies, 0.5) * 1000, 3),
-        "latency_p99_ms": round(_percentile(stats.latencies, 0.99) * 1000, 3),
-        "staleness_p99_ms": round(
-            _percentile(stats.staleness, 0.99) * 1000, 3
-        ),
+        "latency_p50_ms": latency_p50_ms,
+        "latency_p99_ms": latency_p99_ms,
+        "staleness_p99_ms": staleness_p99_ms,
         "focus_rechecked": stats.focus_rechecked,
         "focus_full_equivalent": full_equivalent,
         "recheck_fraction": round(sparsity, 4),

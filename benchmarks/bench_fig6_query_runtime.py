@@ -32,6 +32,7 @@ from repro.datasets.university import (
 )
 from repro.eval import render_series, runtime_experiment
 from repro.eval.metrics import normalize_cypher_rows, normalize_sparql_rows
+from repro.obs import histogram_from_samples, quantiles_from_histogram
 from repro.pg import PropertyGraphStore
 from repro.query import CypherEngine, SparqlEngine
 
@@ -179,10 +180,27 @@ def test_fig6_planner_ablation(benchmark):
         render_series("Planner ablation (university workload)", series,
                       unit="ms"),
     )
+    # Per-language latency quantiles over the planner-on runs, derived
+    # through the same histogram helper the ops endpoint reports from.
+    latency_quantiles = {}
+    for lang in ("sparql", "cypher"):
+        samples = [
+            row["planner_on_ms"] / 1000.0 for row in rows
+            if row["lang"] == lang
+        ]
+        p50, p95, p99 = quantiles_from_histogram(
+            histogram_from_samples(samples), (0.5, 0.95, 0.99)
+        )
+        latency_quantiles[lang] = {
+            "p50_ms": round(p50 * 1000, 3),
+            "p95_ms": round(p95 * 1000, 3),
+            "p99_ms": round(p99 * 1000, 3),
+        }
+
     write_json_result(
         "fig6_planner_ablation", rows,
         scale=scale, quick=BENCH_QUICK, triples=len(graph),
-        feedback=feedback,
+        feedback=feedback, latency_quantiles=latency_quantiles,
     )
 
     # Correctness is unconditional: identical bags in every mode.

@@ -147,3 +147,61 @@ def test_recorder_overhead(dbpedia2022_bundle):
         obs.uninstall_recorder()
         obs.get_metrics().reset()
     assert not obs.enabled()
+
+
+def test_statements_tracking_overhead(dbpedia2022_bundle):
+    """Workload statement tracking must also fit the 5% envelope.
+
+    Per the same budget argument: the per-call cost of
+    ``obs.record_statement`` — fingerprint the (pre-parsed) query,
+    update the per-statement aggregate, bump the metric families —
+    scaled by the span budget must stay under 5% of a serial transform.
+    The disabled hook (no tracker installed) must be near-free.
+    """
+    from repro.query.sparql.parser import parse_sparql
+
+    transform_s = min(_transform_seconds(dbpedia2022_bundle) for _ in range(3))
+
+    text = (
+        "SELECT ?s ?name WHERE { "
+        "?s a <http://example.org/T> . "
+        "?s <http://example.org/name> ?name }"
+    )
+    query = parse_sparql(text)
+    calls = 20_000
+
+    # Disabled: the None-check fast path.
+    assert obs.get_workload() is None
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs.record_statement("sparql", text, query, 0.001, 10)
+    per_disabled = (time.perf_counter() - start) / calls
+
+    obs.install_workload()
+    try:
+        start = time.perf_counter()
+        for _ in range(calls):
+            obs.record_statement(
+                "sparql", text, query, 0.001, 10,
+                cache_hit=True, q_error=1.5,
+            )
+        per_enabled = (time.perf_counter() - start) / calls
+    finally:
+        obs.uninstall_workload()
+        obs.get_metrics().reset()
+
+    overhead = per_enabled * SPAN_BUDGET / transform_s
+    rows = [{
+        "disabled_hook_ns": round(per_disabled * 1e9, 1),
+        "record_statement_ns": round(per_enabled * 1e9, 1),
+        "span_budget": SPAN_BUDGET,
+        "transform_s": round(transform_s, 4),
+        "overhead_pct": round(overhead * 100, 4),
+    }]
+    write_result("obs_overhead_statements.txt", render_table(
+        rows, title="Statement-tracking overhead (serial transform)"
+    ))
+    write_json_result("obs_overhead_statements", rows)
+    assert overhead < MAX_OVERHEAD, (
+        f"statement tracking costs {overhead:.2%} of a serial transform"
+    )

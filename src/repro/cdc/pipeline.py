@@ -175,12 +175,40 @@ class CDCPipeline:
             boundaries=obs.LATENCY_BOUNDARIES,
             help="wall time per applied CDC batch",
         )
+        self._m_store_nodes = metrics.gauge(
+            "repro_store_nodes", help="nodes in the maintained property graph"
+        )
+        self._m_store_edges = metrics.gauge(
+            "repro_store_edges", help="edges in the maintained property graph"
+        )
+        self._m_graph_triples = metrics.gauge(
+            "repro_graph_triples", help="triples in the tracked source graph"
+        )
+        self._update_size_gauges()
+
+    def _store_sizes(self) -> tuple[int, int, int]:
+        if self.store is not None:
+            nodes, edges = self.store.node_count(), self.store.edge_count()
+        else:
+            graph = self.transformed.graph
+            nodes, edges = len(graph.nodes), len(graph.edges)
+        return nodes, edges, len(self.graph)
+
+    def _update_size_gauges(self) -> None:
+        nodes, edges, triples = self._store_sizes()
+        self._m_store_nodes.set(nodes)
+        self._m_store_edges.set(edges)
+        self._m_graph_triples.set(triples)
 
     def health_snapshot(self) -> dict:
         """Liveness summary for the ops endpoint's ``/healthz``."""
         stats = self.stats
+        nodes, edges, triples = self._store_sizes()
         return {
             "watermark": self.watermark,
+            "store_nodes": nodes,
+            "store_edges": edges,
+            "graph_triples": triples,
             "deltas_applied": stats.deltas_applied,
             "deltas_skipped": stats.deltas_skipped,
             "deltas_quarantined": stats.deltas_quarantined,
@@ -297,11 +325,26 @@ class CDCPipeline:
             if (added_effective or removed_effective) and (
                 config.validate and self.validator is not None
             ):
+                revalidate_start = time.perf_counter()
                 rechecked = self.validator.apply_delta(
                     added=added_effective, removed=removed_effective
                 )
                 self.stats.focus_rechecked += rechecked
                 self._m_revalidated.inc(rechecked)
+                # Revalidation probes are workload too: when a query log
+                # is capturing, they appear as non-query events so a
+                # replayed capture can account for ingest-time checks.
+                obs.log_workload_event({
+                    "lang": "cdc",
+                    "kind": "revalidate",
+                    "watermark": self.watermark,
+                    "focus_rechecked": rechecked,
+                    "triples_added": len(added_effective),
+                    "triples_removed": len(removed_effective),
+                    "duration_ms": round(
+                        (time.perf_counter() - revalidate_start) * 1000.0, 3
+                    ),
+                })
             if applied:
                 staleness = time.monotonic() - min(
                     arrival for _, arrival in batch
@@ -310,6 +353,8 @@ class CDCPipeline:
                 if len(self.stats.staleness) < _MAX_SAMPLES:
                     self.stats.staleness.append(staleness)
             self.stats.batches += 1
+            if applied:
+                self._update_size_gauges()
             span.set("applied", applied)
             span.set("triples_added", len(added_effective))
             span.set("triples_removed", len(removed_effective))

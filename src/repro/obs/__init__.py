@@ -33,6 +33,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+    histogram_from_samples,
+    quantiles_from_histogram,
 )
 from .profile import SelfTimeRow, aggregate_self_times, render_profile
 from .recorder import (
@@ -44,6 +46,27 @@ from .recorder import (
     uninstall_recorder,
 )
 from .server import OpsServer
+from .workload import (
+    StatementStats,
+    WorkloadTracker,
+    cypher_result_hash,
+    diff_reports,
+    fingerprint_query,
+    get_workload,
+    install_workload,
+    log_workload_event,
+    normalize_cypher,
+    normalize_sparql,
+    plan_cache_stats,
+    read_query_log,
+    record_statement,
+    register_plan_cache,
+    replay_workload,
+    report_from_log,
+    sparql_result_hash,
+    substitute_params,
+    uninstall_workload,
+)
 from .tracer import (
     Span,
     SpanContext,
@@ -71,26 +94,47 @@ __all__ = [
     "SelfTimeRow",
     "Span",
     "SpanContext",
+    "StatementStats",
     "Tracer",
+    "WorkloadTracker",
     "aggregate_self_times",
     "configure",
     "current_context",
     "current_span",
+    "cypher_result_hash",
+    "diff_reports",
     "disable",
     "enabled",
+    "fingerprint_query",
     "get_metrics",
     "get_recorder",
     "get_tracer",
+    "get_workload",
+    "histogram_from_samples",
     "install_recorder",
+    "install_workload",
+    "log_workload_event",
+    "normalize_cypher",
+    "normalize_sparql",
+    "plan_cache_stats",
+    "quantiles_from_histogram",
+    "read_query_log",
     "record_op",
     "record_query",
+    "record_statement",
+    "register_plan_cache",
     "render_profile",
+    "replay_workload",
+    "report_from_log",
     "set_tracer",
     "span",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
+    "sparql_result_hash",
+    "substitute_params",
     "timed_span",
     "uninstall_recorder",
+    "uninstall_workload",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",

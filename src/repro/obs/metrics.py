@@ -26,6 +26,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "histogram_from_samples",
+    "quantiles_from_histogram",
     "DEFAULT_BOUNDARIES",
     "LATENCY_BOUNDARIES",
 ]
@@ -121,6 +123,54 @@ class Histogram:
                 for le, cumulative in self.cumulative()
             },
         }
+
+
+def quantiles_from_histogram(
+    histogram: Histogram, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+) -> list[float]:
+    """Estimate quantiles from a fixed-boundary histogram.
+
+    The shared percentile path for ``repro obs report``, the ops
+    server's ``/debug/statements``, and the benchmark artifacts.  Each
+    quantile is found by walking the buckets to the target rank and
+    interpolating linearly inside the containing bucket (the first
+    bucket interpolates from 0, the +Inf overflow bucket is capped at
+    the top boundary — fixed-boundary histograms cannot resolve beyond
+    it).  An empty histogram reports 0.0 for every quantile.
+    """
+    total = histogram.count
+    if total == 0:
+        return [0.0 for _ in qs]
+    boundaries = histogram.boundaries
+    values: list[float] = []
+    for q in qs:
+        rank = q * total
+        running = 0
+        value = float(boundaries[-1])
+        for index, bucket in enumerate(histogram.bucket_counts):
+            if bucket and running + bucket >= rank:
+                lo = 0.0 if index == 0 else boundaries[index - 1]
+                hi = (
+                    boundaries[index]
+                    if index < len(boundaries)
+                    else boundaries[-1]
+                )
+                fraction = max(0.0, min(1.0, (rank - running) / bucket))
+                value = lo + (hi - lo) * fraction
+                break
+            running += bucket
+        values.append(value)
+    return values
+
+
+def histogram_from_samples(
+    samples, boundaries: tuple[float, ...] = LATENCY_BOUNDARIES
+) -> Histogram:
+    """Bucket raw samples so they can feed :func:`quantiles_from_histogram`."""
+    histogram = Histogram(boundaries)
+    for sample in samples:
+        histogram.observe(sample)
+    return histogram
 
 
 class _Family:
@@ -227,6 +277,11 @@ class MetricsRegistry:
     def families(self) -> list[_Family]:
         with self._lock:
             return [self._families[name] for name in sorted(self._families)]
+
+    def family(self, name: str) -> _Family | None:
+        """The family registered under ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
 
     def snapshot(self) -> dict:
         """JSON-ready dump: name -> {kind, help, series: [...]}."""

@@ -7,12 +7,17 @@ daemon thread and exposes the process's runtime diagnostics:
 ``GET /metrics``        Prometheus text exposition of the process-global
                         metrics registry.
 ``GET /healthz``        JSON liveness document: uptime, recorder
-                        occupancy, plus whatever the optional ``health``
-                        callable contributes (the CDC pipeline adds its
+                        occupancy, plan-cache occupancy/hit-ratio,
+                        store size gauges, workload-tracker summary,
+                        plus whatever the optional ``health`` callable
+                        contributes (the CDC pipeline adds its
                         staleness watermark and queue depth).
 ``GET /debug/slow``     JSON array: the flight recorder's slow-op log.
 ``GET /debug/trace``    JSON array: recent spans from the span ring
                         (``?limit=N`` caps the tail).
+``GET /debug/statements``  JSON array: per-fingerprint statement
+                        statistics from the workload tracker, heaviest
+                        first (``?top=N``, ``?lang=sparql|cypher``).
 ``GET /``               Route index.
 ``/quitquitquit``       Sets the shutdown event (GET or POST) — the
                         owning process decides what to do with it; used
@@ -35,10 +40,39 @@ from urllib.parse import parse_qs, urlparse
 
 from .metrics import get_metrics
 from .recorder import get_recorder
+from .workload import get_workload, plan_cache_stats
 
 __all__ = ["OpsServer"]
 
-_ROUTES = ["/metrics", "/healthz", "/debug/slow", "/debug/trace", "/quitquitquit"]
+_ROUTES = [
+    "/metrics",
+    "/healthz",
+    "/debug/slow",
+    "/debug/trace",
+    "/debug/statements",
+    "/quitquitquit",
+]
+
+#: Gauges surfaced by ``/healthz`` as the store-size summary (set by the
+#: CDC pipeline per batch and by the replay/serve CLI paths on load).
+_STORE_GAUGES = (
+    ("nodes", "repro_store_nodes"),
+    ("edges", "repro_store_edges"),
+    ("triples", "repro_graph_triples"),
+)
+
+
+def _store_sizes() -> dict:
+    sizes: dict = {}
+    registry = get_metrics()
+    for key, name in _STORE_GAUGES:
+        family = registry.family(name)
+        if family is None:
+            continue
+        for labels, gauge in family.children():
+            if labels == ():
+                sizes[key] = gauge.value
+    return sizes
 
 
 class OpsServer:
@@ -111,6 +145,15 @@ class OpsServer:
         recorder = get_recorder()
         if recorder is not None:
             document["recorder"] = recorder.snapshot()
+        caches = plan_cache_stats()
+        if caches:
+            document["plan_cache"] = caches
+        sizes = _store_sizes()
+        if sizes:
+            document["store"] = sizes
+        tracker = get_workload()
+        if tracker is not None:
+            document["statements"] = tracker.summary()
         if self.health is not None:
             try:
                 document.update(self.health())
@@ -134,6 +177,12 @@ class OpsServer:
             return []
         spans = tracer.serialized()
         return spans[-limit:] if limit is not None else spans
+
+    def debug_statements(
+        self, top: int | None = None, lang: str | None = None
+    ) -> list[dict]:
+        tracker = get_workload()
+        return tracker.snapshot(top=top, lang=lang) if tracker else []
 
 
 def _make_handler(server: OpsServer):
@@ -163,6 +212,20 @@ def _make_handler(server: OpsServer):
                         self._json(400, {"error": "limit must be an integer"})
                         return
                 self._json(200, server.debug_trace(limit))
+            elif route == "/debug/statements":
+                query = parse_qs(parsed.query)
+                top = None
+                if "top" in query:
+                    try:
+                        top = max(0, int(query["top"][0]))
+                    except ValueError:
+                        self._json(400, {"error": "top must be an integer"})
+                        return
+                lang = query.get("lang", [None])[0]
+                if lang not in (None, "sparql", "cypher"):
+                    self._json(400, {"error": "lang must be sparql or cypher"})
+                    return
+                self._json(200, server.debug_statements(top, lang))
             elif route == "/quitquitquit":
                 server.shutdown_requested.set()
                 self._json(200, {"shutdown": True})

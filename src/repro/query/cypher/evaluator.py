@@ -118,10 +118,29 @@ class CypherEngine:
         rows = self.evaluate(query)
         duration = time.perf_counter() - start
         plan = None
+        cache_hit = q_error = None
         if self.planner is not None:
             n_rows = len(rows)
             plan = lambda: self._assemble_explain(query, n_rows).to_dict()
+            # One query may plan several MATCH clauses: a statement is a
+            # cache hit only when every clause hit, and its q-error is
+            # the worst across the clauses' plans.
+            if self.planner.last_cache_hits or self.planner.last_cache_misses:
+                cache_hit = self.planner.last_cache_misses == 0
+            errors = [
+                e for e in (
+                    self.planner.feedback.max_q_error(key)
+                    for key in self.planner.last_keys
+                )
+                if e is not None
+            ]
+            q_error = max(errors) if errors else None
         obs.record_query("cypher", text, duration, len(rows), plan=plan)
+        obs.record_statement(
+            "cypher", text, query, duration, len(rows),
+            cache_hit=cache_hit, q_error=q_error,
+            result_hash=lambda: obs.cypher_result_hash(rows),
+        )
         return rows
 
     def count(self, text: str) -> int:

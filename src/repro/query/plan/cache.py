@@ -71,6 +71,17 @@ class PlanCache:
             evicted, _ = self._entries.popitem(last=False)
             self._entry_version.pop(evicted, None)
 
+    def stats(self) -> dict:
+        """Occupancy and hit-ratio snapshot (feeds ``/healthz``)."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hits / lookups, 4) if lookups else None,
+        }
+
     def clear(self) -> None:
         self._entries.clear()
         self._entry_version.clear()

@@ -360,9 +360,19 @@ class CypherPlanner:
         self.last_explains: list[ExplainNode] = []
         #: Plan-cache key of the last executed MATCH (feedback-store key).
         self.last_key: tuple | None = None
+        #: Plan-cache keys and hit/miss tallies of the current query's
+        #: MATCH clauses (reset with the explains; the workload tracker
+        #: joins q-error and cache behaviour per statement from these).
+        self.last_keys: list[tuple] = []
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
+        obs.register_plan_cache("cypher", self.cache)
 
     def reset_explains(self) -> None:
         self.last_explains = []
+        self.last_keys = []
+        self.last_cache_hits = 0
+        self.last_cache_misses = 0
 
     def execute_match(
         self,
@@ -393,6 +403,11 @@ class CypherPlanner:
             plan = self._build(clause, set(bound), nullable)
             self.cache.put(key, plan, version=version)
         self.last_key = key
+        self.last_keys.append(key)
+        if hit:
+            self.last_cache_hits += 1
+        else:
+            self.last_cache_misses += 1
         if obs.enabled():
             with obs.span("cypher.plan", cache_hit=hit, paths=len(clause.paths)):
                 pass

@@ -177,6 +177,9 @@ class SparqlPlanner:
         self.last_plan: SparqlOperator | None = None
         #: Plan-cache key of the last planned BGP (feedback-store key).
         self.last_key: tuple | None = None
+        #: Whether the last planned BGP came from the plan cache.
+        self.last_cache_hit: bool | None = None
+        obs.register_plan_cache("sparql", self.cache)
 
     def plan_bgp(self, patterns: list[TriplePattern]) -> SparqlOperator:
         """The (cached) physical plan for a basic graph pattern."""
@@ -192,6 +195,7 @@ class SparqlPlanner:
             plan = self._build(patterns)
             self.cache.put(key, plan, version=version)
         self.last_key = key
+        self.last_cache_hit = hit
         if obs.enabled():
             with obs.span("sparql.plan", cache_hit=hit, patterns=len(patterns)):
                 pass

@@ -293,6 +293,18 @@ class FeedbackStore:
     def get(self, key: tuple) -> dict | None:
         return self._entries.get(key)
 
+    def max_q_error(self, key: tuple | None) -> float | None:
+        """The worst q-error recorded for one plan key, or None.
+
+        The per-execution join point for the workload tracker: engines
+        look up the key(s) they just executed and attribute the plan's
+        q-error to the statement fingerprint.
+        """
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        return entry["max_q_error"] if entry is not None else None
+
     def snapshot(self) -> list[dict]:
         """Every retained entry, least-recently-recorded first."""
         return [dict(entry) for entry in self._entries.values()]

@@ -251,6 +251,7 @@ def evaluate(
     if planner is not None:
         planner.last_plan = None
         planner.last_explain = None
+        planner.last_cache_hit = None
     start = time.perf_counter()
     with obs.span("sparql.evaluate", patterns=len(query.patterns)) as span:
         rows = _evaluate(graph, query, stats, planner, analyze)
@@ -419,12 +420,20 @@ class SparqlEngine:
         rows = evaluate(self.graph, query, planner=self.planner)
         duration = time.perf_counter() - start
         plan = None
+        cache_hit = q_error = None
         if self.planner is not None:
             from ..plan import explain_select
 
             last_explain, n_rows = self.planner.last_explain, len(rows)
             plan = lambda: explain_select(query, last_explain, n_rows).to_dict()
+            cache_hit = self.planner.last_cache_hit
+            q_error = self.planner.feedback.max_q_error(self.planner.last_key)
         obs.record_query("sparql", text, duration, len(rows), plan=plan)
+        obs.record_statement(
+            "sparql", text, query, duration, len(rows),
+            cache_hit=cache_hit, q_error=q_error,
+            result_hash=lambda: obs.sparql_result_hash(rows),
+        )
         return rows
 
     def explain(self, text: str, fmt: str = "text", analyze: bool = False):

@@ -14,9 +14,11 @@ from repro import obs
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
     obs.uninstall_recorder()
+    obs.uninstall_workload()
     obs.disable()
     obs.get_metrics().reset()
     yield
     obs.uninstall_recorder()
+    obs.uninstall_workload()
     obs.disable()
     obs.get_metrics().reset()
