@@ -198,6 +198,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the cost-based planner (naive evaluation)",
     )
     query.add_argument(
+        "--exec-mode", choices=("iterator", "batched", "adaptive"),
+        default="iterator",
+        help="physical execution strategy: iterator (row at a time), "
+             "batched (vectorized columnar batches), or adaptive "
+             "(batched with mid-query re-planning; default: iterator)",
+    )
+    query.add_argument(
         "--repeat", type=int, default=1, metavar="N",
         help="execute the query N times and report the mean latency "
              "(default 1)",
@@ -678,6 +685,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if sparql.startswith("@"):
         sparql = Path(sparql[1:]).read_text(encoding="utf-8")
     planner = not args.no_planner
+    if not planner and args.exec_mode != "iterator":
+        raise ReproError(
+            f"--exec-mode {args.exec_mode} requires the planner "
+            "(drop --no-planner)"
+        )
     repeat = max(1, args.repeat)
     warmup = max(0, args.warmup)
     tracker = None
@@ -688,7 +700,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     try:
         if not args.via_pg:
-            engine = SparqlEngine(graph, planner=planner)
+            engine = SparqlEngine(
+                graph, planner=planner, exec_mode=args.exec_mode
+            )
             if args.explain or args.analyze:
                 return _print_explain(
                     engine, sparql, args.explain_format, args.analyze
@@ -707,7 +721,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for line in cypher.splitlines():
                 print("   ", line)
             engine = CypherEngine(
-                PropertyGraphStore(result.graph), planner=planner
+                PropertyGraphStore(result.graph),
+                planner=planner,
+                exec_mode=args.exec_mode,
             )
             if args.explain or args.analyze:
                 return _print_explain(

@@ -404,15 +404,26 @@ def cypher_undirected(case: FuzzCase, ctx: OracleContext) -> str | None:
 
 
 # --------------------------------------------------------------------- #
-# Planner differential: cost-based plans == naive evaluation (both engines)
+# Planner differential: all execution strategies == naive evaluation
 # --------------------------------------------------------------------- #
 
-_SPARQL_STRATEGIES: tuple[tuple[str, dict], ...] = (
+#: The 5-way strategy matrix: planner off, the planner's iterator mode,
+#: vectorized batched mode, adaptive (batched + mid-query re-planning),
+#: and hash joins forced.  Shared by both engines.
+_PLANNER_STRATEGIES: tuple[tuple[str, dict], ...] = (
     ("planner-off", {"planner": False}),
-    ("planner-on", {}),
+    ("iterator", {}),
+    ("batched", {"exec_mode": "batched"}),
+    ("adaptive", {"exec_mode": "adaptive"}),
     ("hash-forced", {"force_join": "hash"}),
-    ("nested-forced", {"force_join": "nested"}),
 )
+
+#: Campaign-wide tally of skew seeds whose adaptive run provably
+#: re-planned mid-query (``planner.last_replans`` non-empty).  The
+#: differential test asserts this is non-zero after a campaign, proving
+#: the adaptive arm was exercised through an actual re-plan, not just
+#: the no-trigger fast path.
+REPLAN_TRIGGERS = 0
 
 
 def _bag(rows: list[dict], to_text: Callable[[object], str]) -> list[tuple]:
@@ -425,21 +436,125 @@ def _bag(rows: list[dict], to_text: Callable[[object], str]) -> list[tuple]:
     )
 
 
-def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
-    """The cost-based planner is result-identical to naive evaluation.
+def _skewed_rdf(seed: int):
+    """A hub-skewed graph + join query that defeats the static estimates.
 
-    Runs the case's query workload through both engines under four
-    strategies — planner off, planner on (cost model), hash join forced,
-    nested loop forced — and requires bag-equal results.  The workload
+    The ``links`` predicate averages ~1.5 objects per subject, but the
+    subjects tagged ``"hot"`` are hubs with ``fan`` links each — the
+    per-binding fanout estimate of the second join stage is low by more
+    than the re-plan threshold, so adaptive execution re-plans
+    mid-query.  Deterministic in ``seed``.
+    """
+    import random
+
+    from ..rdf.graph import Triple
+    from ..rdf.terms import Literal
+
+    rng = random.Random(seed ^ 0xADA9)
+    hubs = rng.randint(6, 12)
+    fan = rng.randint(25, 50)
+    cold = rng.randint(300, 500)
+    tag, links, name = IRI(EX + "tag"), IRI(EX + "links"), IRI(EX + "name")
+    triples = []
+    for i in range(hubs):
+        s = IRI(EX + f"hub/{i}")
+        triples.append(Triple(s, tag, Literal("hot")))
+        for j in range(fan):
+            triples.append(Triple(s, links, IRI(EX + f"obj/{j}")))
+    for i in range(cold):
+        triples.append(
+            Triple(IRI(EX + f"cold/{i}"), links, IRI(EX + f"obj/{i % 20}"))
+        )
+    for j in range(fan):
+        triples.append(Triple(IRI(EX + f"obj/{j}"), name, Literal(f"n{j}")))
+    query = (
+        f'SELECT ?s ?o ?n WHERE {{ ?s <{EX}tag> "hot" . '
+        f"?s <{EX}links> ?o . ?o <{EX}name> ?n . }}"
+    )
+    return Graph(triples), query
+
+
+def _skewed_pg(seed: int):
+    """A hub-skewed property graph + multi-path MATCH (see _skewed_rdf)."""
+    import random
+
+    rng = random.Random(seed ^ 0xADAB)
+    starts = rng.randint(4, 8)
+    fan = rng.randint(40, 80)
+    mids = rng.randint(100, 200)
+    cold = rng.randint(300, 600)
+    pg = PropertyGraph()
+    for i in range(starts):
+        pg.add_node(f"s{i}", {"Start"}, {"k": i})
+    for i in range(mids):
+        pg.add_node(f"m{i}", {"Mid"}, {"k": i})
+    for i in range(40):
+        pg.add_node(f"t{i}", {"Tail"}, {"k": i})
+    for i in range(starts):
+        for j in range(fan):
+            pg.add_edge(f"s{i}", f"m{(i * 37 + j) % mids}", {"HOT"})
+    for i in range(cold):
+        pg.add_node(f"c{i}", {"Cold"}, {})
+        pg.add_edge(f"c{i}", f"m{i % mids}", {"HOT"})
+    for i in range(mids):
+        pg.add_edge(f"m{i}", f"t{i % 40}", {"LINK"})
+    query = (
+        "MATCH (a:Start)-[:HOT]->(b), (b)-[:LINK]->(c:Tail) "
+        "RETURN a.k, b.k, c.k"
+    )
+    return pg, query
+
+
+def _skew_differential(case: FuzzCase) -> str | None:
+    """Adaptive re-planning stays bag-equal on deliberately skewed data."""
+    global REPLAN_TRIGGERS
+    graph, sparql = _skewed_rdf(case.seed)
+    reference = _bag(SparqlEngine(graph).query(sparql), str)
+    for tag, kwargs in (("batched", {"exec_mode": "batched"}),
+                        ("adaptive", {"exec_mode": "adaptive"})):
+        engine = SparqlEngine(graph, **kwargs)
+        rows = _bag(engine.query(sparql), str)
+        if rows != reference:
+            return (
+                f"SPARQL {tag} diverges on the skewed catalog for seed "
+                f"{case.seed}: {len(rows)} vs {len(reference)} row(s)"
+            )
+        if tag == "adaptive" and engine.planner.last_replans:
+            REPLAN_TRIGGERS += 1
+    pg, cypher = _skewed_pg(case.seed)
+    store = PropertyGraphStore(pg)
+    reference = _bag(CypherEngine(store).query(cypher), scalar_to_lexical)
+    for tag, kwargs in (("batched", {"exec_mode": "batched"}),
+                        ("adaptive", {"exec_mode": "adaptive"})):
+        engine = CypherEngine(store, **kwargs)
+        rows = _bag(engine.query(cypher), scalar_to_lexical)
+        if rows != reference:
+            return (
+                f"Cypher {tag} diverges on the skewed catalog for seed "
+                f"{case.seed}: {len(rows)} vs {len(reference)} row(s)"
+            )
+        if tag == "adaptive" and engine.planner.last_replans:
+            REPLAN_TRIGGERS += 1
+    return None
+
+
+def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
+    """Every execution strategy is result-identical to naive evaluation.
+
+    Runs the case's query workload through both engines under the
+    5-way strategy matrix — planner off, iterator, batched, adaptive,
+    hash joins forced — and requires bag-equal results.  The workload
     is LIMIT-free by construction: LIMIT without ORDER BY may truncate
     any subset of the answers, so differing-but-correct plans could
-    legitimately disagree.
+    legitimately disagree.  A deterministic hub-skewed sibling dataset
+    derived from the case seed additionally forces the adaptive mode
+    through actual mid-query re-plans (tallied in REPLAN_TRIGGERS).
     """
     graph = Graph(case.triples)
     workload = _workload(case)
     sparql_engines = [
         (tag, SparqlEngine(graph, **kwargs))
-        for tag, kwargs in _SPARQL_STRATEGIES
+        for tag, kwargs in _PLANNER_STRATEGIES
     ]
     for sparql in workload:
         baseline: tuple[str, list[tuple]] | None = None
@@ -457,7 +572,7 @@ def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
         store = PropertyGraphStore(result.graph)
         cypher_engines = [
             (tag, CypherEngine(store, **kwargs))
-            for tag, kwargs in _SPARQL_STRATEGIES
+            for tag, kwargs in _PLANNER_STRATEGIES
         ]
         for sparql in workload:
             try:
@@ -475,7 +590,7 @@ def planner_differential(case: FuzzCase, ctx: OracleContext) -> str | None:
                         f"{_mode(options)} mode for {cypher!r}: "
                         f"{len(rows)} vs {len(baseline[1])} row(s)"
                     )
-    return None
+    return _skew_differential(case)
 
 
 # --------------------------------------------------------------------- #
@@ -649,8 +764,9 @@ ORACLES: dict[str, Oracle] = {
         Oracle(
             "planner_differential", ("valid", "noise"),
             planner_differential,
-            "cost-based plans return the naive evaluators' answers "
-            "(both engines, all join strategies)",
+            "every execution strategy returns the naive evaluators' "
+            "answers (both engines, 5-way exec-mode/join matrix, "
+            "incl. skew-forced adaptive re-plans)",
         ),
         Oracle(
             "ntriples_roundtrip", _RDF_KINDS, ntriples_roundtrip,

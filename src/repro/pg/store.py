@@ -17,6 +17,7 @@ public API boundary.
 
 from __future__ import annotations
 
+from array import array
 from collections.abc import Iterable, Iterator
 
 from ..storage.intern import Interner
@@ -54,6 +55,10 @@ class PropertyGraphStore:
         self._rel_count: dict[int, int] = {}
         #: Mutation counter (plan/statistics cache invalidation).
         self._version = 0
+        # Version-tagged caches for the vectorized executor's batch
+        # adjacency API (see endpoint_arrays / node_id_array).
+        self._endpoints: tuple[int, array, array] | None = None
+        self._node_ids: tuple[int, array] | None = None
         if graph is not None:
             self.rebuild_indexes()
 
@@ -444,6 +449,52 @@ class PropertyGraphStore:
                 if eid not in seen:
                     seen.add(eid)
                     yield edges[name(eid)]
+
+    # ------------------------------------------------------------------ #
+    # Batch (vectorized) read API
+    # ------------------------------------------------------------------ #
+
+    def endpoint_arrays(self) -> tuple[array, array]:
+        """``(src, dst)`` node ids indexed by edge name-id.
+
+        The vectorized :class:`~repro.query.plan.vectorized.BatchExpand`
+        resolves an edge's far endpoint with one array index instead of
+        decoding the edge object.  Built lazily, cached per store
+        version (any index-affecting mutation invalidates it).
+        """
+        cached = self._endpoints
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        n = len(self._names)
+        src = array("q", bytes(8 * n))
+        dst = array("q", bytes(8 * n))
+        lookup = self._names.lookup
+        for edge in self.graph.edges.values():
+            eid = lookup(edge.id)
+            s = lookup(edge.src)
+            d = lookup(edge.dst)
+            if eid is not None and s is not None and d is not None:
+                src[eid] = s
+                dst[eid] = d
+        self._endpoints = (self._version, src, dst)
+        return src, dst
+
+    def node_id_array(self) -> array:
+        """Every node's name-id as one ``array('q')`` (full-scan seeds).
+
+        Cached per store version, like :meth:`endpoint_arrays`.
+        """
+        cached = self._node_ids
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        lookup = self._names.lookup
+        ids = array("q")
+        for node_id in self.graph.nodes:
+            nid = lookup(node_id)
+            if nid is not None:
+                ids.append(nid)
+        self._node_ids = (self._version, ids)
+        return ids
 
     def edges_with_type(self, rel_type: str) -> Iterator[PGEdge]:
         """All edges of a given relationship type."""

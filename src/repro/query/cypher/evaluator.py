@@ -94,6 +94,8 @@ class CypherEngine:
         store: PropertyGraphStore,
         planner: bool = True,
         force_join: str | None = None,
+        exec_mode: str = "iterator",
+        batch_size: int | None = None,
     ):
         self.store = store
         #: Edges considered by pattern expansion in the current query.
@@ -101,8 +103,17 @@ class CypherEngine:
         if planner:
             from ..plan import CypherPlanner
 
-            self.planner = CypherPlanner(store, force_join=force_join)
+            self.planner = CypherPlanner(
+                store,
+                force_join=force_join,
+                exec_mode=exec_mode,
+                batch_size=batch_size,
+            )
         else:
+            if exec_mode != "iterator":
+                raise ValueError(
+                    f"exec_mode {exec_mode!r} requires the planner"
+                )
             self.planner = None
 
     # ------------------------------------------------------------------ #
@@ -276,6 +287,9 @@ class CypherEngine:
     def _evaluate_single(
         self, query: SingleQuery, analyze: bool = False
     ) -> list[tuple]:
+        fast = self._batched_return_fast_path(query, analyze)
+        if fast is not None:
+            return fast
         bindings: list[Binding] = [{}]
         for clause in query.clauses:
             if isinstance(clause, MatchClause):
@@ -303,6 +317,78 @@ class CypherEngine:
             else:  # pragma: no cover - parser only emits these
                 raise QueryError(f"unsupported clause {clause!r}")
         raise QueryError("query did not end with RETURN")
+
+    def _batched_return_fast_path(
+        self, query: SingleQuery, analyze: bool
+    ) -> list[tuple] | None:
+        """MATCH + simple RETURN on the batched planner, fully columnar.
+
+        When the whole query is one non-optional MATCH (no WHERE)
+        returning literals, variables, and property accesses — with
+        ORDER BY keys limited to returned aliases — the projection runs
+        straight off the plan's interned-id columns and no per-row
+        binding dicts are built.  Any other shape falls back to the
+        generic pipeline (returns None).
+        """
+        planner = self.planner
+        if (
+            planner is None
+            or getattr(planner, "exec_mode", "iterator") != "batched"
+            or len(query.clauses) != 2
+        ):
+            return None
+        match, ret = query.clauses
+        if (
+            not isinstance(match, MatchClause)
+            or match.optional
+            or match.where is not None
+            or not isinstance(ret, ReturnClause)
+        ):
+            return None
+        for item in ret.items:
+            if not isinstance(
+                item.expr, (CypherLiteral, VarRef, PropertyAccess)
+            ):
+                return None
+        order: list[tuple[int, bool]] = []
+        for key in ret.order_by or ():
+            index = next(
+                (
+                    i for i, item in enumerate(ret.items)
+                    if isinstance(key.expr, VarRef)
+                    and item.column_name() == key.expr.name
+                ),
+                None,
+            )
+            if index is None:
+                return None
+            order.append((index, key.descending))
+        with obs.span("cypher.match", rows_in=1) as span:
+            rows = planner.execute_match_projected(
+                match, ret.items, self, analyze
+            )
+            if rows is None:
+                return None
+            span.set("rows_out", len(rows))
+        with obs.span("cypher.return", rows_in=len(rows)) as span:
+            for index, descending in reversed(order):
+                rows.sort(
+                    key=lambda row, i=index: _sort_key(row[i]),
+                    reverse=descending,
+                )
+            if ret.distinct:
+                seen: set[tuple] = set()
+                unique: list[tuple] = []
+                for row in rows:
+                    dedup = tuple(_value_key(value) for value in row)
+                    if dedup not in seen:
+                        seen.add(dedup)
+                        unique.append(row)
+                rows = unique
+            if ret.limit is not None:
+                rows = rows[: ret.limit]
+            span.set("rows_out", len(rows))
+        return rows
 
     def _apply_match(
         self,
@@ -452,8 +538,9 @@ class CypherEngine:
         if has_count:
             rows = self._aggregate_count(bindings, clause)
         else:
+            evals = [self._compile_eval(item.expr) for item in clause.items]
             rows = [
-                tuple(self._eval(item.expr, binding) for item in clause.items)
+                tuple(evaluate(binding) for evaluate in evals)
                 for binding in bindings
             ]
         if clause.order_by:
@@ -532,6 +619,33 @@ class CypherEngine:
     # ------------------------------------------------------------------ #
     # Expressions
     # ------------------------------------------------------------------ #
+
+    def _compile_eval(self, expr: CypherExpr):
+        """A per-row closure for ``expr``, bypassing the dispatch chain
+        of :meth:`_eval` for the projection-hot expression kinds."""
+        if isinstance(expr, CypherLiteral):
+            value = expr.value
+            return lambda binding: value
+        if isinstance(expr, VarRef):
+            name = expr.name
+
+            def ref(binding, name=name):
+                if name not in binding:
+                    raise QueryError(f"unbound variable {name!r}")
+                return binding[name]
+
+            return ref
+        if isinstance(expr, PropertyAccess):
+            var, key = expr.var, expr.key
+
+            def prop(binding, var=var, key=key):
+                element = binding.get(var)
+                if isinstance(element, (PGNode, PGEdge)):
+                    return element.properties.get(key)
+                return None
+
+            return prop
+        return lambda binding: self._eval(expr, binding)
 
     def _eval(self, expr: CypherExpr, binding: Binding) -> object:
         if isinstance(expr, CypherLiteral):

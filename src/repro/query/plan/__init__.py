@@ -34,18 +34,38 @@ from .stats import (
     StoreCatalog,
     q_error,
 )
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    EXEC_MODES,
+    REPLAN_THRESHOLD,
+    AdaptiveBGP,
+    AdaptiveMatchPlan,
+    BatchedBGP,
+    BatchMatchPlan,
+    build_batched_bgp,
+    build_batched_match,
+)
 
 __all__ = [
+    "AdaptiveBGP",
+    "AdaptiveMatchPlan",
+    "BatchMatchPlan",
+    "BatchedBGP",
     "CypherPlanner",
+    "DEFAULT_BATCH_SIZE",
+    "EXEC_MODES",
     "ExplainNode",
     "FeedbackStore",
     "GraphCatalog",
     "PhysicalOperator",
     "PlanCache",
     "Q_ERROR_BOUNDARIES",
+    "REPLAN_THRESHOLD",
     "SeedChoice",
     "SparqlPlanner",
     "StoreCatalog",
+    "build_batched_bgp",
+    "build_batched_match",
     "explain_select",
     "flush_operator_obs",
     "q_error",

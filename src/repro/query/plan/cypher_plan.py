@@ -40,6 +40,14 @@ from .cache import PlanCache
 from .explain import ExplainNode
 from .operator import PhysicalOperator
 from .stats import FeedbackStore, SeedChoice, StoreCatalog
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    EXEC_MODES,
+    REPLAN_THRESHOLD,
+    AdaptiveMatchPlan,
+    BatchMatchPlan,
+    build_batched_match,
+)
 
 __all__ = [
     "CypherOperator",
@@ -340,6 +348,12 @@ class CypherPlanner:
             correlated pipeline for correctness); None applies the cost
             model.
         cache_size: LRU plan-cache capacity.
+        exec_mode: ``"iterator"`` (default), ``"batched"`` (vectorized
+            columnar operators), or ``"adaptive"`` (batched plus
+            mid-query re-planning); see :mod:`repro.query.plan.vectorized`.
+        batch_size: rows per batch for the vectorized modes.
+        replan_threshold: stage q-error past which adaptive execution
+            re-plans the remaining paths.
     """
 
     def __init__(
@@ -347,13 +361,24 @@ class CypherPlanner:
         store: PropertyGraphStore,
         force_join: str | None = None,
         cache_size: int = 128,
+        exec_mode: str = "iterator",
+        batch_size: int | None = None,
+        replan_threshold: float = REPLAN_THRESHOLD,
     ):
         if force_join not in (None, "hash", "nested"):
             raise ValueError(f"unknown force_join {force_join!r}")
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {exec_mode!r}")
         self.store = store
         self.catalog = StoreCatalog(store)
         self.cache = PlanCache(cache_size)
         self.force_join = force_join
+        self.exec_mode = exec_mode
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        self.replan_threshold = replan_threshold
+        #: Re-plan events of the last adaptive query (dicts with
+        #: stage_est / actual / q_error / remaining).
+        self.last_replans: list[dict] = []
         #: Observed-cardinality feedback, keyed by plan-cache key.
         self.feedback = FeedbackStore("cypher")
         #: Explain snapshots of the clauses executed by the last query.
@@ -373,15 +398,10 @@ class CypherPlanner:
         self.last_keys = []
         self.last_cache_hits = 0
         self.last_cache_misses = 0
+        self.last_replans = []
 
-    def execute_match(
-        self,
-        rows: list[Binding],
-        clause: MatchClause,
-        engine,
-        analyze: bool = False,
-    ) -> list[Binding]:
-        """Plan and run the (non-optional) paths of a MATCH clause."""
+    def _lookup_plan(self, rows: list[Binding], clause: MatchClause):
+        """Plan-cache lookup (build on miss) with shared bookkeeping."""
         bound = frozenset(rows[0].keys()) if rows else frozenset()
         clause_vars = set(clause.pattern_variables())
         nullable = frozenset(
@@ -393,6 +413,8 @@ class CypherPlanner:
         key = (
             version,
             self.force_join,
+            self.exec_mode,
+            self.batch_size,
             bound,
             nullable,
             repr(clause.paths),
@@ -414,13 +436,44 @@ class CypherPlanner:
         obs.get_metrics().counter(
             "repro_plan_cache_total", help="plan cache lookups"
         ).inc(1, engine="cypher", result="hit" if hit else "miss")
-        result = plan.execute(rows, engine, analyze)
+        return key, plan
+
+    def _record_plan(self, key, plan) -> None:
         snapshot = plan.explain()
         self.last_explains.append(snapshot)
         self.feedback.record(key, snapshot)
         from .sparql_plan import flush_operator_obs
 
         flush_operator_obs("cypher", snapshot)
+
+    def execute_match(
+        self,
+        rows: list[Binding],
+        clause: MatchClause,
+        engine,
+        analyze: bool = False,
+    ) -> list[Binding]:
+        """Plan and run the (non-optional) paths of a MATCH clause."""
+        key, plan = self._lookup_plan(rows, clause)
+        result = plan.execute(rows, engine, analyze)
+        self._record_plan(key, plan)
+        return result
+
+    def execute_match_projected(
+        self, clause: MatchClause, items, engine, analyze: bool = False
+    ) -> list[tuple] | None:
+        """Run a whole-query MATCH and project RETURN items batch-wise.
+
+        Only available in batched mode (the caller checks ``exec_mode``);
+        property and variable columns are materialized straight from the
+        interned-id columns, so no per-row binding dicts are built.
+        Returns None when the cached plan turns out not to be batched.
+        """
+        key, plan = self._lookup_plan([{}], clause)
+        if not isinstance(plan, BatchMatchPlan):
+            return None
+        result = plan.execute_projected([{}], engine, items, analyze)
+        self._record_plan(key, plan)
         return result
 
     # ------------------------------------------------------------------ #
@@ -429,7 +482,11 @@ class CypherPlanner:
 
     def _build(
         self, clause: MatchClause, bound: set[str], nullable: frozenset[str]
-    ) -> MatchPlan:
+    ):
+        if self.exec_mode == "adaptive":
+            return AdaptiveMatchPlan(self, clause, bound, nullable)
+        if self.exec_mode == "batched":
+            return build_batched_match(self, clause, bound, nullable)
         input_op = InputRows()
         current: CypherOperator = input_op
         remaining = list(range(len(clause.paths)))

@@ -27,6 +27,13 @@ from .cache import PlanCache
 from .explain import ExplainNode
 from .operator import PhysicalOperator
 from .stats import FeedbackStore, GraphCatalog
+from .vectorized import (
+    DEFAULT_BATCH_SIZE,
+    EXEC_MODES,
+    REPLAN_THRESHOLD,
+    AdaptiveBGP,
+    build_batched_bgp,
+)
 
 __all__ = [
     "BindJoin",
@@ -155,6 +162,12 @@ class SparqlPlanner:
             (used by the differential harness); None applies the cost
             model.
         cache_size: LRU plan-cache capacity.
+        exec_mode: ``"iterator"`` (default), ``"batched"`` (vectorized
+            columnar operators), or ``"adaptive"`` (batched plus
+            mid-query re-planning); see :mod:`repro.query.plan.vectorized`.
+        batch_size: rows per batch for the vectorized modes.
+        replan_threshold: stage q-error past which adaptive execution
+            re-plans the remaining joins.
     """
 
     def __init__(
@@ -162,13 +175,24 @@ class SparqlPlanner:
         graph: Graph,
         force_join: str | None = None,
         cache_size: int = 128,
+        exec_mode: str = "iterator",
+        batch_size: int | None = None,
+        replan_threshold: float = REPLAN_THRESHOLD,
     ):
         if force_join not in (None, "hash", "nested"):
             raise ValueError(f"unknown force_join {force_join!r}")
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {exec_mode!r}")
         self.graph = graph
         self.catalog = GraphCatalog(graph)
         self.cache = PlanCache(cache_size)
         self.force_join = force_join
+        self.exec_mode = exec_mode
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        self.replan_threshold = replan_threshold
+        #: Re-plan events of the last adaptive execution (dicts with
+        #: stage_est / actual / q_error / remaining).
+        self.last_replans: list[dict] = []
         #: Observed-cardinality feedback, keyed by plan-cache key.
         self.feedback = FeedbackStore("sparql")
         #: Explain snapshot of the last executed BGP plan (set by the
@@ -187,6 +211,8 @@ class SparqlPlanner:
         key = (
             version,
             self.force_join,
+            self.exec_mode,
+            self.batch_size,
             "\x1f".join(str(p) for p in patterns),
         )
         plan = self.cache.get(key)
@@ -229,7 +255,11 @@ class SparqlPlanner:
     # Plan construction
     # ------------------------------------------------------------------ #
 
-    def _build(self, patterns: list[TriplePattern]) -> SparqlOperator:
+    def _build(self, patterns: list[TriplePattern]) -> PhysicalOperator:
+        if self.exec_mode == "adaptive":
+            return AdaptiveBGP(self, patterns)
+        if self.exec_mode == "batched":
+            return build_batched_bgp(self, patterns)
         catalog = self.catalog
         remaining = list(range(len(patterns)))
         bound: set[str] = set()

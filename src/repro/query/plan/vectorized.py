@@ -1,0 +1,1798 @@
+"""Vectorized batched execution with feedback-driven adaptive re-planning.
+
+The iterator-model operators of :mod:`sparql_plan` and
+:mod:`cypher_plan` move one Python dict per row.  The operators here
+move fixed-size *batches* of interned-ID bindings instead: a batch is a
+set of columnar ``array('q')`` columns (one per variable) over the
+storage substrate's dense integer ids, so the hot join loops are int
+comparisons and C-level ``array`` extends (one
+:meth:`~repro.storage.postings.IntPostings.extend_into` per index
+bucket) rather than dict allocation per row.  Terms and graph elements
+are decoded back to objects only at plan boundaries — ORDER BY,
+projection, FILTER and the clause tail all run on the engines'
+existing code, which keeps every execution mode bag-identical by
+construction (and by the differential fuzz oracle).
+
+Two modes are built on the same operators:
+
+* ``batched`` — the planner's static join order, executed batch-wise
+  (streaming: operators pull batches from their child).
+* ``adaptive`` — executes one join stage at a time against
+  *materialized* batches; at every stage boundary the observed
+  cardinality is compared with the estimate and, past a q-error
+  threshold (:data:`REPLAN_THRESHOLD`), the *remaining* join sequence
+  is re-planned with the actuals substituted (observed input
+  cardinality, and for SPARQL per-binding cardinalities re-sampled
+  from the materialized state) before execution resumes.  Re-plans
+  are counted in ``repro_plan_replans_total``, surfaced as ``Replan``
+  nodes in EXPLAIN / EXPLAIN ANALYZE, and recorded on the planner's
+  ``last_replans`` for the CLI and tests.
+
+Re-planned executions stay keyed to the *original* plan-cache key:
+the adaptive driver never creates a new cache entry mid-query, so the
+``FeedbackStore`` q-error history of a statement does not fragment
+across re-plans.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import repeat as _repeat
+
+from ... import obs
+from ...rdf.terms import IRI, Literal
+from ...storage.postings import IntPostings
+from ..sparql.ast import TriplePattern, Var
+from .explain import ExplainNode
+from .operator import PhysicalOperator
+from .stats import q_error
+
+__all__ = [
+    "AdaptiveBGP",
+    "AdaptiveMatchPlan",
+    "BatchConst",
+    "BatchExpand",
+    "BatchFilter",
+    "BatchHashJoin",
+    "BatchInput",
+    "BatchMatchPlan",
+    "BatchBindJoin",
+    "BatchPathHashJoin",
+    "BatchPivot",
+    "BatchScan",
+    "BatchSeed",
+    "BatchedBGP",
+    "DEFAULT_BATCH_SIZE",
+    "EXEC_MODES",
+    "REPLAN_THRESHOLD",
+    "build_batched_bgp",
+    "build_batched_match",
+]
+
+#: Rows per batch: large enough to amortize the per-batch Python
+#: overhead, small enough to stay cache-resident (8 KiB per column).
+DEFAULT_BATCH_SIZE = 1024
+
+#: Stage-boundary q-error past which the adaptive driver re-plans the
+#: remaining join sequence.
+REPLAN_THRESHOLD = 4.0
+
+EXEC_MODES = ("iterator", "batched", "adaptive")
+
+#: Interned-id sentinel for "can never match" (real ids are >= 0).
+_DEAD = -3
+#: Re-sampled per-binding probes taken from the materialized state on
+#: an adaptive re-plan.
+_REPLAN_SAMPLES = 32
+
+
+def _gather(arr: array, sel) -> array:
+    """``arr`` indexed by every position in ``sel``, as a new array."""
+    return array("q", map(arr.__getitem__, sel))
+
+
+def _fmt_rows(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def _replan_counter():
+    return obs.get_metrics().counter(
+        "repro_plan_replans_total", help="mid-query adaptive re-plans"
+    )
+
+
+def _replan_node(kind: str, est: float, actual: int, err: float,
+                 remaining: int, chain: ExplainNode) -> ExplainNode:
+    detail = (
+        f"est={_fmt_rows(est)} act={actual} q={err:.1f}; "
+        f"re-planned {remaining} remaining {kind}"
+    )
+    return ExplainNode("Replan", detail, children=(chain,))
+
+
+def _splice(node: ExplainNode, replacement: ExplainNode) -> ExplainNode:
+    """Replace the leftmost ``Batches`` leaf with ``replacement``.
+
+    Adaptive stages execute against a materialized buffer; for EXPLAIN
+    the buffer node is swapped back out for the explain chain of the
+    stages that produced it, so the rendered tree reads like one plan.
+    """
+    if node.op == "Batches":
+        return replacement
+    if not node.children:
+        return node
+    node.children = (_splice(node.children[0], replacement),) + node.children[1:]
+    return node
+
+
+# ===================================================================== #
+# SPARQL: columnar batches of interned term ids
+# ===================================================================== #
+
+class TermBatch:
+    """A batch of solution bindings: one ``array('q')`` per variable."""
+
+    __slots__ = ("cols", "n")
+
+    def __init__(self, cols: dict[str, array], n: int):
+        self.cols = cols
+        self.n = n
+
+
+class _CompiledPattern:
+    """A triple pattern resolved against the interner, probe-ready.
+
+    Each position is compiled to a constant id (``_DEAD`` when the
+    term is absent from the graph or statically invalid), a reference
+    to a bound input column, or a free output variable.  Matching
+    writes whole index buckets into the output columns.
+    """
+
+    __slots__ = (
+        "graph", "pattern", "specs", "out_names", "writes", "eq_groups",
+        "_pred_memo", "_subj_memo",
+    )
+
+    def __init__(self, graph, pattern: TriplePattern, bound_cols):
+        self.graph = graph
+        self.pattern = pattern
+        lookup = graph._terms.lookup
+        specs = []
+        out: list[str] = []
+        positions: dict[str, list[int]] = {}
+        for pos, term in enumerate((pattern.s, pattern.p, pattern.o)):
+            if isinstance(term, Var):
+                if term.name in bound_cols:
+                    specs.append(("col", term.name))
+                else:
+                    specs.append(("var", term.name))
+                    positions.setdefault(term.name, []).append(pos)
+                    if term.name not in out:
+                        out.append(term.name)
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    tid = _DEAD
+                if pos == 1 and not isinstance(term, IRI):
+                    tid = _DEAD  # a non-IRI predicate can never match
+                if pos == 0 and isinstance(term, Literal):
+                    tid = _DEAD  # a literal subject can never match
+                specs.append(("const", tid))
+        self.specs = tuple(specs)
+        self.out_names = tuple(out)
+        #: (name, position) for the first occurrence of each free var.
+        self.writes = tuple((name, plist[0]) for name, plist in positions.items())
+        #: Positions that must carry equal ids (repeated free variable).
+        self.eq_groups = tuple(
+            tuple(plist) for plist in positions.values() if len(plist) > 1
+        )
+        self._pred_memo: dict[int, bool] = {}
+        self._subj_memo: dict[int, bool] = {}
+
+    def pred_ok(self, tid: int) -> bool:
+        ok = self._pred_memo.get(tid)
+        if ok is None:
+            ok = self._pred_memo[tid] = isinstance(self.graph._terms.term(tid), IRI)
+        return ok
+
+    def subj_ok(self, tid: int) -> bool:
+        ok = self._subj_memo.get(tid)
+        if ok is None:
+            ok = self._subj_memo[tid] = not isinstance(
+                self.graph._terms.term(tid), Literal
+            )
+        return ok
+
+    def static_ids(self):
+        """(si, pi, oi) for a standalone scan: const ids or None."""
+        return tuple(
+            spec[1] if spec[0] == "const" else None for spec in self.specs
+        )
+
+    def match_into(self, si, pi, oi, out_cols: dict[str, array]) -> int:
+        """Append every match to the free-variable columns; return count."""
+        if si == _DEAD or pi == _DEAD or oi == _DEAD:
+            return 0
+        graph = self.graph
+        total = 0
+        writes = self.writes
+        if not self.eq_groups:
+            for srcs_s, srcs_p, srcs_o, cnt in _buckets(
+                graph._spo, graph._pos, graph._osp, si, pi, oi
+            ):
+                srcs = (srcs_s, srcs_p, srcs_o)
+                for name, pos in writes:
+                    src = srcs[pos]
+                    col = out_cols[name]
+                    if isinstance(src, int):
+                        col.extend(_repeat(src, cnt))
+                    else:
+                        src.extend_into(col)
+                total += cnt
+            return total
+        # Repeated free variable (e.g. ``?x ?p ?x``): materialize the
+        # bucket row-wise and keep only rows where the positions agree.
+        eq_groups = self.eq_groups
+        for srcs_s, srcs_p, srcs_o, cnt in _buckets(
+            graph._spo, graph._pos, graph._osp, si, pi, oi
+        ):
+            srcs = (srcs_s, srcs_p, srcs_o)
+            seqs = [
+                src if isinstance(src, int) else src.sorted_array()
+                for src in srcs
+            ]
+
+            def at(pos: int, j: int):
+                seq = seqs[pos]
+                return seq if isinstance(seq, int) else seq[j]
+
+            for j in range(cnt):
+                ok = True
+                for group in eq_groups:
+                    first = at(group[0], j)
+                    for pos in group[1:]:
+                        if at(pos, j) != first:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if not ok:
+                    continue
+                for name, pos in writes:
+                    out_cols[name].append(at(pos, j))
+                total += 1
+        return total
+
+
+def _buckets(spo, pos_index, osp, si, pi, oi):
+    """Index buckets matching ``(si, pi, oi)`` (``None`` = wildcard).
+
+    Yields ``(s, p, o, count)`` where each position is either a
+    concrete id or an :class:`IntPostings` run (at most one per
+    bucket), mirroring :meth:`Graph.triples`' index selection.
+    """
+    if si is not None:
+        by_p = spo.get(si)
+        if by_p is None:
+            return
+        if pi is not None:
+            objs = by_p.get(pi)
+            if objs is None:
+                return
+            if oi is not None:
+                if oi in objs:
+                    yield si, pi, oi, 1
+                return
+            yield si, pi, objs, len(objs)
+            return
+        if oi is not None:
+            preds = osp.get(oi, {}).get(si)
+            if preds is None:
+                return
+            yield si, preds, oi, len(preds)
+            return
+        for pi2, objs in by_p.items():
+            yield si, pi2, objs, len(objs)
+        return
+    if pi is not None:
+        by_o = pos_index.get(pi)
+        if by_o is None:
+            return
+        if oi is not None:
+            subs = by_o.get(oi)
+            if subs is None:
+                return
+            yield subs, pi, oi, len(subs)
+            return
+        for oi2, subs in by_o.items():
+            yield subs, pi, oi2, len(subs)
+        return
+    if oi is not None:
+        for si2, preds in osp.get(oi, {}).items():
+            yield si2, preds, oi, len(preds)
+        return
+    for si2, by_p in spo.items():
+        for pi2, objs in by_p.items():
+            yield si2, pi2, objs, len(objs)
+
+
+class SparqlBatchOperator(PhysicalOperator):
+    """A physical operator yielding :class:`TermBatch` items."""
+
+    def execute(self, stats=None):
+        raise NotImplementedError
+
+
+class BatchScan(SparqlBatchOperator):
+    """Leaf: scan one triple pattern's index buckets into batches."""
+
+    op = "BatchScan"
+
+    def __init__(self, graph, pattern: TriplePattern, est_rows: float,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
+        super().__init__(est_rows)
+        self.graph = graph
+        self.pattern = pattern
+        self.batch_size = batch_size
+        self.compiled = _CompiledPattern(graph, pattern, frozenset())
+
+    def detail(self) -> str:
+        return str(self.pattern)
+
+    def execute(self, stats=None):
+        self.actual_loops += 1
+        compiled = self.compiled
+        cols = {name: array("q") for name in compiled.out_names}
+        si, pi, oi = compiled.static_ids()
+        n = compiled.match_into(si, pi, oi, cols)
+        self.actual_rows += n
+        if stats is not None:
+            stats.matches += n
+        bs = self.batch_size
+        for start in range(0, n, bs):
+            stop = min(start + bs, n)
+            yield TermBatch(
+                {name: col[start:stop] for name, col in cols.items()},
+                stop - start,
+            )
+
+
+class BatchBindJoin(SparqlBatchOperator):
+    """Index nested-loop join, one index probe per input row."""
+
+    op = "BatchBindJoin"
+
+    def __init__(self, child, graph, pattern: TriplePattern,
+                 bound_cols, est_rows: float):
+        super().__init__(est_rows, (child,))
+        self.graph = graph
+        self.pattern = pattern
+        self.compiled = _CompiledPattern(graph, pattern, frozenset(bound_cols))
+
+    def detail(self) -> str:
+        return str(self.pattern)
+
+    def execute(self, stats=None):
+        compiled = self.compiled
+        specs = compiled.specs
+        for batch in self.children[0].run(stats):
+            n = batch.n
+            if n == 0:
+                continue
+            cols = batch.cols
+            srcs = [
+                cols[spec[1]] if spec[0] == "col" else None for spec in specs
+            ]
+            sel = array("q")
+            new_cols = {name: array("q") for name in compiled.out_names}
+            for i in range(n):
+                self.actual_loops += 1
+                spec = specs[0]
+                if spec[0] == "col":
+                    si = srcs[0][i]
+                    if not compiled.subj_ok(si):
+                        continue
+                else:
+                    si = spec[1] if spec[0] == "const" else None
+                spec = specs[1]
+                if spec[0] == "col":
+                    pi = srcs[1][i]
+                    if not compiled.pred_ok(pi):
+                        continue
+                else:
+                    pi = spec[1] if spec[0] == "const" else None
+                spec = specs[2]
+                oi = (
+                    srcs[2][i] if spec[0] == "col"
+                    else (spec[1] if spec[0] == "const" else None)
+                )
+                cnt = compiled.match_into(si, pi, oi, new_cols)
+                if cnt:
+                    sel.extend(_repeat(i, cnt))
+            m = len(sel)
+            if m == 0:
+                continue
+            out_cols = {name: _gather(col, sel) for name, col in cols.items()}
+            out_cols.update(new_cols)
+            self.actual_rows += m
+            if stats is not None:
+                stats.matches += m
+            yield TermBatch(out_cols, m)
+
+
+class BatchHashJoin(SparqlBatchOperator):
+    """Hash join on the shared variables' interned ids."""
+
+    op = "BatchHashJoin"
+
+    def __init__(self, probe, build, key: tuple[str, ...], est_rows: float):
+        super().__init__(est_rows, (probe, build))
+        self.key = key
+
+    def detail(self) -> str:
+        if not self.key:
+            return "cartesian"
+        return "on " + ", ".join(f"?{name}" for name in self.key)
+
+    def execute(self, stats=None):
+        self.actual_loops += 1
+        key = self.key
+        build_cols: dict[str, array] = {}
+        build_n = 0
+        for batch in self.children[1].run(stats):
+            for name, col in batch.cols.items():
+                build_cols.setdefault(name, array("q")).extend(col)
+            build_n += batch.n
+        single = key[0] if len(key) == 1 else None
+        table: dict = {}
+        if single is not None:
+            kcol = build_cols.get(single, array("q"))
+            for j in range(build_n):
+                table.setdefault(kcol[j], []).append(j)
+        elif key:
+            kcols = [build_cols[name] for name in key]
+            for j in range(build_n):
+                table.setdefault(tuple(col[j] for col in kcols), []).append(j)
+        all_rows = list(range(build_n))
+        for batch in self.children[0].run(stats):
+            n = batch.n
+            if n == 0:
+                continue
+            cols = batch.cols
+            sel_p = array("q")
+            sel_b = array("q")
+            if not key:
+                if build_n:
+                    for i in range(n):
+                        sel_p.extend(_repeat(i, build_n))
+                        sel_b.extend(all_rows)
+            elif single is not None:
+                pcol = cols[single]
+                for i in range(n):
+                    hits = table.get(pcol[i])
+                    if hits:
+                        sel_p.extend(_repeat(i, len(hits)))
+                        sel_b.extend(hits)
+            else:
+                pcols = [cols[name] for name in key]
+                for i in range(n):
+                    hits = table.get(tuple(col[i] for col in pcols))
+                    if hits:
+                        sel_p.extend(_repeat(i, len(hits)))
+                        sel_b.extend(hits)
+            m = len(sel_p)
+            if m == 0:
+                continue
+            out_cols = {name: _gather(col, sel_p) for name, col in cols.items()}
+            for name, col in build_cols.items():
+                if name not in out_cols:
+                    out_cols[name] = _gather(col, sel_b)
+            self.actual_rows += m
+            yield TermBatch(out_cols, m)
+
+
+class _BufferedTermBatches(SparqlBatchOperator):
+    """Source: materialized batches of the stages already executed."""
+
+    op = "Batches"
+
+    def __init__(self, batches, est_rows: float):
+        super().__init__(est_rows)
+        self.batches = batches
+
+    def detail(self) -> str:
+        return "materialized"
+
+    def execute(self, stats=None):
+        self.actual_loops += 1
+        for batch in self.batches:
+            self.actual_rows += batch.n
+            yield batch
+
+
+def _decode_term_batches(graph, batches, memo: dict):
+    """Decode batches back to binding dicts (the plan boundary)."""
+    term = graph._terms.term
+    for batch in batches:
+        names = list(batch.cols)
+        col_list = [batch.cols[name] for name in names]
+        for j in range(batch.n):
+            binding = {}
+            for name, col in zip(names, col_list):
+                tid = col[j]
+                t = memo.get(tid)
+                if t is None:
+                    t = memo[tid] = term(tid)
+                binding[name] = t
+            yield binding
+
+
+class BatchedBGP(PhysicalOperator):
+    """A statically planned BGP executed over columnar batches.
+
+    ``run(stats)`` yields decoded binding dicts, so the evaluator's
+    downstream constructs (OPTIONAL, UNION, FILTER, modifiers) consume
+    it exactly like the iterator plans.
+    """
+
+    op = "BatchedBGP"
+
+    def __init__(self, graph, root: SparqlBatchOperator):
+        super().__init__(root.est_rows, (root,))
+        self.graph = graph
+        self.selectivity_profile: tuple[int, ...] = ()
+        self._memo: dict = {}
+
+    def execute(self, stats=None):
+        yield from _decode_term_batches(
+            self.graph, self.children[0].run(stats), self._memo
+        )
+
+    def explain(self) -> ExplainNode:
+        return self.children[0].explain()
+
+
+def _sparql_order(planner, patterns, builder):
+    """The planner's greedy join order, driving ``builder`` per stage.
+
+    ``builder(index, pattern, shared, per_binding, standalone, out_est,
+    first)`` is invoked once per chosen pattern; shared ordering logic
+    with :meth:`SparqlPlanner._build` keeps iterator and batched plans
+    comparable stage for stage.
+    """
+    catalog = planner.catalog
+    remaining = list(range(len(patterns)))
+    bound: set[str] = set()
+
+    def concrete_positions(pattern: TriplePattern) -> int:
+        return sum(
+            1
+            for term in (pattern.s, pattern.p, pattern.o)
+            if not isinstance(term, Var) or term.name in bound
+        )
+
+    profile: list[int] = []
+    first = min(
+        remaining,
+        key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+    )
+    est = catalog.estimate_pattern(patterns[first], set())
+    profile.append(concrete_positions(patterns[first]))
+    out_est = builder(first, patterns[first], (), est, est, None, True)
+    bound |= patterns[first].variables()
+    remaining.remove(first)
+    while remaining:
+        connected = [i for i in remaining if patterns[i].variables() & bound]
+        pool = connected or remaining
+        index = min(
+            pool,
+            key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+        )
+        pattern = patterns[index]
+        profile.append(concrete_positions(pattern))
+        shared = tuple(sorted(pattern.variables() & bound))
+        per_binding = catalog.estimate_pattern(pattern, bound)
+        standalone = catalog.estimate_pattern(pattern, set())
+        out_est = builder(
+            index, pattern, shared, per_binding, standalone, out_est, False
+        )
+        bound |= pattern.variables()
+        remaining.remove(index)
+    return tuple(profile)
+
+
+def _sparql_use_hash(force_join, shared, per_binding, standalone, out_est):
+    from .sparql_plan import (
+        COST_EMIT,
+        COST_HASH_BUILD,
+        COST_HASH_PROBE,
+        COST_INDEX_PROBE,
+    )
+
+    if force_join == "hash":
+        return True
+    if force_join == "nested":
+        return False
+    if not shared:
+        return True
+    next_est = out_est * per_binding
+    bind_cost = out_est * COST_INDEX_PROBE + next_est * COST_EMIT
+    hash_cost = (
+        standalone * COST_HASH_BUILD
+        + out_est * COST_HASH_PROBE
+        + next_est * COST_EMIT
+    )
+    return hash_cost < bind_cost
+
+
+def build_batched_bgp(planner, patterns) -> BatchedBGP:
+    """Compile a BGP to the batched operators, planner join order."""
+    graph = planner.graph
+    batch_size = planner.batch_size
+    state = {"plan": None, "bound": set()}
+
+    def builder(index, pattern, shared, per_binding, standalone, out_est, first):
+        if first:
+            state["plan"] = BatchScan(graph, pattern, per_binding, batch_size)
+            state["bound"] |= pattern.variables()
+            return per_binding
+        next_est = out_est * per_binding
+        if _sparql_use_hash(
+            planner.force_join, shared, per_binding, standalone, out_est
+        ):
+            build = BatchScan(graph, pattern, standalone, batch_size)
+            state["plan"] = BatchHashJoin(state["plan"], build, shared, next_est)
+        else:
+            state["plan"] = BatchBindJoin(
+                state["plan"], graph, pattern, state["bound"], next_est
+            )
+        state["bound"] |= pattern.variables()
+        return next_est
+
+    profile = _sparql_order(planner, patterns, builder)
+    plan = BatchedBGP(graph, state["plan"])
+    plan.selectivity_profile = profile
+    return plan
+
+
+def _count_ids(graph, si, pi, oi) -> int:
+    """``graph.count`` on interned ids (O(1) per probe)."""
+    if si == _DEAD or pi == _DEAD or oi == _DEAD:
+        return 0
+    spo, pos_index, osp = graph._spo, graph._pos, graph._osp
+    if si is not None:
+        if pi is not None:
+            objs = spo.get(si, {}).get(pi)
+            if objs is None:
+                return 0
+            if oi is not None:
+                return 1 if oi in objs else 0
+            return len(objs)
+        if oi is not None:
+            return len(osp.get(oi, {}).get(si, ()))
+        return sum(len(objs) for objs in spo.get(si, {}).values())
+    if pi is not None:
+        if oi is not None:
+            return len(pos_index.get(pi, {}).get(oi, ()))
+        return graph._p_count.get(pi, 0)
+    if oi is not None:
+        return sum(len(preds) for preds in osp.get(oi, {}).values())
+    return len(graph)
+
+
+class AdaptiveBGP(PhysicalOperator):
+    """Stage-at-a-time BGP execution with mid-query re-planning.
+
+    Each join stage runs to completion against the materialized
+    intermediate state; when the observed cardinality misses the
+    stage estimate by more than ``planner.replan_threshold`` (q-error),
+    the remaining patterns are re-ranked using per-binding
+    cardinalities *sampled from the actual intermediate rows* and the
+    observed input cardinality replaces the estimate in the
+    hash-vs-probe decisions.  Execution resumes from the materialized
+    batches — no work is repeated.
+    """
+
+    op = "AdaptiveBGP"
+
+    def __init__(self, planner, patterns):
+        super().__init__(None, ())
+        self.planner = planner
+        self.graph = planner.graph
+        self.patterns = list(patterns)
+        self._memo: dict = {}
+        self._last_root: ExplainNode | None = None
+        # Static profile (initial order) for trace parity with the
+        # other modes; the executed order may deviate after a re-plan.
+        self.selectivity_profile = _sparql_order(
+            planner, self.patterns, lambda *a: (a[5] or 1.0) * a[3]
+        )
+
+    def explain(self) -> ExplainNode:
+        if self._last_root is not None:
+            return self._last_root
+        return ExplainNode("AdaptiveBGP", f"{len(self.patterns)} patterns")
+
+    # ------------------------------------------------------------------ #
+
+    def _sampled_estimate(self, pattern, bound, batches, total) -> float:
+        """Mean per-binding cardinality probed on sampled actual rows."""
+        compiled = _CompiledPattern(self.graph, pattern, frozenset(bound))
+        specs = compiled.specs
+        if all(spec[0] != "col" for spec in specs) or total == 0:
+            return self.planner.catalog.estimate_pattern(pattern, bound)
+        flat: list[tuple[TermBatch, int]] = []
+        step = max(1, total // _REPLAN_SAMPLES)
+        offset = 0
+        wanted = set(range(0, total, step))
+        for batch in batches:
+            for j in range(batch.n):
+                if offset + j in wanted:
+                    flat.append((batch, j))
+            offset += batch.n
+        if not flat:
+            return self.planner.catalog.estimate_pattern(pattern, bound)
+        counts = 0
+        for batch, j in flat:
+            ids = []
+            dead = False
+            for pos, spec in enumerate(specs):
+                if spec[0] == "col":
+                    tid = batch.cols[spec[1]][j]
+                    if pos == 0 and not compiled.subj_ok(tid):
+                        dead = True
+                        break
+                    if pos == 1 and not compiled.pred_ok(tid):
+                        dead = True
+                        break
+                    ids.append(tid)
+                elif spec[0] == "const":
+                    ids.append(spec[1])
+                else:
+                    ids.append(None)
+            if not dead:
+                counts += _count_ids(self.graph, *ids)
+        return counts / len(flat)
+
+    def execute(self, stats=None):
+        self._last_root = None
+        analyze = self._analyze
+        planner = self.planner
+        graph = self.graph
+        catalog = planner.catalog
+        threshold = planner.replan_threshold
+        batch_size = planner.batch_size
+        patterns = self.patterns
+        remaining = list(range(len(patterns)))
+        bound: set[str] = set()
+
+        first = min(
+            remaining,
+            key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+        )
+        est = catalog.estimate_pattern(patterns[first], set())
+        scan = BatchScan(graph, patterns[first], est, batch_size)
+        scan.prepare(analyze)
+        batches = list(scan.run(stats))
+        rows = sum(batch.n for batch in batches)
+        chain = scan.explain()
+        bound |= patterns[first].variables()
+        remaining.remove(first)
+        out_est = est
+        stage_est = est
+        replanning = False
+
+        while remaining:
+            err = q_error(stage_est, rows)
+            if err >= threshold:
+                planner.last_replans.append({
+                    "engine": "sparql",
+                    "stage_est": round(stage_est, 3),
+                    "actual": rows,
+                    "q_error": round(err, 3),
+                    "remaining": len(remaining),
+                })
+                _replan_counter().inc(1, engine="sparql")
+                chain = _replan_node(
+                    "joins", stage_est, rows, err, len(remaining), chain
+                )
+                replanning = True
+            if replanning:
+                out_est = float(rows)
+            connected = [
+                i for i in remaining if patterns[i].variables() & bound
+            ]
+            pool = connected or remaining
+            if replanning:
+                sampled = {
+                    i: self._sampled_estimate(patterns[i], bound, batches, rows)
+                    for i in pool
+                }
+                index = min(pool, key=lambda i: (sampled[i], i))
+                per_binding = sampled[index]
+            else:
+                index = min(
+                    pool,
+                    key=lambda i: (catalog.estimate_pattern(patterns[i], bound), i),
+                )
+                per_binding = catalog.estimate_pattern(patterns[index], bound)
+            pattern = patterns[index]
+            shared = tuple(sorted(pattern.variables() & bound))
+            standalone = catalog.estimate_pattern(pattern, set())
+            next_est = out_est * per_binding
+            source = _BufferedTermBatches(batches, float(rows))
+            if _sparql_use_hash(
+                planner.force_join, shared, per_binding, standalone, out_est
+            ):
+                build = BatchScan(graph, pattern, standalone, batch_size)
+                stage = BatchHashJoin(source, build, shared, next_est)
+            else:
+                stage = BatchBindJoin(source, graph, pattern, bound, next_est)
+            stage.prepare(analyze)
+            batches = list(stage.run(stats))
+            rows = sum(batch.n for batch in batches)
+            chain = _splice(stage.explain(), chain)
+            bound |= pattern.variables()
+            out_est = next_est
+            stage_est = next_est
+            remaining.remove(index)
+
+        self._last_root = chain
+        yield from _decode_term_batches(graph, batches, self._memo)
+
+
+# ===================================================================== #
+# Cypher: columnar path batches over the PG store substrate
+# ===================================================================== #
+
+class PathBatch:
+    """A batch of partial path matches.
+
+    ``rows`` holds the incoming binding dict per output row (shared
+    references, replicated on fanout); variables bound *by this MATCH
+    clause* live in the columnar ``cols`` as interned node/edge name
+    ids (``kinds`` says which).  ``anchor`` is the node id the next
+    expansion starts from; ``pivot`` remembers the seed for backward
+    expansion.  Decoding merges ``rows[i]`` with the decoded columns
+    (columns win — they carry the clause's rebinds).
+    """
+
+    __slots__ = ("rows", "cols", "kinds", "anchor", "pivot")
+
+    def __init__(self, rows, cols, kinds, anchor, pivot):
+        self.rows = rows
+        self.cols = cols
+        self.kinds = kinds
+        self.anchor = anchor
+        self.pivot = pivot
+
+    @property
+    def n(self) -> int:
+        return len(self.rows)
+
+
+class CypherBatchOperator(PhysicalOperator):
+    """A physical operator yielding :class:`PathBatch` items."""
+
+    def execute(self, engine):
+        raise NotImplementedError
+
+
+class BatchInput(CypherBatchOperator):
+    """Source: incoming clause rows, chunked into batches."""
+
+    op = "Input"
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE):
+        super().__init__(None)
+        self.rows: list[dict] = []
+        self.batch_size = batch_size
+
+    def execute(self, engine):
+        self.actual_loops += 1
+        rows = self.rows
+        bs = self.batch_size
+        for start in range(0, len(rows), bs):
+            chunk = rows[start:start + bs]
+            self.actual_rows += len(chunk)
+            yield PathBatch(chunk, {}, {}, None, None)
+
+
+class BatchConst(CypherBatchOperator):
+    """Source: a single empty binding (hash-join build sides)."""
+
+    op = "Const"
+
+    def __init__(self):
+        super().__init__(1.0)
+
+    def execute(self, engine):
+        self.actual_loops += 1
+        self.actual_rows += 1
+        yield PathBatch([{}], {}, {}, None, None)
+
+
+def _resolve_constraint(var, want_kind, batch, names):
+    """Per-row id constraints for ``var``: -1 unbound, -2 never-match.
+
+    A value of the wrong kind (a node where an edge is required, a
+    non-graph value) can never match, exactly like the iterator
+    pipeline's identity checks.
+    """
+    if var is None:
+        return None
+    col = batch.cols.get(var)
+    if col is not None:
+        if batch.kinds.get(var) == want_kind:
+            return col
+        return array("q", (-2,)) * batch.n
+    from ...pg.model import PGEdge, PGNode
+
+    expected = PGNode if want_kind == "node" else PGEdge
+    out = array("q")
+    any_set = False
+    lookup = names.lookup
+    for row in batch.rows:
+        value = row.get(var)
+        if value is None:
+            out.append(-1)
+        elif isinstance(value, expected):
+            vid = lookup(value.id)
+            out.append(vid if vid is not None else -2)
+            any_set = True
+        else:
+            out.append(-2)
+            any_set = True
+    return out if any_set else None
+
+
+class BatchSeed(CypherBatchOperator):
+    """Bind one node pattern via its chosen access path, batch-wise.
+
+    Emits the raw candidate ids of the access path (whole postings
+    runs when the row carries no equality constraint); residual
+    label/property checks are applied by a downstream
+    :class:`BatchFilter`.
+    """
+
+    op = "BatchSeed"
+
+    def __init__(self, child, store, pattern, choice, est_rows: float):
+        super().__init__(est_rows, (child,))
+        self.store = store
+        self.pattern = pattern
+        self.choice = choice
+
+    def detail(self) -> str:
+        name = self.pattern.var or "_"
+        return f"({name}) via {self.choice.describe()}"
+
+    def _candidates(self):
+        store = self.store
+        choice = self.choice
+        if choice.mode == "label":
+            li = store._labels.lookup(choice.label)
+            bucket = store._label_index.get(li) if li is not None else None
+            return bucket.sorted_array() if bucket is not None else array("q")
+        if choice.mode == "prop":
+            bucket = store._property_index.get((choice.key, choice.value))
+            return bucket.sorted_array() if bucket is not None else array("q")
+        return store.node_id_array()
+
+    def execute(self, engine):
+        store = self.store
+        names = store._names
+        var = self.pattern.var
+        bound_mode = self.choice.mode == "bound"
+        candidates = None if bound_mode else self._candidates()
+        cand_set = None
+        for batch in self.children[0].run(engine):
+            n = batch.n
+            if n == 0:
+                continue
+            self.actual_loops += n
+            sel = array("q")
+            out = array("q")
+            if bound_mode:
+                cons = _resolve_constraint(var, "node", batch, names)
+                if cons is not None:
+                    for i in range(n):
+                        v = cons[i]
+                        if v >= 0:
+                            out.append(v)
+                            sel.append(i)
+            elif len(candidates):
+                cons = _resolve_constraint(var, "node", batch, names)
+                if cons is None:
+                    cnt = len(candidates)
+                    for i in range(n):
+                        out.extend(candidates)
+                        sel.extend(_repeat(i, cnt))
+                else:
+                    if cand_set is None:
+                        cand_set = set(candidates)
+                    cnt = len(candidates)
+                    for i in range(n):
+                        v = cons[i]
+                        if v == -1:
+                            out.extend(candidates)
+                            sel.extend(_repeat(i, cnt))
+                        elif v >= 0 and v in cand_set:
+                            out.append(v)
+                            sel.append(i)
+            m = len(sel)
+            if m == 0:
+                continue
+            out_rows = [batch.rows[i] for i in sel]
+            out_cols = {
+                name: _gather(col, sel) for name, col in batch.cols.items()
+            }
+            out_kinds = dict(batch.kinds)
+            if var is not None:
+                out_cols[var] = out
+                out_kinds[var] = "node"
+            self.actual_rows += m
+            yield PathBatch(out_rows, out_cols, out_kinds, out, out)
+
+
+class BatchFilter(CypherBatchOperator):
+    """Apply residual label/property constraints to the anchor column."""
+
+    op = "BatchFilter"
+
+    def __init__(self, child, store, var, labels, properties, est_rows: float):
+        super().__init__(est_rows, (child,))
+        self.store = store
+        self.var = var
+        self.labels = tuple(labels)
+        self.properties = tuple(properties)
+
+    def detail(self) -> str:
+        name = self.var or "_"
+        labels = "".join(f":{label}" for label in self.labels)
+        props = ""
+        if self.properties:
+            inner = ", ".join(f"{k}: {v!r}" for k, v in self.properties)
+            props = f" {{{inner}}}"
+        return f"({name}){labels}{props}"
+
+    def execute(self, engine):
+        store = self.store
+        buckets = []
+        dead = False
+        for label in self.labels:
+            li = store._labels.lookup(label)
+            bucket = store._label_index.get(li) if li is not None else None
+            if bucket is None:
+                dead = True
+                break
+            buckets.append(bucket)
+        value_of = store._names.value
+        nodes = store.graph.nodes
+        properties = self.properties
+        for batch in self.children[0].run(engine):
+            n = batch.n
+            self.actual_loops += n
+            if dead or n == 0:
+                continue
+            anchor = batch.anchor
+            sel = array("q")
+            for i in range(n):
+                nid = anchor[i]
+                ok = True
+                for bucket in buckets:
+                    if nid not in bucket:
+                        ok = False
+                        break
+                if ok and properties:
+                    node = nodes[value_of(nid)]
+                    for key, value in properties:
+                        if node.properties.get(key) != value:
+                            ok = False
+                            break
+                if ok:
+                    sel.append(i)
+            m = len(sel)
+            if m == 0:
+                continue
+            self.actual_rows += m
+            if m == n:
+                yield batch
+                continue
+            yield PathBatch(
+                [batch.rows[i] for i in sel],
+                {name: _gather(col, sel) for name, col in batch.cols.items()},
+                dict(batch.kinds),
+                _gather(anchor, sel),
+                _gather(batch.pivot, sel) if batch.pivot is not None else None,
+            )
+
+
+class BatchExpand(CypherBatchOperator):
+    """Follow one hop from the anchor column through the adjacency index.
+
+    Unconstrained hops extend whole edge-postings runs and gather the
+    far endpoints from the store's endpoint arrays; rows carrying
+    rel/node equality constraints fall back to per-edge checks.
+    """
+
+    op = "BatchExpand"
+
+    def __init__(self, child, store, rel, node, reverse: bool, est_rows: float):
+        super().__init__(est_rows, (child,))
+        from .cypher_plan import _flip
+
+        self.store = store
+        self.rel = rel
+        self.node = node
+        self.reverse = reverse
+        self.traverse_rel = _flip(rel) if reverse else rel
+
+    def detail(self) -> str:
+        types = "|".join(self.rel.types)
+        rel = f"[:{types}]" if types else "[]"
+        arrow = {"out": f"-{rel}->", "in": f"<-{rel}-", "any": f"-{rel}-"}[
+            self.rel.direction
+        ]
+        far = f"({self.node.var or '_'})"
+        if self.reverse:
+            return f"{far}{arrow}(*)"
+        return f"(*){arrow}{far}"
+
+    def execute(self, engine):
+        store = self.store
+        names = store._names
+        rel = self.traverse_rel
+        rel_var = self.rel.var
+        node_var = self.node.var
+        if rel_var is not None and rel_var == node_var:
+            # ``-[x]->(x)`` can never match: the same variable cannot
+            # be both the edge and its endpoint.
+            for _ in self.children[0].run(engine):
+                pass
+            return
+        src_arr, dst_arr = store.endpoint_arrays()
+        out_pass = rel.direction in ("out", "any")
+        in_pass = rel.direction in ("in", "any")
+        undirected = out_pass and in_pass
+        if rel.types:
+            type_ids = [store._labels.lookup(t) for t in rel.types]
+        else:
+            type_ids = None
+        for batch in self.children[0].run(engine):
+            n = batch.n
+            if n == 0:
+                continue
+            self.actual_loops += n
+            anchor = batch.anchor
+            e_cons = _resolve_constraint(rel_var, "rel", batch, names)
+            n_cons = _resolve_constraint(node_var, "node", batch, names)
+            sel = array("q")
+            edge_out = array("q")
+            far_out = array("q")
+            expansions = 0
+            for i in range(n):
+                nid = anchor[i]
+                be = e_cons[i] if e_cons is not None else -1
+                if be == -2:
+                    continue
+                bn = n_cons[i] if n_cons is not None else -1
+                if bn == -2:
+                    continue
+                for is_out in (True, False):
+                    if is_out and not out_pass:
+                        continue
+                    if not is_out and not in_pass:
+                        continue
+                    adjacency = store._out if is_out else store._in
+                    by_type = adjacency.get(nid)
+                    if not by_type:
+                        continue
+                    if type_ids is None:
+                        buckets = list(by_type.values())
+                        seen = set() if len(buckets) > 1 else None
+                    else:
+                        buckets = [
+                            by_type[li] for li in type_ids
+                            if li is not None and li in by_type
+                        ]
+                        seen = None
+                    endpoint = dst_arr if is_out else src_arr
+                    skip_loops = undirected and not is_out
+                    for bucket in buckets:
+                        expansions += len(bucket)
+                        if (
+                            be < 0 and bn < 0 and seen is None
+                            and not skip_loops
+                        ):
+                            # Wholesale: the whole postings run matches.
+                            run = bucket.sorted_array()
+                            edge_out.extend(run)
+                            far_out.extend(map(endpoint.__getitem__, run))
+                            sel.extend(_repeat(i, len(run)))
+                            continue
+                        if be >= 0:
+                            eids = (be,) if be in bucket else ()
+                        else:
+                            eids = bucket
+                        for eid in eids:
+                            if seen is not None:
+                                if eid in seen:
+                                    continue
+                                seen.add(eid)
+                            if skip_loops and src_arr[eid] == dst_arr[eid]:
+                                # A self-loop satisfies an undirected
+                                # pattern once, not once per direction.
+                                continue
+                            far = endpoint[eid]
+                            if bn >= 0 and far != bn:
+                                continue
+                            edge_out.append(eid)
+                            far_out.append(far)
+                            sel.append(i)
+            engine._expansions += expansions
+            m = len(sel)
+            if m == 0:
+                continue
+            out_cols = {
+                name: _gather(col, sel) for name, col in batch.cols.items()
+            }
+            out_kinds = dict(batch.kinds)
+            if rel_var is not None:
+                out_cols[rel_var] = edge_out
+                out_kinds[rel_var] = "rel"
+            if node_var is not None:
+                out_cols[node_var] = far_out
+                out_kinds[node_var] = "node"
+            self.actual_rows += m
+            yield PathBatch(
+                [batch.rows[i] for i in sel],
+                out_cols,
+                out_kinds,
+                far_out,
+                _gather(batch.pivot, sel) if batch.pivot is not None else None,
+            )
+
+
+class BatchPivot(CypherBatchOperator):
+    """Rewind the anchor to the seed node (forward chain -> backward)."""
+
+    op = "Pivot"
+
+    def __init__(self, child, est_rows: float | None):
+        super().__init__(est_rows, (child,))
+
+    def execute(self, engine):
+        self.actual_loops += 1
+        for batch in self.children[0].run(engine):
+            self.actual_rows += batch.n
+            yield PathBatch(
+                batch.rows, batch.cols, batch.kinds, batch.pivot, batch.pivot
+            )
+
+
+def _decode_path_batch(store, batch: PathBatch, memo: dict) -> list[dict]:
+    """Decode a path batch to binding dicts (the plan boundary).
+
+    Ids repeat heavily after joins and expansions, so each column
+    resolves its *unique* ids through the memo once and the rows are
+    assembled with C-level ``zip``/``map`` passes.
+    """
+    rows = batch.rows
+    if not batch.cols:
+        return list(rows)
+    value_of = store._names.value
+    nodes = store.graph.nodes
+    edges = store.graph.edges
+    names = list(batch.cols)
+    object_columns = []
+    for name in names:
+        col = batch.cols[name]
+        is_node = batch.kinds[name] == "node"
+        source = nodes if is_node else edges
+        lookup = {}
+        for vid in set(col):
+            key = (vid, is_node)
+            obj = memo.get(key)
+            if obj is None:
+                obj = memo[key] = source[value_of(vid)]
+            lookup[vid] = obj
+        object_columns.append(map(lookup.__getitem__, col))
+    if not any(rows):
+        return [dict(zip(names, values)) for values in zip(*object_columns)]
+    out = []
+    for row, values in zip(rows, zip(*object_columns)):
+        binding = dict(row)
+        binding.update(zip(names, values))
+        out.append(binding)
+    return out
+
+
+class BatchPathHashJoin(CypherBatchOperator):
+    """Decorrelate a path: build its batches once, probe per row.
+
+    Probe and build sides are decoded at this boundary — the join key
+    uses the evaluator's value identities, so its semantics match the
+    iterator :class:`~repro.query.plan.cypher_plan.PathHashJoin`
+    exactly.
+    """
+
+    op = "BatchHashJoin"
+
+    def __init__(self, probe, build, key: tuple[str, ...], est_rows, store):
+        super().__init__(est_rows, (probe, build))
+        self.key = key
+        self.store = store
+        self._memo: dict = {}
+
+    def detail(self) -> str:
+        if not self.key:
+            return "cartesian"
+        return "on " + ", ".join(self.key)
+
+    def execute(self, engine):
+        self.actual_loops += 1
+        build = list(self.children[1].run(engine))
+        schema = build[0].cols.keys() if build else ()
+        if all(
+            batch.cols.keys() == schema
+            and all(k in batch.cols for k in self.key)
+            and all(not row for row in batch.rows)
+            for batch in build
+        ):
+            # The build side is purely columnar (a freshly compiled path
+            # over empty input rows): join on interned ids and gather —
+            # neither side is decoded here.
+            yield from self._execute_columnar(engine, build)
+            return
+        yield from self._execute_decoded(engine, build)
+
+    def _execute_columnar(self, engine, build):
+        key = self.key
+        names = self.store._names
+        b_cols: dict[str, array] = {}
+        b_kinds: dict[str, str] = {}
+        total = 0
+        for batch in build:
+            for name, col in batch.cols.items():
+                b_cols.setdefault(name, array("q")).extend(col)
+                b_kinds[name] = batch.kinds[name]
+            total += batch.n
+        if key:
+            key_cols = [b_cols[k] for k in key]
+            table: dict = {}
+            if len(key) == 1:
+                for j, v in enumerate(key_cols[0]):
+                    table.setdefault(v, []).append(j)
+            else:
+                for j in range(total):
+                    table.setdefault(
+                        tuple(col[j] for col in key_cols), []
+                    ).append(j)
+        for batch in self.children[0].run(engine):
+            n = batch.n
+            if n == 0:
+                continue
+            sel_p = array("q")
+            sel_b = array("q")
+            if not key:
+                if total:
+                    for i in range(n):
+                        sel_p.extend(_repeat(i, total))
+                    sel_b = array("q", range(total)) * n
+            else:
+                probe_keys = [
+                    _resolve_constraint(k, b_kinds[k], batch, names)
+                    for k in key
+                ]
+                if any(col is None for col in probe_keys):
+                    # The variable is set in no probe row: like the
+                    # decoded path's None key, nothing can match.
+                    continue
+                if len(probe_keys) == 1:
+                    probe = probe_keys[0]
+                    for i in range(n):
+                        v = probe[i]
+                        if v < 0:
+                            continue
+                        for j in table.get(v, ()):
+                            sel_p.append(i)
+                            sel_b.append(j)
+                else:
+                    for i in range(n):
+                        ks = tuple(col[i] for col in probe_keys)
+                        if min(ks) < 0:
+                            continue
+                        for j in table.get(ks, ()):
+                            sel_p.append(i)
+                            sel_b.append(j)
+            m = len(sel_p)
+            if m == 0:
+                continue
+            rows = batch.rows
+            out_cols = {
+                name: _gather(col, sel_p) for name, col in batch.cols.items()
+            }
+            out_kinds = dict(batch.kinds)
+            for name, col in b_cols.items():
+                if name not in out_cols:
+                    out_cols[name] = _gather(col, sel_b)
+                    out_kinds[name] = b_kinds[name]
+            self.actual_rows += m
+            yield PathBatch(
+                [rows[i] for i in sel_p], out_cols, out_kinds, None, None
+            )
+
+    def _execute_decoded(self, engine, build):
+        from ..cypher.evaluator import _value_key
+
+        key = self.key
+        memo = self._memo
+        table: dict[tuple, list[dict]] = {}
+        for batch in build:
+            for binding in _decode_path_batch(self.store, batch, memo):
+                table.setdefault(
+                    tuple(_value_key(binding.get(k)) for k in key), []
+                ).append(binding)
+        for batch in self.children[0].run(engine):
+            out_rows: list[dict] = []
+            for binding in _decode_path_batch(self.store, batch, memo):
+                matches = table.get(
+                    tuple(_value_key(binding.get(k)) for k in key)
+                )
+                if matches:
+                    for match in matches:
+                        out_rows.append({**binding, **match})
+            if out_rows:
+                self.actual_rows += len(out_rows)
+                yield PathBatch(out_rows, {}, {}, None, None)
+
+
+class _BufferedPathBatches(CypherBatchOperator):
+    """Source: materialized batches of the stages already executed."""
+
+    op = "Batches"
+
+    def __init__(self, batches, est_rows: float):
+        super().__init__(est_rows)
+        self.batches = batches
+
+    def detail(self) -> str:
+        return "materialized"
+
+    def execute(self, engine):
+        self.actual_loops += 1
+        for batch in self.batches:
+            self.actual_rows += batch.n
+            yield batch
+
+
+def _residual_node_constraints(pattern, choice):
+    """Label/property checks not already guaranteed by the access path."""
+    labels = list(pattern.labels)
+    properties = list(pattern.properties)
+    if choice is not None:
+        if choice.mode == "label" and choice.label in labels:
+            labels.remove(choice.label)
+        elif choice.mode == "prop" and (choice.key, choice.value) in properties:
+            properties.remove((choice.key, choice.value))
+    return tuple(labels), tuple(properties)
+
+
+def _append_node_filter(planner, current, pattern, choice, est):
+    """Chain a BatchFilter for the pattern's residual constraints."""
+    labels, properties = _residual_node_constraints(pattern, choice)
+    if not labels and not properties:
+        return current, est
+    from ..cypher.ast import NodePattern
+
+    residual = NodePattern(None, labels, properties)
+    est = est * planner.catalog.node_selectivity(residual)
+    current = BatchFilter(
+        current, planner.store, pattern.var, labels, properties, est
+    )
+    return current, est
+
+
+def _compile_path_batched(planner, path, bound, child, in_est: float):
+    """Compile one path to Seed/Filter/Expand/Pivot batch operators."""
+    store = planner.store
+    catalog = planner.catalog
+    seed_index, choice = planner._seed_position(path, bound)
+    nodes = path.node_patterns()
+    est = in_est * choice.est
+    current: CypherBatchOperator = BatchSeed(
+        child, store, nodes[seed_index], choice, est
+    )
+    current, est = _append_node_filter(
+        planner, current, nodes[seed_index],
+        None if choice.mode == "bound" else choice, est,
+    )
+    for i in range(seed_index, len(path.hops)):
+        rel, node = path.hops[i]
+        est *= catalog.hop_fanout(rel)
+        current = BatchExpand(current, store, rel, node, False, est)
+        current, est = _append_node_filter(planner, current, node, None, est)
+    if seed_index > 0:
+        current = BatchPivot(current, est)
+        for i in range(seed_index - 1, -1, -1):
+            rel, _ = path.hops[i]
+            far = nodes[i]
+            est *= catalog.hop_fanout(rel)
+            current = BatchExpand(current, store, rel, far, True, est)
+            current, est = _append_node_filter(planner, current, far, None, est)
+    return current
+
+
+def _cypher_use_hash(force_join, shared, nullable, per_row, standalone, in_est):
+    from .cypher_plan import COST_HASH_BUILD, COST_HASH_PROBE
+
+    if force_join == "hash":
+        return not (set(shared) & nullable)
+    if force_join == "nested":
+        return False
+    if not shared:
+        return True
+    if set(shared) & nullable:
+        return False
+    bind_cost = in_est * per_row
+    hash_cost = standalone * COST_HASH_BUILD + in_est * COST_HASH_PROBE
+    return hash_cost < bind_cost
+
+
+class BatchMatchPlan:
+    """A compiled (and cacheable) batched plan for one MATCH clause."""
+
+    def __init__(self, input_op: BatchInput, root: CypherBatchOperator, store):
+        self.input = input_op
+        self.root = root
+        self.store = store
+        self._memo: dict = {}
+
+    def execute(self, rows, engine, analyze: bool = False) -> list[dict]:
+        self.input.rows = rows
+        self.root.prepare(analyze)
+        out: list[dict] = []
+        for batch in self.root.run(engine):
+            out.extend(_decode_path_batch(self.store, batch, self._memo))
+        return out
+
+    def execute_projected(
+        self, rows, engine, items, analyze: bool = False
+    ) -> list[tuple]:
+        """Project simple RETURN items straight off the path batches.
+
+        ``items`` are return items whose expressions are literals,
+        variable references, or property accesses (the caller checks);
+        each column resolves its unique interned ids once, so no
+        binding dicts are materialized.  Batches that carry a needed
+        variable only in their row dicts (decoded hash-join fallbacks)
+        are decoded and evaluated per row with identical semantics.
+        """
+        from ...errors import QueryError
+        from ...pg.model import PGEdge, PGNode
+        from ..cypher.ast import CypherLiteral, PropertyAccess, VarRef
+
+        specs = []
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, CypherLiteral):
+                specs.append(("lit", expr.value, None))
+            elif isinstance(expr, VarRef):
+                specs.append(("var", expr.name, None))
+            else:
+                specs.append(("prop", expr.var, expr.key))
+        self.input.rows = rows
+        self.root.prepare(analyze)
+        store = self.store
+        value_of = store._names.value
+        nodes = store.graph.nodes
+        edges = store.graph.edges
+        memo = self._memo
+        out: list[tuple] = []
+        for batch in self.root.run(engine):
+            if batch.n == 0:
+                continue
+            cols = batch.cols
+            if all(kind == "lit" or var in cols for kind, var, _ in specs):
+                value_columns = []
+                for kind, var, prop_key in specs:
+                    if kind == "lit":
+                        value_columns.append(_repeat(var, batch.n))
+                        continue
+                    col = cols[var]
+                    is_node = batch.kinds[var] == "node"
+                    source = nodes if is_node else edges
+                    lookup = {}
+                    for vid in set(col):
+                        mkey = (vid, is_node)
+                        obj = memo.get(mkey)
+                        if obj is None:
+                            obj = memo[mkey] = source[value_of(vid)]
+                        lookup[vid] = (
+                            obj.properties.get(prop_key)
+                            if kind == "prop" else obj
+                        )
+                    value_columns.append(map(lookup.__getitem__, col))
+                out.extend(zip(*value_columns))
+                continue
+            for binding in _decode_path_batch(store, batch, memo):
+                values = []
+                for kind, var, prop_key in specs:
+                    if kind == "lit":
+                        values.append(var)
+                    elif kind == "var":
+                        if var not in binding:
+                            raise QueryError(f"unbound variable {var!r}")
+                        values.append(binding[var])
+                    else:
+                        element = binding.get(var)
+                        values.append(
+                            element.properties.get(prop_key)
+                            if isinstance(element, (PGNode, PGEdge))
+                            else None
+                        )
+                out.append(tuple(values))
+        return out
+
+    def explain(self) -> ExplainNode:
+        return self.root.explain()
+
+
+def build_batched_match(planner, clause, bound, nullable) -> BatchMatchPlan:
+    """Compile a MATCH clause to batched operators, planner join order."""
+    from .cypher_plan import _path_variables
+
+    input_op = BatchInput(planner.batch_size)
+    current: CypherBatchOperator = input_op
+    bound = set(bound)
+    remaining = list(range(len(clause.paths)))
+    in_est = 1.0
+    while remaining:
+        connected = [
+            i for i in remaining if _path_variables(clause.paths[i]) & bound
+        ]
+        pool = connected or remaining
+        index = min(
+            pool, key=lambda i: (planner._path_estimate(clause.paths[i], bound), i)
+        )
+        path = clause.paths[index]
+        path_vars = _path_variables(path)
+        shared = tuple(sorted(path_vars & bound))
+        per_row = planner._path_estimate(path, bound)
+        standalone = planner._path_estimate(path, set())
+        next_est = in_est * per_row
+        if _cypher_use_hash(
+            planner.force_join, shared, nullable, per_row, standalone, in_est
+        ):
+            build = _compile_path_batched(planner, path, set(), BatchConst(), 1.0)
+            current = BatchPathHashJoin(
+                current, build, shared, next_est, planner.store
+            )
+        else:
+            current = _compile_path_batched(planner, path, bound, current, in_est)
+        bound |= path_vars
+        in_est = next_est
+        remaining.remove(index)
+    return BatchMatchPlan(input_op, current, planner.store)
+
+
+class AdaptiveMatchPlan:
+    """Path-at-a-time MATCH execution with mid-query re-planning.
+
+    Paths are the planner's join units: after each path's batches are
+    materialized, the observed cardinality is compared with the stage
+    estimate; past the q-error threshold the remaining paths are
+    re-ranked (and their hash-vs-correlated decisions re-made) with
+    the observed input cardinality substituted for the estimate, and
+    execution resumes from the materialized state.
+    """
+
+    def __init__(self, planner, clause, bound, nullable):
+        self.planner = planner
+        self.clause = clause
+        self.bound0 = frozenset(bound)
+        self.nullable = nullable
+        self._memo: dict = {}
+        self._last_root: ExplainNode | None = None
+
+    def explain(self) -> ExplainNode:
+        if self._last_root is not None:
+            return self._last_root
+        return ExplainNode(
+            "AdaptiveMatch", f"{len(self.clause.paths)} paths"
+        )
+
+    def execute(self, rows, engine, analyze: bool = False) -> list[dict]:
+        from .cypher_plan import _path_variables
+
+        planner = self.planner
+        clause = self.clause
+        threshold = planner.replan_threshold
+        nullable = self.nullable
+        bound = set(self.bound0)
+        remaining = list(range(len(clause.paths)))
+
+        input_op = BatchInput(planner.batch_size)
+        input_op.rows = rows
+        input_op.prepare(analyze)
+        batches = list(input_op.run(engine))
+        chain = input_op.explain()
+        actual = len(rows)
+        if actual == 0:
+            self._last_root = chain
+            return []
+        in_est = float(actual)
+        replanning = False
+
+        while remaining:
+            connected = [
+                i for i in remaining
+                if _path_variables(clause.paths[i]) & bound
+            ]
+            pool = connected or remaining
+
+            def rank(i: int):
+                per_row = planner._path_estimate(clause.paths[i], bound)
+                if not replanning:
+                    return (per_row, i)
+                # Re-plan with actuals: rank by the cheaper of the
+                # correlated and decorrelated costs at the observed
+                # input cardinality.
+                shared_i = _path_variables(clause.paths[i]) & bound
+                work = in_est * per_row
+                if not (shared_i & nullable):
+                    standalone_i = planner._path_estimate(clause.paths[i], set())
+                    work = min(
+                        work, standalone_i * 2.0 + in_est + in_est * per_row
+                    )
+                return (work, i)
+
+            index = min(pool, key=rank)
+            path = clause.paths[index]
+            path_vars = _path_variables(path)
+            shared = tuple(sorted(path_vars & bound))
+            per_row = planner._path_estimate(path, bound)
+            standalone = planner._path_estimate(path, set())
+            next_est = in_est * per_row
+            source = _BufferedPathBatches(batches, float(actual))
+            if _cypher_use_hash(
+                planner.force_join, shared, nullable, per_row, standalone, in_est
+            ):
+                build = _compile_path_batched(
+                    planner, path, set(), BatchConst(), 1.0
+                )
+                stage: CypherBatchOperator = BatchPathHashJoin(
+                    source, build, shared, next_est, planner.store
+                )
+            else:
+                stage = _compile_path_batched(planner, path, bound, source, in_est)
+            stage.prepare(analyze)
+            batches = list(stage.run(engine))
+            actual = sum(batch.n for batch in batches)
+            chain = _splice(stage.explain(), chain)
+            bound |= path_vars
+            remaining.remove(index)
+            err = q_error(next_est, actual)
+            if remaining and err >= threshold:
+                planner.last_replans.append({
+                    "engine": "cypher",
+                    "stage_est": round(next_est, 3),
+                    "actual": actual,
+                    "q_error": round(err, 3),
+                    "remaining": len(remaining),
+                })
+                _replan_counter().inc(1, engine="cypher")
+                chain = _replan_node(
+                    "paths", next_est, actual, err, len(remaining), chain
+                )
+                replanning = True
+            in_est = float(actual) if replanning else next_est
+
+        self._last_root = chain
+        out: list[dict] = []
+        for batch in batches:
+            out.extend(_decode_path_batch(planner.store, batch, self._memo))
+        return out

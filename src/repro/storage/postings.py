@@ -87,6 +87,20 @@ class IntPostings:
             self._compact()
         return _as_array(self._data)
 
+    def extend_into(self, out: array) -> int:
+        """Append the whole run to ``out`` in sorted order; return its size.
+
+        The batch read API of the vectorized executor: one C-level
+        ``array.extend`` per bucket instead of a Python-level iteration
+        per id.  Works for both array- and snapshot-``memoryview``-backed
+        runs without materializing the view.
+        """
+        if self._extra:
+            self._compact()
+        data = self._data
+        out.extend(data)
+        return len(data)
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #

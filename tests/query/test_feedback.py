@@ -101,6 +101,42 @@ def test_feedback_keyed_by_plan_cache_key():
     assert len(engine.planner.feedback) == 2
 
 
+def test_adaptive_replans_feed_back_under_original_plan_key():
+    """A mid-query re-plan must not fragment the feedback history.
+
+    The re-planned execution is keyed to the *original* plan-cache key
+    (exec mode and batch size are part of the key; the re-plan is not),
+    so repeated runs of an adaptive query accumulate executions in one
+    slot — on both engines — while each run records a fresh re-plan
+    event and the plan cache keeps serving the same entry.
+    """
+    from repro.fuzz.oracles import _skewed_pg, _skewed_rdf
+
+    graph, sparql_query = _skewed_rdf(seed=7)
+    engine = SparqlEngine(graph, exec_mode="adaptive")
+    engine.query(sparql_query)
+    key = engine.planner.last_key
+    assert key is not None
+    assert engine.planner.last_replans, "skew fixture must force a re-plan"
+    engine.query(sparql_query)
+    assert engine.planner.last_replans, "re-plan must recur on the rerun"
+    assert engine.planner.last_key == key
+    assert engine.planner.feedback.get(key)["executions"] == 2
+    assert len(engine.planner.feedback) == 1
+
+    pg, cypher_query = _skewed_pg(seed=7)
+    engine = CypherEngine(PropertyGraphStore(pg), exec_mode="adaptive")
+    engine.query(cypher_query)
+    key = engine.planner.last_key
+    assert key is not None
+    assert engine.planner.last_replans, "skew fixture must force a re-plan"
+    engine.query(cypher_query)
+    assert engine.planner.last_replans, "re-plan must recur on the rerun"
+    assert engine.planner.last_key == key
+    assert engine.planner.feedback.get(key)["executions"] == 2
+    assert len(engine.planner.feedback) == 1
+
+
 def test_feedback_observes_q_error_histogram():
     obs.get_metrics().reset()
     try:

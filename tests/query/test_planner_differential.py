@@ -21,12 +21,18 @@ from repro.query import CypherEngine, SparqlEngine, SparqlToCypherTranslator
 
 from tests.core.test_properties import schema_and_data
 
-# (tag, engine kwargs) — shared by both engines.
+# (tag, engine kwargs) — shared by both engines.  The 5-way matrix of
+# the fuzz oracle (planner-off / iterator / batched / adaptive /
+# hash-forced) plus nested-forced and batched-with-forced-joins arms.
 STRATEGIES = (
     ("planner-off", {"planner": False}),
     ("planner-on", {}),
+    ("batched", {"exec_mode": "batched"}),
+    ("adaptive", {"exec_mode": "adaptive"}),
     ("hash-forced", {"force_join": "hash"}),
     ("nested-forced", {"force_join": "nested"}),
+    ("batched-hash", {"exec_mode": "batched", "force_join": "hash"}),
+    ("batched-nested", {"exec_mode": "batched", "force_join": "nested"}),
 )
 
 PREFIX = "PREFIX uni: <http://example.org/university#>\n"
@@ -155,16 +161,49 @@ def test_random_cypher_strategies_agree(pair):
             _assert_all_equal(_cypher_bags(store, cypher), cypher)
 
 
-def test_fuzz_oracle_campaign():
-    """The fuzz-harness oracle stays green over a deterministic campaign."""
-    from repro.fuzz import run_fuzz
+def test_skewed_catalog_forces_replan():
+    """A deliberately skewed catalog provably re-plans mid-query.
 
+    Both engines: the static per-binding fanout estimate is low by more
+    than the re-plan threshold on hub-skewed data, so the adaptive mode
+    must record at least one re-plan event — and still return the
+    iterator mode's bag.
+    """
+    from repro.fuzz.oracles import _skewed_pg, _skewed_rdf
+
+    graph, sparql = _skewed_rdf(seed=7)
+    reference = normalize_sparql_rows(SparqlEngine(graph).query(sparql))
+    adaptive = SparqlEngine(graph, exec_mode="adaptive")
+    assert normalize_sparql_rows(adaptive.query(sparql)) == reference
+    assert adaptive.planner.last_replans, "SPARQL replan did not trigger"
+    event = adaptive.planner.last_replans[0]
+    assert event["engine"] == "sparql" and event["q_error"] >= 4.0
+
+    pg, cypher = _skewed_pg(seed=7)
+    store = PropertyGraphStore(pg)
+    reference = normalize_cypher_rows(CypherEngine(store).query(cypher))
+    adaptive = CypherEngine(store, exec_mode="adaptive")
+    assert normalize_cypher_rows(adaptive.query(cypher)) == reference
+    assert adaptive.planner.last_replans, "Cypher replan did not trigger"
+    event = adaptive.planner.last_replans[0]
+    assert event["engine"] == "cypher" and event["q_error"] >= 4.0
+
+
+def test_fuzz_oracle_campaign():
+    """The 5-way oracle stays green over >= 150 seeded cases per engine,
+    with at least one skew seed provably triggering a mid-query re-plan."""
+    from repro.fuzz import oracles, run_fuzz
+
+    triggers_before = oracles.REPLAN_TRIGGERS
     report = run_fuzz(
         seed=0,
-        cases=120,
+        cases=400,
         oracle_names=["planner_differential"],
         corpus_dir=None,
         parallel_every=0,
     )
     assert report.ok, report.failures
-    assert report.oracle_runs.get("planner_differential", 0) >= 30
+    # Each oracle run exercises both engines, so >= 150 runs means
+    # >= 150 seeded cases per engine through the 5-way matrix.
+    assert report.oracle_runs.get("planner_differential", 0) >= 150
+    assert oracles.REPLAN_TRIGGERS > triggers_before
